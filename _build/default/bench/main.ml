@@ -1,0 +1,216 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, plus a Bechamel micro-benchmark suite (one Test.make
+   per table/figure kernel).
+
+     dune exec bench/main.exe             -- regenerate everything
+     dune exec bench/main.exe -- table2   -- one artifact only
+     dune exec bench/main.exe -- micro    -- Bechamel micro-benchmarks
+
+   Artifacts: table1 table2 table3 table4 timing fig7 micro *)
+
+let header title =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') title (String.make 72 '=')
+
+let chip = lazy (Chip.Generator.generate ())
+let clean_chip = lazy (Chip.Generator.generate ~with_bugs:false ())
+
+let table1 () =
+  header "Table 1: chip implementation (synthetic reproduction)";
+  Format.printf "%a" Core.Report.pp_table1 (Core.Report.table1 (Lazy.force chip))
+
+let run_campaign label chip =
+  let t0 = Unix.gettimeofday () in
+  let last = ref 0.0 in
+  let progress ~done_ ~total =
+    let now = Unix.gettimeofday () in
+    if now -. !last > 10.0 then begin
+      last := now;
+      Printf.printf "  ... %s: %d/%d properties (%.0fs)\n%!" label done_ total
+        (now -. t0)
+    end
+  in
+  Core.Campaign.run ~progress chip
+
+let table2 () =
+  header
+    "Table 2: number of verified properties (full formal campaign, pre-fix \
+     chip)";
+  let c = run_campaign "pre-fix" (Lazy.force chip) in
+  Format.printf "%a" Core.Campaign.pp_table2 c;
+  Printf.printf
+    "\n%d properties proved, %d failed (the seeded bugs), %d resource-outs\n"
+    c.Core.Campaign.grand_total.Core.Campaign.proved
+    c.Core.Campaign.grand_total.Core.Campaign.failed
+    c.Core.Campaign.grand_total.Core.Campaign.resource_out;
+  Printf.printf
+    "campaign wall time: %.1fs (paper: ~20h on a 2004 workstation)\n"
+    c.Core.Campaign.wall_time_s;
+  List.iter
+    (fun (r : Core.Campaign.prop_result) ->
+      Printf.printf "  failed: %-12s %-28s (%s)\n" r.Core.Campaign.module_name
+        r.Core.Campaign.prop_name
+        (match r.Core.Campaign.bug with
+         | Some b -> Chip.Bugs.name b
+         | None -> "UNEXPECTED"))
+    (Core.Campaign.failed_results c);
+  header "Table 2 follow-up: post-fix chip (all 2047 properties must verify)";
+  let c' = run_campaign "post-fix" (Lazy.force clean_chip) in
+  Format.printf "%a" Core.Campaign.pp_table2 c';
+  Printf.printf "failures on the fixed chip: %d (paper: all 2047 verified)\n"
+    c'.Core.Campaign.grand_total.Core.Campaign.failed
+
+let table3 () =
+  header "Table 3: classification of logic bugs";
+  let results = Core.Classify.run (Lazy.force chip) in
+  Format.printf "%a" Core.Classify.pp_table3 results;
+  Printf.printf "\nformal side:\n";
+  List.iter
+    (fun (r : Core.Classify.result) ->
+      Printf.printf
+        "  %s in %-12s exposed by %-22s in %.3fs, %s-cycle counterexample\n"
+        (Chip.Bugs.name r.Core.Classify.bug)
+        r.Core.Classify.module_name
+        (Option.value ~default:"-" r.Core.Classify.prop_name)
+        r.Core.Classify.formal_time_s
+        (match r.Core.Classify.trace_len with
+         | Some n -> string_of_int n
+         | None -> "?"))
+    results;
+  let matches =
+    List.for_all
+      (fun (r : Core.Classify.result) ->
+        r.Core.Classify.observed_cls = Some r.Core.Classify.expected_cls
+        && r.Core.Classify.sim_easy = r.Core.Classify.expected_easy)
+      results
+  in
+  Printf.printf "\nshape matches the paper's Table 3: %b\n" matches
+
+let table4 () =
+  header "Table 4: area increase caused by the error injection feature";
+  Format.printf "%a" Core.Report.pp_table4 (Core.Report.table4 (Lazy.force chip));
+  Printf.printf "(paper: A 1.4%%, B 0.4%%, D 0.2%%; C and E not published)\n"
+
+let timing () =
+  header "Timing impact of the injection selector (paper: ~200ps, ~4-5%)";
+  Format.printf "%a" Core.Report.pp_timing
+    (Core.Report.timing_impact (Lazy.force chip))
+
+let fig7 () =
+  header "Figure 7: partitioning a property for divide and conquer";
+  Format.printf "%a" Core.Report.pp_fig7
+    (Core.Report.fig7 ~payload_width:16 ~node_limit:100_000 ())
+
+(* ---- Bechamel micro-benchmarks: one kernel per table/figure ---- *)
+
+let micro () =
+  let open Bechamel in
+  let chip = Lazy.force chip in
+  let _, alu = Chip.Generator.find_unit chip Chip.Bugs.B4 in
+  let alu_mdl = alu.Chip.Generator.info.Verifiable.Transform.mdl in
+  let soundness = Psl.Parser.fl_of_string "never HE[0]" in
+  let assumes =
+    [ Psl.Parser.fl_of_string "always (^A)";
+      Psl.Parser.fl_of_string "always (^B)";
+      Psl.Parser.fl_of_string "always (~I_ERR_INJ_C)" ]
+  in
+  let cat_a =
+    List.find
+      (fun (c : Chip.Generator.category) -> c.Chip.Generator.cat_name = "A")
+      chip.Chip.Generator.categories
+  in
+  let merge_leaf = Chip.Archetype.merge ~name:"bench_merge" ~payload_width:8 () in
+  let merge_info = Verifiable.Transform.apply merge_leaf.Chip.Archetype.mdl in
+  let merge_spec =
+    { Verifiable.Propgen.he = merge_leaf.Chip.Archetype.he;
+      he_map = merge_leaf.Chip.Archetype.he_map;
+      parity_inputs = merge_leaf.Chip.Archetype.parity_inputs;
+      parity_outputs = merge_leaf.Chip.Archetype.parity_outputs; extra = [] }
+  in
+  let merge_plan =
+    Verifiable.Partition.partition merge_info merge_spec ~output:"OUT"
+      ~cuts:[ "chk0"; "chk1"; "chk2" ]
+  in
+  let sub_vunit = snd (List.hd merge_plan.Verifiable.Partition.sub_vunits) in
+  let classify_sim () =
+    let nl =
+      Rtl.Elaborate.run
+        (Rtl.Design.of_modules [ alu_mdl ])
+        ~top:alu_mdl.Rtl.Mdl.name
+    in
+    let sim = Sim.Simulator.create nl in
+    let profile = Sim.Stimulus.legal_profile ~parity_inputs:[ "A"; "B" ] nl in
+    ignore
+      (Sim.Testbench.run_random sim profile ~cycles:1_000 ~seed:7
+         ~watch:[ "HE" ])
+  in
+  let tests =
+    [ Test.make ~name:"table1/chip-generation-and-gate-count"
+        (Staged.stage (fun () ->
+             let t = Chip.Generator.generate () in
+             ignore
+               (Synth.Area.gates_estimate t.Chip.Generator.design
+                  ~root:t.Chip.Generator.chip_top)));
+      Test.make ~name:"table2/one-property-model-check"
+        (Staged.stage (fun () ->
+             ignore
+               (Mc.Engine.check_property alu_mdl ~assert_:soundness ~assumes)));
+      Test.make ~name:"table3/random-simulation-1k-cycles"
+        (Staged.stage classify_sim);
+      Test.make ~name:"table4/category-A-area-delta"
+        (Staged.stage (fun () ->
+             ignore
+               (Synth.Area.hierarchy_area chip.Chip.Generator.design
+                  ~root:cat_a.Chip.Generator.top)));
+      Test.make ~name:"timing/alu-static-timing"
+        (Staged.stage (fun () ->
+             let nl =
+               Rtl.Elaborate.run
+                 (Rtl.Design.of_modules [ alu_mdl ])
+                 ~top:alu_mdl.Rtl.Mdl.name
+             in
+             ignore (Synth.Timing.analyze nl)));
+      Test.make ~name:"fig7/one-partitioned-sub-property"
+        (Staged.stage (fun () ->
+             ignore
+               (Mc.Engine.check_vunit ~strategy:Mc.Engine.Bdd_forward
+                  merge_info.Verifiable.Transform.mdl sub_vunit))) ]
+  in
+  header "Bechamel micro-benchmarks (monotonic clock, OLS ns/run)";
+  List.iter
+    (fun test ->
+      let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+      let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-44s %14.0f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "%-44s (no estimate)\n%!" name)
+        results)
+    tests
+
+let artifacts =
+  [ ("table1", table1); ("table2", table2); ("table3", table3);
+    ("table4", table4); ("timing", timing); ("fig7", fig7); ("micro", micro) ]
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
+  in
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) artifacts
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name artifacts with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown artifact %s; available: %s\n" name
+            (String.concat " " (List.map fst artifacts));
+          exit 1)
+      names

@@ -1,0 +1,238 @@
+(* dicheck — command-line driver for the data-integrity methodology.
+
+   Subcommands:
+     campaign   run the formal campaign over the synthetic chip (Table 2)
+     classify   bug classification, formal vs simulation (Table 3)
+     area       area cost of the injection feature (Tables 1 and 4)
+     fig7       divide-and-conquer partitioning experiment
+     check      model-check a PSL file against a named chip archetype
+     emit       print an archetype's (Verifiable) RTL as Verilog or its PSL *)
+
+open Cmdliner
+
+let archetype_names =
+  [ "fsm_ctrl"; "counter"; "csr"; "macro_if"; "datapath"; "decoder"; "merge";
+    "fifo" ]
+
+let make_archetype ?(bug = false) name =
+  match name with
+  | "fsm_ctrl" -> Chip.Archetype.fsm_ctrl ~name ~bug ()
+  | "counter" -> Chip.Archetype.counter ~name ~bug ()
+  | "csr" -> Chip.Archetype.csr ~name ~bug ()
+  | "macro_if" -> Chip.Archetype.macro_if ~name ~bug ()
+  | "datapath" -> Chip.Archetype.datapath ~name ~bug ()
+  | "decoder" ->
+    Chip.Archetype.decoder ~name
+      ?bug:(if bug then Some (Chip.Bugs.B5, 37, 0x5A) else None)
+      ()
+  | "merge" -> Chip.Archetype.merge ~name ()
+  | "fifo" -> Chip.Archetype.fifo ~name ()
+  | other ->
+    Printf.eprintf "unknown archetype %s (try: %s)\n" other
+      (String.concat ", " archetype_names);
+    exit 2
+
+let spec_of (leaf : Chip.Archetype.leaf) =
+  { Verifiable.Propgen.he = leaf.Chip.Archetype.he;
+    he_map = leaf.Chip.Archetype.he_map;
+    parity_inputs = leaf.Chip.Archetype.parity_inputs;
+    parity_outputs = leaf.Chip.Archetype.parity_outputs;
+    extra = leaf.Chip.Archetype.extra_props }
+
+(* ---- campaign ---- *)
+
+let campaign_cmd =
+  let run with_bugs =
+    let chip = Chip.Generator.generate ~with_bugs () in
+    let t0 = Unix.gettimeofday () in
+    let last = ref 0.0 in
+    let progress ~done_ ~total =
+      let now = Unix.gettimeofday () in
+      if now -. !last > 10.0 then begin
+        last := now;
+        Printf.printf "... %d/%d (%.0fs)\n%!" done_ total (now -. t0)
+      end
+    in
+    let c = Core.Campaign.run ~progress chip in
+    Format.printf "%a" Core.Campaign.pp_table2 c;
+    List.iter
+      (fun (r : Core.Campaign.prop_result) ->
+        Printf.printf "failed: %s %s\n" r.Core.Campaign.module_name
+          r.Core.Campaign.prop_name)
+      (Core.Campaign.failed_results c)
+  in
+  let with_bugs =
+    Arg.(value & opt bool true & info [ "with-bugs" ] ~doc:"Seed the 7 bugs.")
+  in
+  Cmd.v (Cmd.info "campaign" ~doc:"Run the full formal campaign (Table 2).")
+    Term.(const run $ with_bugs)
+
+(* ---- classify ---- *)
+
+let classify_cmd =
+  let run cycles =
+    let chip = Chip.Generator.generate () in
+    Format.printf "%a" Core.Classify.pp_table3 (Core.Classify.run ~cycles chip)
+  in
+  let cycles =
+    Arg.(value & opt int 10_000
+         & info [ "cycles" ] ~doc:"Simulation budget per run.")
+  in
+  Cmd.v (Cmd.info "classify" ~doc:"Classify the seeded bugs (Table 3).")
+    Term.(const run $ cycles)
+
+(* ---- area ---- *)
+
+let area_cmd =
+  let run () =
+    let chip = Chip.Generator.generate () in
+    Format.printf "%a@." Core.Report.pp_table1 (Core.Report.table1 chip);
+    Format.printf "%a" Core.Report.pp_table4 (Core.Report.table4 chip);
+    Format.printf "%a" Core.Report.pp_timing (Core.Report.timing_impact chip)
+  in
+  Cmd.v (Cmd.info "area" ~doc:"Area and timing impact (Tables 1, 4).")
+    Term.(const run $ const ())
+
+(* ---- fig7 ---- *)
+
+let fig7_cmd =
+  let run width limit =
+    Format.printf "%a"
+      Core.Report.pp_fig7
+      (Core.Report.fig7 ~payload_width:width ~node_limit:limit ())
+  in
+  let width =
+    Arg.(value & opt int 16 & info [ "width" ] ~doc:"Stream payload width.")
+  in
+  let limit =
+    Arg.(value & opt int 100_000 & info [ "node-limit" ] ~doc:"BDD node budget.")
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Divide-and-conquer partitioning experiment (Fig 7).")
+    Term.(const run $ width $ limit)
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run arch bug psl_file =
+    let leaf = make_archetype ~bug arch in
+    let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
+    let vunits =
+      match psl_file with
+      | Some path ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let src = really_input_string ic len in
+        close_in ic;
+        (try Psl.Parser.vunits_of_string src with
+         | Psl.Parser.Error (msg, pos) ->
+           Printf.eprintf "PSL parse error at offset %d: %s\n" pos msg;
+           exit 1)
+      | None ->
+        List.map snd (Verifiable.Propgen.all info (spec_of leaf))
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun vunit ->
+        List.iter
+          (fun (name, (o : Mc.Engine.outcome)) ->
+            let verdict =
+              match o.Mc.Engine.verdict with
+              | Mc.Engine.Proved -> "proved"
+              | Mc.Engine.Proved_bounded d ->
+                Printf.sprintf "no violation up to depth %d" d
+              | Mc.Engine.Failed _ ->
+                incr failures;
+                "FAILED"
+              | Mc.Engine.Resource_out m -> "resource out: " ^ m
+            in
+            Printf.printf "%-28s %-30s %s (%.3fs)\n" name verdict
+              o.Mc.Engine.engine_used o.Mc.Engine.time_s)
+          (Mc.Engine.check_vunit info.Verifiable.Transform.mdl vunit))
+      vunits;
+    exit (if !failures > 0 then 1 else 0)
+  in
+  let arch =
+    Arg.(required
+         & pos 0 (some string) None
+         & info [] ~docv:"ARCHETYPE"
+             ~doc:"Leaf archetype (fsm_ctrl, counter, csr, macro_if, \
+                   datapath, decoder, merge).")
+  in
+  let bug = Arg.(value & flag & info [ "bug" ] ~doc:"Seed the archetype's bug.") in
+  let psl =
+    Arg.(value & opt (some file) None
+         & info [ "psl" ] ~doc:"PSL file to check instead of the generated \
+                                stereotype properties.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Model-check PSL against an archetype's Verifiable RTL.")
+    Term.(const run $ arch $ bug $ psl)
+
+(* ---- infer ---- *)
+
+let infer_cmd =
+  let run arch =
+    let leaf = make_archetype arch in
+    match Verifiable.Spec_infer.infer leaf.Chip.Archetype.mdl with
+    | Error msg ->
+      Printf.eprintf "inference failed: %s\n" msg;
+      exit 1
+    | Ok spec ->
+      Printf.printf "HE signal:      %s\n" spec.Verifiable.Propgen.he;
+      Printf.printf "parity inputs:  %s\n"
+        (String.concat ", " spec.Verifiable.Propgen.parity_inputs);
+      Printf.printf "parity outputs: %s\n"
+        (String.concat ", " spec.Verifiable.Propgen.parity_outputs);
+      List.iter
+        (fun (src, bit) -> Printf.printf "checker map:    %s -> HE[%d]\n" src bit)
+        spec.Verifiable.Propgen.he_map;
+      let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
+      let p0, p1, p2, p3 = Verifiable.Propgen.counts info spec in
+      Printf.printf "properties:     P0=%d P1=%d P2=%d P3=%d\n" p0 p1 p2 p3
+  in
+  let arch =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ARCHETYPE")
+  in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:"Infer the data-integrity specification from an archetype's RTL.")
+    Term.(const run $ arch)
+
+(* ---- emit ---- *)
+
+let emit_cmd =
+  let run arch what =
+    let leaf = make_archetype arch in
+    let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
+    match what with
+    | "rtl" -> print_string (Rtl.Verilog.module_to_string leaf.Chip.Archetype.mdl)
+    | "verifiable" ->
+      print_string (Rtl.Verilog.module_to_string info.Verifiable.Transform.mdl)
+    | "psl" ->
+      List.iter
+        (fun (_, v) -> print_string (Psl.Print.vunit_to_string v))
+        (Verifiable.Propgen.all info (spec_of leaf))
+    | other ->
+      Printf.eprintf "unknown output %s (rtl | verifiable | psl)\n" other;
+      exit 2
+  in
+  let arch =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ARCHETYPE")
+  in
+  let what =
+    Arg.(value & pos 1 string "verifiable"
+         & info [] ~docv:"WHAT" ~doc:"rtl | verifiable | psl")
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Print an archetype as Verilog or its generated PSL.")
+    Term.(const run $ arch $ what)
+
+let () =
+  let doc = "data-integrity formal verification methodology (DATE 2004 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "dicheck" ~doc)
+          [ campaign_cmd; classify_cmd; area_cmd; fig7_cmd; check_cmd;
+            infer_cmd; emit_cmd ]))

@@ -1,0 +1,1 @@
+examples/coverage_gap.ml: Chip Format List Mc Printf Random Rtl Sim Unix Verifiable

@@ -1,0 +1,1 @@
+examples/divide_and_conquer.ml: Chip Core Format List Printf Psl Verifiable

@@ -1,0 +1,1 @@
+examples/from_verilog.ml: List Mc Printf Psl Rtl String Verifiable

@@ -1,0 +1,1 @@
+examples/hybrid_verification.ml: Chip List Mc Printf Psl Rtl Sim Unix Verifiable

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chip Core Format List Mc Printf Rtl Verifiable

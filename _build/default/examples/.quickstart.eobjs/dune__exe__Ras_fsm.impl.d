@@ -1,0 +1,1 @@
+examples/ras_fsm.ml: Bitvec Format List Mc Printf Psl Rtl Sim String Verifiable

@@ -1,0 +1,1 @@
+examples/ras_fsm.mli:

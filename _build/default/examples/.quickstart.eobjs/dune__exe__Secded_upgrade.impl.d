@@ -1,0 +1,1 @@
+examples/secded_upgrade.ml: Bitvec Chip List Mc Printf Rtl Verifiable

@@ -1,0 +1,1 @@
+examples/secded_upgrade.mli:

@@ -1,0 +1,92 @@
+(* Why the paper carves data integrity out for formal verification.
+
+   The introduction argues the ~1300 integrity checkpoints are "hard to
+   validate thoroughly in conventional logic simulation". This example
+   quantifies that on one leaf module: random simulation achieves high
+   toggle coverage on the datapath quickly, yet the integrity *checkers*
+   (the HE sources — the conditions the stereotype properties quantify
+   over) are exercised only when errors are injected, and even directed
+   injection leaves the cross-product of (entity x corruption value) far
+   from exhausted — while the model checker covers it by construction.
+
+   Run with: dune exec examples/coverage_gap.exe *)
+
+let () =
+  let leaf = Chip.Archetype.datapath ~name:"cov_alu" () in
+  let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
+  let mdl = info.Verifiable.Transform.mdl in
+  let nl =
+    Rtl.Elaborate.run (Rtl.Design.of_modules [ mdl ]) ~top:mdl.Rtl.Mdl.name
+  in
+  let sim = Sim.Simulator.create nl in
+
+  let run_with profile label cycles =
+    Sim.Simulator.reset sim;
+    let cov =
+      Sim.Coverage.create sim ~signals:[ "r_q"; "R"; "HE"; "A"; "B"; "OP" ]
+    in
+    let st = Random.State.make [| 2024 |] in
+    for _ = 1 to cycles do
+      Sim.Simulator.drive_all sim (Sim.Stimulus.draw profile st);
+      Sim.Simulator.settle sim;
+      Sim.Coverage.sample cov;
+      Sim.Simulator.clock sim
+    done;
+    Printf.printf "\n--- %s (%d cycles) ---\n" label cycles;
+    Format.printf "%a" Sim.Coverage.pp cov;
+    cov
+  in
+
+  (* normal operation: integrity holds, so HE never moves *)
+  let legal =
+    Sim.Stimulus.legal_profile ~parity_inputs:leaf.Chip.Archetype.parity_inputs
+      nl
+  in
+  let cov_legal = run_with legal "legal random stimulus" 2_000 in
+  Printf.printf
+    "=> the HE checkers were never exercised: %.0f%% of HE's value space seen\n"
+    (100.0 *. Sim.Coverage.value_coverage cov_legal "HE");
+
+  (* directed error injection: better, but the checker cross-product is huge *)
+  let inject =
+    Sim.Stimulus.injection_profile
+      ~parity_inputs:leaf.Chip.Archetype.parity_inputs
+      ~inject:
+        [ (info.Verifiable.Transform.ec_port, Sim.Stimulus.weighted_bool 0.3);
+          (info.Verifiable.Transform.ed_port, Sim.Stimulus.uniform 9) ]
+      nl
+  in
+  let cov_inject = run_with inject "directed error injection" 2_000 in
+  Printf.printf "=> with injection, HE value coverage rises to %.0f%%\n"
+    (100.0 *. Sim.Coverage.value_coverage cov_inject "HE");
+  Printf.printf
+    "=> but r_q visited %.1f%% of its corruption space after 2000 cycles\n"
+    (100.0 *. Sim.Coverage.value_coverage cov_inject "r_q");
+
+  (* formal: the three stereotype property sets cover the checkpoint space
+     exhaustively, in milliseconds *)
+  Printf.printf "\n--- formal verification of the same module ---\n";
+  let spec =
+    match Verifiable.Spec_infer.infer leaf.Chip.Archetype.mdl with
+    | Ok spec -> spec
+    | Error msg -> failwith msg
+  in
+  let t0 = Unix.gettimeofday () in
+  let total = ref 0 in
+  List.iter
+    (fun (_, vunit) ->
+      List.iter
+        (fun (name, (o : Mc.Engine.outcome)) ->
+          incr total;
+          match o.Mc.Engine.verdict with
+          | Mc.Engine.Proved -> ()
+          | Mc.Engine.Proved_bounded _ | Mc.Engine.Failed _
+          | Mc.Engine.Resource_out _ ->
+            Printf.printf "unexpected verdict on %s\n" name)
+        (Mc.Engine.check_vunit mdl vunit))
+    (Verifiable.Propgen.all info spec);
+  Printf.printf
+    "%d properties proved exhaustively (all 2^9 corruptions of every entity, \
+     all 2^9 input codewords) in %.2fs\n"
+    !total
+    (Unix.gettimeofday () -. t0)

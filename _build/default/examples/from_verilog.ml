@@ -1,0 +1,116 @@
+(* The whole methodology starting from Verilog text.
+
+   A designer hands over a leaf module as (a subset of) Verilog, exactly in
+   the style of the paper's Figure 6 — parity-protected state, error
+   injection ports, a hardware-error report. This example parses it,
+   re-annotates the integrity metadata, infers the data-integrity
+   specification automatically, and runs the full verify-release flow.
+
+   Run with: dune exec examples/from_verilog.exe *)
+
+let verilog_source = {|
+// a parity-protected mode register, as released by a logic designer
+module mode_reg (WE, WDATA, I_ERR_INJ_C, I_ERR_INJ_D, MODE, HE);
+  input WE;
+  input [4:0] WDATA;          // 4-bit payload + odd parity
+  input I_ERR_INJ_C;          // Figure 6: error injection control
+  input [4:0] I_ERR_INJ_D;    //           error injection data
+  output [4:0] MODE;
+  output [1:0] HE;
+  reg  [4:0] mode_q;
+  reg  wchk_q;
+  assign MODE = mode_q;
+  assign HE = {wchk_q, ~(^(mode_q))};
+  always @(posedge CK or posedge RESET)
+    if (RESET) mode_q <= 5'b10000;
+    else       mode_q <= (I_ERR_INJ_C ? I_ERR_INJ_D
+                          : (WE ? WDATA : mode_q));
+  always @(posedge CK or posedge RESET)
+    if (RESET) wchk_q <= 1'b0;
+    else       wchk_q <= ~(^(WDATA));
+endmodule
+|}
+
+let () =
+  print_string "input Verilog:\n";
+  print_string verilog_source;
+
+  let mdl =
+    match Rtl.Vparse.parse verilog_source with
+    | [ m ] -> m
+    | _ -> failwith "expected exactly one module"
+    | exception Rtl.Vparse.Error (msg, pos) ->
+      failwith (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  in
+  (* plain Verilog cannot carry the integrity metadata; mark the protected
+     register (a designer annotation, e.g. from a pragma) *)
+  let mdl =
+    Rtl.Mdl.map_regs
+      (fun r ->
+        if r.Rtl.Mdl.reg_name = "mode_q" then
+          { r with Rtl.Mdl.reg_class = Rtl.Mdl.Datapath; parity_protected = true }
+        else r)
+      mdl
+  in
+
+  (* the module already carries its injection ports, so the inferred spec
+     applies to it directly; the Verifiable-RTL transform would add a second
+     selector, so here we run inference + property generation by hand *)
+  print_string "\ninferred integrity specification:\n";
+  let spec =
+    match Verifiable.Spec_infer.infer mdl with
+    | Ok s -> s
+    | Error msg -> failwith ("inference failed: " ^ msg)
+  in
+  Printf.printf "  HE signal:       %s\n" spec.Verifiable.Propgen.he;
+  Printf.printf "  parity inputs:   %s\n"
+    (String.concat ", " spec.Verifiable.Propgen.parity_inputs);
+  Printf.printf "  parity outputs:  %s\n"
+    (String.concat ", " spec.Verifiable.Propgen.parity_outputs);
+  List.iter
+    (fun (src, bit) -> Printf.printf "  checker map:     %s -> HE[%d]\n" src bit)
+    spec.Verifiable.Propgen.he_map;
+
+  (* hand-written PSL against the parsed module, in the paper's syntax *)
+  let vunits =
+    Psl.Parser.vunits_of_string
+      {|
+  vunit mode_reg_edetect (mode_reg) {
+      property pCheck1 = always ((I_ERR_INJ_C & ~(^I_ERR_INJ_D)) -> next HE[0]);
+      assert   pCheck1;
+      property pCheck2 = always ( ~(^WDATA) -> next HE[1]);
+      assert   pCheck2;
+  }
+  vunit mode_reg_soundness (mode_reg) {
+      property pIntegrityI     = always ( ^WDATA );
+      assume   pIntegrityI;
+      property pNoErrInjection = always ( ~I_ERR_INJ_C );
+      assume   pNoErrInjection;
+      property pNoError        = never  ( |HE );
+      assert   pNoError;
+  }
+  vunit mode_reg_integrity (mode_reg) {
+      property pIntegrityI     = always ( ^WDATA );
+      assume   pIntegrityI;
+      property pNoErrInjection = always ( ~I_ERR_INJ_C );
+      assume   pNoErrInjection;
+      property pIntegrityO     = always ( ^MODE );
+      assert   pIntegrityO;
+  }
+|}
+  in
+  print_string "\nmodel checking the designer's PSL:\n";
+  List.iter
+    (fun vunit ->
+      List.iter
+        (fun (name, (o : Mc.Engine.outcome)) ->
+          Printf.printf "  %-12s %s (%s, %.3fs)\n" name
+            (match o.Mc.Engine.verdict with
+             | Mc.Engine.Proved -> "proved"
+             | Mc.Engine.Proved_bounded d ->
+               Printf.sprintf "no violation up to %d" d
+             | Mc.Engine.Failed _ -> "FAILED"
+             | Mc.Engine.Resource_out m -> "resource out: " ^ m)
+            o.Mc.Engine.engine_used o.Mc.Engine.time_s)
+        (Mc.Engine.check_vunit mdl vunit))
+    vunits

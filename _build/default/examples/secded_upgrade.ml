@@ -1,0 +1,55 @@
+(* Beyond parity: a formally verified SECDED register.
+
+   The paper's chip protects every register with odd parity — detection
+   only. This example shows the methodology extended to single-error-
+   correcting, double-error-detecting Hamming protection: the same
+   Verifiable-RTL idea (an error-injection path plus golden shadow state for
+   the verifier) with stronger properties — a corrupted bit is *corrected*,
+   not just reported.
+
+   Run with: dune exec examples/secded_upgrade.exe *)
+
+let () =
+  let data_width = 4 in
+  let s = Verifiable.Ecc.scheme ~data_width in
+  Printf.printf
+    "SECDED scheme: %d payload bits -> %d check bits + overall parity = %d-bit codeword\n\n"
+    data_width s.Verifiable.Ecc.check_bits s.Verifiable.Ecc.code_width;
+
+  (* the codec itself, on concrete values *)
+  let payload = Bitvec.of_string "1011" in
+  let code = Verifiable.Ecc.encode_bv s payload in
+  Printf.printf "encode %s -> %s\n" (Bitvec.to_string payload)
+    (Bitvec.to_string code);
+  let show label word =
+    let d = Verifiable.Ecc.decode_bv s word in
+    Printf.printf "%-28s -> payload %s, corrected=%b, uncorrectable=%b\n" label
+      (Bitvec.to_string d.Verifiable.Ecc.payload)
+      d.Verifiable.Ecc.corrected d.Verifiable.Ecc.uncorrectable
+  in
+  show "clean codeword" code;
+  show "bit 2 flipped" (Bitvec.corrupt_bit code 2);
+  show "check bit flipped" (Bitvec.corrupt_bit code 5);
+  show "two bits flipped"
+    (Bitvec.corrupt_bit (Bitvec.corrupt_bit code 1) 6);
+
+  (* the protected register, with its correctness properties model-checked *)
+  Printf.printf "\nSECDED register RTL:\n";
+  let mdl, props = Chip.Archetype.ecc_reg ~name:"secded_reg" () in
+  print_string (Rtl.Verilog.module_to_string mdl);
+  Printf.printf "\nmodel checking:\n";
+  List.iter
+    (fun (name, assert_) ->
+      let o = Mc.Engine.check_property mdl ~assert_ ~assumes:[] in
+      Printf.printf "  %-18s %s (%s, %.3fs)\n" name
+        (match o.Mc.Engine.verdict with
+         | Mc.Engine.Proved -> "proved"
+         | Mc.Engine.Proved_bounded d -> Printf.sprintf "bounded %d" d
+         | Mc.Engine.Failed _ -> "FAILED"
+         | Mc.Engine.Resource_out m -> m)
+        o.Mc.Engine.engine_used o.Mc.Engine.time_s)
+    props;
+  Printf.printf
+    "\nEvery single-bit corruption of the stored codeword is provably\n\
+     corrected (pCorrectSingle) and flagged (pSingleRaisesCE); every\n\
+     double-bit corruption is provably detected (pDoubleRaisesUE).\n"

@@ -1,0 +1,1 @@
+lib/bdd/pobdd.ml: Bdd List

@@ -1,0 +1,1 @@
+lib/bdd/pobdd.mli: Bdd

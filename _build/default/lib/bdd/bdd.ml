@@ -1,0 +1,307 @@
+(* Arena-based ROBDD. Nodes 0 and 1 are the terminals; every other node n
+   has a variable level var.(n) and children low.(n) / high.(n). The
+   variable order is the index order. Reduction invariants: low <> high and
+   the (var, low, high) triple is unique. *)
+
+type man = {
+  mutable var : int array;
+  mutable low : int array;
+  mutable high : int array;
+  mutable next_free : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+  nvars : int;
+  mutable node_limit : int option;
+}
+
+type t = int
+
+exception Node_limit
+
+let terminal_level = max_int
+
+let create ?node_limit ~nvars () =
+  let cap = 1024 in
+  let m =
+    { var = Array.make cap terminal_level;
+      low = Array.make cap (-1);
+      high = Array.make cap (-1);
+      next_free = 2;
+      unique = Hashtbl.create 4096;
+      ite_cache = Hashtbl.create 4096;
+      nvars;
+      node_limit }
+  in
+  (* node 0 = false, 1 = true *)
+  m
+
+let nvars m = m.nvars
+let set_node_limit m l = m.node_limit <- l
+let node_count m = m.next_free
+
+let clear_caches m = Hashtbl.reset m.ite_cache
+
+let zero _ = 0
+let one _ = 1
+let is_zero b = b = 0
+let is_one b = b = 1
+let equal (a : t) b = a = b
+
+let grow m =
+  let cap = Array.length m.var in
+  let ncap = cap * 2 in
+  let extend a fill =
+    let a' = Array.make ncap fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  m.var <- extend m.var terminal_level;
+  m.low <- extend m.low (-1);
+  m.high <- extend m.high (-1)
+
+let mk m v l h =
+  if l = h then l
+  else
+    match Hashtbl.find_opt m.unique (v, l, h) with
+    | Some n -> n
+    | None ->
+      (match m.node_limit with
+       | Some limit when m.next_free >= limit -> raise Node_limit
+       | Some _ | None -> ());
+      if m.next_free >= Array.length m.var then grow m;
+      let n = m.next_free in
+      m.next_free <- n + 1;
+      m.var.(n) <- v;
+      m.low.(n) <- l;
+      m.high.(n) <- h;
+      Hashtbl.replace m.unique (v, l, h) n;
+      n
+
+let level m n = m.var.(n)
+
+let var m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd.var: out of range";
+  mk m i 0 1
+
+let nvar m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd.nvar: out of range";
+  mk m i 1 0
+
+let cofactors m n v =
+  if m.var.(n) = v then (m.low.(n), m.high.(n)) else (n, n)
+
+let rec ite m f g h =
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+      let v = min (level m f) (min (level m g) (level m h)) in
+      let f0, f1 = cofactors m f v in
+      let g0, g1 = cofactors m g v in
+      let h0, h1 = cofactors m h v in
+      let r0 = ite m f0 g0 h0 in
+      let r1 = ite m f1 g1 h1 in
+      let r = mk m v r0 r1 in
+      Hashtbl.replace m.ite_cache key r;
+      r
+
+let not_ m f = ite m f 0 1
+let and_ m f g = ite m f g 0
+let or_ m f g = ite m f 1 g
+let xor m f g = ite m f (not_ m g) g
+let xnor m f g = ite m f g (not_ m g)
+let imp m f g = ite m f g 1
+
+let subset m a b = imp m a b = 1
+
+let quantify m ~conj vars f =
+  let in_set = Array.make m.nvars false in
+  List.iter (fun v ->
+      if v < 0 || v >= m.nvars then invalid_arg "Bdd.quantify: var out of range";
+      in_set.(v) <- true)
+    vars;
+  let cache = Hashtbl.create 97 in
+  let rec go f =
+    if f <= 1 then f
+    else
+      match Hashtbl.find_opt cache f with
+      | Some r -> r
+      | None ->
+        let v = level m f in
+        let r0 = go m.low.(f) and r1 = go m.high.(f) in
+        let r =
+          if in_set.(v) then
+            if conj then and_ m r0 r1 else or_ m r0 r1
+          else mk m v r0 r1
+        in
+        Hashtbl.replace cache f r;
+        r
+  in
+  go f
+
+let exists m vars f = quantify m ~conj:false vars f
+let forall m vars f = quantify m ~conj:true vars f
+
+let and_exists m vars f g =
+  let in_set = Array.make m.nvars false in
+  List.iter (fun v ->
+      if v < 0 || v >= m.nvars then
+        invalid_arg "Bdd.and_exists: var out of range";
+      in_set.(v) <- true)
+    vars;
+  let cache = Hashtbl.create 997 in
+  let rec go f g =
+    if f = 0 || g = 0 then 0
+    else if f = 1 && g = 1 then 1
+    else if f = 1 then quantify m ~conj:false vars g
+    else if g = 1 then quantify m ~conj:false vars f
+    else
+      let key = if f <= g then (f, g) else (g, f) in
+      match Hashtbl.find_opt cache key with
+      | Some r -> r
+      | None ->
+        let v = min (level m f) (level m g) in
+        let f0, f1 = cofactors m f v in
+        let g0, g1 = cofactors m g v in
+        let r =
+          if in_set.(v) then begin
+            let r0 = go f0 g0 in
+            if r0 = 1 then 1 else or_ m r0 (go f1 g1)
+          end
+          else mk m v (go f0 g0) (go f1 g1)
+        in
+        Hashtbl.replace cache key r;
+        r
+  in
+  go f g
+
+let vector_compose m subst f =
+  let table = Array.init m.nvars (fun i -> subst i) in
+  let cache = Hashtbl.create 997 in
+  let rec go f =
+    if f <= 1 then f
+    else
+      match Hashtbl.find_opt cache f with
+      | Some r -> r
+      | None ->
+        let v = level m f in
+        let r0 = go m.low.(f) and r1 = go m.high.(f) in
+        let sel = match table.(v) with Some b -> b | None -> var m v in
+        let r = ite m sel r1 r0 in
+        Hashtbl.replace cache f r;
+        r
+  in
+  go f
+
+let restrict m v value f =
+  let cache = Hashtbl.create 97 in
+  let rec go f =
+    if f <= 1 then f
+    else if level m f > v then f
+    else
+      match Hashtbl.find_opt cache f with
+      | Some r -> r
+      | None ->
+        let r =
+          if level m f = v then if value then m.high.(f) else m.low.(f)
+          else mk m (level m f) (go m.low.(f)) (go m.high.(f))
+        in
+        Hashtbl.replace cache f r;
+        r
+  in
+  go f
+
+let size m f =
+  let seen = Hashtbl.create 97 in
+  let rec go f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      if f > 1 then begin
+        go m.low.(f);
+        go m.high.(f)
+      end
+    end
+  in
+  go f;
+  Hashtbl.length seen
+
+module Int_set = Set.Make (Int)
+
+let support m f =
+  let seen = Hashtbl.create 97 in
+  let acc = ref Int_set.empty in
+  let rec go f =
+    if f > 1 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      acc := Int_set.add (level m f) !acc;
+      go m.low.(f);
+      go m.high.(f)
+    end
+  in
+  go f;
+  Int_set.elements !acc
+
+let sat_count m f =
+  let cache = Hashtbl.create 97 in
+  (* count over variables strictly below a given level *)
+  let rec go f =
+    if f = 0 then 0.0
+    else if f = 1 then 1.0
+    else
+      match Hashtbl.find_opt cache f with
+      | Some c -> c
+      | None ->
+        let v = level m f in
+        let weight child =
+          let child_level =
+            if child <= 1 then m.nvars else level m child
+          in
+          go child *. (2.0 ** float_of_int (child_level - v - 1))
+        in
+        let c = weight m.low.(f) +. weight m.high.(f) in
+        Hashtbl.replace cache f c;
+        c
+  in
+  let top = if f <= 1 then m.nvars else level m f in
+  go f *. (2.0 ** float_of_int top)
+
+let any_sat m f =
+  if f = 0 then raise Not_found;
+  let rec go f acc =
+    if f = 1 then List.rev acc
+    else
+      let v = level m f in
+      if m.low.(f) <> 0 then go m.low.(f) ((v, false) :: acc)
+      else go m.high.(f) ((v, true) :: acc)
+  in
+  go f []
+
+let eval m assign f =
+  let rec go f =
+    if f = 0 then false
+    else if f = 1 then true
+    else if assign (level m f) then go m.high.(f)
+    else go m.low.(f)
+  in
+  go f
+
+let cube m lits =
+  List.fold_left
+    (fun acc (v, b) -> and_ m acc (if b then var m v else nvar m v))
+    1 lits
+
+let fold_paths m f ~init ~f:fn =
+  let rec go node path acc =
+    if node = 0 then acc
+    else if node = 1 then fn acc (List.rev path)
+    else
+      let v = level m node in
+      let acc = go m.low.(node) ((v, false) :: path) acc in
+      go m.high.(node) ((v, true) :: path) acc
+  in
+  go f [] init

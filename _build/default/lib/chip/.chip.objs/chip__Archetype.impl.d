@@ -1,0 +1,1 @@
+lib/chip/archetype.ml: Array Bitvec Bugs Fun List Option Printf Psl Random Rtl Sim Verifiable

@@ -1,0 +1,1 @@
+lib/chip/archetype.mli: Bugs Psl Rtl Sim

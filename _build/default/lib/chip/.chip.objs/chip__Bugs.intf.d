@@ -1,0 +1,1 @@
+lib/chip/bugs.mli: Verifiable

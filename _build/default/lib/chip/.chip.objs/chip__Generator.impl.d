@@ -1,0 +1,1 @@
+lib/chip/generator.ml: Archetype Bugs Float Fun List Option Printf Rtl String Synth Verifiable

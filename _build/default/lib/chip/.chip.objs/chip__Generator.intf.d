@@ -1,0 +1,1 @@
+lib/chip/generator.mli: Archetype Bugs Rtl Verifiable

@@ -1,0 +1,631 @@
+module E = Rtl.Expr
+module M = Rtl.Mdl
+module P = Verifiable.Parity
+
+type leaf = {
+  mdl : M.t;
+  parity_inputs : string list;
+  parity_outputs : string list;
+  he : string;
+  he_map : (string * int) list;
+  extra_props : (string * Psl.Ast.fl) list;
+  sim_overrides : (string * Sim.Stimulus.gen) list;
+  bug : Bugs.id option;
+}
+
+(* pack a list of 1-bit expressions into a bus, element 0 at bit 0 *)
+let pack bits =
+  match List.rev bits with
+  | [] -> invalid_arg "Archetype.pack: empty"
+  | hi :: rest -> List.fold_left (fun acc b -> E.concat acc b) hi rest
+
+(* latch a 1-bit checker result into a plain register (error reports are
+   registered so the paper's "-> next HE" timing holds for input checks) *)
+let latch m name viol =
+  let m = M.add_reg m name 1 viol in
+  (m, E.var name)
+
+(* round-robin OR grouping of checkers into [k] HE bits *)
+let group_checkers k checkers =
+  if k <= 0 then invalid_arg "Archetype: he_bits must be positive";
+  if k > List.length checkers then
+    invalid_arg "Archetype: more HE bits than checkers";
+  let groups = Array.make k [] in
+  List.iteri (fun i c -> groups.(i mod k) <- c :: groups.(i mod k)) checkers;
+  Array.to_list (Array.map P.aggregate groups)
+
+let assign_he m ~he checkers_grouped =
+  let m = M.add_output m he (List.length checkers_grouped) in
+  M.add_assign m he (pack checkers_grouped)
+
+let payload_of word ~width = E.slice word ~hi:(width - 2) ~lo:0
+
+(* ---------------- FSM controller (B0 host) ---------------- *)
+
+let fsm_ctrl ~name ?(bug = false) () =
+  let nstates = 5 in
+  let k = 3 in
+  let m = M.create name in
+  let m = M.add_input m "CMD" 5 in
+  let m = M.add_output m "STATUS" 4 in
+  let cur = payload_of (E.var "state_q") ~width:4 in
+  let go = E.bit (payload_of (E.var "CMD") ~width:5) 0 in
+  let wrap = E.(cur ==: of_int ~width:k (nstates - 1)) in
+  let next_payload =
+    E.mux go (E.mux wrap (E.of_int ~width:k 0) E.(cur +: of_int ~width:k 1)) cur
+  in
+  let next_word =
+    if bug then
+      (* B0: parity bit from the CURRENT payload *)
+      E.concat (E.( !: ) (E.red_xor cur)) next_payload
+    else P.encode next_payload
+  in
+  let m =
+    M.add_reg ~cls:M.Fsm ~parity_protected:true
+      ~reset:(Bitvec.of_string "1000") m "state_q" 4 next_word
+  in
+  let m, cmd_chk = latch m "cmd_chk_q" (P.violated (E.var "CMD")) in
+  let illegal = E.( !: ) E.(cur <: of_int ~width:k nstates) in
+  let m =
+    assign_he m ~he:"HE" [ P.violated (E.var "state_q"); illegal; cmd_chk ]
+  in
+  let m = M.add_assign m "STATUS" (E.var "state_q") in
+  { mdl = m; parity_inputs = [ "CMD" ]; parity_outputs = [ "STATUS" ];
+    he = "HE"; he_map = [ ("state_q", 0); ("CMD", 2) ];
+    extra_props =
+      [ ( "pLegalState",
+          Psl.Ast.Always (Psl.Ast.Bool E.(cur <: of_int ~width:k nstates)) ) ];
+    sim_overrides = []; bug = (if bug then Some Bugs.B0 else None) }
+
+(* ---------------- loadable counter (B2 host) ---------------- *)
+
+let counter ~name ?(bug = false) () =
+  let w = 4 in
+  let m = M.create name in
+  let m = M.add_input m "EN" 1 in
+  let m = M.add_input m "LOAD" 1 in
+  let m = M.add_input m "LOAD_VAL" (w + 1) in
+  let m = M.add_output m "COUNT" (w + 1) in
+  let cur = payload_of (E.var "cnt_q") ~width:(w + 1) in
+  let lv = payload_of (E.var "LOAD_VAL") ~width:(w + 1) in
+  let next_payload =
+    E.mux (E.var "LOAD") lv
+      (E.mux (E.var "EN") E.(cur +: of_int ~width:w 1) cur)
+  in
+  let correct = P.encode next_payload in
+  let next_word =
+    if bug then
+      let wrap =
+        E.(var "EN" &: !:(var "LOAD") &: (cur ==: of_int ~width:w 15))
+      in
+      (* B2: inverted parity exactly at wrap-around *)
+      E.mux wrap (E.concat (E.red_xor next_payload) next_payload) correct
+    else correct
+  in
+  let m =
+    M.add_reg ~cls:M.Counter ~parity_protected:true
+      ~reset:(Bitvec.of_string "10000") m "cnt_q" (w + 1) next_word
+  in
+  let m, lv_chk = latch m "lv_chk_q" (P.violated (E.var "LOAD_VAL")) in
+  let m = assign_he m ~he:"HE" [ P.violated (E.var "cnt_q"); lv_chk ] in
+  let m = M.add_assign m "COUNT" (E.var "cnt_q") in
+  { mdl = m; parity_inputs = [ "LOAD_VAL" ]; parity_outputs = [ "COUNT" ];
+    he = "HE"; he_map = [ ("cnt_q", 0); ("LOAD_VAL", 1) ]; extra_props = [];
+    sim_overrides = []; bug = (if bug then Some Bugs.B2 else None) }
+
+(* ---------------- control/status register (B1 host) ---------------- *)
+
+let csr_reserved_mask = 0xF0
+
+let csr ~name ?(bug = false) () =
+  let w = 8 in
+  let m = M.create name in
+  let m = M.add_input m "WE" 1 in
+  let m = M.add_input m "WDATA" (w + 1) in
+  let m = M.add_output m "RDATA" (w + 1) in
+  let wpayload = payload_of (E.var "WDATA") ~width:(w + 1) in
+  let cleared =
+    E.(wpayload &: const (Bitvec.of_int ~width:w (lnot csr_reserved_mask land 0xFF)))
+  in
+  let stored =
+    if bug then
+      (* B1: reserved field cleared but the incoming parity bit is kept *)
+      E.concat (E.bit (E.var "WDATA") w) cleared
+    else P.encode cleared
+  in
+  let next_word = E.mux (E.var "WE") stored (E.var "csr_q") in
+  let m =
+    M.add_reg ~cls:M.Datapath ~parity_protected:true
+      ~reset:(Bitvec.of_string "100000000") m "csr_q" (w + 1) next_word
+  in
+  let m, w_chk = latch m "w_chk_q" (P.violated (E.var "WDATA")) in
+  let m = assign_he m ~he:"HE" [ P.violated (E.var "csr_q"); w_chk ] in
+  let m = M.add_assign m "RDATA" (E.var "csr_q") in
+  (* realistic testbench: software writes zeros to reserved fields; a raw
+     (reserved-bits-set) but parity-legal write is a ~1e-5 event *)
+  let wdata_gen st =
+    let raw = Random.State.float st 1.0 < 1e-5 in
+    let payload = Bitvec.random st w in
+    let payload =
+      if raw then payload
+      else Bitvec.logand payload (Bitvec.of_int ~width:w (lnot csr_reserved_mask land 0xFF))
+    in
+    Bitvec.append_odd_parity payload
+  in
+  { mdl = m; parity_inputs = [ "WDATA" ]; parity_outputs = [ "RDATA" ];
+    he = "HE"; he_map = [ ("csr_q", 0); ("WDATA", 1) ]; extra_props = [];
+    sim_overrides = [ ("WDATA", wdata_gen) ];
+    bug = (if bug then Some Bugs.B1 else None) }
+
+(* ---------------- macro interface (B3 host) ---------------- *)
+
+let macro_if ~name ?(bug = false) () =
+  let w = 8 in
+  let m = M.create name in
+  let m = M.add_input m "MACRO_READY" 1 in
+  let m = M.add_input m "DIN" (w + 1) in
+  let m = M.add_output m "DOUT" (w + 1) in
+  let m = M.add_reg m "warmup_q" 1 E.tru in
+  let m =
+    M.add_reg ~cls:M.Datapath ~parity_protected:true
+      ~reset:(Bitvec.of_string "100000000") m "buf_q" (w + 1) (E.var "DIN")
+  in
+  let m, in_chk = latch m "in_chk_q" (P.violated (E.var "DIN")) in
+  (* B3: report gating trusts the macro's ready signal, which is not
+     guaranteed right after reset; the correct design uses its own warmup *)
+  let gate = if bug then E.var "MACRO_READY" else E.var "warmup_q" in
+  let m =
+    assign_he m ~he:"HE"
+      [ E.(P.violated (var "buf_q") &: gate); E.(in_chk &: gate) ]
+  in
+  let m = M.add_assign m "DOUT" (E.var "buf_q") in
+  (* the (wrong) behavioral model of the macro asserts ready from reset *)
+  let ready_gen _ = Bitvec.of_int ~width:1 1 in
+  { mdl = m; parity_inputs = [ "DIN" ]; parity_outputs = [ "DOUT" ];
+    he = "HE"; he_map = [ ("buf_q", 0); ("DIN", 1) ]; extra_props = [];
+    sim_overrides = [ ("MACRO_READY", ready_gen) ];
+    bug = (if bug then Some Bugs.B3 else None) }
+
+(* ---------------- ALU datapath (B4 host) ---------------- *)
+
+let datapath ~name ?(bug = false) () =
+  let w = 8 in
+  let m = M.create name in
+  let m = M.add_input m "A" (w + 1) in
+  let m = M.add_input m "B" (w + 1) in
+  let m = M.add_input m "OP" 2 in
+  let m = M.add_output m "R" (w + 1) in
+  let a = payload_of (E.var "A") ~width:(w + 1) in
+  let b = payload_of (E.var "B") ~width:(w + 1) in
+  let op n = E.(var "OP" ==: of_int ~width:2 n) in
+  let result =
+    E.mux (op 0) E.(a &: b)
+      (E.mux (op 1) E.(a |: b) (E.mux (op 2) E.(a ^: b) E.(a +: b)))
+  in
+  let correct = P.encode result in
+  let stored =
+    if bug then
+      (* B4: wrong parity polarity for the XOR opcode *)
+      E.mux (op 2) (E.concat (E.red_xor result) result) correct
+    else correct
+  in
+  let m =
+    M.add_reg ~cls:M.Datapath ~parity_protected:true
+      ~reset:(Bitvec.of_string "100000000") m "r_q" (w + 1) stored
+  in
+  let m, a_chk = latch m "a_chk_q" (P.violated (E.var "A")) in
+  let m, b_chk = latch m "b_chk_q" (P.violated (E.var "B")) in
+  let m =
+    assign_he m ~he:"HE" [ P.violated (E.var "r_q"); a_chk; b_chk ]
+  in
+  let m = M.add_assign m "R" (E.var "r_q") in
+  { mdl = m; parity_inputs = [ "A"; "B" ]; parity_outputs = [ "R" ];
+    he = "HE"; he_map = [ ("r_q", 0); ("A", 1); ("B", 2) ]; extra_props = [];
+    sim_overrides = []; bug = (if bug then Some Bugs.B4 else None) }
+
+(* ---------------- address decoder (B5/B6 host) ---------------- *)
+
+let decoder ~name ?bug () =
+  let w = 8 in
+  let valid_cases = 91 in
+  let m = M.create name in
+  let m = M.add_input m "ADDR" w in
+  let m = M.add_input m "DIN" (w + 1) in
+  let m = M.add_output m "DOUT" (w + 1) in
+  let payload = payload_of (E.var "DIN") ~width:(w + 1) in
+  let valid = E.(var "ADDR" <: of_int ~width:w valid_cases) in
+  let mixed = E.(payload ^: var "ADDR") in
+  let out_payload = E.mux valid mixed (E.of_int ~width:w 0) in
+  let correct = P.encode out_payload in
+  let stored =
+    match bug with
+    | None -> correct
+    | Some (_, bad_addr, pattern) ->
+      (* B5/B6: for one valid address and one sensitizing data value the
+         parity is computed with the wrong polarity *)
+      let hit =
+        E.(var "ADDR" ==: of_int ~width:w bad_addr
+           &: (payload ==: of_int ~width:w pattern))
+      in
+      E.mux hit (E.concat (E.red_xor out_payload) out_payload) correct
+  in
+  let m =
+    M.add_reg ~cls:M.Datapath ~parity_protected:true
+      ~reset:(Bitvec.of_string "100000000") m "q" (w + 1) stored
+  in
+  let m, din_chk = latch m "din_chk_q" (P.violated (E.var "DIN")) in
+  let m = assign_he m ~he:"HE" [ P.violated (E.var "q"); din_chk ] in
+  let m = M.add_assign m "DOUT" (E.var "q") in
+  { mdl = m; parity_inputs = [ "DIN" ]; parity_outputs = [ "DOUT" ];
+    he = "HE"; he_map = [ ("q", 0); ("DIN", 1) ]; extra_props = [];
+    sim_overrides = []; bug = Option.map (fun (id, _, _) -> id) bug }
+
+(* ---------------- merge (Figure 7 subject) ---------------- *)
+
+let merge ~name ?(payload_width = 8) ?(he_bits = 7) () =
+  let w = payload_width in
+  let m = M.create name in
+  let streams = [ "S0"; "S1"; "S2" ] in
+  let m = List.fold_left (fun m s -> M.add_input m s (w + 1)) m streams in
+  let m = M.add_output m "OUT" (w + 1) in
+  let m =
+    List.fold_left
+      (fun m i ->
+        let reg = Printf.sprintf "st%d_q" i in
+        M.add_reg ~cls:M.Datapath ~parity_protected:true
+          ~reset:(Bitvec.set (Bitvec.zero (w + 1)) w true)
+          m reg (w + 1)
+          (E.var (List.nth streams i)))
+      m [ 0; 1; 2 ]
+  in
+  (* checkpoint wires — the Figure 7 cut points A', B', C' *)
+  let m =
+    List.fold_left
+      (fun m i ->
+        let chk = Printf.sprintf "chk%d" i in
+        let m = M.add_wire m chk (w + 1) in
+        M.add_assign m chk (E.var (Printf.sprintf "st%d_q" i)))
+      m [ 0; 1; 2 ]
+  in
+  let p i = payload_of (E.var (Printf.sprintf "chk%d" i)) ~width:(w + 1) in
+  let merged = E.((p 0 +: p 1) ^: (p 1 +: p 2)) in
+  let m =
+    M.add_reg ~cls:M.Datapath ~parity_protected:true
+      ~reset:(Bitvec.set (Bitvec.zero (w + 1)) w true)
+      m "out_q" (w + 1) (P.encode merged)
+  in
+  let m = M.add_assign m "OUT" (E.var "out_q") in
+  let m, chks =
+    List.fold_left
+      (fun (m, acc) s ->
+        let m, c = latch m (s ^ "_chk_q") (P.violated (E.var s)) in
+        (m, c :: acc))
+      (m, []) streams
+  in
+  let state_checks =
+    List.map (fun i -> P.violated (E.var (Printf.sprintf "st%d_q" i))) [ 0; 1; 2 ]
+    @ [ P.violated (E.var "out_q") ]
+  in
+  let m = assign_he m ~he:"HE" (group_checkers he_bits (state_checks @ List.rev chks)) in
+  let he_map =
+    List.mapi (fun i name -> (name, i mod he_bits))
+      [ "st0_q"; "st1_q"; "st2_q"; "out_q"; "S0"; "S1"; "S2" ]
+  in
+  let he_map =
+    List.filter (fun (name, _) -> name <> "out_q") he_map
+    @ [ ("out_q", 3 mod he_bits) ]
+  in
+  { mdl = m; parity_inputs = streams; parity_outputs = [ "OUT" ]; he = "HE";
+    he_map; extra_props = []; sim_overrides = []; bug = None }
+
+(* ---------------- configurable filler ---------------- *)
+
+let filler ~name ~n_fsm ~n_cnt ~n_dp ~n_parity_in ~n_parity_out ~he_bits
+    ~n_extra =
+  let n_ent = n_fsm + n_cnt + n_dp in
+  if n_ent = 0 then invalid_arg "Archetype.filler: needs at least one entity";
+  if n_extra > 0 && n_fsm = 0 then
+    invalid_arg "Archetype.filler: extra properties need an FSM";
+  if n_dp > 0 && n_parity_in = 0 then
+    invalid_arg "Archetype.filler: datapath entities need a parity input";
+  let pw = 3 in
+  (* payload width of entities and parity inputs *)
+  let word = pw + 1 in
+  let m = M.create name in
+  let m = M.add_input m "EN" 1 in
+  let in_name j = Printf.sprintf "IN%d" j in
+  let m =
+    List.fold_left (fun m j -> M.add_input m (in_name j) word) m
+      (List.init n_parity_in Fun.id)
+  in
+  let reset_word = Bitvec.set (Bitvec.zero word) pw true in
+  (* FSMs cycle through 5 states *)
+  let fsm_name j = Printf.sprintf "fsm%d_q" j in
+  let m =
+    List.fold_left
+      (fun m j ->
+        let cur = payload_of (E.var (fsm_name j)) ~width:word in
+        let wrap = E.(cur ==: of_int ~width:pw 4) in
+        let next =
+          E.mux (E.var "EN")
+            (E.mux wrap (E.of_int ~width:pw 0) E.(cur +: of_int ~width:pw 1))
+            cur
+        in
+        M.add_reg ~cls:M.Fsm ~parity_protected:true ~reset:reset_word m
+          (fsm_name j) word (P.encode next))
+      m
+      (List.init n_fsm Fun.id)
+  in
+  let cnt_name j = Printf.sprintf "cnt%d_q" j in
+  let m =
+    List.fold_left
+      (fun m j ->
+        let cur = payload_of (E.var (cnt_name j)) ~width:word in
+        let next = E.mux (E.var "EN") E.(cur +: of_int ~width:pw 1) cur in
+        M.add_reg ~cls:M.Counter ~parity_protected:true ~reset:reset_word m
+          (cnt_name j) word (P.encode next))
+      m
+      (List.init n_cnt Fun.id)
+  in
+  let dp_name j = Printf.sprintf "dp%d_q" j in
+  let m =
+    List.fold_left
+      (fun m j ->
+        let src = in_name (j mod n_parity_in) in
+        M.add_reg ~cls:M.Datapath ~parity_protected:true ~reset:reset_word m
+          (dp_name j) word (E.var src))
+      m
+      (List.init n_dp Fun.id)
+  in
+  let entity_names =
+    List.init n_fsm fsm_name @ List.init n_cnt cnt_name @ List.init n_dp dp_name
+  in
+  let m, in_checks =
+    List.fold_left
+      (fun (m, acc) j ->
+        let m, c =
+          latch m (Printf.sprintf "in%d_chk_q" j) (P.violated (E.var (in_name j)))
+        in
+        (m, acc @ [ c ]))
+      (m, [])
+      (List.init n_parity_in Fun.id)
+  in
+  let checkers =
+    List.map (fun r -> P.violated (E.var r)) entity_names @ in_checks
+  in
+  let m = assign_he m ~he:"HE" (group_checkers he_bits checkers) in
+  let out_name j = Printf.sprintf "OUT%d" j in
+  let m =
+    List.fold_left
+      (fun m j ->
+        let src = List.nth entity_names (j mod n_ent) in
+        let m = M.add_output m (out_name j) word in
+        M.add_assign m (out_name j) (E.var src))
+      m
+      (List.init n_parity_out Fun.id)
+  in
+  let extra_props =
+    List.init n_extra (fun i ->
+        let reg = fsm_name (i mod n_fsm) in
+        ( Printf.sprintf "pLegalState_%d" i,
+          Psl.Ast.Always
+            (Psl.Ast.Bool
+               E.(payload_of (var reg) ~width:word <: of_int ~width:pw 5)) ))
+  in
+  let he_map =
+    List.mapi
+      (fun i name -> (name, i mod he_bits))
+      (entity_names @ List.init n_parity_in in_name)
+  in
+  { mdl = m; parity_inputs = List.init n_parity_in in_name;
+    parity_outputs = List.init n_parity_out out_name; he = "HE"; he_map;
+    extra_props; sim_overrides = []; bug = None }
+
+let fifo ~name ?(depth = 4) () =
+  if depth < 2 || depth land (depth - 1) <> 0 then
+    invalid_arg "Archetype.fifo: depth must be a power of two >= 2";
+  let pw = 4 in
+  (* payload bits per slot *)
+  let word = pw + 1 in
+  let ptr_bits =
+    let rec bits n = if 1 lsl n >= depth then n else bits (n + 1) in
+    bits 1
+  in
+  let cnt_bits =
+    let rec bits n = if 1 lsl n > depth then n else bits (n + 1) in
+    bits 1
+  in
+  let m = M.create name in
+  let m = M.add_input m "PUSH" 1 in
+  let m = M.add_input m "POP" 1 in
+  let m = M.add_input m "DIN" word in
+  let m = M.add_output m "DOUT" word in
+  let m = M.add_output m "FULL" 1 in
+  let m = M.add_output m "EMPTY" 1 in
+  let slot i = Printf.sprintf "mem%d_q" i in
+  let ptr_payload reg = payload_of (E.var reg) ~width:(ptr_bits + 1) in
+  let cnt_payload = payload_of (E.var "cnt_q") ~width:(cnt_bits + 1) in
+  let empty = E.(cnt_payload ==: of_int ~width:cnt_bits 0) in
+  let full = E.(cnt_payload ==: of_int ~width:cnt_bits depth) in
+  let do_push = E.(var "PUSH" &: !:full) in
+  let do_pop = E.(var "POP" &: !:empty) in
+  let reset_word w = Bitvec.set (Bitvec.zero w) (w - 1) true in
+  (* data slots: captured from DIN when pushed at this write index *)
+  let m =
+    List.fold_left
+      (fun m i ->
+        let selected =
+          E.(do_push &: (ptr_payload "wr_q" ==: of_int ~width:ptr_bits i))
+        in
+        M.add_reg ~cls:M.Datapath ~parity_protected:true
+          ~reset:(reset_word word) m (slot i) word
+          (E.mux selected (E.var "DIN") (E.var (slot i))))
+      m
+      (List.init depth Fun.id)
+  in
+  (* wrap-around pointers and the occupancy counter, all parity-protected *)
+  let bump reg enable =
+    let cur = ptr_payload reg in
+    let next =
+      E.mux enable E.(cur +: of_int ~width:ptr_bits 1) cur
+    in
+    P.encode next
+  in
+  let m =
+    M.add_reg ~cls:M.Counter ~parity_protected:true
+      ~reset:(reset_word (ptr_bits + 1)) m "wr_q" (ptr_bits + 1)
+      (bump "wr_q" do_push)
+  in
+  let m =
+    M.add_reg ~cls:M.Counter ~parity_protected:true
+      ~reset:(reset_word (ptr_bits + 1)) m "rd_q" (ptr_bits + 1)
+      (bump "rd_q" do_pop)
+  in
+  let cnt_next =
+    E.mux
+      E.(do_push &: !:do_pop)
+      E.(cnt_payload +: of_int ~width:cnt_bits 1)
+      (E.mux
+         E.(do_pop &: !:do_push)
+         E.(cnt_payload -: of_int ~width:cnt_bits 1)
+         cnt_payload)
+  in
+  let m =
+    M.add_reg ~cls:M.Counter ~parity_protected:true
+      ~reset:(reset_word (cnt_bits + 1)) m "cnt_q" (cnt_bits + 1)
+      (P.encode cnt_next)
+  in
+  let m, din_chk = latch m "din_chk_q" (P.violated (E.var "DIN")) in
+  let data_checks =
+    List.map (fun i -> P.violated (E.var (slot i))) (List.init depth Fun.id)
+  in
+  let ctrl_checks =
+    [ P.violated (E.var "wr_q"); P.violated (E.var "rd_q");
+      P.violated (E.var "cnt_q") ]
+  in
+  let m =
+    assign_he m ~he:"HE"
+      [ P.aggregate data_checks; P.aggregate ctrl_checks; din_chk ]
+  in
+  (* read mux over the slots *)
+  let dout =
+    List.fold_left
+      (fun acc i ->
+        E.mux
+          E.(ptr_payload "rd_q" ==: of_int ~width:ptr_bits i)
+          (E.var (slot i)) acc)
+      (E.var (slot 0))
+      (List.init depth Fun.id)
+  in
+  let m = M.add_assign m "DOUT" dout in
+  let m = M.add_assign m "FULL" full in
+  let m = M.add_assign m "EMPTY" empty in
+  let he_map =
+    List.map (fun i -> (slot i, 0)) (List.init depth Fun.id)
+    @ [ ("wr_q", 1); ("rd_q", 1); ("cnt_q", 1); ("DIN", 2) ]
+  in
+  { mdl = m; parity_inputs = [ "DIN" ]; parity_outputs = [ "DOUT" ];
+    he = "HE"; he_map;
+    extra_props =
+      [ ( "pOccupancyRange",
+          Psl.Ast.Always
+            (Psl.Ast.Bool E.(cnt_payload <: of_int ~width:cnt_bits (depth + 1))) );
+        ( "pEmptyConsistent",
+          Psl.Ast.Always
+            (Psl.Ast.Bool E.(var "EMPTY" ==: empty)) );
+        ( "pFullConsistent",
+          Psl.Ast.Always (Psl.Ast.Bool E.(var "FULL" ==: full)) );
+        ( "pNeverBothFlags",
+          Psl.Ast.Never (Psl.Ast.Bool E.(var "FULL" &: var "EMPTY")) ) ];
+    sim_overrides = []; bug = None }
+
+let ecc_reg ~name ?(data_width = 4) () =
+  let s = Verifiable.Ecc.scheme ~data_width in
+  let cw = s.Verifiable.Ecc.code_width in
+  let m = M.create name in
+  let m = M.add_input m "WE" 1 in
+  let m = M.add_input m "DIN" data_width in
+  let m = M.add_input m "EINJ_C" 1 in
+  let m = M.add_input m "EINJ_MASK" cw in
+  let m = M.add_output m "DOUT" data_width in
+  let m = M.add_output m "CE" 1 in
+  let m = M.add_output m "UE" 1 in
+  (* corruption is applied on the write path, so the stored corruption is
+     exactly the mask of the last write (tracked in mask_q) *)
+  let write_word =
+    E.(Verifiable.Ecc.encode s (var "DIN")
+       ^: mux (var "EINJ_C") (var "EINJ_MASK") (of_int ~width:cw 0))
+  in
+  let m =
+    M.add_reg ~cls:M.Datapath m "code_q" cw
+      (E.mux (E.var "WE") write_word (E.var "code_q"))
+      ~reset:(Bitvec.zero cw)
+  in
+  (* golden shadows, for verification only (tied off in silicon like EC/ED) *)
+  let m =
+    M.add_reg m "shadow_q" data_width
+      (E.mux (E.var "WE") (E.var "DIN") (E.var "shadow_q"))
+  in
+  let m =
+    M.add_reg m "mask_q" cw
+      (E.mux (E.var "WE")
+         (E.mux (E.var "EINJ_C") (E.var "EINJ_MASK") (E.of_int ~width:cw 0))
+         (E.var "mask_q"))
+  in
+  let payload, ce, ue = Verifiable.Ecc.decode s (E.var "code_q") in
+  let m = M.add_assign m "DOUT" payload in
+  let m = M.add_assign m "CE" ce in
+  let m = M.add_assign m "UE" ue in
+  (* note: the reset codeword is all zeros, a valid encoding of payload 0 *)
+  let zero = E.of_int ~width:cw 0 in
+  let one = E.of_int ~width:cw 1 in
+  let onehot x = E.((x <>: zero) &: ((x &: (x -: one)) ==: zero)) in
+  let mask = E.var "mask_q" in
+  let at_most_one = E.((mask &: (mask -: one)) ==: zero) in
+  let twohot = E.((mask <>: zero) &: onehot E.(mask &: (mask -: one))) in
+  let props =
+    [ ( "pCorrectSingle",
+        Psl.Ast.Always
+          (Psl.Ast.Implies
+             (Psl.Ast.Bool at_most_one,
+              Psl.Ast.Bool E.(var "DOUT" ==: var "shadow_q"))) );
+      ( "pSingleRaisesCE",
+        Psl.Ast.Always
+          (Psl.Ast.Implies (Psl.Ast.Bool (onehot mask), Psl.Ast.Bool (E.var "CE"))) );
+      ( "pDoubleRaisesUE",
+        Psl.Ast.Always
+          (Psl.Ast.Implies (Psl.Ast.Bool twohot, Psl.Ast.Bool (E.var "UE"))) );
+      ( "pNoFalseAlarm",
+        Psl.Ast.Always
+          (Psl.Ast.Implies
+             (Psl.Ast.Bool E.(mask ==: zero),
+              Psl.Ast.Bool E.(!:(var "CE" |: var "UE")))) ) ]
+  in
+  (m, props)
+
+let ballast ~name ?(stages = 12) ?(width = 32) () =
+  let m = M.create name in
+  let m = M.add_input m "DIN" width in
+  let m = M.add_output m "DOUT" width in
+  let rotate e n =
+    E.concat (E.slice e ~hi:(n - 1) ~lo:0) (E.slice e ~hi:(width - 1) ~lo:n)
+  in
+  let stage_name i = Printf.sprintf "s%d_q" i in
+  let m =
+    List.fold_left
+      (fun m i ->
+        let prev = if i = 0 then E.var "DIN" else E.var (stage_name (i - 1)) in
+        let next = E.((prev +: rotate prev 3) ^: rotate prev 7) in
+        M.add_reg m (stage_name i) width next)
+      m
+      (List.init stages Fun.id)
+  in
+  M.add_assign m "DOUT" (E.var (stage_name (stages - 1)))
+
+let property_counts leaf =
+  let entities = List.length (Verifiable.Entity.discover leaf.mdl) in
+  let p0 = entities + List.length leaf.parity_inputs in
+  let p1 = M.signal_width leaf.mdl leaf.he in
+  let p2 = List.length leaf.parity_outputs in
+  let p3 = List.length leaf.extra_props in
+  (p0, p1, p2, p3)

@@ -1,0 +1,102 @@
+(** Leaf-module archetypes: the building blocks of the synthetic server
+    component chip. Each builder returns an (untransformed) parity-protected
+    module together with its integrity interface — which inputs and outputs
+    carry odd-parity codewords, which signal is the hardware-error report —
+    plus the realistic testbench model used by the logic-simulation baseline
+    and the bug it optionally carries. *)
+
+type leaf = {
+  mdl : Rtl.Mdl.t;
+  parity_inputs : string list;
+  parity_outputs : string list;
+  he : string;
+  he_map : (string * int) list;
+      (** HE bit carrying each entity's / parity input's checker *)
+  extra_props : (string * Psl.Ast.fl) list;  (** P3 material *)
+  sim_overrides : (string * Sim.Stimulus.gen) list;
+      (** realistic testbench models for specific inputs (e.g. the CSR
+          testbench writing zeros to reserved fields, the macro behavioral
+          model driving ready from reset) *)
+  bug : Bugs.id option;
+}
+
+val fsm_ctrl : name:string -> ?bug:bool -> unit -> leaf
+(** 5-state FSM, parity-protected state register, illegal-state detection.
+    [bug] seeds B0. *)
+
+val counter : name:string -> ?bug:bool -> unit -> leaf
+(** Loadable 4-bit wrap counter. [bug] seeds B2. *)
+
+val csr : name:string -> ?bug:bool -> unit -> leaf
+(** 8-bit control/status register with a reserved high nibble. [bug] seeds
+    B1. *)
+
+val macro_if : name:string -> ?bug:bool -> unit -> leaf
+(** Datapath buffer whose error reporting is gated by a macro-ready signal.
+    [bug] seeds B3. *)
+
+val datapath : name:string -> ?bug:bool -> unit -> leaf
+(** 4-op ALU with a parity-protected result register. [bug] seeds B4. *)
+
+val decoder : name:string -> ?bug:(Bugs.id * int * int) -> unit -> leaf
+(** 8-bit address decoder with 91 valid cases. [bug] is
+    [(B5|B6, bad_address, sensitizing_data_pattern)]. *)
+
+val merge : name:string -> ?payload_width:int -> ?he_bits:int -> unit -> leaf
+(** Three parity-protected streams staged through checkpoint registers and
+    merged — the Figure 7 divide-and-conquer subject. The checkpoint wires
+    are named [chk0..chk2]. *)
+
+val filler :
+  name:string ->
+  n_fsm:int ->
+  n_cnt:int ->
+  n_dp:int ->
+  n_parity_in:int ->
+  n_parity_out:int ->
+  he_bits:int ->
+  n_extra:int ->
+  leaf
+(** Configurable generic RAS leaf used to populate the chip to the paper's
+    per-category property counts. Requires at least one entity; [he_bits]
+    must not exceed the number of checkers ([entities + parity inputs]);
+    [n_extra > 0] requires [n_fsm >= 1]. *)
+
+val fifo : name:string -> ?depth:int -> unit -> leaf
+(** Parity-protected queue: [depth] (a power of two, default 4) data slots
+    each holding an odd-parity codeword, parity-protected read/write
+    pointers and occupancy counter, FULL/EMPTY flags, and a three-group
+    hardware-error report (data slots / control / input). The P3 extras
+    assert the queue-control invariants (occupancy range, flag
+    consistency). *)
+
+val ecc_reg :
+  name:string -> ?data_width:int -> unit -> Rtl.Mdl.t * (string * Psl.Ast.fl) list
+(** SECDED-protected configuration register — the upgrade path beyond the
+    paper's parity-only protection. Writes encode the payload with an
+    extended Hamming code; a write-path error injector XORs an arbitrary
+    corruption mask into the stored codeword; golden shadow registers track
+    the intended payload and the applied mask. Returns the module and its
+    correctness properties:
+
+    - a zero or one-bit corruption never changes the decoded output
+      (single-error correction);
+    - a one-bit corruption raises CE, a two-bit corruption raises UE
+      (detection flags);
+    - with injection disabled neither flag ever rises.
+
+    The module has no odd-parity entities, so it sits outside the
+    stereotype-property generator; its properties are checked directly with
+    {!Mc.Engine.check_property}. *)
+
+val ballast : name:string -> ?stages:int -> ?width:int -> unit -> Rtl.Mdl.t
+(** Plain (non-parity-protected) background compute logic — the bulk of a
+    real category's area. Ballast modules have no integrity entities, so the
+    methodology excludes them from formal verification (the paper's "a leaf
+    module can be excluded if it has no internal state and no data paths
+    with parity protection"); they only weigh in the area and timing
+    accounting of Tables 1 and 4. *)
+
+val property_counts : leaf -> int * int * int * int
+(** [(p0, p1, p2, p3)] that {!Verifiable.Propgen} will generate for this
+    leaf once transformed. *)

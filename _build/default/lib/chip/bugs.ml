@@ -1,0 +1,50 @@
+type id = B0 | B1 | B2 | B3 | B4 | B5 | B6
+
+let all = [ B0; B1; B2; B3; B4; B5; B6 ]
+
+let name = function
+  | B0 -> "B0"
+  | B1 -> "B1"
+  | B2 -> "B2"
+  | B3 -> "B3"
+  | B4 -> "B4"
+  | B5 -> "B5"
+  | B6 -> "B6"
+
+let property_class = function
+  | B0 | B1 | B2 -> Verifiable.Propgen.P1
+  | B3 -> Verifiable.Propgen.P0
+  | B4 | B5 | B6 -> Verifiable.Propgen.P2
+
+let expected_sim_easy = function
+  | B0 | B2 | B4 -> true
+  | B1 | B3 | B5 | B6 -> false
+
+let describe = function
+  | B0 ->
+    "FSM next-state parity bit computed from the current state instead of \
+     the next state; an internal parity error is raised on ordinary \
+     transitions."
+  | B1 ->
+    "A write of a non-zero value into a reserved CSR field clears the field \
+     but keeps the incoming parity bit, so the stored word's parity is \
+     wrong. Well-behaved testbenches write zeros to reserved fields, so \
+     random simulation almost never exercises the condition."
+  | B2 ->
+    "Counter wrap-around miscomputes the parity bit exactly at the wrap \
+     value; any sufficiently long count sequence trips it."
+  | B3 ->
+    "Error reporting is gated by a macro-supplied ready signal that is not \
+     guaranteed immediately after reset; the simulation model of the macro \
+     (wrongly) drives it active from cycle 0, so only formal analysis, \
+     which leaves the input free, can expose the missed detection."
+  | B4 ->
+    "The ALU result path re-encodes parity with the wrong polarity for the \
+     XOR opcode; nearly every XOR operation produces a bad codeword."
+  | B5 ->
+    "Address decoder with 91 valid cases in an 8-bit space: for one \
+     specific valid address the datapath parity is computed over a stale \
+     bit pattern and is wrong only for one data value in 256."
+  | B6 ->
+    "Second wrong case of the address decoder (distinct address, distinct \
+     sensitizing data pattern) — same mechanism as B5."

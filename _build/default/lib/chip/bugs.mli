@@ -1,0 +1,17 @@
+(** The seven logic-bug archetypes of the paper's Table 3, reproduced as
+    seedable RTL defects with the same mechanism and the same
+    formal-vs-simulation detectability profile. *)
+
+type id = B0 | B1 | B2 | B3 | B4 | B5 | B6
+
+val all : id list
+val name : id -> string
+
+val property_class : id -> Verifiable.Propgen.prop_class
+(** The property type that catches the bug (Table 3, column 2). *)
+
+val expected_sim_easy : id -> bool
+(** Table 3, column 3: can it be found easily by logic simulation? *)
+
+val describe : id -> string
+(** The paper's §6.2 mechanism, as reproduced here. *)

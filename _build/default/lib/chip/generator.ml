@@ -1,0 +1,301 @@
+module M = Rtl.Mdl
+module T = Verifiable.Transform
+module PG = Verifiable.Propgen
+
+type unit_ = {
+  leaf : Archetype.leaf;
+  info : T.info;
+  spec : PG.spec;
+}
+
+type expected = { sub : int; bugs : int; p0 : int; p1 : int; p2 : int; p3 : int }
+
+type category = {
+  cat_name : string;
+  top : string;
+  units : unit_ list;
+  expected : expected;
+}
+
+type t = {
+  design : Rtl.Design.t;
+  base_design : Rtl.Design.t;
+  chip_top : string;
+  categories : category list;
+}
+
+let paper_expected =
+  [ ("A", { sub = 19; bugs = 3; p0 = 204; p1 = 23; p2 = 113; p3 = 15 });
+    ("B", { sub = 2; bugs = 0; p0 = 25; p1 = 23; p2 = 82; p3 = 0 });
+    ("C", { sub = 13; bugs = 1; p0 = 43; p1 = 20; p2 = 38; p3 = 0 });
+    ("D", { sub = 3; bugs = 1; p0 = 70; p1 = 46; p2 = 137; p3 = 6 });
+    ("E", { sub = 58; bugs = 2; p0 = 964; p1 = 88; p2 = 150; p3 = 0 }) ]
+
+(* split [total] into [n] near-equal non-negative parts *)
+let spread total n =
+  if n <= 0 then []
+  else List.init n (fun i -> (total / n) + if i < total mod n then 1 else 0)
+
+(* build one filler from its property-count quota *)
+let filler_of_quota ~name (p0, p1, p2, p3) =
+  if p0 < 1 then invalid_arg "Generator: filler quota needs p0 >= 1";
+  let n_fsm, n_cnt, n_dp =
+    if p0 >= 4 then (1, 1, 1) else if p0 >= 2 then (1, 1, 0) else (1, 0, 0)
+  in
+  let n_ent = n_fsm + n_cnt + n_dp in
+  let n_parity_in = p0 - n_ent in
+  if p1 > p0 then invalid_arg "Generator: filler quota needs p1 <= p0";
+  Archetype.filler ~name ~n_fsm ~n_cnt ~n_dp ~n_parity_in ~n_parity_out:p2
+    ~he_bits:(max 1 p1) ~n_extra:p3
+
+let sum4 l =
+  List.fold_left
+    (fun (a0, a1, a2, a3) (b0, b1, b2, b3) -> (a0 + b0, a1 + b1, a2 + b2, a3 + b3))
+    (0, 0, 0, 0) l
+
+(* specials first, then fillers solved from the remaining quota *)
+let build_category ~cat_name ~expected ~specials =
+  let special_counts = List.map Archetype.property_counts specials in
+  let s0, s1, s2, s3 = sum4 special_counts in
+  let nf = expected.sub - List.length specials in
+  if nf < 0 then invalid_arg "Generator: more specials than sub-modules";
+  let r0 = expected.p0 - s0
+  and r1 = expected.p1 - s1
+  and r2 = expected.p2 - s2
+  and r3 = expected.p3 - s3 in
+  if r0 < 0 || r1 < 0 || r2 < 0 || r3 < 0 then
+    invalid_arg (Printf.sprintf "Generator: category %s over-provisioned" cat_name);
+  let quotas =
+    let q0 = spread r0 nf and q1 = spread r1 nf and q2 = spread r2 nf
+    and q3 = spread r3 nf in
+    List.map2
+      (fun (a, b) (c, d) -> (a, b, c, d))
+      (List.combine q0 q1) (List.combine q2 q3)
+  in
+  let fillers =
+    List.mapi
+      (fun i quota ->
+        filler_of_quota ~name:(Printf.sprintf "%s_leaf%02d" cat_name i) quota)
+      quotas
+  in
+  specials @ fillers
+
+let finish_leaf (leaf : Archetype.leaf) =
+  let info = T.apply leaf.Archetype.mdl in
+  let spec =
+    { PG.he = leaf.Archetype.he; he_map = leaf.Archetype.he_map;
+      parity_inputs = leaf.Archetype.parity_inputs;
+      parity_outputs = leaf.Archetype.parity_outputs;
+      extra = leaf.Archetype.extra_props }
+  in
+  { leaf; info; spec }
+
+(* a pass-through top: every leaf port becomes a prefixed top port;
+   injection ports (when present) are tied to zero per Figure 6 *)
+let passthrough_top ~name entries =
+  let top = M.create name in
+  let top =
+    List.fold_left
+      (fun top (prefix, (mdl : M.t), ties) ->
+        let conns = ref ties in
+        let top =
+          List.fold_left
+            (fun top (p : M.port) ->
+              if List.mem_assoc p.M.port_name !conns then top
+              else begin
+                let tname = prefix ^ "_" ^ p.M.port_name in
+                conns := (p.M.port_name, M.Net tname) :: !conns;
+                match p.M.dir with
+                | M.Input -> M.add_input top tname p.M.port_width
+                | M.Output -> M.add_output top tname p.M.port_width
+              end)
+            top mdl.M.ports
+        in
+        M.add_instance top prefix ~of_module:mdl.M.name !conns)
+      top entries
+  in
+  top
+
+(* chain [count] ballast instances through a category top *)
+let append_ballast top ~ballast_mdl ~count =
+  if count <= 0 then top
+  else begin
+    let width =
+      match Rtl.Mdl.find_port ballast_mdl "DIN" with
+      | Some p -> p.M.port_width
+      | None -> invalid_arg "Generator: ballast has no DIN"
+    in
+    let top = M.add_input top "BAL_IN" width in
+    let top = M.add_output top "BAL_OUT" width in
+    let wire i = Printf.sprintf "bal_w%d" i in
+    let top =
+      List.fold_left (fun top i -> M.add_wire top (wire i) width) top
+        (List.init (count - 1) Fun.id)
+    in
+    List.fold_left
+      (fun top i ->
+        let din = if i = 0 then "BAL_IN" else wire (i - 1) in
+        let dout = if i = count - 1 then "BAL_OUT" else wire i in
+        M.add_instance top
+          (Printf.sprintf "bal%04d" i)
+          ~of_module:ballast_mdl.M.name
+          [ ("DIN", M.Net din); ("DOUT", M.Net dout) ])
+      top
+      (List.init count Fun.id)
+  end
+
+(* background-logic sizing: Table 4 reports the area increase caused by the
+   injection feature per category (A 1.4%, B 0.4%, D 0.2%); the increase is
+   inj/base, so each category's base area is padded with plain compute logic
+   to inj / target. Category E absorbs the remainder of the paper's 3.5M-gate
+   chip (Table 1). *)
+let target_increase_percent = [ ("A", 1.4); ("B", 0.4); ("C", 0.8); ("D", 0.2) ]
+
+let chip_target_ge = 3_500_000.0
+
+let ballast_counts categories_with_units =
+  let ballast_mdl = Archetype.ballast ~name:"ballast_unit" () in
+  let unit_ge = Synth.Area.module_area ballast_mdl in
+  let measured =
+    List.map
+      (fun (cat_name, _, units) ->
+        let inj =
+          List.fold_left
+            (fun acc u ->
+              acc
+              +. Synth.Area.module_area u.info.T.mdl
+              -. Synth.Area.module_area u.leaf.Archetype.mdl)
+            0.0 units
+        in
+        let base =
+          List.fold_left
+            (fun acc u -> acc +. Synth.Area.module_area u.leaf.Archetype.mdl)
+            0.0 units
+        in
+        (cat_name, inj, base))
+      categories_with_units
+  in
+  let sized =
+    List.map
+      (fun (cat_name, inj, base) ->
+        match List.assoc_opt cat_name target_increase_percent with
+        | Some pct -> (cat_name, inj, base, Some (inj *. 100.0 /. pct))
+        | None -> (cat_name, inj, base, None))
+      measured
+  in
+  let allocated =
+    List.fold_left
+      (fun acc (_, _, _, t) -> match t with Some t -> acc +. t | None -> acc)
+      0.0 sized
+  in
+  List.map
+    (fun (cat_name, _, base, target) ->
+      let total =
+        match target with
+        | Some t -> t
+        | None -> Float.max base (chip_target_ge -. allocated)
+      in
+      let count =
+        int_of_float (Float.max 0.0 ((total -. base) /. unit_ge +. 0.5))
+      in
+      (cat_name, count))
+    sized
+  |> fun counts -> (ballast_mdl, counts)
+
+let category_tops ~cat_name units =
+  let ver_entries =
+    List.mapi
+      (fun i u ->
+        (Printf.sprintf "u%02d" i, u.info.T.mdl, T.tie_offs u.info))
+      units
+  in
+  let base_entries =
+    List.mapi
+      (fun i u -> (Printf.sprintf "u%02d" i, u.leaf.Archetype.mdl, []))
+      units
+  in
+  let ver = passthrough_top ~name:("cat_" ^ cat_name) ver_entries in
+  let base = passthrough_top ~name:("cat_" ^ cat_name) base_entries in
+  (ver, base)
+
+let generate ?(with_bugs = true) () =
+  let b = with_bugs in
+  let specials_of = function
+    | "A" ->
+      [ Archetype.fsm_ctrl ~name:"a_fsm_ctrl" ~bug:b ();
+        Archetype.csr ~name:"a_csr" ~bug:b ();
+        Archetype.counter ~name:"a_counter" ~bug:b () ]
+    | "B" -> []
+    | "C" -> [ Archetype.macro_if ~name:"c_macro_if" ~bug:b () ]
+    | "D" -> [ Archetype.datapath ~name:"d_alu" ~bug:b () ]
+    | "E" ->
+      [ Archetype.decoder ~name:"e_dec0"
+          ?bug:(if b then Some (Bugs.B5, 37, 0x5A) else None) ();
+        Archetype.decoder ~name:"e_dec1"
+          ?bug:(if b then Some (Bugs.B6, 73, 0xC3) else None) () ]
+    | cat -> invalid_arg ("Generator: unknown category " ^ cat)
+  in
+  let categories =
+    List.map
+      (fun (cat_name, expected) ->
+        let leaves =
+          build_category ~cat_name ~expected ~specials:(specials_of cat_name)
+        in
+        let units = List.map finish_leaf leaves in
+        (cat_name, expected, units))
+      paper_expected
+  in
+  let ballast_mdl, ballast_per_cat = ballast_counts categories in
+  let design = ref (Rtl.Design.of_modules [ ballast_mdl ]) in
+  let base_design = ref (Rtl.Design.of_modules [ ballast_mdl ]) in
+  let cats =
+    List.map
+      (fun (cat_name, expected, units) ->
+        let ver_top, base_top = category_tops ~cat_name units in
+        let count =
+          Option.value ~default:0 (List.assoc_opt cat_name ballast_per_cat)
+        in
+        let ver_top = append_ballast ver_top ~ballast_mdl ~count in
+        let base_top = append_ballast base_top ~ballast_mdl ~count in
+        List.iter
+          (fun u ->
+            design := Rtl.Design.add !design u.info.T.mdl;
+            base_design := Rtl.Design.add !base_design u.leaf.Archetype.mdl)
+          units;
+        design := Rtl.Design.add !design ver_top;
+        base_design := Rtl.Design.add !base_design base_top;
+        { cat_name; top = ver_top.M.name; units; expected })
+      categories
+  in
+  (* chip top wires the five category tops together *)
+  let chip_entries design_ref =
+    List.map
+      (fun c ->
+        ( "cat" ^ String.lowercase_ascii c.cat_name,
+          Rtl.Design.find_exn !design_ref c.top,
+          [] ))
+      cats
+  in
+  let chip_ver = passthrough_top ~name:"chip_top" (chip_entries design) in
+  let chip_base = passthrough_top ~name:"chip_top" (chip_entries base_design) in
+  design := Rtl.Design.add !design chip_ver;
+  base_design := Rtl.Design.add !base_design chip_base;
+  { design = !design; base_design = !base_design; chip_top = "chip_top";
+    categories = cats }
+
+let find_unit t bug =
+  let found = ref None in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun u ->
+          if u.leaf.Archetype.bug = Some bug then found := Some (c, u))
+        c.units)
+    t.categories;
+  match !found with Some x -> x | None -> raise Not_found
+
+let total_counts t =
+  sum4
+    (List.concat_map
+       (fun c -> List.map (fun u -> PG.counts u.info u.spec) c.units)
+       t.categories)

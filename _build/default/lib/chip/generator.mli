@@ -1,0 +1,47 @@
+(** Synthetic chip assembly.
+
+    Five module categories A–E reproduce the structure of the paper's
+    Table 2: the same sub-module counts (19/2/13/3/58) and the same
+    per-category stereotype-property counts (P0/P1/P2/P3). Leaf parameters
+    are solved from those targets; the seven bug archetypes are placed in
+    the categories whose bug counts the paper reports (A: 3, C: 1, D: 1,
+    E: 2). *)
+
+type unit_ = {
+  leaf : Archetype.leaf;
+  info : Verifiable.Transform.info;  (** the Verifiable-RTL form *)
+  spec : Verifiable.Propgen.spec;
+}
+
+type expected = { sub : int; bugs : int; p0 : int; p1 : int; p2 : int; p3 : int }
+
+type category = {
+  cat_name : string;
+  top : string;  (** category top module name in [design] *)
+  units : unit_ list;
+  expected : expected;
+}
+
+type t = {
+  design : Rtl.Design.t;  (** Verifiable RTL: transformed leaves, category
+                              tops with injection tie-offs, chip top *)
+  base_design : Rtl.Design.t;  (** the same chip without the error-injection
+                                   feature (Table 4 baseline) *)
+  chip_top : string;
+  categories : category list;
+}
+
+val paper_expected : (string * expected) list
+(** Table 2 as published. *)
+
+val generate : ?with_bugs:bool -> unit -> t
+(** [with_bugs] defaults to [true] (the pre-fix chip, used to find the seven
+    bugs); [false] builds the post-fix chip on which all 2047 properties
+    hold. *)
+
+val find_unit : t -> Bugs.id -> category * unit_
+(** The category and leaf carrying a given seeded bug. Raises [Not_found]
+    on a bug-free chip. *)
+
+val total_counts : t -> int * int * int * int
+(** Generated [(p0, p1, p2, p3)] across the whole chip. *)

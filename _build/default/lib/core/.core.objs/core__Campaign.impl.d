@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Buffer Chip Format List Mc Printf Psl Rtl Unix Verifiable

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Bitvec Chip Format List Mc Printf Psl Random Rtl Sim Verifiable

@@ -1,0 +1,1 @@
+lib/core/classify.mli: Chip Format Mc Verifiable

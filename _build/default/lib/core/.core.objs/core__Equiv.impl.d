@@ -1,0 +1,1 @@
+lib/core/equiv.ml: Bitvec List Mc Printf Rtl String Verifiable

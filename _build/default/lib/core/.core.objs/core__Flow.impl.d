@@ -1,0 +1,1 @@
+lib/core/flow.ml: Format List Mc Printf Psl Rtl String Verifiable

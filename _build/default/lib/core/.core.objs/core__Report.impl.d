@@ -1,0 +1,1 @@
+lib/core/report.ml: Chip Format List Mc Printf Psl Rtl Synth Verifiable

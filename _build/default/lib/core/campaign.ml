@@ -1,0 +1,183 @@
+module PG = Verifiable.Propgen
+module G = Chip.Generator
+
+type prop_result = {
+  category : string;
+  module_name : string;
+  vunit_name : string;
+  prop_name : string;
+  cls : PG.prop_class;
+  outcome : Mc.Engine.outcome;
+  bug : Chip.Bugs.id option;
+}
+
+type row = {
+  cat : string;
+  subs : int;
+  bugs_found : int;
+  p0 : int;
+  p1 : int;
+  p2 : int;
+  p3 : int;
+  total : int;
+  proved : int;
+  failed : int;
+  resource_out : int;
+  time_s : float;
+}
+
+type t = {
+  results : prop_result list;
+  rows : row list;
+  grand_total : row;
+  wall_time_s : float;
+}
+
+let count_asserts units =
+  List.fold_left
+    (fun acc (u : G.unit_) ->
+      let p0, p1, p2, p3 = PG.counts u.G.info u.G.spec in
+      acc + p0 + p1 + p2 + p3)
+    0 units
+
+let run ?budget ?strategy ?(progress = fun ~done_:_ ~total:_ -> ()) (chip : G.t) =
+  let t0 = Unix.gettimeofday () in
+  let total =
+    List.fold_left (fun acc c -> acc + count_asserts c.G.units) 0 chip.G.categories
+  in
+  let done_ = ref 0 in
+  let results =
+    List.concat_map
+      (fun (c : G.category) ->
+        List.concat_map
+          (fun (u : G.unit_) ->
+            let vunits = PG.all u.G.info u.G.spec in
+            List.concat_map
+              (fun (cls, vunit) ->
+                List.map
+                  (fun (prop_name, outcome) ->
+                    incr done_;
+                    progress ~done_:!done_ ~total;
+                    { category = c.G.cat_name;
+                      module_name = u.G.info.Verifiable.Transform.mdl.Rtl.Mdl.name;
+                      vunit_name = vunit.Psl.Ast.vunit_name; prop_name; cls;
+                      outcome; bug = u.G.leaf.Chip.Archetype.bug })
+                  (Mc.Engine.check_vunit ?budget ?strategy
+                     u.G.info.Verifiable.Transform.mdl vunit))
+              vunits)
+          c.G.units)
+      chip.G.categories
+  in
+  let row_of cat subs cat_results =
+    let by f = List.length (List.filter f cat_results) in
+    let count_cls cls = by (fun r -> r.cls = cls) in
+    let failed_modules =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun r ->
+             match r.outcome.Mc.Engine.verdict with
+             | Mc.Engine.Failed _ -> Some r.module_name
+             | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
+             | Mc.Engine.Resource_out _ ->
+               None)
+           cat_results)
+    in
+    (* B5/B6 live in separate decoder modules, so defects = defective
+       modules here; the paper also counts defects *)
+    { cat; subs; bugs_found = List.length failed_modules;
+      p0 = count_cls PG.P0; p1 = count_cls PG.P1; p2 = count_cls PG.P2;
+      p3 = count_cls PG.P3; total = List.length cat_results;
+      proved =
+        by (fun r ->
+            match r.outcome.Mc.Engine.verdict with
+            | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ -> true
+            | Mc.Engine.Failed _ | Mc.Engine.Resource_out _ -> false);
+      failed =
+        by (fun r ->
+            match r.outcome.Mc.Engine.verdict with
+            | Mc.Engine.Failed _ -> true
+            | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
+            | Mc.Engine.Resource_out _ -> false);
+      resource_out =
+        by (fun r ->
+            match r.outcome.Mc.Engine.verdict with
+            | Mc.Engine.Resource_out _ -> true
+            | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
+            | Mc.Engine.Failed _ -> false);
+      time_s =
+        List.fold_left (fun acc r -> acc +. r.outcome.Mc.Engine.time_s) 0.0
+          cat_results }
+  in
+  let rows =
+    List.map
+      (fun (c : G.category) ->
+        row_of c.G.cat_name (List.length c.G.units)
+          (List.filter (fun r -> r.category = c.G.cat_name) results))
+      chip.G.categories
+  in
+  let grand_total =
+    { cat = "Total"; subs = List.fold_left (fun a r -> a + r.subs) 0 rows;
+      bugs_found = List.fold_left (fun a r -> a + r.bugs_found) 0 rows;
+      p0 = List.fold_left (fun a r -> a + r.p0) 0 rows;
+      p1 = List.fold_left (fun a r -> a + r.p1) 0 rows;
+      p2 = List.fold_left (fun a r -> a + r.p2) 0 rows;
+      p3 = List.fold_left (fun a r -> a + r.p3) 0 rows;
+      total = List.fold_left (fun a r -> a + r.total) 0 rows;
+      proved = List.fold_left (fun a r -> a + r.proved) 0 rows;
+      failed = List.fold_left (fun a r -> a + r.failed) 0 rows;
+      resource_out = List.fold_left (fun a r -> a + r.resource_out) 0 rows;
+      time_s = List.fold_left (fun a r -> a +. r.time_s) 0.0 rows }
+  in
+  { results; rows; grand_total; wall_time_s = Unix.gettimeofday () -. t0 }
+
+let failed_results t =
+  List.filter
+    (fun r ->
+      match r.outcome.Mc.Engine.verdict with
+      | Mc.Engine.Failed _ -> true
+      | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
+      | Mc.Engine.Resource_out _ ->
+        false)
+    t.results
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "category,module,vunit,property,class,verdict,engine,time_s,bug\n";
+  List.iter
+    (fun r ->
+      let verdict =
+        match r.outcome.Mc.Engine.verdict with
+        | Mc.Engine.Proved -> "proved"
+        | Mc.Engine.Proved_bounded d -> Printf.sprintf "bounded:%d" d
+        | Mc.Engine.Failed _ -> "failed"
+        | Mc.Engine.Resource_out msg -> "resource_out:" ^ msg
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s,%.4f,%s\n" r.category
+           r.module_name r.vunit_name r.prop_name
+           (Verifiable.Propgen.class_name r.cls)
+           verdict r.outcome.Mc.Engine.engine_used r.outcome.Mc.Engine.time_s
+           (match r.bug with Some b -> Chip.Bugs.name b | None -> "")))
+    t.results;
+  Buffer.contents buf
+
+let write_csv t path =
+  let oc = open_out path in
+  (try output_string oc (to_csv t)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+let pp_table2 ppf t =
+  Format.fprintf ppf
+    "Module    # of   # of   P0     P1     P2     P3     Total  Time(s)@.";
+  Format.fprintf ppf
+    "Name      Sub    Bug@.";
+  let line (r : row) =
+    Format.fprintf ppf "%-9s %-6d %-6d %-6d %-6d %-6d %-6d %-6d %.1f@." r.cat
+      r.subs r.bugs_found r.p0 r.p1 r.p2 r.p3 r.total r.time_s
+  in
+  List.iter line t.rows;
+  line t.grand_total

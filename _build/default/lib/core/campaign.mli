@@ -1,0 +1,51 @@
+(** The full formal-verification campaign over the chip: every stereotype
+    property of every leaf module, with the engine escalation the paper
+    describes. Regenerates the data behind Table 2. *)
+
+type prop_result = {
+  category : string;
+  module_name : string;
+  vunit_name : string;
+  prop_name : string;
+  cls : Verifiable.Propgen.prop_class;
+  outcome : Mc.Engine.outcome;
+  bug : Chip.Bugs.id option;  (** bug seeded in the module, if any *)
+}
+
+type row = {
+  cat : string;
+  subs : int;
+  bugs_found : int;  (** defective modules whose seeded bug was exposed *)
+  p0 : int;
+  p1 : int;
+  p2 : int;
+  p3 : int;
+  total : int;
+  proved : int;
+  failed : int;
+  resource_out : int;
+  time_s : float;
+}
+
+type t = {
+  results : prop_result list;
+  rows : row list;  (** one per category, in A..E order *)
+  grand_total : row;
+  wall_time_s : float;
+}
+
+val run :
+  ?budget:Mc.Engine.budget ->
+  ?strategy:Mc.Engine.strategy ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  Chip.Generator.t ->
+  t
+
+val failed_results : t -> prop_result list
+val pp_table2 : Format.formatter -> t -> unit
+
+val to_csv : t -> string
+(** One row per property: category, module, vunit, property, class, verdict,
+    engine, time. Suitable for spreadsheet import or regression diffing. *)
+
+val write_csv : t -> string -> unit

@@ -1,0 +1,154 @@
+module PG = Verifiable.Propgen
+module G = Chip.Generator
+module T = Verifiable.Transform
+
+type result = {
+  bug : Chip.Bugs.id;
+  module_name : string;
+  prop_name : string option;
+  observed_cls : PG.prop_class option;
+  formal_found : bool;
+  formal_time_s : float;
+  trace_len : int option;
+  sim_runs : int;
+  sim_found_runs : int;
+  sim_first_fire : int option;
+  sim_easy : bool;
+  expected_cls : PG.prop_class;
+  expected_easy : bool;
+}
+
+(* the first failing assert of the unit, searching the expected class first *)
+let find_failing ?budget (u : G.unit_) expected_cls =
+  let vunits = PG.all u.G.info u.G.spec in
+  let ordered =
+    List.filter (fun (c, _) -> c = expected_cls) vunits
+    @ List.filter (fun (c, _) -> c <> expected_cls) vunits
+  in
+  let rec scan = function
+    | [] -> None
+    | (cls, vunit) :: rest ->
+      let outcomes = Mc.Engine.check_vunit ?budget u.G.info.T.mdl vunit in
+      let failing =
+        List.find_opt
+          (fun (_, (o : Mc.Engine.outcome)) ->
+            match o.Mc.Engine.verdict with
+            | Mc.Engine.Failed _ -> true
+            | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
+            | Mc.Engine.Resource_out _ ->
+              false)
+          outcomes
+      in
+      (match failing with
+       | Some (name, outcome) -> Some (cls, vunit, name, outcome)
+       | None -> scan rest)
+  in
+  scan ordered
+
+(* stimulus for one property: legal parity codewords and testbench models;
+   error-injection inputs are exercised only for P0 properties *)
+let profile_for (u : G.unit_) cls nl =
+  let overrides = u.G.leaf.Chip.Archetype.sim_overrides in
+  let parity_inputs = u.G.spec.PG.parity_inputs in
+  match cls with
+  | PG.P0 ->
+    let ec = u.G.info.T.ec_port and ed = u.G.info.T.ed_port in
+    let ec_width = Rtl.Netlist.signal_width nl ec in
+    let ed_width = Rtl.Netlist.signal_width nl ed in
+    let ec_gen st =
+      Bitvec.init ec_width (fun _ -> Random.State.float st 1.0 < 0.2)
+    in
+    Sim.Stimulus.legal_profile ~parity_inputs
+      ~overrides:(overrides @ [ (ec, ec_gen); (ed, Sim.Stimulus.uniform ed_width) ])
+      nl
+  | PG.P1 | PG.P2 | PG.P3 ->
+    Sim.Stimulus.legal_profile ~parity_inputs ~overrides nl
+
+let simulate_property (u : G.unit_) cls vunit prop_name ~cycles ~seeds =
+  let assert_ = Psl.Ast.property vunit prop_name in
+  let assumes = List.map snd (Psl.Ast.assumes vunit) in
+  let inst =
+    Psl.Monitor.instrument u.G.info.T.mdl ~prefix:"simmon" ~assert_ ~assumes
+  in
+  let design = Rtl.Design.of_modules [ inst.Psl.Monitor.mdl ] in
+  let nl = Rtl.Elaborate.run design ~top:inst.Psl.Monitor.mdl.Rtl.Mdl.name in
+  let sim = Sim.Simulator.create nl in
+  let profile = profile_for u cls nl in
+  let runs =
+    List.map
+      (fun seed ->
+        Sim.Testbench.run_random sim profile ~cycles ~seed
+          ~watch:[ inst.Psl.Monitor.fail_signal ])
+      seeds
+  in
+  let found_runs =
+    List.length
+      (List.filter (fun r -> Sim.Testbench.fired r inst.Psl.Monitor.fail_signal) runs)
+  in
+  let first_fire =
+    List.fold_left
+      (fun acc r ->
+        match Sim.Testbench.first_fire r inst.Psl.Monitor.fail_signal with
+        | Some c -> ( match acc with Some b -> Some (min b c) | None -> Some c)
+        | None -> acc)
+      None runs
+  in
+  (found_runs, first_fire)
+
+let run ?budget ?(cycles = 10_000) ?(seeds = [ 11; 23; 37; 58; 71 ]) (chip : G.t) =
+  List.map
+    (fun bug ->
+      let _cat, u = G.find_unit chip bug in
+      let module_name = u.G.info.T.mdl.Rtl.Mdl.name in
+      let expected_cls = Chip.Bugs.property_class bug in
+      let expected_easy = Chip.Bugs.expected_sim_easy bug in
+      match find_failing ?budget u expected_cls with
+      | None ->
+        { bug; module_name; prop_name = None; observed_cls = None;
+          formal_found = false; formal_time_s = 0.0; trace_len = None;
+          sim_runs = List.length seeds; sim_found_runs = 0;
+          sim_first_fire = None; sim_easy = false; expected_cls;
+          expected_easy }
+      | Some (cls, vunit, prop_name, outcome) ->
+        let trace_len =
+          match outcome.Mc.Engine.verdict with
+          | Mc.Engine.Failed trace -> Some (Mc.Trace.length trace)
+          | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
+          | Mc.Engine.Resource_out _ ->
+            None
+        in
+        let sim_found_runs, sim_first_fire =
+          simulate_property u cls vunit prop_name ~cycles ~seeds
+        in
+        { bug; module_name; prop_name = Some prop_name;
+          observed_cls = Some cls; formal_found = true;
+          formal_time_s = outcome.Mc.Engine.time_s; trace_len;
+          sim_runs = List.length seeds; sim_found_runs; sim_first_fire;
+          sim_easy = 2 * sim_found_runs >= List.length seeds; expected_cls;
+          expected_easy })
+    Chip.Bugs.all
+
+let pp_table3 ppf results =
+  Format.fprintf ppf
+    "Defect  Type of Property                 Found easily by simulation?@.";
+  List.iter
+    (fun r ->
+      let cls =
+        match r.observed_cls with
+        | Some c -> PG.class_name c
+        | None -> "(not exposed)"
+      in
+      let sim =
+        if r.sim_easy then
+          Printf.sprintf "Yes (%d/%d runs, first at cycle %s)" r.sim_found_runs
+            r.sim_runs
+            (match r.sim_first_fire with
+             | Some c -> string_of_int c
+             | None -> "-")
+        else
+          Printf.sprintf "No  (%d/%d runs)" r.sim_found_runs r.sim_runs
+      in
+      Format.fprintf ppf "%-7s %-32s %s@."
+        (Chip.Bugs.name r.bug)
+        cls sim)
+    results

@@ -1,0 +1,37 @@
+(** Bug classification — regenerates Table 3: which property type exposes
+    each seeded bug, and whether conventional random simulation would have
+    found it easily.
+
+    Formal side: model-check the bug module's stereotype properties and
+    record the failing one. Simulation side: compile the same property
+    monitor into the module, drive it with the *realistic* testbench model
+    (legal parity codewords, software conventions, the macro's behavioral
+    model) for a cycle budget across several seeds, and call the bug "easily
+    found" when the monitor fires in at least half the runs. *)
+
+type result = {
+  bug : Chip.Bugs.id;
+  module_name : string;
+  prop_name : string option;  (** the failing property, when formal found it *)
+  observed_cls : Verifiable.Propgen.prop_class option;
+  formal_found : bool;
+  formal_time_s : float;
+  trace_len : int option;
+  sim_runs : int;
+  sim_found_runs : int;
+  sim_first_fire : int option;  (** earliest firing cycle across runs *)
+  sim_easy : bool;
+  expected_cls : Verifiable.Propgen.prop_class;
+  expected_easy : bool;
+}
+
+val run :
+  ?budget:Mc.Engine.budget ->
+  ?cycles:int ->
+  ?seeds:int list ->
+  Chip.Generator.t ->
+  result list
+(** [cycles] defaults to 10_000 per run; [seeds] to five fixed seeds. The
+    chip must have been generated [with_bugs]. *)
+
+val pp_table3 : Format.formatter -> result list -> unit

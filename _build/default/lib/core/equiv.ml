@@ -1,0 +1,181 @@
+module E = Rtl.Expr
+module M = Rtl.Mdl
+module N = Rtl.Netlist
+
+type mismatch = { output : string; trace : Mc.Trace.t }
+
+type result =
+  | Equivalent
+  | Different of mismatch
+  | Undecided of string
+
+let interface (m : M.t) tied =
+  let live (p : M.port) = not (List.mem_assoc p.M.port_name tied) in
+  let ins =
+    List.filter_map
+      (fun (p : M.port) ->
+        if p.M.dir = M.Input && live p then Some (p.M.port_name, p.M.port_width)
+        else None)
+      m.M.ports
+  in
+  let outs =
+    List.filter_map
+      (fun (p : M.port) ->
+        if p.M.dir = M.Output then Some (p.M.port_name, p.M.port_width)
+        else None)
+      m.M.ports
+  in
+  (List.sort compare ins, List.sort compare outs)
+
+(* Elaborate one side, prefix every signal, turn its inputs into wires that
+   will be driven by the shared inputs (or tied constants). *)
+let side prefix (m : M.t) ties =
+  let nl =
+    Rtl.Elaborate.run (Rtl.Design.of_modules [ m ]) ~top:m.M.name
+  in
+  let qual name = prefix ^ "." ^ name in
+  let rename_expr = E.rename qual in
+  let input_glue =
+    List.map
+      (fun (name, w) ->
+        match List.assoc_opt name ties with
+        | Some c ->
+          if Bitvec.width c <> w then
+            invalid_arg "Equiv: tie width mismatch";
+          (qual name, E.const c)
+        | None -> (qual name, E.Var name))
+      nl.N.inputs
+  in
+  { nl with
+    N.inputs = [];
+    outputs = [];
+    wires =
+      List.map (fun (n, w) -> (qual n, w))
+        (nl.N.inputs @ nl.N.outputs @ nl.N.wires);
+    assigns =
+      input_glue
+      @ List.map (fun (lhs, rhs) -> (qual lhs, rename_expr rhs)) nl.N.assigns;
+    regs =
+      List.map
+        (fun (r : N.flat_reg) ->
+          { r with N.name = qual r.N.name; next = rename_expr r.N.next })
+        nl.N.regs }
+
+(* interleave the two sides' registers so the product machine's diagonal
+   reached set (corresponding registers always equal) has a compact BDD *)
+let interleave_regs a b =
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: xs, y :: ys -> go xs ys (y :: x :: acc)
+  in
+  go a b []
+
+let check_modules ?budget ?(strategy = Mc.Engine.Bdd_forward) ~a ~b ?(tie_a = [])
+    ?(tie_b = []) () =
+  let ins_a, outs_a = interface a tie_a in
+  let ins_b, outs_b = interface b tie_b in
+  if ins_a <> ins_b then
+    invalid_arg "Equiv.check_modules: input interfaces differ";
+  if outs_a <> outs_b then
+    invalid_arg "Equiv.check_modules: output interfaces differ";
+  let lhs = side "lhs" a tie_a in
+  let rhs = side "rhs" b tie_b in
+  let eq_assigns =
+    List.map
+      (fun (name, _) ->
+        ("eq_" ^ name, E.(var ("lhs." ^ name) ==: var ("rhs." ^ name))))
+      outs_a
+  in
+  let eq_ok =
+    List.fold_left (fun acc (name, _) -> E.(acc &: var ("eq_" ^ name))) E.tru
+      outs_a
+  in
+  let product =
+    { N.top = "equiv_product"; inputs = ins_a; outputs = [];
+      wires =
+        lhs.N.wires @ rhs.N.wires
+        @ List.map (fun (name, _) -> ("eq_" ^ name, 1)) outs_a
+        @ [ ("EQ_OK", 1) ];
+      assigns =
+        lhs.N.assigns @ rhs.N.assigns @ eq_assigns @ [ ("EQ_OK", eq_ok) ];
+      regs = interleave_regs lhs.N.regs rhs.N.regs }
+  in
+  (* when the two sides have pairwise-matching registers, the state
+     diagonal (every corresponding register pair equal) is an inductive
+     strengthening of output equivalence: equal states under shared inputs
+     step to equal states and produce equal outputs. k-induction settles it
+     instantly regardless of the state-space size; structural mismatch or a
+     genuine difference falls back to reachability on output equality. *)
+  let strip_prefix name =
+    match String.index_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let regs_align =
+    List.length lhs.N.regs = List.length rhs.N.regs
+    && List.for_all2
+         (fun (x : N.flat_reg) (y : N.flat_reg) ->
+           strip_prefix x.N.name = strip_prefix y.N.name
+           && x.N.width = y.N.width
+           && Bitvec.equal x.N.reset_value y.N.reset_value)
+         lhs.N.regs rhs.N.regs
+  in
+  let state_eq =
+    List.fold_left2
+      (fun acc (x : N.flat_reg) (y : N.flat_reg) ->
+        E.(acc &: (var x.N.name ==: var y.N.name)))
+      E.tru lhs.N.regs rhs.N.regs
+  in
+  let product =
+    if regs_align then
+      { product with
+        N.wires = ("DIAG_OK", 1) :: product.N.wires;
+        assigns = product.N.assigns @ [ ("DIAG_OK", E.(state_eq &: var "EQ_OK")) ] }
+    else product
+  in
+  let product = N.levelize product in
+  (match N.validate product with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Equiv: internal product netlist invalid: " ^ msg));
+  let inductive_diagonal () =
+    if not regs_align then None
+    else
+      let nl = Rtl.Coi.reduce product ~roots:[ "DIAG_OK" ] in
+      match Mc.Induction.check ~max_k:2 nl ~ok_signal:"DIAG_OK" with
+      | Mc.Induction.Proved_by_induction _ -> Some Equivalent
+      | Mc.Induction.Violation _ | Mc.Induction.Inconclusive _ ->
+        (* the diagonal may fail while the machines are still output-
+           equivalent; decide on output equality below *)
+        None
+  in
+  match inductive_diagonal () with
+  | Some r -> r
+  | None ->
+  let product = Rtl.Coi.reduce product ~roots:[ "EQ_OK" ] in
+  let outcome =
+    Mc.Engine.check_netlist ?budget ~strategy product ~ok_signal:"EQ_OK"
+  in
+  match outcome.Mc.Engine.verdict with
+  | Mc.Engine.Proved -> Equivalent
+  | Mc.Engine.Proved_bounded d ->
+    Undecided (Printf.sprintf "equivalent up to depth %d only (BMC)" d)
+  | Mc.Engine.Resource_out msg -> Undecided msg
+  | Mc.Engine.Failed trace ->
+    let output = match outs_a with (name, _) :: _ -> name | [] -> "?" in
+    Different { output; trace }
+
+let check_transform_against ?budget ~original (info : Verifiable.Transform.info) =
+  let ties =
+    List.map
+      (fun (port, actual) ->
+        match actual with
+        | M.Expr (E.Const c) -> (port, c)
+        | M.Expr
+            (E.Var _ | E.Unop _ | E.Binop _ | E.Mux _ | E.Slice _)
+        | M.Net _ ->
+          invalid_arg "Equiv.check_transform_against: unexpected tie shape")
+      (Verifiable.Transform.tie_offs info)
+  in
+  check_modules ?budget ~a:original ~b:info.Verifiable.Transform.mdl
+    ~tie_b:ties ()

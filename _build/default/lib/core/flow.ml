@@ -1,0 +1,64 @@
+type release = {
+  info : Verifiable.Transform.info;
+  spec : Verifiable.Propgen.spec;
+  vunits : (Verifiable.Propgen.prop_class * Psl.Ast.vunit) list;
+  psl_text : string;
+}
+
+let release_verifiable_rtl mdl ~spec =
+  let design = Rtl.Design.of_modules [ mdl ] in
+  match Rtl.Check.check_module design mdl with
+  | _ :: _ as issues -> Error issues
+  | [] ->
+    let info = Verifiable.Transform.apply mdl in
+    let vunits = Verifiable.Propgen.all info spec in
+    let psl_text =
+      String.concat "\n"
+        (List.map (fun (_, v) -> Psl.Print.vunit_to_string v) vunits)
+    in
+    Ok { info; spec; vunits; psl_text }
+
+let release_verifiable_rtl_auto mdl =
+  match Verifiable.Spec_infer.infer mdl with
+  | Ok spec -> release_verifiable_rtl mdl ~spec
+  | Error msg ->
+    Error
+      [ { Rtl.Check.where = mdl.Rtl.Mdl.name;
+          what = "specification inference failed: " ^ msg } ]
+
+type feedback = {
+  prop_name : string;
+  cls : Verifiable.Propgen.prop_class;
+  outcome : Mc.Engine.outcome;
+}
+
+let verify_release ?budget ?strategy release =
+  List.concat_map
+    (fun (cls, vunit) ->
+      List.map
+        (fun (prop_name, outcome) -> { prop_name; cls; outcome })
+        (Mc.Engine.check_vunit ?budget ?strategy release.info.Verifiable.Transform.mdl
+           vunit))
+    release.vunits
+
+let failures feedback =
+  List.filter
+    (fun f ->
+      match f.outcome.Mc.Engine.verdict with
+      | Mc.Engine.Failed _ -> true
+      | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
+      | Mc.Engine.Resource_out _ ->
+        false)
+    feedback
+
+let pp_feedback ppf f =
+  let verdict =
+    match f.outcome.Mc.Engine.verdict with
+    | Mc.Engine.Proved -> "proved"
+    | Mc.Engine.Proved_bounded d -> Printf.sprintf "no violation up to %d" d
+    | Mc.Engine.Failed _ -> "FAILED"
+    | Mc.Engine.Resource_out msg -> "resource out: " ^ msg
+  in
+  Format.fprintf ppf "%-28s [%s] %s (%s, %.3fs)" f.prop_name
+    (Verifiable.Propgen.class_name f.cls)
+    verdict f.outcome.Mc.Engine.engine_used f.outcome.Mc.Engine.time_s

@@ -1,0 +1,46 @@
+(** The design flow of Figure 5, front-end side.
+
+    Logic designers release Verifiable RTL (lint-clean, with error-injection
+    ports) plus the data-integrity specification; the formal verification
+    engineer turns the specification into PSL, model-checks every leaf
+    module, and feeds failures back. *)
+
+type release = {
+  info : Verifiable.Transform.info;
+  spec : Verifiable.Propgen.spec;
+  vunits : (Verifiable.Propgen.prop_class * Psl.Ast.vunit) list;
+  psl_text : string;  (** the released PSL, as the designer would read it *)
+}
+
+val release_verifiable_rtl :
+  Rtl.Mdl.t ->
+  spec:Verifiable.Propgen.spec ->
+  (release, Rtl.Check.issue list) result
+(** The designer's task: lint the module, apply the injection transform, and
+    generate the stereotype vunits. Returns the lint issues if the module is
+    not release-clean. *)
+
+val release_verifiable_rtl_auto :
+  Rtl.Mdl.t -> (release, Rtl.Check.issue list) result
+(** Like {!release_verifiable_rtl} but with the integrity specification
+    inferred from the RTL structure ({!Verifiable.Spec_infer}) instead of
+    written by the designer — the "automatic assertion extraction" the
+    paper left as future work. An inference failure is reported as a single
+    lint issue. *)
+
+type feedback = {
+  prop_name : string;
+  cls : Verifiable.Propgen.prop_class;
+  outcome : Mc.Engine.outcome;
+}
+
+val verify_release :
+  ?budget:Mc.Engine.budget ->
+  ?strategy:Mc.Engine.strategy ->
+  release ->
+  feedback list
+(** The verification engineer's task: model-check every assert of every
+    vunit and collect the results for feedback. *)
+
+val failures : feedback list -> feedback list
+val pp_feedback : Format.formatter -> feedback -> unit

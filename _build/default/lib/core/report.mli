@@ -1,0 +1,49 @@
+(** Reporting for the remaining paper artifacts: Table 1 (chip overview),
+    Table 4 (area cost of the injection feature), the selector-delay timing
+    analysis, and the Figure 7 divide-and-conquer experiment. *)
+
+val table1 : Chip.Generator.t -> (string * string) list
+(** Item/implementation pairs in the style of Table 1. Gate count is
+    measured from the synthesized netlist; die size and technology are
+    reported as the configured process targets. *)
+
+val pp_table1 : Format.formatter -> (string * string) list -> unit
+
+type area_row = { cat : string; base_ge : float; ver_ge : float; increase_pct : float }
+
+val table4 : Chip.Generator.t -> area_row list
+(** One row per category (the paper publishes A, B and D). *)
+
+val pp_table4 : Format.formatter -> area_row list -> unit
+
+type timing = {
+  base_path_ps : float;
+  ver_path_ps : float;
+  selector_delay_ps : float;
+  period_ps : float;
+  selector_pct_of_path : float;
+  meets_timing : bool;
+}
+
+val timing_impact : Chip.Generator.t -> timing
+(** Static timing on the representative ALU leaf, with and without the
+    injection selector (the paper: ~200 ps, ~4% of total delay at 250 MHz,
+    no timing-closure issue). *)
+
+val pp_timing : Format.formatter -> timing -> unit
+
+type fig7_outcome = {
+  piece : string;
+  verdict : string;
+  engine : string;
+  state_bits : int;
+  work_nodes : int;
+  time_s : float;
+}
+
+val fig7 : ?payload_width:int -> ?node_limit:int -> unit -> fig7_outcome list
+(** Run the Figure 7 experiment on a wide merge module: the monolithic
+    output-integrity property exhausts the BDD node budget; the four
+    partitioned pieces each verify within the same budget. *)
+
+val pp_fig7 : Format.formatter -> fig7_outcome list -> unit

@@ -1,0 +1,1 @@
+lib/mc/bmc.ml: Array Bitvec Cnf Hashtbl List Option Rtl Solver Trace Tseitin

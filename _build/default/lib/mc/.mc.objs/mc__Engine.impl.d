@@ -1,0 +1,1 @@
+lib/mc/engine.ml: Array Bdd Bmc Either Hashtbl Induction List Option Printf Psl Reach Rtl Sym Trace Umc Unix

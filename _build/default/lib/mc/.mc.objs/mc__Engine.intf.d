@@ -1,0 +1,1 @@
+lib/mc/engine.mli: Psl Rtl Trace

@@ -1,0 +1,1 @@
+lib/mc/induction.ml: Array Bmc Cnf Hashtbl List Option Rtl Solver Trace Tseitin

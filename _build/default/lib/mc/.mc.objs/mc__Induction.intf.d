@@ -1,0 +1,1 @@
+lib/mc/induction.mli: Rtl Trace

@@ -1,0 +1,1 @@
+lib/mc/reach.ml: Array Bdd List Sym Trace

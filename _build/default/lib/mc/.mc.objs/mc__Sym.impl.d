@@ -1,0 +1,1 @@
+lib/mc/sym.ml: Array Bdd Bitvec Hashtbl List Printf Rtl

@@ -1,0 +1,1 @@
+lib/mc/sym.mli: Bdd Bitvec Rtl

@@ -1,0 +1,1 @@
+lib/mc/trace.ml: Bitvec Buffer Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/mc/trace.mli: Bitvec Format

@@ -1,0 +1,1 @@
+lib/mc/umc.ml: Array Bdd List Pobdd Reach Sym

@@ -1,0 +1,1 @@
+lib/mc/umc.mli: Bdd Reach Sym

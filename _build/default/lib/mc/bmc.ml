@@ -1,0 +1,147 @@
+module B = Rtl.Bitblast
+module X = Rtl.Bexpr
+
+type stats = {
+  depth : int;
+  cnf_vars : int;
+  cnf_clauses : int;
+  decisions : int;
+  conflicts : int;
+}
+
+type result =
+  | No_violation_upto of int * stats
+  | Violation of Trace.t * stats
+  | Inconclusive of stats
+
+let check ?(max_conflicts = max_int) ?constraint_signal nl ~ok_signal ~depth =
+  let flat = B.flatten nl in
+  let nstate =
+    List.fold_left (fun acc (_, v) -> acc + Array.length v) 0 flat.B.reg_vars
+  in
+  let ninputs =
+    List.fold_left (fun acc (_, v) -> acc + Array.length v) 0 flat.B.input_vars
+  in
+  let ok_bits = flat.B.fn ok_signal in
+  if Array.length ok_bits <> 1 then
+    invalid_arg "Bmc.check: ok signal must be 1 bit";
+  let bad0 = X.not_ ok_bits.(0) in
+  let constraint0 =
+    Option.map (fun c -> (flat.B.fn c).(0)) constraint_signal
+  in
+  (* next-state function per state bit, indexed by Bexpr variable id *)
+  let next_of = Array.make nstate X.fls in
+  List.iter
+    (fun (reg_name, (vars : int array)) ->
+      let fns = List.assoc reg_name flat.B.next_fn in
+      Array.iteri (fun i v -> next_of.(v) <- fns.(i)) vars)
+    flat.B.reg_vars;
+  (* frame-k input variable ids: fresh, disjoint across frames *)
+  let frame_input_var k j = nstate + (k * ninputs) + j in
+  let subst_frame k state =
+    X.substitute (fun v ->
+        if v < nstate then state.(v)
+        else X.var (frame_input_var k (v - nstate)))
+  in
+  (* frame 0 state = reset constants *)
+  let state0 =
+    Array.init nstate (fun v ->
+        let name, bit = flat.B.bit_of_var v in
+        X.of_bool (Bitvec.get (flat.B.reset_of name) bit))
+  in
+  (* unroll *)
+  let bads = ref [] in
+  let constraints = ref [] in
+  let state = ref state0 in
+  for k = 0 to depth do
+    let s = subst_frame k !state in
+    bads := (k, s bad0) :: !bads;
+    (match constraint0 with
+     | Some c -> constraints := s c :: !constraints
+     | None -> ());
+    if k < depth then
+      state := Array.map s next_of
+  done;
+  let bads = List.rev !bads in
+  (* encode *)
+  let ctx = Tseitin.create () in
+  let cnf_var_of = Hashtbl.create 997 in
+  let var_map v =
+    match Hashtbl.find_opt cnf_var_of v with
+    | Some cv -> cv
+    | None ->
+      let cv = Tseitin.fresh_var ctx in
+      Hashtbl.replace cnf_var_of v cv;
+      cv
+  in
+  let bad_lits =
+    List.map (fun (k, b) -> (k, Tseitin.lit_of_bexpr ctx var_map b)) bads
+  in
+  Tseitin.add_clause ctx (List.map snd bad_lits);
+  List.iter
+    (fun c -> Tseitin.assert_lit ctx (Tseitin.lit_of_bexpr ctx var_map c))
+    !constraints;
+  let cnf = Tseitin.to_cnf ctx in
+  let mk_stats () =
+    let decisions, conflicts, _ = Solver.stats_last () in
+    { depth; cnf_vars = cnf.Cnf.nvars; cnf_clauses = Cnf.num_clauses cnf;
+      decisions; conflicts }
+  in
+  match Solver.solve ~max_conflicts cnf with
+  | Solver.Unsat -> No_violation_upto (depth, mk_stats ())
+  | Solver.Unknown -> Inconclusive (mk_stats ())
+  | Solver.Sat model ->
+    let stats = mk_stats () in
+    (* recover the violated frame: smallest k whose bad literal is true *)
+    let lit_true l = if l > 0 then model.(l - 1) else not model.(-l - 1) in
+    let fail_frame =
+      match List.find_opt (fun (_, l) -> lit_true l) bad_lits with
+      | Some (k, _) -> k
+      | None -> depth
+    in
+    (* assignment of the frame-indexed Bexpr variables from the model;
+       variables never encoded default to false *)
+    let bexpr_var_value v =
+      match Hashtbl.find_opt cnf_var_of v with
+      | Some cv -> model.(cv - 1)
+      | None -> false
+    in
+    (* replay: state bexprs per frame are evaluated under that assignment *)
+    let cycles = ref [] in
+    let state = ref state0 in
+    for k = 0 to fail_frame do
+      let s_subst = subst_frame k !state in
+      let inputs =
+        List.map
+          (fun (name, (vars : int array)) ->
+            ( name,
+              Bitvec.init (Array.length vars) (fun j ->
+                  bexpr_var_value (frame_input_var k (vars.(j) - nstate))) ))
+          flat.B.input_vars
+      in
+      let state_values =
+        List.map
+          (fun (name, (vars : int array)) ->
+            ( name,
+              Bitvec.init (Array.length vars) (fun j ->
+                  X.eval bexpr_var_value !state.(vars.(j))) ))
+          flat.B.reg_vars
+      in
+      cycles := { Trace.step = k; inputs; state = state_values } :: !cycles;
+      if k < fail_frame then state := Array.map s_subst next_of
+    done;
+    Violation (List.rev !cycles, stats)
+
+let find_shortest ?max_conflicts ?constraint_signal nl ~ok_signal ~max_depth =
+  let rec go d last =
+    if d > max_depth then last
+    else
+      match check ?max_conflicts ?constraint_signal nl ~ok_signal ~depth:d with
+      | Violation _ as v -> v
+      | Inconclusive _ as i -> i
+      | No_violation_upto _ as ok -> go (d + 1) ok
+  in
+  go 0
+    (No_violation_upto
+       (-1, { depth = -1; cnf_vars = 0; cnf_clauses = 0; decisions = 0;
+              conflicts = 0 }))

@@ -1,0 +1,38 @@
+(** SAT-based bounded model checking: unroll the netlist for a fixed number
+    of time frames and ask the CDCL solver for a violating path. *)
+
+type stats = {
+  depth : int;
+  cnf_vars : int;
+  cnf_clauses : int;
+  decisions : int;
+  conflicts : int;
+}
+
+type result =
+  | No_violation_upto of int * stats  (** UNSAT at this depth *)
+  | Violation of Trace.t * stats
+  | Inconclusive of stats  (** solver conflict budget exhausted *)
+
+val check :
+  ?max_conflicts:int ->
+  ?constraint_signal:string ->
+  Rtl.Netlist.t ->
+  ok_signal:string ->
+  depth:int ->
+  result
+(** Checks whether [ok_signal] (1 bit) can be 0 in any of cycles
+    [0 .. depth]. When [constraint_signal] is given (a 1-bit combinational
+    function of the inputs), it is asserted in every unrolled frame, so only
+    constraint-satisfying stimulus is considered. *)
+
+val find_shortest :
+  ?max_conflicts:int ->
+  ?constraint_signal:string ->
+  Rtl.Netlist.t ->
+  ok_signal:string ->
+  max_depth:int ->
+  result
+(** Iterative deepening: solve at depths 0, 1, 2, ... so the first violation
+    found is a minimum-length counterexample (one SAT call per depth; the
+    single-shot {!check} may return any depth up to its bound). *)

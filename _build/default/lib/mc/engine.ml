@@ -1,0 +1,289 @@
+type strategy =
+  | Bdd_forward
+  | Bdd_backward
+  | Bdd_combined
+  | Pobdd
+  | Bmc
+  | Kind
+  | Auto
+
+type budget = {
+  bdd_node_limit : int option;
+  pobdd_node_limit : int option;
+  pobdd_split_vars : int;
+  bmc_depth : int;
+  induction_max_k : int;
+  sat_max_conflicts : int;
+}
+
+let default_budget =
+  { bdd_node_limit = Some 2_000_000; pobdd_node_limit = Some 8_000_000;
+    pobdd_split_vars = 2; bmc_depth = 20; induction_max_k = 20;
+    sat_max_conflicts = 2_000_000 }
+
+type verdict =
+  | Proved
+  | Proved_bounded of int
+  | Failed of Trace.t
+  | Resource_out of string
+
+type outcome = {
+  verdict : verdict;
+  engine_used : string;
+  time_s : float;
+  iterations : int;
+  work_nodes : int;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let of_reach engine (r, time_s) =
+  match r with
+  | Reach.Proved stats ->
+    { verdict = Proved; engine_used = engine; time_s;
+      iterations = stats.Reach.iterations; work_nodes = stats.Reach.bdd_nodes }
+  | Reach.Failed (trace, stats) ->
+    { verdict = Failed trace; engine_used = engine; time_s;
+      iterations = stats.Reach.iterations; work_nodes = stats.Reach.bdd_nodes }
+
+let run_bdd ~node_limit ~engine nl ok_signal constraint_signal check =
+  let f () =
+    let sym = Sym.create ?node_limit nl in
+    let ok = (Sym.signal_bdd sym ok_signal).(0) in
+    let constrain =
+      Option.map (fun c -> (Sym.signal_bdd sym c).(0)) constraint_signal
+    in
+    check ?constrain sym ok
+  in
+  match timed f with
+  | result -> Ok (of_reach engine result)
+  | exception Bdd.Node_limit -> Error "BDD node limit exceeded"
+
+let run_bmc ~budget nl ok_signal constraint_signal =
+  let f () =
+    Bmc.check ~max_conflicts:budget.sat_max_conflicts ?constraint_signal nl
+      ~ok_signal ~depth:budget.bmc_depth
+  in
+  let r, time_s = timed f in
+  match r with
+  | Bmc.No_violation_upto (d, stats) ->
+    { verdict = Proved_bounded d; engine_used = "bmc"; time_s;
+      iterations = d; work_nodes = stats.Bmc.cnf_clauses }
+  | Bmc.Violation (trace, stats) ->
+    { verdict = Failed trace; engine_used = "bmc"; time_s;
+      iterations = stats.Bmc.depth; work_nodes = stats.Bmc.cnf_clauses }
+  | Bmc.Inconclusive stats ->
+    { verdict = Resource_out "SAT conflict budget exceeded";
+      engine_used = "bmc"; time_s; iterations = stats.Bmc.depth;
+      work_nodes = stats.Bmc.cnf_clauses }
+
+let check_netlist ?(budget = default_budget) ?constraint_signal ~strategy nl
+    ~ok_signal =
+  let bdd check engine =
+    run_bdd ~node_limit:budget.bdd_node_limit ~engine nl ok_signal
+      constraint_signal check
+  in
+  let pobdd () =
+    run_bdd ~node_limit:budget.pobdd_node_limit ~engine:"pobdd" nl ok_signal
+      constraint_signal (fun ?constrain sym ok ->
+        Umc.check_forward_partitioned ?constrain sym ~ok
+          ~num_split_vars:budget.pobdd_split_vars)
+  in
+  let resource_out msg engine =
+    { verdict = Resource_out msg; engine_used = engine; time_s = 0.0;
+      iterations = 0; work_nodes = 0 }
+  in
+  match strategy with
+  | Bdd_forward -> (
+    match
+      bdd (fun ?constrain sym ok -> Reach.check_forward ?constrain sym ~ok)
+        "bdd-forward"
+    with
+    | Ok o -> o
+    | Error msg -> resource_out msg "bdd-forward")
+  | Bdd_backward -> (
+    match
+      bdd (fun ?constrain sym ok -> Reach.check_backward ?constrain sym ~ok)
+        "bdd-backward"
+    with
+    | Ok o -> o
+    | Error msg -> resource_out msg "bdd-backward")
+  | Bdd_combined -> (
+    match
+      bdd (fun ?constrain sym ok -> Reach.check_combined ?constrain sym ~ok)
+        "bdd-combined"
+    with
+    | Ok o -> o
+    | Error msg -> resource_out msg "bdd-combined")
+  | Pobdd -> (
+    match pobdd () with
+    | Ok o -> o
+    | Error msg -> resource_out msg "pobdd")
+  | Bmc -> run_bmc ~budget nl ok_signal constraint_signal
+  | Kind -> (
+    let f () =
+      Induction.check ~max_conflicts:budget.sat_max_conflicts
+        ~max_k:budget.induction_max_k ?constraint_signal nl ~ok_signal
+    in
+    let r, time_s = timed f in
+    match r with
+    | Induction.Proved_by_induction s ->
+      { verdict = Proved; engine_used = "k-induction"; time_s;
+        iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses }
+    | Induction.Violation (trace, s) ->
+      { verdict = Failed trace; engine_used = "k-induction"; time_s;
+        iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses }
+    | Induction.Inconclusive s ->
+      { verdict = Resource_out "induction inconclusive";
+        engine_used = "k-induction"; time_s; iterations = s.Induction.k;
+        work_nodes = s.Induction.cnf_clauses })
+  | Auto -> (
+    match
+      bdd (fun ?constrain sym ok -> Reach.check_combined ?constrain sym ~ok)
+        "bdd-combined"
+    with
+    | Ok o -> o
+    | Error _ -> (
+      (* escalate: partitioned engine with a larger budget *)
+      match pobdd () with
+      | Ok o -> o
+      | Error _ -> run_bmc ~budget nl ok_signal constraint_signal))
+
+(* Inline combinationally-driven signals into the property's boolean layer
+   and simplify, so that e.g. [HE[3]] where HE is a concatenation of checker
+   groups reduces to that one group's logic. This sharpens the subsequent
+   cone-of-influence reduction from whole signals to the bits the property
+   actually reads. *)
+let inline_bools mdl fl =
+  let driver = Hashtbl.create 97 in
+  List.iter
+    (fun (a : Rtl.Mdl.assign) -> Hashtbl.replace driver a.Rtl.Mdl.lhs a.Rtl.Mdl.rhs)
+    mdl.Rtl.Mdl.assigns;
+  let expanded = Hashtbl.create 97 in
+  let rec expand_var visiting x =
+    match Hashtbl.find_opt expanded x with
+    | Some e -> Some e
+    | None ->
+      if List.mem x visiting then None
+      else
+        Option.map
+          (fun rhs ->
+            let e = expand (x :: visiting) rhs in
+            Hashtbl.replace expanded x e;
+            e)
+          (Hashtbl.find_opt driver x)
+  and expand visiting e = Rtl.Expr.subst (expand_var visiting) e in
+  let env name = Rtl.Mdl.signal_width mdl name in
+  Psl.Ast.map_bool
+    (fun e -> Rtl.Expr.simplify ~env (expand [] e))
+    fl
+
+(* Drop assumptions that cannot affect the assert: an assumption whose
+   signals are all primary inputs outside the assert's cone of influence
+   constrains behavior the property never observes, so removing it is sound
+   (it only adds behaviors on independent inputs) and shrinks the model. *)
+let prune_assumes mdl ~assert_ ~assumes =
+  let design = Rtl.Design.of_modules [ mdl ] in
+  let nl = Rtl.Elaborate.run design ~top:mdl.Rtl.Mdl.name in
+  let declared = List.map fst (Rtl.Netlist.signals nl) in
+  let roots =
+    List.filter (fun s -> List.mem s declared) (Psl.Ast.signals assert_)
+  in
+  let cone = Rtl.Coi.reduce nl ~roots in
+  let cone_signals = List.map fst (Rtl.Netlist.signals cone) in
+  let input_names = List.map fst nl.Rtl.Netlist.inputs in
+  let keep a =
+    let sigs = Psl.Ast.signals a in
+    let inputs_only = List.for_all (fun s -> List.mem s input_names) sigs in
+    (not inputs_only) || List.exists (fun s -> List.mem s cone_signals) sigs
+  in
+  List.filter keep assumes
+
+(* invariant input-only assumptions ("always <boolean over inputs>") become
+   engine-level input constraints instead of latched monitors: the engines
+   then simply never explore constraint-violating inputs, which keeps the
+   assumption bookkeeping out of the state space *)
+let split_constraint_assumes mdl assumes =
+  let input_names =
+    List.map (fun (p : Rtl.Mdl.port) -> p.Rtl.Mdl.port_name)
+      (Rtl.Mdl.inputs mdl)
+  in
+  let as_input_invariant = function
+    | Psl.Ast.Always (Psl.Ast.Bool e) | Psl.Ast.Bool e ->
+      if List.for_all (fun s -> List.mem s input_names) (Rtl.Expr.support e)
+      then Some e
+      else None
+    | Psl.Ast.Not _ | Psl.Ast.And _ | Psl.Ast.Or _ | Psl.Ast.Implies _
+    | Psl.Ast.Next _ | Psl.Ast.Next_n _ | Psl.Ast.Always _ | Psl.Ast.Never _
+    | Psl.Ast.Until _ | Psl.Ast.Seq_implies _ | Psl.Ast.Eventually _ ->
+      None
+  in
+  List.partition_map
+    (fun a ->
+      match as_input_invariant a with
+      | Some e -> Either.Left e
+      | None -> Either.Right a)
+    assumes
+
+let instrumented_netlist mdl ~assert_ ~assumes =
+  let assert_ = inline_bools mdl assert_ in
+  let assumes = List.map (inline_bools mdl) assumes in
+  let assumes = prune_assumes mdl ~assert_ ~assumes in
+  let constraints, temporal_assumes = split_constraint_assumes mdl assumes in
+  let inst =
+    Psl.Monitor.instrument mdl ~prefix:"mon" ~assert_
+      ~assumes:temporal_assumes
+  in
+  let mdl', constraint_signal =
+    match constraints with
+    | [] -> (inst.Psl.Monitor.mdl, None)
+    | es ->
+      let c =
+        List.fold_left (fun acc e -> Rtl.Expr.( &: ) acc e) Rtl.Expr.tru es
+      in
+      let name = "mon_input_constraint" in
+      let m = Rtl.Mdl.add_wire inst.Psl.Monitor.mdl name 1 in
+      (Rtl.Mdl.add_assign m name c, Some name)
+  in
+  let design = Rtl.Design.of_modules [ mdl' ] in
+  let nl = Rtl.Elaborate.run design ~top:mdl'.Rtl.Mdl.name in
+  (* cone-of-influence reduction: only the logic feeding the property
+     matters; this is what makes the divide-and-conquer partitioning of
+     Figure 7 effective *)
+  let roots =
+    inst.Psl.Monitor.invariant_ok
+    :: (match constraint_signal with Some c -> [ c ] | None -> [])
+  in
+  let nl = Rtl.Coi.reduce nl ~roots in
+  (nl, inst.Psl.Monitor.invariant_ok, constraint_signal)
+
+let problem_size mdl ~assert_ ~assumes =
+  let nl, _, _ = instrumented_netlist mdl ~assert_ ~assumes in
+  let state = Rtl.Netlist.state_bits nl in
+  let inputs =
+    List.fold_left (fun acc (_, w) -> acc + w) 0 nl.Rtl.Netlist.inputs
+  in
+  (state, inputs)
+
+let check_property ?(budget = default_budget) ?(strategy = Auto) mdl ~assert_
+    ~assumes =
+  if not (Rtl.Mdl.is_leaf mdl) then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.check_property: %s is not a leaf module; the methodology \
+          checks leaf modules only"
+         mdl.Rtl.Mdl.name);
+  let nl, ok_signal, constraint_signal =
+    instrumented_netlist mdl ~assert_ ~assumes
+  in
+  check_netlist ~budget ?constraint_signal ~strategy nl ~ok_signal
+
+let check_vunit ?(budget = default_budget) ?(strategy = Auto) mdl vunit =
+  let assumes = List.map snd (Psl.Ast.assumes vunit) in
+  List.map
+    (fun (name, assert_) ->
+      (name, check_property ~budget ~strategy mdl ~assert_ ~assumes))
+    (Psl.Ast.asserts vunit)

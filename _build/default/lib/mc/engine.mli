@@ -1,0 +1,76 @@
+(** Engine facade: one entry point per property check, with resource budgets
+    and the paper's escalation workflow (try unbounded BDD checking; on
+    resource exhaustion fall back to the partitioned POBDD engine and then to
+    bounded checking). *)
+
+type strategy =
+  | Bdd_forward
+  | Bdd_backward
+  | Bdd_combined
+  | Pobdd  (** partitioned forward reachability *)
+  | Bmc
+  | Kind  (** SAT-based k-induction (unbounded) *)
+  | Auto  (** combined BDD → POBDD → BMC escalation *)
+
+type budget = {
+  bdd_node_limit : int option;
+  pobdd_node_limit : int option;  (** usually larger than [bdd_node_limit] *)
+  pobdd_split_vars : int;
+  bmc_depth : int;
+  induction_max_k : int;
+  sat_max_conflicts : int;
+}
+
+val default_budget : budget
+
+type verdict =
+  | Proved
+  | Proved_bounded of int  (** BMC only: no violation up to this depth *)
+  | Failed of Trace.t
+  | Resource_out of string  (** the paper's "time out happens" *)
+
+type outcome = {
+  verdict : verdict;
+  engine_used : string;
+  time_s : float;
+  iterations : int;
+  work_nodes : int;  (** BDD nodes allocated or CNF clauses, per engine *)
+}
+
+val check_netlist :
+  ?budget:budget ->
+  ?constraint_signal:string ->
+  strategy:strategy ->
+  Rtl.Netlist.t ->
+  ok_signal:string ->
+  outcome
+(** Check that the 1-bit [ok_signal] holds in every reachable state.
+    [constraint_signal] names a 1-bit combinational function of the primary
+    inputs; only inputs satisfying it are explored (invariant input
+    assumptions). *)
+
+val check_property :
+  ?budget:budget ->
+  ?strategy:strategy ->
+  Rtl.Mdl.t ->
+  assert_:Psl.Ast.fl ->
+  assumes:Psl.Ast.fl list ->
+  outcome
+(** Instrument a leaf module with the property monitor, elaborate it in
+    isolation, and check. This is the paper's per-leaf-module model-checking
+    step. [strategy] defaults to [Auto]. *)
+
+val problem_size :
+  Rtl.Mdl.t -> assert_:Psl.Ast.fl -> assumes:Psl.Ast.fl list -> int * int
+(** [(state bits, input bits)] of the instrumented, cone-reduced model the
+    engines would actually check — the paper's "problem size of the
+    properties". *)
+
+val check_vunit :
+  ?budget:budget ->
+  ?strategy:strategy ->
+  Rtl.Mdl.t ->
+  Psl.Ast.vunit ->
+  (string * outcome) list
+(** Run every [assert] of a vunit against the module, under all its
+    [assume]s. Returns per-property outcomes keyed by property name. *)

@@ -1,0 +1,99 @@
+module B = Rtl.Bitblast
+module X = Rtl.Bexpr
+
+type stats = { k : int; cnf_vars : int; cnf_clauses : int }
+
+type result =
+  | Proved_by_induction of stats
+  | Violation of Trace.t * stats
+  | Inconclusive of stats
+
+(* Inductive step at depth k: frames 0..k with a FREE initial state (the
+   frame-0 state bits are the registers' own Bexpr variables), ok asserted
+   at frames 0..k-1, the constraint asserted everywhere, and ~ok at frame k.
+   UNSAT means every reachable violation would have to appear within k steps
+   of reset, which the base case has excluded. *)
+let step_case ~max_conflicts ?constraint_signal (flat : B.flat) ~nstate
+    ~ninputs ~ok0 ~k =
+  let next_of = Array.make (max nstate 1) X.fls in
+  List.iter
+    (fun (reg_name, (vars : int array)) ->
+      let fns = List.assoc reg_name flat.B.next_fn in
+      Array.iteri (fun i v -> next_of.(v) <- fns.(i)) vars)
+    flat.B.reg_vars;
+  let frame_input_var frame j = nstate + (frame * ninputs) + j in
+  let subst_frame frame state =
+    X.substitute (fun v ->
+        if v < nstate then state.(v)
+        else X.var (frame_input_var frame (v - nstate)))
+  in
+  let constraint0 =
+    Option.map (fun c -> (flat.B.fn c).(0)) constraint_signal
+  in
+  let free_state = Array.init (max nstate 1) X.var in
+  let ctx = Tseitin.create () in
+  let cnf_var_of = Hashtbl.create 997 in
+  let var_map v =
+    match Hashtbl.find_opt cnf_var_of v with
+    | Some cv -> cv
+    | None ->
+      let cv = Tseitin.fresh_var ctx in
+      Hashtbl.replace cnf_var_of v cv;
+      cv
+  in
+  let state = ref free_state in
+  for frame = 0 to k do
+    let s = subst_frame frame !state in
+    let ok_f = s ok0 in
+    if frame < k then
+      Tseitin.assert_lit ctx (Tseitin.lit_of_bexpr ctx var_map ok_f)
+    else
+      Tseitin.assert_lit ctx (-Tseitin.lit_of_bexpr ctx var_map ok_f);
+    (match constraint0 with
+     | Some c -> Tseitin.assert_lit ctx (Tseitin.lit_of_bexpr ctx var_map (s c))
+     | None -> ());
+    if frame < k then state := Array.map s next_of
+  done;
+  let cnf = Tseitin.to_cnf ctx in
+  (Solver.solve ~max_conflicts cnf, cnf)
+
+let check ?(max_conflicts = max_int) ?(max_k = 20) ?constraint_signal nl
+    ~ok_signal =
+  let flat = B.flatten nl in
+  let nstate =
+    List.fold_left (fun acc (_, v) -> acc + Array.length v) 0 flat.B.reg_vars
+  in
+  let ninputs =
+    List.fold_left (fun acc (_, v) -> acc + Array.length v) 0 flat.B.input_vars
+  in
+  let ok_bits = flat.B.fn ok_signal in
+  if Array.length ok_bits <> 1 then
+    invalid_arg "Induction.check: ok signal must be 1 bit";
+  let ok0 = ok_bits.(0) in
+  let rec iterate k =
+    if k > max_k then Inconclusive { k = max_k; cnf_vars = 0; cnf_clauses = 0 }
+    else
+      (* base case: no violation within k cycles of reset *)
+      match
+        Bmc.check ~max_conflicts ?constraint_signal nl ~ok_signal ~depth:k
+      with
+      | Bmc.Violation (trace, s) ->
+        Violation
+          (trace, { k; cnf_vars = s.Bmc.cnf_vars; cnf_clauses = s.Bmc.cnf_clauses })
+      | Bmc.Inconclusive s ->
+        Inconclusive
+          { k; cnf_vars = s.Bmc.cnf_vars; cnf_clauses = s.Bmc.cnf_clauses }
+      | Bmc.No_violation_upto _ -> (
+        match
+          step_case ~max_conflicts ?constraint_signal flat ~nstate ~ninputs
+            ~ok0 ~k:(k + 1)
+        with
+        | Solver.Unsat, cnf ->
+          Proved_by_induction
+            { k; cnf_vars = cnf.Cnf.nvars; cnf_clauses = Cnf.num_clauses cnf }
+        | Solver.Sat _, _ -> iterate (k + 1)
+        | Solver.Unknown, cnf ->
+          Inconclusive
+            { k; cnf_vars = cnf.Cnf.nvars; cnf_clauses = Cnf.num_clauses cnf })
+  in
+  iterate 0

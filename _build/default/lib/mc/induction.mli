@@ -1,0 +1,31 @@
+(** k-induction: an unbounded SAT-based proof engine.
+
+    For increasing [k], the base case (no violation within [k] cycles from
+    reset — plain BMC) and the inductive step (any [k] consecutive
+    property-satisfying states, starting anywhere, can only step to a
+    satisfying state) are checked. If both hold, the property is proved for
+    all time; if the base case fails, the BMC counterexample is returned. *)
+
+type stats = {
+  k : int;  (** the depth at which the result was established *)
+  cnf_vars : int;
+  cnf_clauses : int;
+}
+
+type result =
+  | Proved_by_induction of stats
+  | Violation of Trace.t * stats
+  | Inconclusive of stats
+      (** [max_k] reached with the step case still failing, or the solver
+          budget ran out *)
+
+val check :
+  ?max_conflicts:int ->
+  ?max_k:int ->
+  ?constraint_signal:string ->
+  Rtl.Netlist.t ->
+  ok_signal:string ->
+  result
+(** [max_k] defaults to 20. The inductive step is the plain variant (no
+    state-uniqueness constraints), which is sound but may stay inconclusive
+    on properties that need strengthening. *)

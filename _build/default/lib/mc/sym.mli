@@ -1,0 +1,60 @@
+(** Symbolic FSM: a netlist compiled to BDDs.
+
+    Variable order interleaves current- and next-state variables (state bit
+    [i] gets BDD variables [2i] and [2i+1]) with input variables after all
+    state variables — the standard order for image computation. *)
+
+type t
+
+val create : ?node_limit:int -> Rtl.Netlist.t -> t
+(** Builds the next-state BDDs and initial-state cube. Raises
+    {!Bdd.Node_limit} if the node budget is exceeded during construction. *)
+
+val man : t -> Bdd.man
+val netlist : t -> Rtl.Netlist.t
+val num_state_bits : t -> int
+val num_input_bits : t -> int
+
+val cur_vars : t -> int list
+val nxt_vars : t -> int list
+val inp_vars : t -> int list
+
+val cur_var : t -> int -> int
+(** BDD variable of state bit [i] (current). *)
+
+val nxt_var : t -> int -> int
+val next_fn : t -> int -> Bdd.t
+(** Next-state function of state bit [i], over current-state and input
+    variables. *)
+
+val init : t -> Bdd.t
+(** Initial-state cube over current-state variables. *)
+
+val signal_bdd : t -> string -> Bdd.t array
+(** Bit functions of any declared signal over current-state and input
+    variables. *)
+
+val signal_bit : t -> string -> int -> Bdd.t
+
+val state_bit_name : t -> int -> string * int
+(** [(register name, bit index)] of state bit [i]. *)
+
+val input_bit_name : t -> int -> string * int
+
+val nxt_to_cur : t -> Bdd.t -> Bdd.t
+(** Rename next-state variables to current-state variables. *)
+
+val cur_to_nxt : t -> Bdd.t -> Bdd.t
+
+val classify_var : t -> int -> [ `Cur of int | `Nxt of int | `Inp of int ]
+(** What a BDD variable stands for: current/next state bit or input bit. *)
+
+val subst_next : t -> Bdd.t -> Bdd.t
+(** [subst_next t b] substitutes each current-state variable by its
+    next-state function — the functional pre-image kernel. *)
+
+val state_values_of_assignment : t -> (int * bool) list -> (string * Bitvec.t) list
+(** Decode a partial BDD assignment (over current-state variables) into
+    register values; unmentioned bits default to 0. *)
+
+val input_values_of_assignment : t -> (int * bool) list -> (string * Bitvec.t) list

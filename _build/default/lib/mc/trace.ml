@@ -1,0 +1,82 @@
+type cycle = {
+  step : int;
+  inputs : (string * Bitvec.t) list;
+  state : (string * Bitvec.t) list;
+}
+
+type t = cycle list
+
+let length = List.length
+
+let pp_binding ppf (name, v) =
+  Format.fprintf ppf "%s=%a" name Bitvec.pp v
+
+let pp ppf t =
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "cycle %d:@." c.step;
+      Format.fprintf ppf "  inputs: %a@."
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_binding)
+        c.inputs;
+      Format.fprintf ppf "  state:  %a@."
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_binding)
+        c.state)
+    t
+
+let to_string t = Format.asprintf "%a" pp t
+
+let replay_stimulus t = List.map (fun c -> c.inputs) t
+
+let vcd_id i =
+  let base = 94 and first = 33 in
+  let rec go i acc =
+    let c = Char.chr (first + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let to_vcd t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "$date formal counterexample $end\n";
+  Buffer.add_string buf "$version repro data-integrity model checker $end\n";
+  Buffer.add_string buf "$timescale 1ns $end\n$scope module trace $end\n";
+  let signals =
+    match t with
+    | [] -> []
+    | c :: _ ->
+      List.mapi
+        (fun i (name, v) -> (name, Bitvec.width v, vcd_id i))
+        (c.inputs @ c.state)
+  in
+  List.iter
+    (fun (name, w, id) ->
+      let safe = String.map (fun ch -> if ch = '.' then '_' else ch) name in
+      Buffer.add_string buf (Printf.sprintf "$var wire %d %s %s $end\n" w id safe))
+    signals;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string buf (Printf.sprintf "#%d\n" c.step);
+      List.iter2
+        (fun (_, w, id) (_, v) ->
+          if w = 1 then
+            Buffer.add_string buf
+              (Printf.sprintf "%d%s\n" (if Bitvec.get v 0 then 1 else 0) id)
+          else
+            Buffer.add_string buf
+              (Printf.sprintf "b%s %s\n" (Bitvec.to_string v) id))
+        signals
+        (c.inputs @ c.state))
+    t;
+  Buffer.contents buf
+
+let write_vcd t path =
+  let oc = open_out path in
+  (try output_string oc (to_vcd t)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

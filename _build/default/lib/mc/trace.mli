@@ -1,0 +1,24 @@
+(** Counterexample traces. *)
+
+type cycle = {
+  step : int;
+  inputs : (string * Bitvec.t) list;
+  state : (string * Bitvec.t) list;
+}
+
+type t = cycle list
+(** Chronological; the last cycle exhibits the violation. *)
+
+val length : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val replay_stimulus : t -> (string * Bitvec.t) list list
+(** Per-cycle input vectors, ready to feed to the simulator to confirm the
+    counterexample. *)
+
+val to_vcd : t -> string
+(** Render the counterexample as a VCD waveform (inputs and state, one
+    timestep per cycle) for inspection in a wave viewer. *)
+
+val write_vcd : t -> string -> unit

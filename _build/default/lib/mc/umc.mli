@@ -1,0 +1,11 @@
+(** Unbounded model checking with partitioned OBDDs — the reproduction of the
+    paper's in-house engine [10]: the reachable-state set is never built as
+    one monolithic BDD; it is kept split across windows over chosen state
+    variables, bounding the peak BDD size. *)
+
+val check_forward_partitioned :
+  ?constrain:Bdd.t -> Sym.t -> ok:Bdd.t -> num_split_vars:int -> Reach.result
+(** Forward reachability with [2^num_split_vars] partitions. The splitting
+    variables are chosen greedily ({!Pobdd.choose_splitting_vars}) on the
+    bad-state set; [Reach.stats.peak_set_size] reports the largest single
+    partition, which is the quantity partitioning bounds. *)

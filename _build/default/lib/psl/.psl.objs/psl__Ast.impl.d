@@ -1,0 +1,1 @@
+lib/psl/ast.ml: List Rtl Set String

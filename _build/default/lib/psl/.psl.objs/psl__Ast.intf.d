@@ -1,0 +1,1 @@
+lib/psl/ast.mli: Rtl

@@ -1,0 +1,1 @@
+lib/psl/interp.ml: Array Ast Bitvec Fun List Printf Rtl

@@ -1,0 +1,1 @@
+lib/psl/interp.mli: Ast Bitvec

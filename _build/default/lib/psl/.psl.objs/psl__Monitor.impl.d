@@ -1,0 +1,1 @@
+lib/psl/monitor.ml: Ast List Option Printf Rtl String

@@ -1,0 +1,1 @@
+lib/psl/monitor.mli: Ast Rtl

@@ -1,0 +1,1 @@
+lib/psl/parser.ml: Ast Bitvec Format Lexer List Printf Rtl

@@ -1,0 +1,1 @@
+lib/psl/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/psl/print.ml: Ast Bitvec Format List Rtl

@@ -1,0 +1,1 @@
+lib/psl/print.mli: Ast Format

@@ -1,0 +1,120 @@
+type sere =
+  | Sbool of Rtl.Expr.t
+  | Sconcat of sere * sere
+  | Srepeat of sere * int
+
+type fl =
+  | Bool of Rtl.Expr.t
+  | Not of fl
+  | And of fl * fl
+  | Or of fl * fl
+  | Implies of fl * fl
+  | Next of fl
+  | Next_n of int * fl
+  | Always of fl
+  | Never of fl
+  | Until of fl * fl
+  | Seq_implies of sere * bool * fl
+  | Eventually of fl
+
+type direction = Assert | Assume
+
+type decl = { prop_name : string; body : fl; comment : string option }
+
+type directive = { dir : direction; target : string }
+
+type vunit = {
+  vunit_name : string;
+  bound_module : string;
+  decls : decl list;
+  directives : directive list;
+}
+
+let property v name =
+  let d = List.find (fun d -> d.prop_name = name) v.decls in
+  d.body
+
+let by_direction dir v =
+  List.filter_map
+    (fun (dve : directive) ->
+      if dve.dir = dir then Some (dve.target, property v dve.target) else None)
+    v.directives
+
+let asserts v = by_direction Assert v
+let assumes v = by_direction Assume v
+
+let rec map_bool_sere f = function
+  | Sbool e -> Sbool (f e)
+  | Sconcat (a, b) -> Sconcat (map_bool_sere f a, map_bool_sere f b)
+  | Srepeat (a, n) -> Srepeat (map_bool_sere f a, n)
+
+let rec map_bool f = function
+  | Bool e -> Bool (f e)
+  | Not g -> Not (map_bool f g)
+  | And (g, h) -> And (map_bool f g, map_bool f h)
+  | Or (g, h) -> Or (map_bool f g, map_bool f h)
+  | Implies (g, h) -> Implies (map_bool f g, map_bool f h)
+  | Next g -> Next (map_bool f g)
+  | Next_n (n, g) -> Next_n (n, map_bool f g)
+  | Always g -> Always (map_bool f g)
+  | Never g -> Never (map_bool f g)
+  | Until (g, h) -> Until (map_bool f g, map_bool f h)
+  | Seq_implies (s, overlap, g) ->
+    Seq_implies (map_bool_sere f s, overlap, map_bool f g)
+  | Eventually g -> Eventually (map_bool f g)
+
+let rec expand_sere = function
+  | Sbool e -> [ e ]
+  | Sconcat (a, b) -> expand_sere a @ expand_sere b
+  | Srepeat (a, n) ->
+    if n < 1 then invalid_arg "Ast.expand_sere: repetition count must be >= 1";
+    List.concat (List.init n (fun _ -> expand_sere a))
+
+let sere_length s = List.length (expand_sere s)
+
+let rec pure_boolean = function
+  | Bool _ -> true
+  | Not f -> pure_boolean f
+  | And (f, g) | Or (f, g) -> pure_boolean f && pure_boolean g
+  | Implies (f, g) -> pure_boolean f && pure_boolean g
+  | Next _ | Next_n _ | Always _ | Never _ | Until _ | Seq_implies _
+  | Eventually _ ->
+    false
+
+let rec is_safety = function
+  | Bool _ -> true
+  | Not f -> pure_boolean f
+  | And (f, g) -> is_safety f && is_safety g
+  | Or (f, g) ->
+    (pure_boolean f && is_safety g) || (pure_boolean g && is_safety f)
+  | Implies (f, g) -> pure_boolean f && is_safety g
+  | Next f | Next_n (_, f) | Always f -> is_safety f
+  | Never f -> pure_boolean f
+  | Until (p, q) -> is_safety p && pure_boolean q
+  | Seq_implies (_, _, g) -> is_safety g
+  | Eventually _ -> false
+
+let rec size = function
+  | Bool _ -> 1
+  | Not f | Next f | Next_n (_, f) | Always f | Never f | Eventually f ->
+    1 + size f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Until (f, g) ->
+    1 + size f + size g
+  | Seq_implies (s, _, f) -> 1 + sere_length s + size f
+
+module String_set = Set.Make (String)
+
+let signals fl =
+  let add_expr acc e =
+    List.fold_left (fun s x -> String_set.add x s) acc (Rtl.Expr.support e)
+  in
+  let rec go acc = function
+    | Bool e -> add_expr acc e
+    | Not f | Next f | Next_n (_, f) | Always f | Never f | Eventually f ->
+      go acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Until (f, g) ->
+      go (go acc f) g
+    | Seq_implies (s, _, f) ->
+      go (List.fold_left add_expr acc (expand_sere s)) f
+  in
+  String_set.elements (go String_set.empty fl)

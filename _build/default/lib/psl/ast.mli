@@ -1,0 +1,68 @@
+(** Abstract syntax for the PSL subset used by the methodology.
+
+    The boolean layer is a 1-bit {!Rtl.Expr.t} over the bound module's
+    signals. The temporal layer covers the simple-subset safety operators the
+    paper's three stereotype properties use ([always], [never], [next],
+    weak [until]) plus [eventually!] so liveness requests are representable
+    and can be rejected with a clear error by the monitor compiler. *)
+
+type sere =
+  | Sbool of Rtl.Expr.t  (** one cycle satisfying a boolean *)
+  | Sconcat of sere * sere  (** [{r1; r2}] *)
+  | Srepeat of sere * int  (** [r[*n]], n >= 1 — bounded repetition *)
+
+type fl =
+  | Bool of Rtl.Expr.t  (** must be 1 bit wide *)
+  | Not of fl
+  | And of fl * fl
+  | Or of fl * fl
+  | Implies of fl * fl
+  | Next of fl
+  | Next_n of int * fl
+  | Always of fl
+  | Never of fl
+  | Until of fl * fl  (** weak until *)
+  | Seq_implies of sere * bool * fl
+      (** suffix implication: whenever the SERE matches, [fl] holds at the
+          match end ([|->], overlapping, [true]) or one cycle later
+          ([|=>], [false]) *)
+  | Eventually of fl
+
+type direction = Assert | Assume
+
+type decl = { prop_name : string; body : fl; comment : string option }
+
+type directive = { dir : direction; target : string }
+
+type vunit = {
+  vunit_name : string;
+  bound_module : string;
+  decls : decl list;
+  directives : directive list;
+}
+
+val property : vunit -> string -> fl
+(** Look up a declared property by name. Raises [Not_found]. *)
+
+val asserts : vunit -> (string * fl) list
+val assumes : vunit -> (string * fl) list
+
+val map_bool : (Rtl.Expr.t -> Rtl.Expr.t) -> fl -> fl
+(** Rewrite every boolean-layer leaf (including SERE elements). *)
+
+val expand_sere : sere -> Rtl.Expr.t list
+(** The per-cycle boolean obligations of a bounded SERE, in order. *)
+
+val sere_length : sere -> int
+
+val is_safety : fl -> bool
+(** Syntactic safety check: no [Eventually], no strong operators, and
+    temporal [Or]/[Not]/[Until] restricted to the forms the monitor compiler
+    accepts (see {!Monitor}). *)
+
+val size : fl -> int
+(** Node count — the paper's "description of the properties should be
+    simple" metric. *)
+
+val signals : fl -> string list
+(** All module signals referenced by the boolean layer. *)

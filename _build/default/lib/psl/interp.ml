@@ -1,0 +1,60 @@
+exception Unsupported of string
+
+let bool_at lookup t e =
+  let env name = lookup t name in
+  let v = Rtl.Expr.eval ~env e in
+  if Bitvec.width v <> 1 then
+    invalid_arg
+      (Printf.sprintf "Interp: boolean layer expression has width %d"
+         (Bitvec.width v));
+  Bitvec.get v 0
+
+let holds ~lookup ~length ?(at = 0) f =
+  let rec go t (f : Ast.fl) =
+    if t >= length then true
+    else
+      match f with
+      | Ast.Bool e -> bool_at lookup t e
+      | Ast.Not g -> not (go t g)
+      | Ast.And (g, h) -> go t g && go t h
+      | Ast.Or (g, h) -> go t g || go t h
+      | Ast.Implies (g, h) -> (not (go t g)) || go t h
+      | Ast.Next g -> go (t + 1) g
+      | Ast.Next_n (n, g) -> go (t + n) g
+      | Ast.Always g ->
+        let rec all k = k >= length || (go k g && all (k + 1)) in
+        all t
+      | Ast.Never g ->
+        let rec none k = k >= length || ((not (go k g)) && none (k + 1)) in
+        none t
+      | Ast.Until (p, q) ->
+        (* weak until *)
+        let rec scan k =
+          if k >= length then true
+          else if go k q then true
+          else go k p && scan (k + 1)
+        in
+        scan t
+      | Ast.Seq_implies (sere, overlap, g) ->
+        (* fixed-length SERE: the only possible match window is
+           [t .. t + n - 1]; weak at the trace end *)
+        let bs = Ast.expand_sere sere in
+        let n = List.length bs in
+        if t + n > length then true
+        else if List.for_all2 (fun i b -> bool_at lookup (t + i) b)
+                  (List.init n Fun.id) bs
+        then go (t + n - 1 + if overlap then 0 else 1) g
+        else true
+      | Ast.Eventually _ ->
+        raise (Unsupported "eventually! has no weak finite-trace verdict")
+  in
+  go at f
+
+let holds_recorded cycles f =
+  let arr = Array.of_list cycles in
+  let lookup t name =
+    match List.assoc_opt name arr.(t) with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Interp: %s missing at cycle %d" name t)
+  in
+  holds ~lookup ~length:(Array.length arr) f

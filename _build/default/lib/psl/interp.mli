@@ -1,0 +1,23 @@
+(** Reference finite-trace semantics for the PSL safety subset.
+
+    [holds] evaluates a formula over a recorded trace with the *weak*
+    interpretation at the trace end: obligations that fall beyond the last
+    cycle are vacuously satisfied, matching a monitor that simply has not
+    fired yet. This is the executable specification the synthesized
+    monitors ({!Monitor}) are tested against, and a convenient way to check
+    assertions over simulation dumps without instrumenting the design. *)
+
+exception Unsupported of string
+(** Raised on [eventually!] (no finite-trace verdict under the weak view
+    would be meaningful). *)
+
+val holds :
+  lookup:(int -> string -> Bitvec.t) -> length:int -> ?at:int -> Ast.fl -> bool
+(** [holds ~lookup ~length f] evaluates [f] at cycle [at] (default 0) of a
+    trace of [length] cycles; [lookup t name] gives the value of a signal at
+    cycle [t]. Raises [Invalid_argument] if a boolean-layer expression is
+    not 1 bit wide. *)
+
+val holds_recorded : (string * Bitvec.t) list list -> Ast.fl -> bool
+(** [holds_recorded cycles f] over an explicit list of per-cycle signal
+    valuations (all referenced signals must be present in each cycle). *)

@@ -1,0 +1,261 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | BINCONST of int * string
+  | KW_VUNIT
+  | KW_PROPERTY
+  | KW_ASSERT
+  | KW_ASSUME
+  | KW_ALWAYS
+  | KW_NEVER
+  | KW_NEXT
+  | KW_UNTIL
+  | KW_EVENTUALLY
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COLON
+  | EQ
+  | EQEQ
+  | NEQ
+  | LT
+  | ARROW
+  | PIPE_ARROW
+  | PIPE_FATARROW
+  | STAR
+  | AMP
+  | AMPAMP
+  | BAR
+  | BARBAR
+  | CARET
+  | TILDE
+  | BANG
+  | EOF
+
+exception Error of string * int
+
+type t = {
+  src : string;
+  mutable off : int;
+  mutable tok : token;
+  mutable tok_pos : int;
+  mutable comment : string option;
+}
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword = function
+  | "vunit" -> Some KW_VUNIT
+  | "property" -> Some KW_PROPERTY
+  | "assert" -> Some KW_ASSERT
+  | "assume" -> Some KW_ASSUME
+  | "always" -> Some KW_ALWAYS
+  | "never" -> Some KW_NEVER
+  | "next" -> Some KW_NEXT
+  | "until" -> Some KW_UNTIL
+  | _ -> None
+
+let rec scan t =
+  let n = String.length t.src in
+  if t.off >= n then EOF
+  else
+    let c = t.src.[t.off] in
+    match c with
+    | ' ' | '\t' | '\n' | '\r' ->
+      t.off <- t.off + 1;
+      scan t
+    | '/' when t.off + 1 < n && t.src.[t.off + 1] = '/' ->
+      let start = t.off + 2 in
+      let rec eol i = if i >= n || t.src.[i] = '\n' then i else eol (i + 1) in
+      let stop = eol start in
+      t.comment <- Some (String.trim (String.sub t.src start (stop - start)));
+      t.off <- stop;
+      scan t
+    | '/' when t.off + 1 < n && t.src.[t.off + 1] = '*' ->
+      let rec close i =
+        if i + 1 >= n then raise (Error ("unterminated comment", t.off))
+        else if t.src.[i] = '*' && t.src.[i + 1] = '/' then i + 2
+        else close (i + 1)
+      in
+      t.off <- close (t.off + 2);
+      scan t
+    | '(' -> t.off <- t.off + 1; LPAREN
+    | ')' -> t.off <- t.off + 1; RPAREN
+    | '{' -> t.off <- t.off + 1; LBRACE
+    | '}' -> t.off <- t.off + 1; RBRACE
+    | '[' -> t.off <- t.off + 1; LBRACKET
+    | ']' -> t.off <- t.off + 1; RBRACKET
+    | ';' -> t.off <- t.off + 1; SEMI
+    | ':' -> t.off <- t.off + 1; COLON
+    | '^' -> t.off <- t.off + 1; CARET
+    | '*' -> t.off <- t.off + 1; STAR
+    | '~' -> t.off <- t.off + 1; TILDE
+    | '=' ->
+      if t.off + 1 < n && t.src.[t.off + 1] = '=' then begin
+        t.off <- t.off + 2;
+        EQEQ
+      end
+      else begin
+        t.off <- t.off + 1;
+        EQ
+      end
+    | '!' ->
+      if t.off + 1 < n && t.src.[t.off + 1] = '=' then begin
+        t.off <- t.off + 2;
+        NEQ
+      end
+      else begin
+        t.off <- t.off + 1;
+        BANG
+      end
+    | '<' -> t.off <- t.off + 1; LT
+    | '-' ->
+      if t.off + 1 < n && t.src.[t.off + 1] = '>' then begin
+        t.off <- t.off + 2;
+        ARROW
+      end
+      else raise (Error ("unexpected '-'", t.off))
+    | '&' ->
+      if t.off + 1 < n && t.src.[t.off + 1] = '&' then begin
+        t.off <- t.off + 2;
+        AMPAMP
+      end
+      else begin
+        t.off <- t.off + 1;
+        AMP
+      end
+    | '|' ->
+      if t.off + 2 < n && t.src.[t.off + 1] = '-' && t.src.[t.off + 2] = '>'
+      then begin
+        t.off <- t.off + 3;
+        PIPE_ARROW
+      end
+      else if t.off + 2 < n && t.src.[t.off + 1] = '='
+              && t.src.[t.off + 2] = '>'
+      then begin
+        t.off <- t.off + 3;
+        PIPE_FATARROW
+      end
+      else if t.off + 1 < n && t.src.[t.off + 1] = '|' then begin
+        t.off <- t.off + 2;
+        BARBAR
+      end
+      else begin
+        t.off <- t.off + 1;
+        BAR
+      end
+    | c when is_digit c ->
+      let start = t.off in
+      let rec digits i = if i < n && is_digit t.src.[i] then digits (i + 1) else i in
+      let stop = digits t.off in
+      let value = int_of_string (String.sub t.src start (stop - start)) in
+      if stop < n && t.src.[stop] = '\'' then begin
+        if stop + 1 >= n || (t.src.[stop + 1] <> 'b' && t.src.[stop + 1] <> 'B')
+        then raise (Error ("expected 'b' in sized constant", stop));
+        let bstart = stop + 2 in
+        let rec bits i =
+          if i < n && (t.src.[i] = '0' || t.src.[i] = '1' || t.src.[i] = '_')
+          then bits (i + 1)
+          else i
+        in
+        let bstop = bits bstart in
+        if bstop = bstart then raise (Error ("empty binary constant", bstart));
+        t.off <- bstop;
+        BINCONST (value, String.sub t.src bstart (bstop - bstart))
+      end
+      else begin
+        t.off <- stop;
+        INT value
+      end
+    | c when is_ident_start c ->
+      let start = t.off in
+      let rec chars i =
+        if i < n && is_ident_char t.src.[i] then chars (i + 1) else i
+      in
+      let stop = chars t.off in
+      t.off <- stop;
+      let word = String.sub t.src start (stop - start) in
+      if word = "eventually" && stop < n && t.src.[stop] = '!' then begin
+        t.off <- stop + 1;
+        KW_EVENTUALLY
+      end
+      else begin
+        match keyword word with Some k -> k | None -> IDENT word
+      end
+    | c -> raise (Error (Printf.sprintf "unexpected character %C" c, t.off))
+
+let advance t =
+  t.tok_pos <- t.off;
+  t.tok <- scan t
+
+let of_string src =
+  let t = { src; off = 0; tok = EOF; tok_pos = 0; comment = None } in
+  advance t;
+  t
+
+let peek t = t.tok
+
+let peek2 t =
+  let save_off = t.off and save_tok = t.tok and save_pos = t.tok_pos in
+  let save_comment = t.comment in
+  advance t;
+  let tok2 = t.tok in
+  t.off <- save_off;
+  t.tok <- save_tok;
+  t.tok_pos <- save_pos;
+  t.comment <- save_comment;
+  tok2
+
+let next t =
+  let tok = t.tok in
+  advance t;
+  tok
+
+let pos t = t.tok_pos
+let last_comment t = t.comment
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %s" s
+  | INT n -> Format.fprintf ppf "integer %d" n
+  | BINCONST (w, b) -> Format.fprintf ppf "constant %d'b%s" w b
+  | KW_VUNIT -> Format.pp_print_string ppf "vunit"
+  | KW_PROPERTY -> Format.pp_print_string ppf "property"
+  | KW_ASSERT -> Format.pp_print_string ppf "assert"
+  | KW_ASSUME -> Format.pp_print_string ppf "assume"
+  | KW_ALWAYS -> Format.pp_print_string ppf "always"
+  | KW_NEVER -> Format.pp_print_string ppf "never"
+  | KW_NEXT -> Format.pp_print_string ppf "next"
+  | KW_UNTIL -> Format.pp_print_string ppf "until"
+  | KW_EVENTUALLY -> Format.pp_print_string ppf "eventually!"
+  | LPAREN -> Format.pp_print_string ppf "("
+  | RPAREN -> Format.pp_print_string ppf ")"
+  | LBRACE -> Format.pp_print_string ppf "{"
+  | RBRACE -> Format.pp_print_string ppf "}"
+  | LBRACKET -> Format.pp_print_string ppf "["
+  | RBRACKET -> Format.pp_print_string ppf "]"
+  | SEMI -> Format.pp_print_string ppf ";"
+  | COLON -> Format.pp_print_string ppf ":"
+  | EQ -> Format.pp_print_string ppf "="
+  | EQEQ -> Format.pp_print_string ppf "=="
+  | NEQ -> Format.pp_print_string ppf "!="
+  | LT -> Format.pp_print_string ppf "<"
+  | ARROW -> Format.pp_print_string ppf "->"
+  | PIPE_ARROW -> Format.pp_print_string ppf "|->"
+  | PIPE_FATARROW -> Format.pp_print_string ppf "|=>"
+  | STAR -> Format.pp_print_string ppf "*"
+  | AMP -> Format.pp_print_string ppf "&"
+  | AMPAMP -> Format.pp_print_string ppf "&&"
+  | BAR -> Format.pp_print_string ppf "|"
+  | BARBAR -> Format.pp_print_string ppf "||"
+  | CARET -> Format.pp_print_string ppf "^"
+  | TILDE -> Format.pp_print_string ppf "~"
+  | BANG -> Format.pp_print_string ppf "!"
+  | EOF -> Format.pp_print_string ppf "end of input"

@@ -1,0 +1,59 @@
+(** Hand-written lexer for the PSL subset.
+
+    Comments ([// ...] and [/* ... */]) are skipped; the trailing [//]
+    comment of a [property] line is captured and attached by the parser. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | BINCONST of int * string  (** width, bits, e.g. 4'b1010 *)
+  | KW_VUNIT
+  | KW_PROPERTY
+  | KW_ASSERT
+  | KW_ASSUME
+  | KW_ALWAYS
+  | KW_NEVER
+  | KW_NEXT
+  | KW_UNTIL
+  | KW_EVENTUALLY  (** [eventually!] *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COLON
+  | EQ  (** [=] *)
+  | EQEQ
+  | NEQ
+  | LT
+  | ARROW  (** [->] *)
+  | PIPE_ARROW  (** [|->], overlapping suffix implication *)
+  | PIPE_FATARROW  (** [|=>], non-overlapping suffix implication *)
+  | STAR
+  | AMP
+  | AMPAMP
+  | BAR
+  | BARBAR
+  | CARET
+  | TILDE
+  | BANG
+  | EOF
+
+exception Error of string * int
+(** Message and character offset. *)
+
+type t
+
+val of_string : string -> t
+val peek : t -> token
+val peek2 : t -> token
+(** The token after {!peek}, without consuming anything. *)
+
+val next : t -> token
+val pos : t -> int
+val last_comment : t -> string option
+(** The most recent [//] comment consumed before the current token. *)
+
+val pp_token : Format.formatter -> token -> unit

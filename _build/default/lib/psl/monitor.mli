@@ -1,0 +1,34 @@
+(** Safety-monitor synthesis: compile the PSL safety subset into monitor
+    logic woven into a copy of the bound module.
+
+    The instrumented module gains (per property set) a combinational [fail]
+    signal that is high exactly in cycles where the asserted property is
+    violated, plus assumption-tracking signals. Both the simulator (checking
+    assertions during random simulation) and the model checker (invariant
+    [never fail under assumptions]) consume the same instrumentation, which
+    guarantees the two flows agree on property semantics. *)
+
+exception Unsupported of string
+(** Raised on liveness ([eventually!]) or temporal operands outside the
+    supported safety forms (see {!Ast.is_safety}). *)
+
+type instrumented = {
+  mdl : Rtl.Mdl.t;  (** the module with monitor wires and registers added *)
+  fail_signal : string;
+      (** 1-bit wire: the asserted property fails in this cycle *)
+  assume_fail_now : string;
+      (** 1-bit wire: some assumption is violated in this cycle *)
+  assume_failed_before : string;
+      (** 1-bit register: an assumption was violated in an earlier cycle *)
+  invariant_ok : string;
+      (** 1-bit wire that must hold in all reachable states:
+          [fail] implies an assumption was violated now or earlier *)
+}
+
+val instrument :
+  Rtl.Mdl.t -> prefix:string -> assert_:Ast.fl -> assumes:Ast.fl list -> instrumented
+(** [prefix] namespaces the added monitor signals; it must be fresh with
+    respect to the module's signals. *)
+
+val monitor_register_count : instrumented -> int
+(** Registers added by the instrumentation (property state size). *)

@@ -1,0 +1,308 @@
+exception Error of string * int
+
+module L = Lexer
+module E = Rtl.Expr
+
+let fail lx msg = raise (Error (msg, L.pos lx))
+
+let expect lx tok what =
+  let got = L.next lx in
+  if got <> tok then
+    fail lx (Format.asprintf "expected %s, got %a" what L.pp_token got)
+
+let ident lx =
+  match L.next lx with
+  | L.IDENT s -> s
+  | got -> fail lx (Format.asprintf "expected identifier, got %a" L.pp_token got)
+
+(* Boolean-layer helpers: HDL subexpressions travel as [Ast.Bool]; width and
+   1-bit-ness are checked later by the monitor compiler, which knows the
+   bound module's signal widths. *)
+
+let as_bool lx what = function
+  | Ast.Bool e -> e
+  | Ast.Not _ | Ast.And _ | Ast.Or _ | Ast.Implies _ | Ast.Next _
+  | Ast.Next_n _ | Ast.Always _ | Ast.Never _ | Ast.Until _
+  | Ast.Seq_implies _ | Ast.Eventually _ ->
+    fail lx (what ^ " requires boolean-layer operands")
+
+let starts_expression = function
+  | L.IDENT _ | L.INT _ | L.BINCONST _ | L.LPAREN | L.TILDE | L.BANG
+  | L.CARET | L.AMP | L.BAR | L.KW_ALWAYS | L.KW_NEVER | L.KW_NEXT
+  | L.KW_EVENTUALLY ->
+    true
+  | L.RPAREN | L.LBRACE | L.RBRACE | L.LBRACKET | L.RBRACKET | L.SEMI
+  | L.COLON | L.EQ | L.EQEQ | L.NEQ | L.LT | L.ARROW | L.PIPE_ARROW
+  | L.PIPE_FATARROW | L.STAR | L.AMPAMP | L.BARBAR | L.KW_VUNIT
+  | L.KW_PROPERTY | L.KW_ASSERT | L.KW_ASSUME | L.KW_UNTIL | L.EOF ->
+    false
+
+let rec fl lx = fl_imp lx
+
+and fl_imp lx =
+  let lhs = fl_until lx in
+  if L.peek lx = L.ARROW then begin
+    ignore (L.next lx);
+    let rhs = fl_imp lx in
+    Ast.Implies (lhs, rhs)
+  end
+  else lhs
+
+and fl_until lx =
+  let lhs = fl_or lx in
+  if L.peek lx = L.KW_UNTIL then begin
+    ignore (L.next lx);
+    let rhs = fl_or lx in
+    Ast.Until (lhs, rhs)
+  end
+  else lhs
+
+and fl_or lx =
+  let rec loop lhs =
+    match L.peek lx with
+    | L.BAR | L.BARBAR ->
+      ignore (L.next lx);
+      let rhs = fl_xor lx in
+      let combined =
+        match (lhs, rhs) with
+        | Ast.Bool a, Ast.Bool b -> Ast.Bool E.(a |: b)
+        | _ -> Ast.Or (lhs, rhs)
+      in
+      loop combined
+    | _ -> lhs
+  in
+  loop (fl_xor lx)
+
+and fl_xor lx =
+  let rec loop lhs =
+    if L.peek lx = L.CARET then begin
+      ignore (L.next lx);
+      if starts_expression (L.peek lx) then begin
+        let rhs = fl_and lx in
+        let a = as_bool lx "binary ^" lhs and b = as_bool lx "binary ^" rhs in
+        loop (Ast.Bool E.(a ^: b))
+      end
+      else
+        (* postfix reduction, the paper's [I^] spelling *)
+        loop (Ast.Bool (E.red_xor (as_bool lx "postfix ^" lhs)))
+    end
+    else lhs
+  in
+  loop (fl_and lx)
+
+and fl_and lx =
+  let rec loop lhs =
+    match L.peek lx with
+    | L.AMP | L.AMPAMP ->
+      ignore (L.next lx);
+      let rhs = fl_cmp lx in
+      let combined =
+        match (lhs, rhs) with
+        | Ast.Bool a, Ast.Bool b -> Ast.Bool E.(a &: b)
+        | _ -> Ast.And (lhs, rhs)
+      in
+      loop combined
+    | _ -> lhs
+  in
+  loop (fl_cmp lx)
+
+and fl_cmp lx =
+  let lhs = fl_unary lx in
+  match L.peek lx with
+  | L.EQEQ | L.NEQ | L.LT ->
+    let op = L.next lx in
+    let rhs = fl_unary lx in
+    let a = as_bool lx "comparison" lhs and b = as_bool lx "comparison" rhs in
+    Ast.Bool
+      (match op with
+       | L.EQEQ -> E.(a ==: b)
+       | L.NEQ -> E.(a <>: b)
+       | L.LT -> E.(a <: b)
+       | _ -> assert false)
+  | _ -> lhs
+
+and sere_item lx =
+  (* one SERE element: a boolean expression, optionally repeated [*n] *)
+  let b = as_bool lx "SERE element" (fl_cmp lx) in
+  if L.peek lx = L.LBRACKET && L.peek2 lx = L.STAR then begin
+    ignore (L.next lx);
+    expect lx L.STAR "*";
+    let n =
+      match L.next lx with
+      | L.INT n when n >= 1 -> n
+      | L.INT _ -> fail lx "repetition count must be >= 1"
+      | got -> fail lx (Format.asprintf "expected count, got %a" L.pp_token got)
+    in
+    expect lx L.RBRACKET "]";
+    Ast.Srepeat (Ast.Sbool b, n)
+  end
+  else Ast.Sbool b
+
+and sere lx =
+  let rec loop acc =
+    if L.peek lx = L.SEMI then begin
+      ignore (L.next lx);
+      loop (Ast.Sconcat (acc, sere_item lx))
+    end
+    else acc
+  in
+  loop (sere_item lx)
+
+and fl_unary lx =
+  match L.peek lx with
+  | L.LBRACE ->
+    ignore (L.next lx);
+    let s = sere lx in
+    expect lx L.RBRACE "}";
+    let overlap =
+      match L.next lx with
+      | L.PIPE_ARROW -> true
+      | L.PIPE_FATARROW -> false
+      | got ->
+        fail lx (Format.asprintf "expected |-> or |=>, got %a" L.pp_token got)
+    in
+    Ast.Seq_implies (s, overlap, fl_unary lx)
+  | L.KW_ALWAYS ->
+    ignore (L.next lx);
+    Ast.Always (fl_unary lx)
+  | L.KW_NEVER ->
+    ignore (L.next lx);
+    Ast.Never (fl_unary lx)
+  | L.KW_EVENTUALLY ->
+    ignore (L.next lx);
+    Ast.Eventually (fl_unary lx)
+  | L.KW_NEXT ->
+    ignore (L.next lx);
+    if L.peek lx = L.LBRACKET then begin
+      ignore (L.next lx);
+      let n =
+        match L.next lx with
+        | L.INT n -> n
+        | got ->
+          fail lx (Format.asprintf "expected integer, got %a" L.pp_token got)
+      in
+      expect lx L.RBRACKET "]";
+      Ast.Next_n (n, fl_unary lx)
+    end
+    else Ast.Next (fl_unary lx)
+  | L.TILDE | L.BANG ->
+    ignore (L.next lx);
+    let operand = fl_unary lx in
+    (match operand with
+     | Ast.Bool e -> Ast.Bool E.(!:e)
+     | _ -> Ast.Not operand)
+  | L.CARET ->
+    ignore (L.next lx);
+    Ast.Bool (E.red_xor (as_bool lx "^ reduction" (fl_unary lx)))
+  | L.AMP ->
+    ignore (L.next lx);
+    Ast.Bool (E.red_and (as_bool lx "& reduction" (fl_unary lx)))
+  | L.BAR ->
+    ignore (L.next lx);
+    Ast.Bool (E.red_or (as_bool lx "| reduction" (fl_unary lx)))
+  | _ -> fl_postfix lx
+
+and fl_postfix lx =
+  let rec loop operand =
+    match L.peek lx with
+    | L.LBRACKET when L.peek2 lx <> L.STAR ->
+      ignore (L.next lx);
+      let hi =
+        match L.next lx with
+        | L.INT n -> n
+        | got ->
+          fail lx (Format.asprintf "expected bit index, got %a" L.pp_token got)
+      in
+      let lo =
+        if L.peek lx = L.COLON then begin
+          ignore (L.next lx);
+          match L.next lx with
+          | L.INT n -> n
+          | got ->
+            fail lx
+              (Format.asprintf "expected bit index, got %a" L.pp_token got)
+        end
+        else hi
+      in
+      expect lx L.RBRACKET "]";
+      loop (Ast.Bool (E.slice (as_bool lx "bit select" operand) ~hi ~lo))
+    | _ -> operand
+  in
+  loop (fl_atom lx)
+
+and fl_atom lx =
+  match L.next lx with
+  | L.IDENT s -> Ast.Bool (E.var s)
+  | L.INT 0 -> Ast.Bool E.fls
+  | L.INT 1 -> Ast.Bool E.tru
+  | L.INT n ->
+    fail lx
+      (Printf.sprintf "bare integer %d: use a sized constant like 4'b0011" n)
+  | L.BINCONST (w, bits) ->
+    let bv = Bitvec.of_string bits in
+    if Bitvec.width bv <> w then
+      fail lx
+        (Printf.sprintf "constant width %d does not match %d digits" w
+           (Bitvec.width bv));
+    Ast.Bool (E.const bv)
+  | L.LPAREN ->
+    let inner = fl lx in
+    (* Allow the paper's postfix reduction directly after ')': [( I^ )] has
+       the caret inside, but [(EC)^] puts it after. *)
+    expect lx L.RPAREN ")";
+    inner
+  | got -> fail lx (Format.asprintf "unexpected %a" L.pp_token got)
+
+let item lx (decls, directives) =
+  match L.next lx with
+  | L.KW_PROPERTY ->
+    let name = ident lx in
+    expect lx L.EQ "=";
+    let body = fl lx in
+    expect lx L.SEMI ";";
+    let comment = L.last_comment lx in
+    (({ Ast.prop_name = name; body; comment } :: decls), directives)
+  | L.KW_ASSERT ->
+    let target = ident lx in
+    expect lx L.SEMI ";";
+    (decls, { Ast.dir = Ast.Assert; target } :: directives)
+  | L.KW_ASSUME ->
+    let target = ident lx in
+    expect lx L.SEMI ";";
+    (decls, { Ast.dir = Ast.Assume; target } :: directives)
+  | got ->
+    fail lx
+      (Format.asprintf "expected property/assert/assume, got %a" L.pp_token got)
+
+let vunit lx =
+  expect lx L.KW_VUNIT "vunit";
+  let vunit_name = ident lx in
+  expect lx L.LPAREN "(";
+  let bound_module = ident lx in
+  expect lx L.RPAREN ")";
+  expect lx L.LBRACE "{";
+  let rec items acc =
+    if L.peek lx = L.RBRACE then begin
+      ignore (L.next lx);
+      acc
+    end
+    else items (item lx acc)
+  in
+  let decls, directives = items ([], []) in
+  { Ast.vunit_name; bound_module; decls = List.rev decls;
+    directives = List.rev directives }
+
+let vunits_of_string src =
+  let lx = L.of_string src in
+  let rec loop acc =
+    if L.peek lx = L.EOF then List.rev acc else loop (vunit lx :: acc)
+  in
+  (try loop [] with L.Error (msg, p) -> raise (Error (msg, p)))
+
+let fl_of_string src =
+  let lx = L.of_string src in
+  try
+    let f = fl lx in
+    expect lx L.EOF "end of input";
+    f
+  with L.Error (msg, p) -> raise (Error (msg, p))

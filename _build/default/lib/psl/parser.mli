@@ -1,0 +1,17 @@
+(** Recursive-descent parser for the PSL subset in the paper's figures, e.g.
+
+    {v
+ vunit M_edetect (M) { // check error detection ability
+   property pCheck1 = always ((EC & ~(^ED)) -> next HE);
+   assert pCheck1;
+ }
+    v}
+
+    Both prefix [^I] and the paper's postfix [I^] spellings of XOR reduction
+    are accepted. *)
+
+exception Error of string * int
+(** Message and character offset. *)
+
+val vunits_of_string : string -> Ast.vunit list
+val fl_of_string : string -> Ast.fl

@@ -1,0 +1,76 @@
+module E = Rtl.Expr
+
+let rec pp_bool ppf (e : E.t) =
+  match e with
+  | E.Const bv ->
+    Format.fprintf ppf "%d'b%s" (Bitvec.width bv) (Bitvec.to_string bv)
+  | E.Var x -> Format.pp_print_string ppf x
+  | E.Unop (E.Not, e) -> Format.fprintf ppf "~(%a)" pp_bool e
+  | E.Unop (E.Red_xor, e) -> Format.fprintf ppf "(^%a)" pp_bool e
+  | E.Unop (E.Red_and, e) -> Format.fprintf ppf "(&%a)" pp_bool e
+  | E.Unop (E.Red_or, e) -> Format.fprintf ppf "(|%a)" pp_bool e
+  | E.Binop (op, a, b) ->
+    let sym =
+      match op with
+      | E.And -> "&"
+      | E.Or -> "|"
+      | E.Xor -> "^"
+      | E.Xnor -> "~^"
+      | E.Add -> "+"
+      | E.Sub -> "-"
+      | E.Eq -> "=="
+      | E.Ne -> "!="
+      | E.Lt -> "<"
+      | E.Concat -> ","
+    in
+    if op = E.Concat then Format.fprintf ppf "{%a, %a}" pp_bool a pp_bool b
+    else Format.fprintf ppf "(%a %s %a)" pp_bool a sym pp_bool b
+  | E.Mux (s, t, e) ->
+    Format.fprintf ppf "(%a ? %a : %a)" pp_bool s pp_bool t pp_bool e
+  | E.Slice (e, hi, lo) ->
+    if hi = lo then Format.fprintf ppf "%a[%d]" pp_bool e lo
+    else Format.fprintf ppf "%a[%d:%d]" pp_bool e hi lo
+
+let rec pp_sere ppf (s : Ast.sere) =
+  match s with
+  | Ast.Sbool e -> pp_bool ppf e
+  | Ast.Sconcat (a, b) -> Format.fprintf ppf "%a; %a" pp_sere a pp_sere b
+  | Ast.Srepeat (a, n) -> Format.fprintf ppf "%a[*%d]" pp_sere a n
+
+let rec pp_fl ppf (f : Ast.fl) =
+  match f with
+  | Ast.Bool e -> pp_bool ppf e
+  | Ast.Not f -> Format.fprintf ppf "!(%a)" pp_fl f
+  | Ast.And (f, g) -> Format.fprintf ppf "(%a && %a)" pp_fl f pp_fl g
+  | Ast.Or (f, g) -> Format.fprintf ppf "(%a || %a)" pp_fl f pp_fl g
+  | Ast.Implies (f, g) -> Format.fprintf ppf "(%a -> %a)" pp_fl f pp_fl g
+  | Ast.Next f -> Format.fprintf ppf "next %a" pp_fl f
+  | Ast.Next_n (n, f) -> Format.fprintf ppf "next[%d] %a" n pp_fl f
+  | Ast.Always f -> Format.fprintf ppf "always (%a)" pp_fl f
+  | Ast.Never f -> Format.fprintf ppf "never (%a)" pp_fl f
+  | Ast.Until (f, g) -> Format.fprintf ppf "(%a until %a)" pp_fl f pp_fl g
+  | Ast.Seq_implies (s, overlap, f) ->
+    Format.fprintf ppf "{%a} %s %a" pp_sere s
+      (if overlap then "|->" else "|=>")
+      pp_fl f
+  | Ast.Eventually f -> Format.fprintf ppf "eventually! (%a)" pp_fl f
+
+let pp_vunit ppf (v : Ast.vunit) =
+  Format.fprintf ppf "vunit %s (%s) {@." v.vunit_name v.bound_module;
+  List.iter
+    (fun (d : Ast.decl) ->
+      Format.fprintf ppf "    property %s = %a;" d.prop_name pp_fl d.body;
+      (match d.comment with
+       | Some c -> Format.fprintf ppf "  // %s" c
+       | None -> ());
+      Format.fprintf ppf "@.")
+    v.decls;
+  List.iter
+    (fun (dve : Ast.directive) ->
+      let kw = match dve.dir with Ast.Assert -> "assert" | Ast.Assume -> "assume" in
+      Format.fprintf ppf "    %s %s;@." kw dve.target)
+    v.directives;
+  Format.fprintf ppf "}@."
+
+let fl_to_string f = Format.asprintf "%a" pp_fl f
+let vunit_to_string v = Format.asprintf "%a" pp_vunit v

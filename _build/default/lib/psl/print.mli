@@ -1,0 +1,7 @@
+(** PSL pretty-printing in the paper's concrete syntax. Output re-parses to
+    an equal AST (modulo boolean-layer folding done by the parser). *)
+
+val pp_fl : Format.formatter -> Ast.fl -> unit
+val pp_vunit : Format.formatter -> Ast.vunit -> unit
+val fl_to_string : Ast.fl -> string
+val vunit_to_string : Ast.vunit -> string

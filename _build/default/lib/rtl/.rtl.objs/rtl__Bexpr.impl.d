@@ -1,0 +1,1 @@
+lib/rtl/bexpr.ml: Format Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/rtl/bitblast.ml: Array Bexpr Bitvec Expr Hashtbl List Netlist Printf

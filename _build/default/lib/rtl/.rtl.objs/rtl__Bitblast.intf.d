@@ -1,0 +1,1 @@
+lib/rtl/bitblast.mli: Bexpr Bitvec Expr Netlist

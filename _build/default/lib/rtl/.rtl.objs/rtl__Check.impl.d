@@ -1,0 +1,1 @@
+lib/rtl/check.ml: Design Expr Format Hashtbl List Mdl Option Printf

@@ -1,0 +1,1 @@
+lib/rtl/coi.ml: Expr Hashtbl List Netlist Set String

@@ -1,0 +1,1 @@
+lib/rtl/coi.mli: Netlist

@@ -1,0 +1,1 @@
+lib/rtl/design.ml: List Map Mdl Printf String

@@ -1,0 +1,1 @@
+lib/rtl/elaborate.ml: Design Expr List Mdl Netlist Printf

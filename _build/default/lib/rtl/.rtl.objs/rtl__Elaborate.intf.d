@@ -1,0 +1,1 @@
+lib/rtl/elaborate.mli: Design Netlist

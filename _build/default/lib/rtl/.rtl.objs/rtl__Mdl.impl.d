@@ -1,0 +1,1 @@
+lib/rtl/mdl.ml: Bitvec Expr List Printf

@@ -1,0 +1,1 @@
+lib/rtl/mdl.mli: Bitvec Expr

@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Bitvec Expr Format Hashtbl List Mdl Printf

@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Bitvec Design Expr Format List Mdl Printf String

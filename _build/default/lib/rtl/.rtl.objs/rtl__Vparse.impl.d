@@ -1,0 +1,1 @@
+lib/rtl/vparse.ml: Bitvec Char Design Expr List Mdl Printf String

@@ -1,0 +1,1 @@
+lib/rtl/vparse.mli: Design Mdl

@@ -1,0 +1,168 @@
+let const bv = Array.init (Bitvec.width bv) (fun i -> Bexpr.of_bool (Bitvec.get bv i))
+
+let check_same_width what a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Bitblast: %s width mismatch (%d vs %d)" what
+                   (Array.length a) (Array.length b))
+
+let adder a b carry0 =
+  check_same_width "add" a b;
+  let w = Array.length a in
+  let sum = Array.make w Bexpr.fls in
+  let carry = ref carry0 in
+  for i = 0 to w - 1 do
+    let ab = Bexpr.xor a.(i) b.(i) in
+    sum.(i) <- Bexpr.xor ab !carry;
+    carry := Bexpr.or_ (Bexpr.and_ a.(i) b.(i)) (Bexpr.and_ !carry ab)
+  done;
+  (sum, !carry)
+
+let less_than a b =
+  check_same_width "lt" a b;
+  (* borrow-out of a - b computed LSB-first *)
+  let borrow = ref Bexpr.fls in
+  for i = 0 to Array.length a - 1 do
+    let na = Bexpr.not_ a.(i) in
+    borrow :=
+      Bexpr.or_
+        (Bexpr.and_ na b.(i))
+        (Bexpr.and_ !borrow (Bexpr.xnor a.(i) b.(i)))
+  done;
+  !borrow
+
+let equality a b =
+  check_same_width "eq" a b;
+  let acc = ref Bexpr.tru in
+  for i = 0 to Array.length a - 1 do
+    acc := Bexpr.and_ !acc (Bexpr.xnor a.(i) b.(i))
+  done;
+  !acc
+
+(* balanced reduction tree, as a technology mapper would build it *)
+let rec balanced op = function
+  | [] -> invalid_arg "Bitblast.balanced: empty"
+  | [ x ] -> x
+  | xs ->
+    let rec pairs = function
+      | [] -> []
+      | [ x ] -> [ x ]
+      | a :: b :: rest -> op a b :: pairs rest
+    in
+    balanced op (pairs xs)
+
+let expr ~env e =
+  let rec go = function
+    | Expr.Const bv -> const bv
+    | Expr.Var x -> env x
+    | Expr.Unop (Expr.Not, e) -> Array.map Bexpr.not_ (go e)
+    | Expr.Unop (Expr.Red_and, e) ->
+      [| balanced Bexpr.and_ (Array.to_list (go e)) |]
+    | Expr.Unop (Expr.Red_or, e) ->
+      [| balanced Bexpr.or_ (Array.to_list (go e)) |]
+    | Expr.Unop (Expr.Red_xor, e) ->
+      [| balanced Bexpr.xor (Array.to_list (go e)) |]
+    | Expr.Binop (op, a, b) -> binop op (go a) (go b)
+    | Expr.Mux (s, t, e) ->
+      let sb = go s in
+      if Array.length sb <> 1 then
+        invalid_arg "Bitblast: mux select must be 1 bit";
+      let tb = go t and eb = go e in
+      check_same_width "mux" tb eb;
+      Array.map2 (fun ti ei -> Bexpr.ite sb.(0) ti ei) tb eb
+    | Expr.Slice (e, hi, lo) ->
+      let bits = go e in
+      if lo < 0 || hi >= Array.length bits || hi < lo then
+        invalid_arg "Bitblast: slice out of range";
+      Array.sub bits lo (hi - lo + 1)
+  and binop op a b =
+    match op with
+    | Expr.And ->
+      check_same_width "and" a b;
+      Array.map2 Bexpr.and_ a b
+    | Expr.Or ->
+      check_same_width "or" a b;
+      Array.map2 Bexpr.or_ a b
+    | Expr.Xor ->
+      check_same_width "xor" a b;
+      Array.map2 Bexpr.xor a b
+    | Expr.Xnor ->
+      check_same_width "xnor" a b;
+      Array.map2 Bexpr.xnor a b
+    | Expr.Add -> fst (adder a b Bexpr.fls)
+    | Expr.Sub -> fst (adder a (Array.map Bexpr.not_ b) Bexpr.tru)
+    | Expr.Eq -> [| equality a b |]
+    | Expr.Ne -> [| Bexpr.not_ (equality a b) |]
+    | Expr.Lt -> [| less_than a b |]
+    | Expr.Concat -> Array.append b a
+  in
+  go e
+
+type flat = {
+  var_of_bit : string -> int -> int;
+  bit_of_var : int -> string * int;
+  input_vars : (string * int array) list;
+  reg_vars : (string * int array) list;
+  fn : string -> Bexpr.t array;
+  next_fn : (string * Bexpr.t array) list;
+  reset_of : string -> Bitvec.t;
+}
+
+let flatten (nl : Netlist.t) =
+  let var_tbl : (string * int, int) Hashtbl.t = Hashtbl.create 97 in
+  let rev_tbl : (int, string * int) Hashtbl.t = Hashtbl.create 97 in
+  let next_var = ref 0 in
+  let alloc name width =
+    Array.init width (fun i ->
+        let v = !next_var in
+        incr next_var;
+        Hashtbl.replace var_tbl (name, i) v;
+        Hashtbl.replace rev_tbl v (name, i);
+        v)
+  in
+  let reg_vars =
+    List.map (fun (r : Netlist.flat_reg) -> (r.name, alloc r.name r.width))
+      nl.regs
+  in
+  let input_vars =
+    List.map (fun (name, w) -> (name, alloc name w)) nl.inputs
+  in
+  let fns : (string, Bexpr.t array) Hashtbl.t = Hashtbl.create 97 in
+  let install (name, vars) =
+    Hashtbl.replace fns name (Array.map Bexpr.var vars)
+  in
+  List.iter install reg_vars;
+  List.iter install input_vars;
+  let env name =
+    match Hashtbl.find_opt fns name with
+    | Some bits -> bits
+    | None ->
+      invalid_arg (Printf.sprintf "Bitblast.flatten: %s read before driven" name)
+  in
+  List.iter (fun (lhs, rhs) -> Hashtbl.replace fns lhs (expr ~env rhs))
+    nl.assigns;
+  let next_fn =
+    List.map (fun (r : Netlist.flat_reg) -> (r.name, expr ~env r.next)) nl.regs
+  in
+  let var_of_bit name i =
+    match Hashtbl.find_opt var_tbl (name, i) with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Bitblast.flatten: %s[%d] is not a state/input bit"
+           name i)
+  in
+  let bit_of_var v =
+    match Hashtbl.find_opt rev_tbl v with
+    | Some b -> b
+    | None -> invalid_arg (Printf.sprintf "Bitblast.flatten: unknown var %d" v)
+  in
+  let resets =
+    List.map (fun (r : Netlist.flat_reg) -> (r.name, r.reset_value)) nl.regs
+  in
+  let reset_of name =
+    match List.assoc_opt name resets with
+    | Some v -> v
+    | None ->
+      invalid_arg (Printf.sprintf "Bitblast.flatten: %s is not a register" name)
+  in
+  { var_of_bit; bit_of_var; input_vars; reg_vars; fn = env; next_fn; reset_of }

@@ -1,0 +1,29 @@
+(** Bit-blasting word-level expressions and netlists to {!Bexpr} DAGs. *)
+
+val expr : env:(string -> Bexpr.t array) -> Expr.t -> Bexpr.t array
+(** [expr ~env e] expands [e] to one boolean function per bit, index 0 being
+    the LSB. [env] supplies the bit functions of each referenced signal.
+    Raises [Invalid_argument] on width mismatches (same rules as
+    {!Expr.width}). *)
+
+val const : Bitvec.t -> Bexpr.t array
+
+type flat = {
+  var_of_bit : string -> int -> int;
+      (** variable id of bit [i] of a primary input or register *)
+  bit_of_var : int -> string * int;
+  input_vars : (string * int array) list;
+  reg_vars : (string * int array) list;
+  fn : string -> Bexpr.t array;
+      (** boolean functions of any declared signal, expressed purely over
+          input and register variables (combinational logic fully inlined) *)
+  next_fn : (string * Bexpr.t array) list;
+      (** next-state function of each register *)
+  reset_of : string -> Bitvec.t;
+}
+
+val flatten : Netlist.t -> flat
+(** [flatten nl] walks the levelized assigns of [nl], inlining all
+    combinational logic. Variable ids are assigned densely: register bits
+    first (in declaration order), then input bits — the ordering used by the
+    symbolic model checker. *)

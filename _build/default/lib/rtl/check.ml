@@ -1,0 +1,123 @@
+type issue = { where : string; what : string }
+
+let pp_issue ppf i = Format.fprintf ppf "%s: %s" i.where i.what
+
+let check_module design (m : Mdl.t) =
+  let issues = ref [] in
+  let report what = issues := { where = m.name; what } :: !issues in
+  let widths = Hashtbl.create 97 in
+  List.iter
+    (fun (name, w) ->
+      if Hashtbl.mem widths name then
+        report (Printf.sprintf "signal %s declared twice" name)
+      else Hashtbl.replace widths name w)
+    (Mdl.declared_signals m);
+  let env name =
+    match Hashtbl.find_opt widths name with
+    | Some w -> w
+    | None -> invalid_arg (Printf.sprintf "undeclared signal %s" name)
+  in
+  let expr_width what e =
+    match Expr.width ~env e with
+    | w -> Some w
+    | exception Invalid_argument msg ->
+      report (what ^ ": " ^ msg);
+      None
+  in
+  let check_width what expected e =
+    match expr_width what e with
+    | Some w when w <> expected ->
+      report
+        (Printf.sprintf "%s: expected width %d, got %d" what expected w)
+    | Some _ | None -> ()
+  in
+  (* Driver accounting: wires and outputs need exactly one driver; inputs
+     must have none; registers are driven by their always block. *)
+  let drivers = Hashtbl.create 97 in
+  let count_driver name =
+    let n = Option.value ~default:0 (Hashtbl.find_opt drivers name) in
+    Hashtbl.replace drivers name (n + 1)
+  in
+  List.iter
+    (fun (a : Mdl.assign) ->
+      (match Hashtbl.find_opt widths a.lhs with
+       | None -> report (Printf.sprintf "assign to undeclared signal %s" a.lhs)
+       | Some w -> check_width (Printf.sprintf "assign %s" a.lhs) w a.rhs);
+      (match Mdl.find_port m a.lhs with
+       | Some { dir = Mdl.Input; _ } ->
+         report (Printf.sprintf "input port %s driven by assign" a.lhs)
+       | Some { dir = Mdl.Output; _ } | None -> ());
+      (match Mdl.find_reg m a.lhs with
+       | Some _ -> report (Printf.sprintf "register %s driven by assign" a.lhs)
+       | None -> ());
+      count_driver a.lhs)
+    m.assigns;
+  List.iter
+    (fun (r : Mdl.reg) ->
+      check_width (Printf.sprintf "reg %s next" r.reg_name) r.reg_width r.next)
+    m.regs;
+  let check_instance (i : Mdl.instance) =
+    match Design.find design i.of_module with
+    | None ->
+      report (Printf.sprintf "instance %s of undefined module %s" i.inst_name
+                i.of_module)
+    | Some child ->
+      List.iter
+        (fun (formal, actual) ->
+          match Mdl.find_port child formal with
+          | None ->
+            report
+              (Printf.sprintf "instance %s: no port %s on module %s"
+                 i.inst_name formal i.of_module)
+          | Some p -> (
+            match (p.dir, actual) with
+            | Mdl.Input, Mdl.Expr e ->
+              check_width
+                (Printf.sprintf "instance %s port %s" i.inst_name formal)
+                p.port_width e
+            | Mdl.Input, Mdl.Net n | Mdl.Output, Mdl.Net n -> (
+              match Hashtbl.find_opt widths n with
+              | None ->
+                report
+                  (Printf.sprintf "instance %s port %s: undeclared net %s"
+                     i.inst_name formal n)
+              | Some w ->
+                if w <> p.port_width then
+                  report
+                    (Printf.sprintf
+                       "instance %s port %s: net %s width %d, port width %d"
+                       i.inst_name formal n w p.port_width);
+                if p.dir = Mdl.Output then count_driver n)
+            | Mdl.Output, Mdl.Expr _ ->
+              report
+                (Printf.sprintf
+                   "instance %s output port %s connected to expression"
+                   i.inst_name formal)))
+        i.connections;
+      (* every child input must be connected *)
+      List.iter
+        (fun (p : Mdl.port) ->
+          if p.dir = Mdl.Input
+             && not (List.mem_assoc p.port_name i.connections)
+          then
+            report
+              (Printf.sprintf "instance %s: input %s unconnected" i.inst_name
+                 p.port_name))
+        child.ports
+  in
+  List.iter check_instance m.instances;
+  let require_single_driver name =
+    match Option.value ~default:0 (Hashtbl.find_opt drivers name) with
+    | 0 -> report (Printf.sprintf "signal %s undriven" name)
+    | 1 -> ()
+    | n -> report (Printf.sprintf "signal %s has %d drivers" name n)
+  in
+  List.iter (fun (w, _) -> require_single_driver w) m.wires;
+  List.iter
+    (fun (p : Mdl.port) ->
+      if p.dir = Mdl.Output then require_single_driver p.port_name)
+    m.ports;
+  List.rev !issues
+
+let check_design design =
+  List.concat_map (check_module design) (Design.modules design)

@@ -1,0 +1,17 @@
+(** Module-level lint — the "Verifiable RTL release" gate of the paper's
+    design flow (Figure 5): before a designer hands a module to the formal
+    flow it must be structurally well formed. *)
+
+type issue = {
+  where : string;  (** module name *)
+  what : string;
+}
+
+val check_module : Design.t -> Mdl.t -> issue list
+(** Width-checks every expression, verifies all referenced signals are
+    declared, each wire/output is driven exactly once, input ports are never
+    driven, and instance connections match the instantiated module's ports
+    in existence, direction and width. *)
+
+val check_design : Design.t -> issue list
+val pp_issue : Format.formatter -> issue -> unit

@@ -1,0 +1,61 @@
+module String_map = Map.Make (String)
+
+type t = Mdl.t String_map.t
+
+let empty = String_map.empty
+
+let add t (m : Mdl.t) =
+  if String_map.mem m.name t then
+    invalid_arg (Printf.sprintf "Design.add: duplicate module %s" m.name);
+  String_map.add m.name m t
+
+let replace t (m : Mdl.t) = String_map.add m.name m t
+let find t name = String_map.find_opt name t
+
+let find_exn t name =
+  match find t name with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Design: unknown module %s" name)
+
+let modules t = List.map snd (String_map.bindings t)
+let leaf_modules t = List.filter Mdl.is_leaf (modules t)
+let of_modules ms = List.fold_left add empty ms
+
+let check_closed t =
+  let missing = ref [] in
+  let rec visit path (m : Mdl.t) =
+    if List.mem m.name path then
+      Error (Printf.sprintf "instantiation cycle through %s" m.name)
+    else
+      List.fold_left
+        (fun acc (i : Mdl.instance) ->
+          match acc with
+          | Error _ as e -> e
+          | Ok () -> (
+            match find t i.of_module with
+            | None ->
+              missing := i.of_module :: !missing;
+              Error (Printf.sprintf "undefined module %s (instantiated in %s)"
+                       i.of_module m.name)
+            | Some child -> visit (m.name :: path) child))
+        (Ok ()) m.instances
+  in
+  String_map.fold
+    (fun _ m acc -> match acc with Error _ -> acc | Ok () -> visit [] m)
+    t (Ok ())
+
+let instance_tree t ~root =
+  let rec go path (m : Mdl.t) acc =
+    let acc = (path, m.name) :: acc in
+    List.fold_left
+      (fun acc (i : Mdl.instance) ->
+        let child = find_exn t i.of_module in
+        let child_path =
+          if path = "" then i.inst_name else path ^ "." ^ i.inst_name
+        in
+        go child_path child acc)
+      acc m.instances
+  in
+  List.rev (go "" (find_exn t root) [])
+
+let submodule_count t ~root = List.length (instance_tree t ~root) - 1

@@ -1,0 +1,26 @@
+(** A design: a set of module definitions closed under instantiation. *)
+
+type t
+
+val empty : t
+val add : t -> Mdl.t -> t
+(** Raises [Invalid_argument] if a module of the same name exists. *)
+
+val replace : t -> Mdl.t -> t
+val find : t -> string -> Mdl.t option
+val find_exn : t -> string -> Mdl.t
+val modules : t -> Mdl.t list
+val leaf_modules : t -> Mdl.t list
+
+val of_modules : Mdl.t list -> t
+
+val check_closed : t -> (unit, string) result
+(** Every instantiated module is defined and the hierarchy is acyclic. *)
+
+val instance_tree : t -> root:string -> (string * string) list
+(** [(hierarchical path, module name)] pairs for every instance reachable
+    from [root], including the root itself at path [""]. *)
+
+val submodule_count : t -> root:string -> int
+(** Number of instances (at any depth) below [root] — the paper's
+    "# of Sub" column in Table 2. *)

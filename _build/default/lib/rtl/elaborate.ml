@@ -1,0 +1,83 @@
+exception Error of string
+
+type acc = {
+  mutable wires : (string * int) list;
+  mutable assigns : (string * Expr.t) list;
+  mutable regs : Netlist.flat_reg list;
+}
+
+let run design ~top =
+  (match Design.check_closed design with
+   | Ok () -> ()
+   | Error msg -> raise (Error msg));
+  let top_module =
+    match Design.find design top with
+    | Some m -> m
+    | None -> raise (Error (Printf.sprintf "unknown top module %s" top))
+  in
+  let acc = { wires = []; assigns = []; regs = [] } in
+  let rec inline prefix (m : Mdl.t) =
+    let qual name = if prefix = "" then name else prefix ^ "." ^ name in
+    let rename = Expr.rename qual in
+    List.iter (fun (w, width) -> acc.wires <- (qual w, width) :: acc.wires)
+      m.wires;
+    List.iter
+      (fun (a : Mdl.assign) ->
+        acc.assigns <- (qual a.lhs, rename a.rhs) :: acc.assigns)
+      m.assigns;
+    List.iter
+      (fun (r : Mdl.reg) ->
+        acc.regs <-
+          { Netlist.name = qual r.reg_name; width = r.reg_width;
+            reset_value = r.reset_value; next = rename r.next;
+            cls = r.reg_class; parity_protected = r.parity_protected }
+          :: acc.regs)
+      m.regs;
+    let inline_instance (i : Mdl.instance) =
+      let child = Design.find_exn design i.of_module in
+      let child_prefix = qual i.inst_name in
+      (* Child ports become wires of the flat netlist; inputs are driven by
+         the parent-side actual, outputs alias back into the parent net. *)
+      List.iter
+        (fun (p : Mdl.port) ->
+          let flat_port = child_prefix ^ "." ^ p.port_name in
+          acc.wires <- (flat_port, p.port_width) :: acc.wires;
+          match List.assoc_opt p.port_name i.connections with
+          | None ->
+            if p.dir = Mdl.Input then
+              raise
+                (Error
+                   (Printf.sprintf "unconnected input %s of instance %s in %s"
+                      p.port_name i.inst_name m.name))
+          | Some actual -> (
+            match (p.dir, actual) with
+            | Mdl.Input, Mdl.Expr e ->
+              acc.assigns <- (flat_port, rename e) :: acc.assigns
+            | Mdl.Input, Mdl.Net n ->
+              acc.assigns <- (flat_port, Expr.Var (qual n)) :: acc.assigns
+            | Mdl.Output, Mdl.Net n ->
+              acc.assigns <- (qual n, Expr.Var flat_port) :: acc.assigns
+            | Mdl.Output, Mdl.Expr _ ->
+              raise
+                (Error
+                   (Printf.sprintf
+                      "output %s of instance %s in %s connected to expression"
+                      p.port_name i.inst_name m.name))))
+        child.ports;
+      inline child_prefix child
+    in
+    List.iter inline_instance m.instances
+  in
+  inline "" top_module;
+  let port_pairs dir =
+    List.filter_map
+      (fun (p : Mdl.port) ->
+        if p.dir = dir then Some (p.port_name, p.port_width) else None)
+      top_module.ports
+  in
+  let nl =
+    { Netlist.top; inputs = port_pairs Mdl.Input;
+      outputs = port_pairs Mdl.Output; wires = List.rev acc.wires;
+      assigns = List.rev acc.assigns; regs = List.rev acc.regs }
+  in
+  Netlist.levelize nl

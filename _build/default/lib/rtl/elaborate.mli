@@ -1,0 +1,9 @@
+(** Hierarchy elaboration: inline every instance reachable from a top module
+    into a flat, levelized {!Netlist.t}. Signal names become hierarchical
+    paths ([inst.sub.sig]); the top module's ports keep their plain names. *)
+
+exception Error of string
+
+val run : Design.t -> top:string -> Netlist.t
+(** Raises {!Error} on unbound modules or an output port connected to an
+    expression actual, and {!Netlist.Combinational_loop} via levelization. *)

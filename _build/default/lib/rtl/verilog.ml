@@ -1,0 +1,96 @@
+let range_of_width w = if w = 1 then "" else Printf.sprintf "[%d:0] " (w - 1)
+
+let rec pp_expr ppf (e : Expr.t) =
+  match e with
+  | Expr.Const bv ->
+    Format.fprintf ppf "%d'b%s" (Bitvec.width bv) (Bitvec.to_string bv)
+  | Expr.Var x -> Format.pp_print_string ppf x
+  | Expr.Unop (op, e) ->
+    let sym =
+      match op with
+      | Expr.Not -> "~"
+      | Expr.Red_and -> "&"
+      | Expr.Red_or -> "|"
+      | Expr.Red_xor -> "^"
+    in
+    Format.fprintf ppf "%s(%a)" sym pp_expr e
+  | Expr.Binop (Expr.Concat, a, b) ->
+    Format.fprintf ppf "{%a, %a}" pp_expr a pp_expr b
+  | Expr.Binop (op, a, b) ->
+    let sym =
+      match op with
+      | Expr.And -> "&"
+      | Expr.Or -> "|"
+      | Expr.Xor -> "^"
+      | Expr.Xnor -> "~^"
+      | Expr.Add -> "+"
+      | Expr.Sub -> "-"
+      | Expr.Eq -> "=="
+      | Expr.Ne -> "!="
+      | Expr.Lt -> "<"
+      | Expr.Concat -> assert false
+    in
+    Format.fprintf ppf "(%a %s %a)" pp_expr a sym pp_expr b
+  | Expr.Mux (s, t, e) ->
+    Format.fprintf ppf "(%a ? %a : %a)" pp_expr s pp_expr t pp_expr e
+  | Expr.Slice (Expr.Var x, hi, lo) ->
+    if hi = lo then Format.fprintf ppf "%s[%d]" x lo
+    else Format.fprintf ppf "%s[%d:%d]" x hi lo
+  | Expr.Slice (e, hi, lo) ->
+    if hi = lo then Format.fprintf ppf "(%a)[%d]" pp_expr e lo
+    else Format.fprintf ppf "(%a)[%d:%d]" pp_expr e hi lo
+
+let pp_actual ppf = function
+  | Mdl.Expr e -> pp_expr ppf e
+  | Mdl.Net n -> Format.pp_print_string ppf n
+
+let pp_module ppf (m : Mdl.t) =
+  let port_names =
+    String.concat ", " (List.map (fun (p : Mdl.port) -> p.port_name) m.ports)
+  in
+  Format.fprintf ppf "module %s (%s);@." m.name port_names;
+  List.iter
+    (fun (p : Mdl.port) ->
+      let dir = match p.dir with Mdl.Input -> "input" | Mdl.Output -> "output" in
+      Format.fprintf ppf "  %s %s%s;@." dir (range_of_width p.port_width)
+        p.port_name)
+    m.ports;
+  List.iter
+    (fun (w, width) ->
+      Format.fprintf ppf "  wire %s%s;@." (range_of_width width) w)
+    m.wires;
+  List.iter
+    (fun (r : Mdl.reg) ->
+      Format.fprintf ppf "  reg  %s%s;@." (range_of_width r.reg_width)
+        r.reg_name)
+    m.regs;
+  List.iter
+    (fun (a : Mdl.assign) ->
+      Format.fprintf ppf "  assign %s = %a;@." a.lhs pp_expr a.rhs)
+    m.assigns;
+  List.iter
+    (fun (r : Mdl.reg) ->
+      Format.fprintf ppf "  always @@(posedge CK or posedge RESET)@.";
+      Format.fprintf ppf "    if (RESET) %s <= %d'b%s;@." r.reg_name
+        r.reg_width
+        (Bitvec.to_string r.reset_value);
+      Format.fprintf ppf "    else       %s <= %a;@." r.reg_name pp_expr r.next)
+    m.regs;
+  List.iter
+    (fun (i : Mdl.instance) ->
+      Format.fprintf ppf "  %s %s (@." i.of_module i.inst_name;
+      let n = List.length i.connections in
+      List.iteri
+        (fun k (formal, actual) ->
+          Format.fprintf ppf "    .%s (%a)%s@." formal pp_actual actual
+            (if k = n - 1 then "" else ","))
+        i.connections;
+      Format.fprintf ppf "  );@.")
+    m.instances;
+  Format.fprintf ppf "endmodule@."
+
+let pp_design ppf d =
+  List.iter (fun m -> Format.fprintf ppf "%a@." pp_module m) (Design.modules d)
+
+let module_to_string m = Format.asprintf "%a" pp_module m
+let design_to_string d = Format.asprintf "%a" pp_design d

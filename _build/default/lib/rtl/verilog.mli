@@ -1,0 +1,10 @@
+(** Verilog-2001 emission, in the style of the paper's Figure 6.
+
+    Intended for human inspection and interchange with external tools; the
+    output is synthesizable except that slices of compound expressions (legal
+    in our IR) are emitted with an intermediate-style parenthesization. *)
+
+val pp_module : Format.formatter -> Mdl.t -> unit
+val pp_design : Format.formatter -> Design.t -> unit
+val module_to_string : Mdl.t -> string
+val design_to_string : Design.t -> string

@@ -1,0 +1,477 @@
+exception Error of string * int
+
+(* ---- lexer ---- *)
+
+type token =
+  | ID of string
+  | INT of int
+  | BIN of int * string  (* width, digits *)
+  | LP | RP | LB | RB | LC | RC
+  | SEMI | COMMA | DOT | COLON | QUESTION | AT
+  | EQ | LE_ARROW  (* = and <= *)
+  | TILDE | AMP | BAR | CARET | TILDE_CARET | PLUS | MINUS
+  | EQEQ | NEQ | LT
+  | K_MODULE | K_ENDMODULE | K_INPUT | K_OUTPUT | K_WIRE | K_REG
+  | K_ASSIGN | K_ALWAYS | K_POSEDGE | K_OR | K_IF | K_ELSE
+  | EOF
+
+type lexer = { src : string; mutable off : int; mutable tok : token;
+               mutable pos : int }
+
+let keyword = function
+  | "module" -> Some K_MODULE
+  | "endmodule" -> Some K_ENDMODULE
+  | "input" -> Some K_INPUT
+  | "output" -> Some K_OUTPUT
+  | "wire" -> Some K_WIRE
+  | "reg" -> Some K_REG
+  | "assign" -> Some K_ASSIGN
+  | "always" -> Some K_ALWAYS
+  | "posedge" -> Some K_POSEDGE
+  | "or" -> Some K_OR
+  | "if" -> Some K_IF
+  | "else" -> Some K_ELSE
+  | _ -> None
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec scan lx =
+  let n = String.length lx.src in
+  if lx.off >= n then EOF
+  else
+    let c = lx.src.[lx.off] in
+    match c with
+    | ' ' | '\t' | '\n' | '\r' ->
+      lx.off <- lx.off + 1;
+      scan lx
+    | '/' when lx.off + 1 < n && lx.src.[lx.off + 1] = '/' ->
+      let rec eol i = if i >= n || lx.src.[i] = '\n' then i else eol (i + 1) in
+      lx.off <- eol lx.off;
+      scan lx
+    | '/' when lx.off + 1 < n && lx.src.[lx.off + 1] = '*' ->
+      let rec close i =
+        if i + 1 >= n then raise (Error ("unterminated comment", lx.off))
+        else if lx.src.[i] = '*' && lx.src.[i + 1] = '/' then i + 2
+        else close (i + 1)
+      in
+      lx.off <- close (lx.off + 2);
+      scan lx
+    | '(' -> lx.off <- lx.off + 1; LP
+    | ')' -> lx.off <- lx.off + 1; RP
+    | '[' -> lx.off <- lx.off + 1; LB
+    | ']' -> lx.off <- lx.off + 1; RB
+    | '{' -> lx.off <- lx.off + 1; LC
+    | '}' -> lx.off <- lx.off + 1; RC
+    | ';' -> lx.off <- lx.off + 1; SEMI
+    | ',' -> lx.off <- lx.off + 1; COMMA
+    | '.' -> lx.off <- lx.off + 1; DOT
+    | ':' -> lx.off <- lx.off + 1; COLON
+    | '?' -> lx.off <- lx.off + 1; QUESTION
+    | '@' -> lx.off <- lx.off + 1; AT
+    | '+' -> lx.off <- lx.off + 1; PLUS
+    | '-' -> lx.off <- lx.off + 1; MINUS
+    | '&' -> lx.off <- lx.off + 1; AMP
+    | '|' -> lx.off <- lx.off + 1; BAR
+    | '^' -> lx.off <- lx.off + 1; CARET
+    | '~' ->
+      if lx.off + 1 < n && lx.src.[lx.off + 1] = '^' then begin
+        lx.off <- lx.off + 2;
+        TILDE_CARET
+      end
+      else begin
+        lx.off <- lx.off + 1;
+        TILDE
+      end
+    | '=' ->
+      if lx.off + 1 < n && lx.src.[lx.off + 1] = '=' then begin
+        lx.off <- lx.off + 2;
+        EQEQ
+      end
+      else begin
+        lx.off <- lx.off + 1;
+        EQ
+      end
+    | '!' ->
+      if lx.off + 1 < n && lx.src.[lx.off + 1] = '=' then begin
+        lx.off <- lx.off + 2;
+        NEQ
+      end
+      else raise (Error ("unexpected '!'", lx.off))
+    | '<' ->
+      if lx.off + 1 < n && lx.src.[lx.off + 1] = '=' then begin
+        lx.off <- lx.off + 2;
+        LE_ARROW
+      end
+      else begin
+        lx.off <- lx.off + 1;
+        LT
+      end
+    | c when is_digit c ->
+      let start = lx.off in
+      let rec digits i = if i < n && is_digit lx.src.[i] then digits (i + 1) else i in
+      let stop = digits lx.off in
+      let v = int_of_string (String.sub lx.src start (stop - start)) in
+      if stop < n && lx.src.[stop] = '\'' then begin
+        if stop + 1 >= n || Char.lowercase_ascii lx.src.[stop + 1] <> 'b' then
+          raise (Error ("only binary sized constants supported", stop));
+        let bstart = stop + 2 in
+        let rec bits i =
+          if i < n && (lx.src.[i] = '0' || lx.src.[i] = '1' || lx.src.[i] = '_')
+          then bits (i + 1)
+          else i
+        in
+        let bstop = bits bstart in
+        if bstop = bstart then raise (Error ("empty binary constant", bstart));
+        lx.off <- bstop;
+        BIN (v, String.sub lx.src bstart (bstop - bstart))
+      end
+      else begin
+        lx.off <- stop;
+        INT v
+      end
+    | c when is_id_start c ->
+      let start = lx.off in
+      let rec chars i = if i < n && is_id_char lx.src.[i] then chars (i + 1) else i in
+      let stop = chars lx.off in
+      lx.off <- stop;
+      let word = String.sub lx.src start (stop - start) in
+      (match keyword word with Some k -> k | None -> ID word)
+    | c -> raise (Error (Printf.sprintf "unexpected character %C" c, lx.off))
+
+let advance lx =
+  lx.pos <- lx.off;
+  lx.tok <- scan lx
+
+let make src =
+  let lx = { src; off = 0; tok = EOF; pos = 0 } in
+  advance lx;
+  lx
+
+let next lx =
+  let t = lx.tok in
+  advance lx;
+  t
+
+let fail lx msg = raise (Error (msg, lx.pos))
+
+let expect lx tok what = if next lx <> tok then fail lx ("expected " ^ what)
+
+let ident lx =
+  match next lx with ID s -> s | _ -> fail lx "expected identifier"
+
+(* ---- expressions ---- *)
+
+let bitvec_of lx w digits =
+  let bv = Bitvec.of_string digits in
+  if Bitvec.width bv <> w then
+    fail lx (Printf.sprintf "constant width %d vs %d digits" w (Bitvec.width bv));
+  bv
+
+let rec expr lx = ternary lx
+
+and ternary lx =
+  let c = or_level lx in
+  if lx.tok = QUESTION then begin
+    advance lx;
+    let t = ternary lx in
+    expect lx COLON ":";
+    let e = ternary lx in
+    Expr.Mux (c, t, e)
+  end
+  else c
+
+and or_level lx =
+  let rec loop acc =
+    if lx.tok = BAR then begin
+      advance lx;
+      loop (Expr.Binop (Expr.Or, acc, xor_level lx))
+    end
+    else acc
+  in
+  loop (xor_level lx)
+
+and xor_level lx =
+  let rec loop acc =
+    match lx.tok with
+    | CARET ->
+      advance lx;
+      loop (Expr.Binop (Expr.Xor, acc, and_level lx))
+    | TILDE_CARET ->
+      advance lx;
+      loop (Expr.Binop (Expr.Xnor, acc, and_level lx))
+    | _ -> acc
+  in
+  loop (and_level lx)
+
+and and_level lx =
+  let rec loop acc =
+    if lx.tok = AMP then begin
+      advance lx;
+      loop (Expr.Binop (Expr.And, acc, cmp_level lx))
+    end
+    else acc
+  in
+  loop (cmp_level lx)
+
+and cmp_level lx =
+  let lhs = add_level lx in
+  match lx.tok with
+  | EQEQ ->
+    advance lx;
+    Expr.Binop (Expr.Eq, lhs, add_level lx)
+  | NEQ ->
+    advance lx;
+    Expr.Binop (Expr.Ne, lhs, add_level lx)
+  | LT ->
+    advance lx;
+    Expr.Binop (Expr.Lt, lhs, add_level lx)
+  | _ -> lhs
+
+and add_level lx =
+  let rec loop acc =
+    match lx.tok with
+    | PLUS ->
+      advance lx;
+      loop (Expr.Binop (Expr.Add, acc, unary lx))
+    | MINUS ->
+      advance lx;
+      loop (Expr.Binop (Expr.Sub, acc, unary lx))
+    | _ -> acc
+  in
+  loop (unary lx)
+
+and unary lx =
+  match lx.tok with
+  | TILDE ->
+    advance lx;
+    Expr.Unop (Expr.Not, unary lx)
+  | CARET ->
+    advance lx;
+    Expr.Unop (Expr.Red_xor, unary lx)
+  | AMP ->
+    advance lx;
+    Expr.Unop (Expr.Red_and, unary lx)
+  | BAR ->
+    advance lx;
+    Expr.Unop (Expr.Red_or, unary lx)
+  | _ -> postfix lx
+
+and postfix lx =
+  let rec loop acc =
+    if lx.tok = LB then begin
+      advance lx;
+      let hi = match next lx with INT n -> n | _ -> fail lx "bit index" in
+      let lo =
+        if lx.tok = COLON then begin
+          advance lx;
+          match next lx with INT n -> n | _ -> fail lx "bit index"
+        end
+        else hi
+      in
+      expect lx RB "]";
+      loop (Expr.Slice (acc, hi, lo))
+    end
+    else acc
+  in
+  loop (primary lx)
+
+and primary lx =
+  match next lx with
+  | ID s -> Expr.Var s
+  | BIN (w, digits) -> Expr.Const (bitvec_of lx w digits)
+  | LP ->
+    let e = expr lx in
+    expect lx RP ")";
+    e
+  | LC ->
+    (* n-ary concatenation, leftmost part most significant *)
+    let first = expr lx in
+    let rec parts acc =
+      if lx.tok = COMMA then begin
+        advance lx;
+        parts (expr lx :: acc)
+      end
+      else begin
+        expect lx RC "}";
+        List.rev acc
+      end
+    in
+    let all = parts [ first ] in
+    (match all with
+     | [] -> fail lx "empty concatenation"
+     | hd :: tl ->
+       List.fold_left (fun acc e -> Expr.Binop (Expr.Concat, acc, e)) hd tl)
+  | INT _ -> fail lx "bare integers are only allowed as indices"
+  | _ -> fail lx "expected expression"
+
+(* ---- declarations and statements ---- *)
+
+let range lx =
+  if lx.tok = LB then begin
+    advance lx;
+    let hi = match next lx with INT n -> n | _ -> fail lx "range bound" in
+    expect lx COLON ":";
+    (match next lx with INT 0 -> () | _ -> fail lx "ranges must end at 0");
+    expect lx RB "]";
+    hi + 1
+  end
+  else 1
+
+type raw_reg = { rr_name : string; rr_width : int }
+
+let module_def lx =
+  expect lx K_MODULE "module";
+  let name = ident lx in
+  expect lx LP "(";
+  (* header port list (names repeated in declarations) *)
+  (if lx.tok <> RP then
+     let rec skip () =
+       ignore (ident lx);
+       if lx.tok = COMMA then begin
+         advance lx;
+         skip ()
+       end
+     in
+     skip ());
+  expect lx RP ")";
+  expect lx SEMI ";";
+  let m = ref (Mdl.create name) in
+  let raw_regs : raw_reg list ref = ref [] in
+  let reg_bodies : (string * (Bitvec.t * Expr.t)) list ref = ref [] in
+  let inst_count = ref 0 in
+  let rec items () =
+    match lx.tok with
+    | K_ENDMODULE ->
+      advance lx
+    | K_INPUT ->
+      advance lx;
+      let w = range lx in
+      let n = ident lx in
+      expect lx SEMI ";";
+      m := Mdl.add_input !m n w;
+      items ()
+    | K_OUTPUT ->
+      advance lx;
+      let w = range lx in
+      let n = ident lx in
+      expect lx SEMI ";";
+      m := Mdl.add_output !m n w;
+      items ()
+    | K_WIRE ->
+      advance lx;
+      let w = range lx in
+      let n = ident lx in
+      expect lx SEMI ";";
+      m := Mdl.add_wire !m n w;
+      items ()
+    | K_REG ->
+      advance lx;
+      let w = range lx in
+      let n = ident lx in
+      expect lx SEMI ";";
+      raw_regs := { rr_name = n; rr_width = w } :: !raw_regs;
+      items ()
+    | K_ASSIGN ->
+      advance lx;
+      let lhs = ident lx in
+      expect lx EQ "=";
+      let rhs = expr lx in
+      expect lx SEMI ";";
+      m := Mdl.add_assign !m lhs rhs;
+      items ()
+    | K_ALWAYS ->
+      advance lx;
+      (* always @(posedge CK or posedge RESET) if (RESET) r <= C; else r <= e; *)
+      expect lx AT "@";
+      expect lx LP "(";
+      expect lx K_POSEDGE "posedge";
+      ignore (ident lx);
+      if lx.tok = K_OR then begin
+        advance lx;
+        expect lx K_POSEDGE "posedge";
+        ignore (ident lx)
+      end;
+      expect lx RP ")";
+      expect lx K_IF "if";
+      expect lx LP "(";
+      ignore (ident lx);
+      expect lx RP ")";
+      let r1 = ident lx in
+      expect lx LE_ARROW "<=";
+      let reset_value =
+        match next lx with
+        | BIN (w, digits) -> bitvec_of lx w digits
+        | _ -> fail lx "reset value must be a sized constant"
+      in
+      expect lx SEMI ";";
+      expect lx K_ELSE "else";
+      let r2 = ident lx in
+      if r1 <> r2 then fail lx "always block must target one register";
+      expect lx LE_ARROW "<=";
+      let next_e = expr lx in
+      expect lx SEMI ";";
+      reg_bodies := (r1, (reset_value, next_e)) :: !reg_bodies;
+      items ()
+    | ID child ->
+      advance lx;
+      incr inst_count;
+      let inst_name = ident lx in
+      expect lx LP "(";
+      let rec conns acc =
+        if lx.tok = RP then begin
+          advance lx;
+          List.rev acc
+        end
+        else begin
+          expect lx DOT ".";
+          let formal = ident lx in
+          expect lx LP "(";
+          let actual =
+            match expr lx with
+            | Expr.Var n -> Mdl.Net n
+            | e -> Mdl.Expr e
+          in
+          expect lx RP ")";
+          if lx.tok = COMMA then advance lx;
+          conns ((formal, actual) :: acc)
+        end
+      in
+      let connections = conns [] in
+      expect lx SEMI ";";
+      m := Mdl.add_instance !m inst_name ~of_module:child connections;
+      items ()
+    | _ -> fail lx "expected a declaration, assign, always block or instance"
+  in
+  items ();
+  (* attach register bodies *)
+  List.iter
+    (fun { rr_name; rr_width } ->
+      match List.assoc_opt rr_name !reg_bodies with
+      | Some (reset, next_e) ->
+        m := Mdl.add_reg ~reset !m rr_name rr_width next_e
+      | None ->
+        fail lx (Printf.sprintf "register %s has no always block" rr_name))
+    (List.rev !raw_regs);
+  !m
+
+let parse src =
+  let lx = make src in
+  let rec loop acc =
+    if lx.tok = EOF then List.rev acc else loop (module_def lx :: acc)
+  in
+  loop []
+
+let parse_design src = Design.of_modules (parse src)
+
+let annotate_like ~reference m =
+  Mdl.map_regs
+    (fun (r : Mdl.reg) ->
+      match Mdl.find_reg reference r.Mdl.reg_name with
+      | Some ref_reg ->
+        { r with
+          Mdl.reg_class = ref_reg.Mdl.reg_class;
+          parity_protected = ref_reg.Mdl.parity_protected }
+      | None -> r)
+    m

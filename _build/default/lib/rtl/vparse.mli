@@ -1,0 +1,21 @@
+(** Parser for the synthesizable Verilog subset that {!Verilog} emits —
+    module headers, port/wire/reg declarations, continuous assigns, the
+    single-clock always block idiom of the paper's Figure 6, and module
+    instances with named connections.
+
+    [parse (Verilog.module_to_string m)] reconstructs [m] up to register
+    metadata (the class and parity annotations are not representable in
+    plain Verilog and default to [Plain]/not-protected; use
+    {!annotate_like} to copy them back from a reference module). *)
+
+exception Error of string * int
+(** Message and character offset. *)
+
+val parse : string -> Mdl.t list
+(** Parse one or more module definitions. *)
+
+val parse_design : string -> Design.t
+
+val annotate_like : reference:Mdl.t -> Mdl.t -> Mdl.t
+(** Copy register class and parity-protection flags from same-named
+    registers of [reference]. *)

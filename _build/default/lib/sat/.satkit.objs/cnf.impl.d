@@ -1,0 +1,1 @@
+lib/sat/cnf.ml: Format List Printf

@@ -1,0 +1,29 @@
+type t = { nvars : int; clauses : int list list }
+
+let create ~nvars clauses =
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun lit ->
+          if lit = 0 || abs lit > nvars then
+            invalid_arg (Printf.sprintf "Cnf.create: bad literal %d" lit))
+        clause)
+    clauses;
+  { nvars; clauses }
+
+let num_clauses t = List.length t.clauses
+
+let num_literals t =
+  List.fold_left (fun acc c -> acc + List.length c) 0 t.clauses
+
+let eval t assign =
+  let lit_true lit = if lit > 0 then assign lit else not (assign (-lit)) in
+  List.for_all (fun clause -> List.exists lit_true clause) t.clauses
+
+let pp_dimacs ppf t =
+  Format.fprintf ppf "p cnf %d %d@." t.nvars (num_clauses t);
+  List.iter
+    (fun clause ->
+      List.iter (fun lit -> Format.fprintf ppf "%d " lit) clause;
+      Format.fprintf ppf "0@.")
+    t.clauses

@@ -1,0 +1,16 @@
+(** CNF formulas in DIMACS convention: variables are [1 .. nvars], a literal
+    is a non-zero integer whose sign is its polarity. *)
+
+type t = { nvars : int; clauses : int list list }
+
+val create : nvars:int -> int list list -> t
+(** Validates that every literal is non-zero with [|lit| <= nvars]. *)
+
+val num_clauses : t -> int
+val num_literals : t -> int
+
+val eval : t -> (int -> bool) -> bool
+(** [eval cnf assign] under a total assignment of variables [1..nvars]. *)
+
+val pp_dimacs : Format.formatter -> t -> unit
+(** Standard DIMACS [p cnf] output. *)

@@ -1,0 +1,65 @@
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let header = ref None in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error = ref None in
+  let report msg = if !error = None then error := Some msg in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; v; c ] -> (
+          match (int_of_string_opt v, int_of_string_opt c) with
+          | Some v, Some c ->
+            if !header <> None then report "duplicate header"
+            else header := Some (v, c)
+          | _ -> report (Printf.sprintf "bad header on line %d" (lineno + 1)))
+        | _ -> report (Printf.sprintf "bad header on line %d" (lineno + 1))
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None ->
+                 report (Printf.sprintf "bad literal %S on line %d" tok (lineno + 1))
+               | Some 0 ->
+                 clauses := List.rev !current :: !clauses;
+                 current := []
+               | Some lit -> current := lit :: !current))
+    lines;
+  match !error with
+  | Some msg -> Error msg
+  | None -> (
+    if !current <> [] then Error "unterminated clause (missing 0)"
+    else
+      match !header with
+      | None -> Error "missing p cnf header"
+      | Some (nvars, nclauses) ->
+        let clauses = List.rev !clauses in
+        if List.length clauses <> nclauses then
+          Error
+            (Printf.sprintf "header declares %d clauses, found %d" nclauses
+               (List.length clauses))
+        else (
+          try Ok (Cnf.create ~nvars clauses)
+          with Invalid_argument msg -> Error msg))
+
+let of_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    parse text
+
+let to_file cnf path =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  Cnf.pp_dimacs ppf cnf;
+  Format.pp_print_flush ppf ();
+  close_out oc

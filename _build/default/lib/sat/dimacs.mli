@@ -1,0 +1,8 @@
+(** DIMACS CNF interchange (the standard SAT-solver input format). *)
+
+val parse : string -> (Cnf.t, string) result
+(** Parse DIMACS text: comments ([c ...]), one [p cnf V C] header, clauses
+    terminated by [0]. Clause count mismatches are reported as errors. *)
+
+val of_file : string -> (Cnf.t, string) result
+val to_file : Cnf.t -> string -> unit

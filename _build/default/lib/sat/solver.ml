@@ -1,0 +1,305 @@
+(* CDCL in the MiniSat style. Variables are 0-based internally; literal
+   encoding is 2*v for the positive and 2*v+1 for the negative literal.
+   watches.(l) holds the indices of clauses currently watching literal l;
+   when l becomes false those clauses must find a new watch, propagate, or
+   conflict. *)
+
+type result = Sat of bool array | Unsat | Unknown
+
+let last_decisions = ref 0
+let last_conflicts = ref 0
+let last_propagations = ref 0
+
+let stats_last () = (!last_decisions, !last_conflicts, !last_propagations)
+
+type state = {
+  nvars : int;
+  mutable clauses : int array array;
+  mutable num_clauses : int;
+  watches : int list array;  (* indexed by literal *)
+  assigns : int array;       (* -1 / 0 / 1 per var *)
+  level : int array;
+  reason : int array;        (* clause index or -1 *)
+  trail : int array;
+  mutable trail_size : int;
+  mutable qhead : int;
+  mutable trail_lim : int list;  (* trail sizes at decision points *)
+  activity : float array;
+  mutable var_inc : float;
+  phase : bool array;
+  seen : bool array;
+}
+
+let neg l = l lxor 1
+let var_of l = l lsr 1
+let lit_of_var v sign = (v lsl 1) lor (if sign then 0 else 1)
+
+let value st l =
+  let a = st.assigns.(var_of l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let decision_level st = List.length st.trail_lim
+
+let add_clause_raw st lits =
+  let idx = st.num_clauses in
+  if idx >= Array.length st.clauses then begin
+    let bigger = Array.make (max 16 (2 * Array.length st.clauses)) [||] in
+    Array.blit st.clauses 0 bigger 0 idx;
+    st.clauses <- bigger
+  end;
+  st.clauses.(idx) <- lits;
+  st.num_clauses <- idx + 1;
+  if Array.length lits >= 2 then begin
+    st.watches.(lits.(0)) <- idx :: st.watches.(lits.(0));
+    st.watches.(lits.(1)) <- idx :: st.watches.(lits.(1))
+  end;
+  idx
+
+let enqueue st l reason =
+  match value st l with
+  | 1 -> true
+  | 0 -> false
+  | _ ->
+    let v = var_of l in
+    st.assigns.(v) <- 1 lxor (l land 1);
+    st.level.(v) <- decision_level st;
+    st.reason.(v) <- reason;
+    st.phase.(v) <- l land 1 = 0;
+    st.trail.(st.trail_size) <- l;
+    st.trail_size <- st.trail_size + 1;
+    true
+
+(* returns the index of a conflicting clause, or -1 *)
+let propagate st =
+  let conflict = ref (-1) in
+  while !conflict < 0 && st.qhead < st.trail_size do
+    let p = st.trail.(st.qhead) in
+    st.qhead <- st.qhead + 1;
+    incr last_propagations;
+    let false_lit = neg p in
+    let ws = st.watches.(false_lit) in
+    st.watches.(false_lit) <- [];
+    let rec process = function
+      | [] -> ()
+      | ci :: rest when !conflict >= 0 ->
+        (* conflict already found: retain remaining watches untouched *)
+        st.watches.(false_lit) <- ci :: st.watches.(false_lit);
+        process rest
+      | ci :: rest ->
+        let lits = st.clauses.(ci) in
+        if lits.(0) = false_lit then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- false_lit
+        end;
+        if value st lits.(0) = 1 then begin
+          st.watches.(false_lit) <- ci :: st.watches.(false_lit);
+          process rest
+        end
+        else begin
+          let n = Array.length lits in
+          let rec find_watch k =
+            if k >= n then -1
+            else if value st lits.(k) <> 0 then k
+            else find_watch (k + 1)
+          in
+          let k = find_watch 2 in
+          if k >= 0 then begin
+            lits.(1) <- lits.(k);
+            lits.(k) <- false_lit;
+            st.watches.(lits.(1)) <- ci :: st.watches.(lits.(1));
+            process rest
+          end
+          else begin
+            st.watches.(false_lit) <- ci :: st.watches.(false_lit);
+            if not (enqueue st lits.(0) ci) then begin
+              conflict := ci;
+              st.qhead <- st.trail_size
+            end;
+            process rest
+          end
+        end
+    in
+    process ws
+  done;
+  !conflict
+
+let bump st v =
+  st.activity.(v) <- st.activity.(v) +. st.var_inc;
+  if st.activity.(v) > 1e100 then begin
+    for i = 0 to st.nvars - 1 do
+      st.activity.(i) <- st.activity.(i) *. 1e-100
+    done;
+    st.var_inc <- st.var_inc *. 1e-100
+  end
+
+let analyze st confl =
+  let learnt = ref [] in
+  let path_count = ref 0 in
+  let p = ref (-1) in
+  let index = ref (st.trail_size - 1) in
+  let confl = ref confl in
+  let current_level = decision_level st in
+  let continue = ref true in
+  while !continue do
+    let lits = st.clauses.(!confl) in
+    let start = if !p = -1 then 0 else 1 in
+    for i = start to Array.length lits - 1 do
+      let q = lits.(i) in
+      let v = var_of q in
+      if (not st.seen.(v)) && st.level.(v) > 0 then begin
+        st.seen.(v) <- true;
+        bump st v;
+        if st.level.(v) >= current_level then incr path_count
+        else learnt := q :: !learnt
+      end
+    done;
+    (* pick the next literal to resolve on: last seen var on the trail *)
+    while not st.seen.(var_of st.trail.(!index)) do
+      decr index
+    done;
+    p := st.trail.(!index);
+    decr index;
+    st.seen.(var_of !p) <- false;
+    decr path_count;
+    if !path_count > 0 then confl := st.reason.(var_of !p)
+    else continue := false
+  done;
+  let learnt = Array.of_list (neg !p :: !learnt) in
+  (* clear seen flags *)
+  Array.iter (fun l -> st.seen.(var_of l) <- false) learnt;
+  (* backtrack level: second-highest level in the learnt clause *)
+  let bt_level = ref 0 in
+  let swap_pos = ref 1 in
+  for i = 1 to Array.length learnt - 1 do
+    let lv = st.level.(var_of learnt.(i)) in
+    if lv > !bt_level then begin
+      bt_level := lv;
+      swap_pos := i
+    end
+  done;
+  if Array.length learnt > 1 then begin
+    let tmp = learnt.(1) in
+    learnt.(1) <- learnt.(!swap_pos);
+    learnt.(!swap_pos) <- tmp
+  end;
+  (learnt, !bt_level)
+
+let backtrack st lvl =
+  (* trail_lim is most-recent-first; pop one entry per level removed. The
+     last popped entry is the trail size when level lvl+1 was entered. *)
+  let d = decision_level st in
+  if d > lvl then begin
+    let rec pop lims n bound =
+      if n = 0 then (lims, bound)
+      else
+        match lims with
+        | [] -> ([], bound)
+        | b :: rest -> pop rest (n - 1) b
+    in
+    let new_lims, bound = pop st.trail_lim (d - lvl) st.trail_size in
+    for i = st.trail_size - 1 downto bound do
+      let v = var_of st.trail.(i) in
+      st.assigns.(v) <- -1;
+      st.reason.(v) <- -1
+    done;
+    st.trail_size <- bound;
+    st.qhead <- bound;
+    st.trail_lim <- new_lims
+  end
+
+let decide st =
+  let best = ref (-1) in
+  let best_act = ref neg_infinity in
+  for v = 0 to st.nvars - 1 do
+    if st.assigns.(v) < 0 && st.activity.(v) > !best_act then begin
+      best := v;
+      best_act := st.activity.(v)
+    end
+  done;
+  if !best < 0 then None
+  else begin
+    incr last_decisions;
+    st.trail_lim <- st.trail_size :: st.trail_lim;
+    let l = lit_of_var !best st.phase.(!best) in
+    let ok = enqueue st l (-1) in
+    assert ok;
+    Some !best
+  end
+
+let solve ?(max_conflicts = max_int) (cnf : Cnf.t) =
+  last_decisions := 0;
+  last_conflicts := 0;
+  last_propagations := 0;
+  let n = cnf.Cnf.nvars in
+  let st =
+    { nvars = n; clauses = Array.make 256 [||]; num_clauses = 0;
+      watches = Array.make (2 * max 1 n) []; assigns = Array.make (max 1 n) (-1);
+      level = Array.make (max 1 n) 0; reason = Array.make (max 1 n) (-1);
+      trail = Array.make (max 1 n) 0; trail_size = 0; qhead = 0;
+      trail_lim = []; activity = Array.make (max 1 n) 0.0; var_inc = 1.0;
+      phase = Array.make (max 1 n) false; seen = Array.make (max 1 n) false }
+  in
+  let lit_of_dimacs l =
+    let v = abs l - 1 in
+    lit_of_var v (l > 0)
+  in
+  (* normalize input clauses: dedup, drop tautologies, catch empties/units *)
+  let exception Trivially_unsat in
+  match
+    List.iter
+      (fun clause ->
+        let lits = List.sort_uniq compare (List.map lit_of_dimacs clause) in
+        let tautology =
+          List.exists (fun l -> List.mem (neg l) lits) lits
+        in
+        if not tautology then
+          match lits with
+          | [] -> raise Trivially_unsat
+          | [ l ] -> if not (enqueue st l (-1)) then raise Trivially_unsat
+          | _ -> ignore (add_clause_raw st (Array.of_list lits)))
+      cnf.Cnf.clauses
+  with
+  | exception Trivially_unsat -> Unsat
+  | () ->
+    if propagate st >= 0 then Unsat
+    else begin
+      let conflicts_total = ref 0 in
+      let restart_limit = ref 100 in
+      let conflicts_since_restart = ref 0 in
+      let result = ref None in
+      while !result = None do
+        let confl = propagate st in
+        if confl >= 0 then begin
+          incr conflicts_total;
+          incr conflicts_since_restart;
+          incr last_conflicts;
+          st.var_inc <- st.var_inc /. 0.95;
+          if decision_level st = 0 then result := Some Unsat
+          else if !conflicts_total >= max_conflicts then result := Some Unknown
+          else begin
+            let learnt, bt_level = analyze st confl in
+            backtrack st bt_level;
+            if Array.length learnt = 1 then begin
+              if not (enqueue st learnt.(0) (-1)) then result := Some Unsat
+            end
+            else begin
+              let ci = add_clause_raw st learnt in
+              let ok = enqueue st learnt.(0) ci in
+              assert ok
+            end
+          end
+        end
+        else if !conflicts_since_restart >= !restart_limit then begin
+          conflicts_since_restart := 0;
+          restart_limit := !restart_limit * 3 / 2;
+          backtrack st 0
+        end
+        else
+          match decide st with
+          | None ->
+            let model = Array.init n (fun v -> st.assigns.(v) = 1) in
+            result := Some (Sat model)
+          | Some _ -> ()
+      done;
+      match !result with Some r -> r | None -> assert false
+    end

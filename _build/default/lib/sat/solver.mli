@@ -1,0 +1,16 @@
+(** A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
+    analysis with clause learning, VSIDS-style activity decisions, and
+    geometric restarts. Used as the bounded-model-checking backend (the
+    "various formal solver algorithms" of the paper's commercial tool). *)
+
+type result =
+  | Sat of bool array  (** [model.(v-1)] is the value of DIMACS variable [v] *)
+  | Unsat
+  | Unknown  (** conflict budget exhausted *)
+
+val solve : ?max_conflicts:int -> Cnf.t -> result
+(** [max_conflicts] defaults to unlimited. *)
+
+val stats_last : unit -> int * int * int
+(** [(decisions, conflicts, propagations)] of the most recent [solve] call —
+    a deterministic work measure for benchmarking. *)

@@ -1,0 +1,1 @@
+lib/sim/coverage.ml: Array Bitvec Format Hashtbl List Option Printf Rtl Simulator

@@ -1,0 +1,1 @@
+lib/sim/coverage.mli: Format Simulator

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Bitvec Hashtbl List Printf Rtl

@@ -1,0 +1,1 @@
+lib/sim/stimulus.ml: Bitvec List Random Rtl String

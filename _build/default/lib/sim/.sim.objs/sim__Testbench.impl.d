@@ -1,0 +1,1 @@
+lib/sim/testbench.ml: Hashtbl List Random Simulator Stimulus

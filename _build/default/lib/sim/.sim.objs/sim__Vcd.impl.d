@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Bitvec Buffer Char List Printf Rtl Simulator String

@@ -1,0 +1,108 @@
+type tracked = {
+  signal : string;
+  width : int;
+  seen0 : bool array;
+  seen1 : bool array;
+  values : (Bitvec.t, unit) Hashtbl.t option;
+  mutable prev : Bitvec.t option;
+  mutable transitions : int;
+}
+
+type t = {
+  sim : Simulator.t;
+  tracked : tracked list;
+  mutable cycles : int;
+}
+
+let create ?(value_track_max_width = 12) sim ~signals =
+  let nl = Simulator.netlist sim in
+  let tracked =
+    List.map
+      (fun signal ->
+        let width = Rtl.Netlist.signal_width nl signal in
+        { signal; width; seen0 = Array.make width false;
+          seen1 = Array.make width false;
+          values =
+            (if width <= value_track_max_width then Some (Hashtbl.create 64)
+             else None);
+          prev = None; transitions = 0 })
+      signals
+  in
+  { sim; tracked; cycles = 0 }
+
+let sample t =
+  t.cycles <- t.cycles + 1;
+  List.iter
+    (fun tr ->
+      let v = Simulator.peek t.sim tr.signal in
+      for i = 0 to tr.width - 1 do
+        if Bitvec.get v i then tr.seen1.(i) <- true else tr.seen0.(i) <- true
+      done;
+      (match tr.prev with
+       | Some p ->
+         tr.transitions <- tr.transitions + Bitvec.popcount (Bitvec.logxor p v)
+       | None -> ());
+      tr.prev <- Some v;
+      match tr.values with
+      | Some tbl -> Hashtbl.replace tbl v ()
+      | None -> ())
+    t.tracked
+
+let cycles_sampled t = t.cycles
+
+type signal_report = {
+  signal : string;
+  width : int;
+  bits_toggled : int;
+  values_seen : int option;
+  value_space : float;
+}
+
+let report t =
+  List.map
+    (fun (tr : tracked) ->
+      let toggled = ref 0 in
+      for i = 0 to tr.width - 1 do
+        if tr.seen0.(i) && tr.seen1.(i) then incr toggled
+      done;
+      { signal = tr.signal; width = tr.width; bits_toggled = !toggled;
+        values_seen = Option.map Hashtbl.length tr.values;
+        value_space = 2.0 ** float_of_int tr.width })
+    t.tracked
+
+let toggle_coverage t =
+  let bits, toggled =
+    List.fold_left
+      (fun (b, g) r -> (b + r.width, g + r.bits_toggled))
+      (0, 0) (report t)
+  in
+  if bits = 0 then 1.0 else float_of_int toggled /. float_of_int bits
+
+let value_coverage t signal =
+  let tr = List.find (fun (tr : tracked) -> tr.signal = signal) t.tracked in
+  match tr.values with
+  | None -> invalid_arg "Coverage.value_coverage: value tracking disabled"
+  | Some tbl ->
+    float_of_int (Hashtbl.length tbl) /. (2.0 ** float_of_int tr.width)
+
+let activity t signal =
+  let tr = List.find (fun (tr : tracked) -> tr.signal = signal) t.tracked in
+  if t.cycles <= 1 then 0.0
+  else
+    float_of_int tr.transitions
+    /. float_of_int (tr.width * (t.cycles - 1))
+
+let pp ppf t =
+  Format.fprintf ppf "coverage after %d cycles:@." t.cycles;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-24s %2d/%2d bits toggled%s@." r.signal
+        r.bits_toggled r.width
+        (match r.values_seen with
+         | Some n ->
+           Printf.sprintf ", %d/%.0f values (%.1f%%)" n r.value_space
+             (100.0 *. float_of_int n /. r.value_space)
+         | None -> ""))
+    (report t);
+  Format.fprintf ppf "  overall toggle coverage: %.1f%%@."
+    (100.0 *. toggle_coverage t)

@@ -1,0 +1,42 @@
+(** Cycle-accurate simulation of elaborated netlists.
+
+    A cycle proceeds as: drive inputs, settle combinational logic (one
+    left-to-right pass over the levelized assigns), observe any signal, then
+    clock the registers. [reset] puts every register at its reset value and
+    zeroes the inputs. *)
+
+type t
+
+val create : Rtl.Netlist.t -> t
+(** The netlist must already be levelized (as {!Rtl.Elaborate.run} returns)
+    and valid. *)
+
+val reset : t -> unit
+
+val drive : t -> string -> Bitvec.t -> unit
+(** Set a primary input for the current cycle. Raises [Invalid_argument] on
+    unknown inputs or width mismatches. *)
+
+val drive_all : t -> (string * Bitvec.t) list -> unit
+
+val settle : t -> unit
+(** Recompute all combinational signals from the current inputs and register
+    values. *)
+
+val peek : t -> string -> Bitvec.t
+(** Value of any signal after the last [settle]/[clock]. Raises [Not_found]
+    for undeclared signals. *)
+
+val peek_bit : t -> string -> bool
+(** [peek] for 1-bit signals. *)
+
+val clock : t -> unit
+(** Latch every register's next value (computed from the settled state) and
+    advance the cycle counter; re-settles combinational logic. *)
+
+val cycle : t -> (string * Bitvec.t) list -> unit
+(** [drive_all]; [settle]; [clock] — one full cycle. *)
+
+val cycle_count : t -> int
+val netlist : t -> Rtl.Netlist.t
+val inputs : t -> (string * int) list

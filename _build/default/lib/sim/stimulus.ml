@@ -1,0 +1,48 @@
+type gen = Random.State.t -> Bitvec.t
+
+let constant v _ = v
+let zero w = constant (Bitvec.zero w)
+let uniform w st = Bitvec.random st w
+
+let odd_parity w st =
+  if w = 1 then Bitvec.of_int ~width:1 1
+  else
+    let body = Bitvec.random st (w - 1) in
+    Bitvec.append_odd_parity body
+
+let weighted_bool p st =
+  Bitvec.of_bool (Random.State.float st 1.0 < p)
+
+let choose values st =
+  match values with
+  | [] -> invalid_arg "Stimulus.choose: empty"
+  | _ -> List.nth values (Random.State.int st (List.length values))
+
+type profile = (string * gen) list
+
+let draw profile st = List.map (fun (name, g) -> (name, g st)) profile
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let base_profile ?(parity_inputs = []) ~err_inj (nl : Rtl.Netlist.t) overrides =
+  List.map
+    (fun (name, w) ->
+      match List.assoc_opt name overrides with
+      | Some g -> (name, g)
+      | None ->
+        if contains_sub name "ERR_INJ" then (name, err_inj name w)
+        else if List.mem name parity_inputs then (name, odd_parity w)
+        else (name, uniform w))
+    nl.Rtl.Netlist.inputs
+
+let legal_profile ?parity_inputs ?(overrides = []) nl =
+  base_profile ?parity_inputs ~err_inj:(fun _ w -> zero w) nl overrides
+
+let injection_profile ?parity_inputs ~inject nl =
+  base_profile ?parity_inputs
+    ~err_inj:(fun name w ->
+      match List.assoc_opt name inject with Some g -> g | None -> zero w)
+    nl []

@@ -1,0 +1,39 @@
+(** Stimulus generation for random simulation — the "conventional logic
+    simulation" baseline of the paper. *)
+
+type gen = Random.State.t -> Bitvec.t
+
+val constant : Bitvec.t -> gen
+val zero : int -> gen
+val uniform : int -> gen
+val odd_parity : int -> gen
+(** Uniformly random legal codeword: any value whose total parity is odd
+    (the low [w-1] bits are free, the top bit fixes the parity). *)
+
+val weighted_bool : float -> gen
+(** 1-bit generator with the given probability of 1. *)
+
+val choose : Bitvec.t list -> gen
+
+type profile = (string * gen) list
+(** One generator per primary input. *)
+
+val draw : profile -> Random.State.t -> (string * Bitvec.t) list
+
+val legal_profile :
+  ?parity_inputs:string list ->
+  ?overrides:(string * gen) list ->
+  Rtl.Netlist.t ->
+  profile
+(** The default "normal operation" stimulus: error-injection inputs (names
+    containing [ERR_INJ]) are tied to zero, inputs listed in [parity_inputs]
+    draw odd-parity codewords, everything else is uniform. [overrides] wins
+    over all defaults. *)
+
+val injection_profile :
+  ?parity_inputs:string list ->
+  inject:(string * gen) list ->
+  Rtl.Netlist.t ->
+  profile
+(** Like {!legal_profile} but with chosen error-injection inputs driven by
+    the supplied generators — simulation-side fault injection. *)

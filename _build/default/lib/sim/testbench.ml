@@ -1,0 +1,48 @@
+type watch_result = {
+  signal : string;
+  first_fire : int option;
+  fire_count : int;
+}
+
+type run = { cycles_run : int; watches : watch_result list }
+
+let run_random ?(stop_on_fire = false) sim profile ~cycles ~seed ~watch =
+  let st = Random.State.make [| seed |] in
+  Simulator.reset sim;
+  let first = Hashtbl.create 7 in
+  let count = Hashtbl.create 7 in
+  List.iter (fun s -> Hashtbl.replace count s 0) watch;
+  let fired_any = ref false in
+  let cycles_run = ref 0 in
+  let c = ref 0 in
+  while !c < cycles && not (stop_on_fire && !fired_any) do
+    Simulator.drive_all sim (Stimulus.draw profile st);
+    Simulator.settle sim;
+    List.iter
+      (fun s ->
+        if Simulator.peek_bit sim s then begin
+          fired_any := true;
+          if not (Hashtbl.mem first s) then Hashtbl.replace first s !c;
+          Hashtbl.replace count s (Hashtbl.find count s + 1)
+        end)
+      watch;
+    Simulator.clock sim;
+    incr cycles_run;
+    incr c
+  done;
+  let watches =
+    List.map
+      (fun s ->
+        { signal = s; first_fire = Hashtbl.find_opt first s;
+          fire_count = Hashtbl.find count s })
+      watch
+  in
+  { cycles_run = !cycles_run; watches }
+
+let find run s = List.find_opt (fun w -> w.signal = s) run.watches
+
+let fired run s =
+  match find run s with Some w -> w.fire_count > 0 | None -> false
+
+let first_fire run s =
+  match find run s with Some w -> w.first_fire | None -> None

@@ -1,0 +1,28 @@
+(** Random-simulation testbench: drive a netlist with a stimulus profile for
+    N cycles and watch 1-bit signals (assertion-fail wires, HE reports). *)
+
+type watch_result = {
+  signal : string;
+  first_fire : int option;  (** cycle index of the first cycle it was high *)
+  fire_count : int;
+}
+
+type run = {
+  cycles_run : int;
+  watches : watch_result list;
+}
+
+val run_random :
+  ?stop_on_fire:bool ->
+  Simulator.t ->
+  Stimulus.profile ->
+  cycles:int ->
+  seed:int ->
+  watch:string list ->
+  run
+(** Resets the simulator, then per cycle: draw stimulus, settle, sample the
+    watched signals, clock. With [stop_on_fire] the run ends at the first
+    cycle any watched signal is high. *)
+
+val fired : run -> string -> bool
+val first_fire : run -> string -> int option

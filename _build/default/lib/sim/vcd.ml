@@ -1,0 +1,70 @@
+type t = {
+  sim : Simulator.t;
+  signals : (string * int * string) list;  (* name, width, vcd id *)
+  mutable samples : (string * Bitvec.t) list list;  (* newest first *)
+}
+
+(* VCD identifier codes: printable ASCII starting at '!' *)
+let id_of_index i =
+  let base = 94 and first = 33 in
+  let rec go i acc =
+    let c = Char.chr (first + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let create sim ~signals =
+  let nl = Simulator.netlist sim in
+  let sigs =
+    List.mapi
+      (fun i name ->
+        let w = Rtl.Netlist.signal_width nl name in
+        (name, w, id_of_index i))
+      signals
+  in
+  { sim; signals = sigs; samples = [] }
+
+let sample t =
+  let row =
+    List.map (fun (name, _, _) -> (name, Simulator.peek t.sim name)) t.signals
+  in
+  t.samples <- row :: t.samples
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "$date reproduction run $end\n";
+  Buffer.add_string buf "$version repro data-integrity simulator $end\n";
+  Buffer.add_string buf "$timescale 1ns $end\n";
+  Buffer.add_string buf "$scope module top $end\n";
+  List.iter
+    (fun (name, w, id) ->
+      let safe =
+        String.map (fun c -> if c = '.' then '_' else c) name
+      in
+      Buffer.add_string buf (Printf.sprintf "$var wire %d %s %s $end\n" w id safe))
+    t.signals;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let rows = List.rev t.samples in
+  List.iteri
+    (fun time row ->
+      Buffer.add_string buf (Printf.sprintf "#%d\n" time);
+      List.iter2
+        (fun (_, w, id) (_, v) ->
+          if w = 1 then
+            Buffer.add_string buf
+              (Printf.sprintf "%d%s\n" (if Bitvec.get v 0 then 1 else 0) id)
+          else
+            Buffer.add_string buf
+              (Printf.sprintf "b%s %s\n" (Bitvec.to_string v) id))
+        t.signals row)
+    rows;
+  Buffer.contents buf
+
+let write_file t path =
+  let oc = open_out path in
+  (try output_string oc (to_string t)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

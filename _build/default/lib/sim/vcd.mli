@@ -1,0 +1,14 @@
+(** Value-change-dump (VCD) trace recording for waveform inspection. *)
+
+type t
+
+val create : Simulator.t -> signals:string list -> t
+(** Record the named signals of the simulator's netlist. *)
+
+val sample : t -> unit
+(** Record the current (settled) values as one timestep. *)
+
+val to_string : t -> string
+(** Render the recorded trace as a VCD file. *)
+
+val write_file : t -> string -> unit

@@ -1,0 +1,1 @@
+lib/synth/area.ml: Float Map

@@ -1,0 +1,1 @@
+lib/synth/map.ml: Array Format Gatelib Hashtbl List Option Rtl

@@ -1,0 +1,1 @@
+lib/synth/map.mli: Format Gatelib Rtl

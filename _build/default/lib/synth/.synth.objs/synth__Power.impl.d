@@ -1,0 +1,1 @@
+lib/synth/power.ml: Array Format Gatelib Hashtbl List Rtl

@@ -1,0 +1,1 @@
+lib/synth/timing.ml: Array Float Gatelib Hashtbl List Option Printf Rtl

@@ -1,0 +1,10 @@
+let module_area m = (Map.map_module m).Map.area_ge
+
+let hierarchy_area design ~root = (Map.map_hierarchy design ~root).Map.area_ge
+
+let increase_percent ~base ~with_feature =
+  if base <= 0.0 then invalid_arg "Area.increase_percent: base must be positive";
+  (with_feature -. base) /. base *. 100.0
+
+let gates_estimate design ~root =
+  int_of_float (Float.round (hierarchy_area design ~root))

@@ -1,0 +1,14 @@
+(** Area reporting, including the paper's Table 4 quantity: the relative
+    area cost of the error-injection feature. *)
+
+val module_area : Rtl.Mdl.t -> float
+(** Gate equivalents of one module's own logic. *)
+
+val hierarchy_area : Rtl.Design.t -> root:string -> float
+
+val increase_percent : base:float -> with_feature:float -> float
+(** [(with_feature - base) / base * 100]. *)
+
+val gates_estimate : Rtl.Design.t -> root:string -> int
+(** Rounded gate-equivalent count — comparable to the paper's "logic size:
+    3.5M gates" line in Table 1. *)

@@ -1,0 +1,23 @@
+(** A small standard-cell library with gate-equivalent areas and intrinsic
+    delays representative of the paper's 0.11um CMOS ASIC process. The MUX2
+    delay is the paper's quoted ~200 ps selector delay. *)
+
+type cell = Inv | And2 | Or2 | Xor2 | Mux2 | Dff
+
+val all : cell list
+val name : cell -> string
+
+val area : cell -> float
+(** Gate equivalents (NAND2 = 1.0). *)
+
+val delay : cell -> float
+(** Propagation delay in picoseconds; for [Dff] this is clock-to-Q. *)
+
+val cap_ff : cell -> float
+(** Switched output capacitance in femtofarads (gate + typical wire load),
+    used by the dynamic-power estimate. *)
+
+val supply_v : float
+(** Nominal supply of the modeled 0.11 um process (1.2 V). *)
+
+val clock_period_ps : frequency_mhz:float -> float

@@ -1,0 +1,111 @@
+module X = Rtl.Bexpr
+
+type netcount = {
+  cells : (Gatelib.cell * int) list;
+  area_ge : float;
+}
+
+let zero_counts () =
+  let tbl = Hashtbl.create 7 in
+  List.iter (fun c -> Hashtbl.replace tbl c 0) Gatelib.all;
+  tbl
+
+let bump tbl cell n = Hashtbl.replace tbl cell (Hashtbl.find tbl cell + n)
+
+(* count DAG nodes once each; Xor maps to XOR2, Ite to MUX2 *)
+let count_bexpr tbl seen root =
+  let rec go (e : X.t) =
+    if not (Hashtbl.mem seen (X.id e)) then begin
+      Hashtbl.replace seen (X.id e) ();
+      match e.X.node with
+      | X.True | X.False | X.Var _ -> ()
+      | X.Not a ->
+        bump tbl Gatelib.Inv 1;
+        go a
+      | X.And (a, b) ->
+        bump tbl Gatelib.And2 1;
+        go a;
+        go b
+      | X.Or (a, b) ->
+        bump tbl Gatelib.Or2 1;
+        go a;
+        go b
+      | X.Xor (a, b) ->
+        bump tbl Gatelib.Xor2 1;
+        go a;
+        go b
+      | X.Ite (c, t, e') ->
+        bump tbl Gatelib.Mux2 1;
+        go c;
+        go t;
+        go e'
+    end
+  in
+  go root
+
+let finish tbl =
+  let cells = List.map (fun c -> (c, Hashtbl.find tbl c)) Gatelib.all in
+  let area_ge =
+    List.fold_left
+      (fun acc (c, n) -> acc +. (float_of_int n *. Gatelib.area c))
+      0.0 cells
+  in
+  { cells; area_ge }
+
+let map_module (m : Rtl.Mdl.t) =
+  let tbl = zero_counts () in
+  let seen = Hashtbl.create 997 in
+  (* declared signals are boundaries: every bit is a fresh variable *)
+  let var_of = Hashtbl.create 97 in
+  let next_var = ref 0 in
+  let env name =
+    match Hashtbl.find_opt var_of name with
+    | Some bits -> bits
+    | None ->
+      let w = Rtl.Mdl.signal_width m name in
+      let bits =
+        Array.init w (fun _ ->
+            let v = !next_var in
+            incr next_var;
+            X.var v)
+      in
+      Hashtbl.replace var_of name bits;
+      bits
+  in
+  List.iter
+    (fun (a : Rtl.Mdl.assign) ->
+      Array.iter (count_bexpr tbl seen) (Rtl.Bitblast.expr ~env a.Rtl.Mdl.rhs))
+    m.Rtl.Mdl.assigns;
+  List.iter
+    (fun (r : Rtl.Mdl.reg) ->
+      bump tbl Gatelib.Dff r.Rtl.Mdl.reg_width;
+      Array.iter (count_bexpr tbl seen) (Rtl.Bitblast.expr ~env r.Rtl.Mdl.next))
+    m.Rtl.Mdl.regs;
+  finish tbl
+
+let map_hierarchy design ~root =
+  let tree = Rtl.Design.instance_tree design ~root in
+  (* map each distinct module once; multiply by its instance count *)
+  let uses = Hashtbl.create 97 in
+  List.iter
+    (fun (_, module_name) ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt uses module_name) in
+      Hashtbl.replace uses module_name (n + 1))
+    tree;
+  let tbl = zero_counts () in
+  Hashtbl.iter
+    (fun module_name count ->
+      let nc = map_module (Rtl.Design.find_exn design module_name) in
+      List.iter (fun (c, n) -> bump tbl c (n * count)) nc.cells)
+    uses;
+  finish tbl
+
+let cell_count nc cell =
+  match List.assoc_opt cell nc.cells with Some n -> n | None -> 0
+
+let pp ppf nc =
+  List.iter
+    (fun (c, n) ->
+      if n > 0 then Format.fprintf ppf "%-5s %6d@." (Gatelib.name c) n)
+    nc.cells;
+  Format.fprintf ppf "total %8.1f GE@." nc.area_ge

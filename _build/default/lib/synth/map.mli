@@ -1,0 +1,18 @@
+(** Structural technology mapping: bit-blast a module's own logic (assigns
+    and register next-state functions, instances excluded) and count cells.
+    Declared signals are mapping boundaries, so the counts correspond to the
+    netlist a designer would read. *)
+
+type netcount = {
+  cells : (Gatelib.cell * int) list;  (** every library cell, possibly 0 *)
+  area_ge : float;  (** total gate equivalents *)
+}
+
+val map_module : Rtl.Mdl.t -> netcount
+(** Own logic of one module. *)
+
+val map_hierarchy : Rtl.Design.t -> root:string -> netcount
+(** Sum over the instance tree rooted at [root]. *)
+
+val cell_count : netcount -> Gatelib.cell -> int
+val pp : Format.formatter -> netcount -> unit

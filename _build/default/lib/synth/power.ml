@@ -1,0 +1,103 @@
+module X = Rtl.Bexpr
+module N = Rtl.Netlist
+
+type report = {
+  combinational_mw : float;
+  clock_mw : float;
+  sequential_mw : float;
+  total_mw : float;
+}
+
+(* energy of one switching event of a cell, in femtojoules *)
+let switch_energy_fj voltage cell =
+  0.5 *. Gatelib.cap_ff cell *. voltage *. voltage
+
+let cell_of_node (e : X.t) =
+  match e.X.node with
+  | X.True | X.False | X.Var _ -> None
+  | X.Not _ -> Some Gatelib.Inv
+  | X.And _ -> Some Gatelib.And2
+  | X.Or _ -> Some Gatelib.Or2
+  | X.Xor _ -> Some Gatelib.Xor2
+  | X.Ite _ -> Some Gatelib.Mux2
+
+(* per-root switched capacitance energy, nodes shared across roots counted
+   once at the activity of the first root that reaches them *)
+let cone_energy voltage seen alpha root =
+  let acc = ref 0.0 in
+  let rec go (e : X.t) =
+    if not (Hashtbl.mem seen (X.id e)) then begin
+      Hashtbl.replace seen (X.id e) ();
+      (match cell_of_node e with
+       | Some cell -> acc := !acc +. (alpha *. switch_energy_fj voltage cell)
+       | None -> ());
+      match e.X.node with
+      | X.True | X.False | X.Var _ -> ()
+      | X.Not a -> go a
+      | X.And (a, b) | X.Or (a, b) | X.Xor (a, b) ->
+        go a;
+        go b
+      | X.Ite (c, t, f) ->
+        go c;
+        go t;
+        go f
+    end
+  in
+  go root;
+  !acc
+
+let estimate ?(voltage = Gatelib.supply_v) ?(frequency_mhz = 250.0) nl
+    ~activity =
+  let f_hz = frequency_mhz *. 1.0e6 in
+  (* femtojoules-per-cycle accumulated across the blasted netlist *)
+  let var_of = Hashtbl.create 97 in
+  let next_var = ref 0 in
+  let env name =
+    match Hashtbl.find_opt var_of name with
+    | Some bits -> bits
+    | None ->
+      let w = N.signal_width nl name in
+      let bits =
+        Array.init w (fun _ ->
+            let v = !next_var in
+            incr next_var;
+            X.var v)
+      in
+      Hashtbl.replace var_of name bits;
+      bits
+  in
+  let seen = Hashtbl.create 997 in
+  let comb_fj = ref 0.0 in
+  List.iter
+    (fun (lhs, rhs) ->
+      let alpha = activity lhs in
+      Array.iter
+        (fun bit -> comb_fj := !comb_fj +. cone_energy voltage seen alpha bit)
+        (Rtl.Bitblast.expr ~env rhs))
+    nl.N.assigns;
+  let seq_fj = ref 0.0 in
+  let clock_fj = ref 0.0 in
+  List.iter
+    (fun (r : N.flat_reg) ->
+      let alpha = activity r.N.name in
+      (* next-state logic switches with the register's activity *)
+      Array.iter
+        (fun bit -> comb_fj := !comb_fj +. cone_energy voltage seen alpha bit)
+        (Rtl.Bitblast.expr ~env r.N.next);
+      (* flop output switching + its clock pin every cycle *)
+      let per_bit = switch_energy_fj voltage Gatelib.Dff in
+      seq_fj := !seq_fj +. (alpha *. per_bit *. float_of_int r.N.width);
+      clock_fj := !clock_fj +. (per_bit *. float_of_int r.N.width))
+    nl.N.regs;
+  (* fJ per cycle * cycles per second = fW; fW -> mW is 1e-12 *)
+  let to_mw fj = fj *. f_hz *. 1.0e-12 in
+  let combinational_mw = to_mw !comb_fj in
+  let sequential_mw = to_mw !seq_fj in
+  let clock_mw = to_mw !clock_fj in
+  { combinational_mw; clock_mw; sequential_mw;
+    total_mw = combinational_mw +. sequential_mw +. clock_mw }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "dynamic power: %.3f mW (combinational %.3f, sequential %.3f, clock %.3f)@."
+    r.total_mw r.combinational_mw r.sequential_mw r.clock_mw

@@ -1,0 +1,27 @@
+(** Activity-based dynamic power estimation.
+
+    The classic CMOS dynamic-power model: each gate output switching with
+    activity α dissipates ½ · α · C · V² · f. Activity factors per signal
+    come from simulation (e.g. {!Sim.Coverage.activity}) through the
+    [activity] callback; gates inside a signal's driving cone inherit that
+    signal's activity (a standard zero-delay approximation). Clock power
+    counts every flop's clock pin at activity 1. *)
+
+type report = {
+  combinational_mw : float;
+  clock_mw : float;
+  sequential_mw : float;  (** flop output switching *)
+  total_mw : float;
+}
+
+val estimate :
+  ?voltage:float ->
+  ?frequency_mhz:float ->
+  Rtl.Netlist.t ->
+  activity:(string -> float) ->
+  report
+(** [activity name] is the per-bit switching activity of signal [name] in
+    [0..1]; signals the caller has no data for may return a default (e.g.
+    0.1). Defaults: the library supply voltage and 250 MHz. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,111 @@
+module X = Rtl.Bexpr
+module N = Rtl.Netlist
+
+type report = {
+  critical_path_ps : float;
+  critical_endpoint : string;
+  slack_ps : float;
+  period_ps : float;
+}
+
+let selector_delay_ps = Gatelib.delay Gatelib.Mux2
+
+let node_delay (e : X.t) =
+  match e.X.node with
+  | X.True | X.False | X.Var _ -> 0.0
+  | X.Not _ -> Gatelib.delay Gatelib.Inv
+  | X.And _ -> Gatelib.delay Gatelib.And2
+  | X.Or _ -> Gatelib.delay Gatelib.Or2
+  | X.Xor _ -> Gatelib.delay Gatelib.Xor2
+  | X.Ite _ -> Gatelib.delay Gatelib.Mux2
+
+(* arrival times per signal bit, computed in levelized order *)
+type sta = {
+  nl : N.t;
+  arrivals : (string, float array) Hashtbl.t;
+}
+
+let build nl =
+  let sta = { nl; arrivals = Hashtbl.create 197 } in
+  let clk_to_q = Gatelib.delay Gatelib.Dff in
+  List.iter
+    (fun (name, w) -> Hashtbl.replace sta.arrivals name (Array.make w 0.0))
+    nl.N.inputs;
+  List.iter
+    (fun (r : N.flat_reg) ->
+      Hashtbl.replace sta.arrivals r.name (Array.make r.width clk_to_q))
+    nl.N.regs;
+  (* bit-blast each assign with leaves tagged by arrival time: variable id
+     encodes nothing; we keep a side table id -> arrival *)
+  let leaf_arrival : (int, float) Hashtbl.t = Hashtbl.create 997 in
+  let next_var = ref 0 in
+  let leaf t =
+    let v = !next_var in
+    incr next_var;
+    Hashtbl.replace leaf_arrival v t;
+    X.var v
+  in
+  let env name =
+    match Hashtbl.find_opt sta.arrivals name with
+    | Some times -> Array.map leaf times
+    | None ->
+      invalid_arg (Printf.sprintf "Timing: %s read before driven" name)
+  in
+  let arrival_cache : (int, float) Hashtbl.t = Hashtbl.create 997 in
+  let rec arrival (e : X.t) =
+    match Hashtbl.find_opt arrival_cache (X.id e) with
+    | Some t -> t
+    | None ->
+      let t =
+        match e.X.node with
+        | X.True | X.False -> 0.0
+        | X.Var v -> Option.value ~default:0.0 (Hashtbl.find_opt leaf_arrival v)
+        | X.Not a -> node_delay e +. arrival a
+        | X.And (a, b) | X.Or (a, b) | X.Xor (a, b) ->
+          node_delay e +. Float.max (arrival a) (arrival b)
+        | X.Ite (c, a, b) ->
+          node_delay e
+          +. Float.max (arrival c) (Float.max (arrival a) (arrival b))
+      in
+      Hashtbl.replace arrival_cache (X.id e) t;
+      t
+  in
+  List.iter
+    (fun (lhs, rhs) ->
+      let bits = Rtl.Bitblast.expr ~env rhs in
+      Hashtbl.replace sta.arrivals lhs (Array.map arrival bits))
+    nl.N.assigns;
+  (sta, env, arrival)
+
+let arrival_of_signal nl name =
+  let sta, _, _ = build nl in
+  match Hashtbl.find_opt sta.arrivals name with
+  | Some times -> Array.fold_left Float.max 0.0 times
+  | None -> raise Not_found
+
+let analyze ?(frequency_mhz = 250.0) nl =
+  let sta, env, arrival = build nl in
+  let worst = ref 0.0 in
+  let endpoint = ref "(none)" in
+  let consider name t =
+    if t > !worst then begin
+      worst := t;
+      endpoint := name
+    end
+  in
+  (* paths ending at register D inputs *)
+  List.iter
+    (fun (r : N.flat_reg) ->
+      let bits = Rtl.Bitblast.expr ~env r.next in
+      Array.iter (fun b -> consider r.name (arrival b)) bits)
+    nl.N.regs;
+  (* paths ending at primary outputs *)
+  let out_arrival name =
+    match Hashtbl.find_opt sta.arrivals name with
+    | Some times -> Array.fold_left Float.max 0.0 times
+    | None -> 0.0
+  in
+  List.iter (fun (name, _) -> consider name (out_arrival name)) nl.N.outputs;
+  let period_ps = Gatelib.clock_period_ps ~frequency_mhz in
+  { critical_path_ps = !worst; critical_endpoint = !endpoint;
+    slack_ps = period_ps -. !worst; period_ps }

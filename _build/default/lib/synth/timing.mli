@@ -1,0 +1,21 @@
+(** Static timing analysis over an elaborated netlist: topological
+    longest-path with the library's intrinsic delays. Register outputs
+    launch at clock-to-Q; paths end at register data inputs and primary
+    outputs. *)
+
+type report = {
+  critical_path_ps : float;
+  critical_endpoint : string;  (** register or output name *)
+  slack_ps : float;  (** at the given frequency *)
+  period_ps : float;
+}
+
+val analyze : ?frequency_mhz:float -> Rtl.Netlist.t -> report
+(** [frequency_mhz] defaults to the paper's 250 MHz. *)
+
+val arrival_of_signal : Rtl.Netlist.t -> string -> float
+(** Worst arrival time (ps) across a signal's bits. *)
+
+val selector_delay_ps : float
+(** The injection selector's delay — one MUX2 (the paper reports ~200 ps,
+    ~4-5% of the 250 MHz cycle). *)

@@ -1,0 +1,1 @@
+lib/verifiable/ecc.ml: Array Bitvec Fun List Rtl

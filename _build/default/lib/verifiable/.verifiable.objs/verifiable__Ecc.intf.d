@@ -1,0 +1,1 @@
+lib/verifiable/ecc.mli: Bitvec Rtl

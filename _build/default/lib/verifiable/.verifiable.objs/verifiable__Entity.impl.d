@@ -1,0 +1,1 @@
+lib/verifiable/entity.ml: Format List Rtl

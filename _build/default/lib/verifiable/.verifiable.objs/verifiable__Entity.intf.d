@@ -1,0 +1,1 @@
+lib/verifiable/entity.mli: Format Rtl

@@ -1,0 +1,1 @@
+lib/verifiable/parity.ml: List Rtl

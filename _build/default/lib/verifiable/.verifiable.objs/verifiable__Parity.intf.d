@@ -1,0 +1,1 @@
+lib/verifiable/parity.mli: Rtl

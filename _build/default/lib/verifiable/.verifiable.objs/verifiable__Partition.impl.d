@@ -1,0 +1,1 @@
+lib/verifiable/partition.ml: List Printf Propgen Psl Rtl Transform

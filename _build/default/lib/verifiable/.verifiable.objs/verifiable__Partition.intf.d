@@ -1,0 +1,1 @@
+lib/verifiable/partition.mli: Propgen Psl Rtl Transform

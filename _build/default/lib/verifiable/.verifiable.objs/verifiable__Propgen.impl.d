@@ -1,0 +1,1 @@
+lib/verifiable/propgen.ml: Entity List Printf Psl Rtl Transform

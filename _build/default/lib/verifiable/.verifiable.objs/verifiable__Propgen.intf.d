@@ -1,0 +1,1 @@
+lib/verifiable/propgen.mli: Psl Transform

@@ -1,0 +1,1 @@
+lib/verifiable/spec_infer.ml: Entity Hashtbl List Option Propgen Result Rtl

@@ -1,0 +1,1 @@
+lib/verifiable/spec_infer.mli: Propgen Rtl

@@ -1,0 +1,1 @@
+lib/verifiable/transform.ml: Entity Hashtbl List Printf Rtl String

@@ -1,0 +1,1 @@
+lib/verifiable/transform.mli: Entity Rtl

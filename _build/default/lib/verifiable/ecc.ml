@@ -1,0 +1,132 @@
+module E = Rtl.Expr
+
+type scheme = { data_width : int; check_bits : int; code_width : int }
+
+let scheme ~data_width =
+  if data_width <= 0 then invalid_arg "Ecc.scheme: width must be positive";
+  let rec find r = if 1 lsl r >= data_width + r + 1 then r else find (r + 1) in
+  let check_bits = find 2 in
+  { data_width; check_bits; code_width = data_width + check_bits + 1 }
+
+(* Hamming position (1-based) of each data bit: the non-power-of-two
+   positions in order *)
+let data_positions s =
+  let is_pow2 n = n land (n - 1) = 0 in
+  let rec collect pos acc remaining =
+    if remaining = 0 then List.rev acc
+    else if is_pow2 pos then collect (pos + 1) acc remaining
+    else collect (pos + 1) (pos :: acc) (remaining - 1)
+  in
+  Array.of_list (collect 1 [] s.data_width)
+
+let covers j pos = (pos lsr j) land 1 = 1
+
+(* ---- reference implementation ---- *)
+
+let encode_bv s payload =
+  if Bitvec.width payload <> s.data_width then
+    invalid_arg "Ecc.encode_bv: payload width mismatch";
+  let dpos = data_positions s in
+  let check j =
+    let acc = ref false in
+    for i = 0 to s.data_width - 1 do
+      if covers j dpos.(i) then acc := !acc <> Bitvec.get payload i
+    done;
+    !acc
+  in
+  let checks = Array.init s.check_bits check in
+  let body_parity =
+    let acc = ref false in
+    for i = 0 to s.data_width - 1 do
+      acc := !acc <> Bitvec.get payload i
+    done;
+    Array.iter (fun c -> acc := !acc <> c) checks;
+    !acc
+  in
+  Bitvec.init s.code_width (fun i ->
+      if i < s.data_width then Bitvec.get payload i
+      else if i < s.data_width + s.check_bits then checks.(i - s.data_width)
+      else body_parity)
+
+type decoded = {
+  payload : Bitvec.t;
+  corrected : bool;
+  uncorrectable : bool;
+}
+
+let decode_bv s word =
+  if Bitvec.width word <> s.code_width then
+    invalid_arg "Ecc.decode_bv: codeword width mismatch";
+  let dpos = data_positions s in
+  let syndrome_bit j =
+    let acc = ref (Bitvec.get word (s.data_width + j)) in
+    for i = 0 to s.data_width - 1 do
+      if covers j dpos.(i) then acc := !acc <> Bitvec.get word i
+    done;
+    !acc
+  in
+  let syndrome = ref 0 in
+  for j = 0 to s.check_bits - 1 do
+    if syndrome_bit j then syndrome := !syndrome lor (1 lsl j)
+  done;
+  let odd_overall = Bitvec.red_xor word in
+  let corrected = odd_overall in
+  let uncorrectable = (not odd_overall) && !syndrome <> 0 in
+  let payload =
+    Bitvec.init s.data_width (fun i ->
+        let flip = odd_overall && !syndrome = dpos.(i) in
+        if flip then not (Bitvec.get word i) else Bitvec.get word i)
+  in
+  { payload; corrected; uncorrectable }
+
+(* ---- circuit builders ---- *)
+
+let xor_fold = function
+  | [] -> E.fls
+  | first :: rest -> List.fold_left (fun acc e -> E.(acc ^: e)) first rest
+
+let encode s payload =
+  let dpos = data_positions s in
+  let data_bit i = E.bit payload i in
+  let check j =
+    xor_fold
+      (List.filter_map
+         (fun i -> if covers j dpos.(i) then Some (data_bit i) else None)
+         (List.init s.data_width Fun.id))
+  in
+  let checks = List.init s.check_bits check in
+  let body_parity =
+    xor_fold (List.init s.data_width data_bit @ checks)
+  in
+  (* concat_list wants [hi; ...; lo] *)
+  E.concat_list
+    (body_parity :: List.rev checks
+     @ [ E.slice payload ~hi:(s.data_width - 1) ~lo:0 ])
+
+let decode s word =
+  let dpos = data_positions s in
+  let data_bit i = E.bit word i in
+  let stored_check j = E.bit word (s.data_width + j) in
+  let syndrome_bit j =
+    xor_fold
+      (stored_check j
+       :: List.filter_map
+            (fun i -> if covers j dpos.(i) then Some (data_bit i) else None)
+            (List.init s.data_width Fun.id))
+  in
+  let syndrome_bits = List.init s.check_bits syndrome_bit in
+  let syndrome = E.concat_list (List.rev syndrome_bits) in
+  let syndrome_zero =
+    E.(syndrome ==: of_int ~width:s.check_bits 0)
+  in
+  let odd_overall = E.red_xor word in
+  let corrected = odd_overall in
+  let uncorrectable = E.(!:odd_overall &: !:syndrome_zero) in
+  let payload_bits =
+    List.init s.data_width (fun i ->
+        let flip =
+          E.(odd_overall &: (syndrome ==: of_int ~width:s.check_bits dpos.(i)))
+        in
+        E.(data_bit i ^: flip))
+  in
+  (E.concat_list (List.rev payload_bits), corrected, uncorrectable)

@@ -1,0 +1,41 @@
+(** SECDED (single-error-correct, double-error-detect) Hamming codes.
+
+    The paper's chip protects state with odd parity — detection only. This
+    module provides the standard upgrade path: extended Hamming codes, both
+    as bit-vector reference functions (for testbenches and property-based
+    tests) and as {!Rtl.Expr} circuit builders (for protected-register RTL).
+
+    Layout of a codeword for [data_width] payload bits with [r] check bits:
+    bits [0 .. data_width-1] carry the payload, bits
+    [data_width .. data_width+r-1] the Hamming check bits, and the top bit
+    the overall parity. *)
+
+type scheme = private {
+  data_width : int;
+  check_bits : int;  (** Hamming check bits, excluding the overall parity *)
+  code_width : int;  (** [data_width + check_bits + 1] *)
+}
+
+val scheme : data_width:int -> scheme
+(** Raises [Invalid_argument] for non-positive widths. *)
+
+(** {1 Reference (bit-vector) implementation} *)
+
+val encode_bv : scheme -> Bitvec.t -> Bitvec.t
+
+type decoded = {
+  payload : Bitvec.t;
+  corrected : bool;  (** a single-bit error was corrected *)
+  uncorrectable : bool;  (** a double-bit error was detected *)
+}
+
+val decode_bv : scheme -> Bitvec.t -> decoded
+
+(** {1 Circuit builders} *)
+
+val encode : scheme -> Rtl.Expr.t -> Rtl.Expr.t
+(** [encode s payload] builds the [code_width]-bit codeword expression. *)
+
+val decode : scheme -> Rtl.Expr.t -> Rtl.Expr.t * Rtl.Expr.t * Rtl.Expr.t
+(** [decode s word] is [(payload, corrected, uncorrectable)]: the corrected
+    payload and the two error flags, as combinational logic. *)

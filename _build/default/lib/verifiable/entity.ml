@@ -1,0 +1,33 @@
+type kind = Fsm | Counter | Datapath
+
+type t = {
+  entity_name : string;
+  reg_name : string;
+  kind : kind;
+  width : int;
+}
+
+let kind_of_reg_class = function
+  | Rtl.Mdl.Fsm -> Some Fsm
+  | Rtl.Mdl.Counter -> Some Counter
+  | Rtl.Mdl.Datapath -> Some Datapath
+  | Rtl.Mdl.Plain -> None
+
+let discover (m : Rtl.Mdl.t) =
+  List.filter_map
+    (fun (r : Rtl.Mdl.reg) ->
+      if r.parity_protected then
+        match kind_of_reg_class r.reg_class with
+        | Some kind ->
+          Some
+            { entity_name = r.reg_name; reg_name = r.reg_name; kind;
+              width = r.reg_width }
+        | None -> None
+      else None)
+    m.Rtl.Mdl.regs
+
+let pp ppf t =
+  let kind =
+    match t.kind with Fsm -> "fsm" | Counter -> "counter" | Datapath -> "datapath"
+  in
+  Format.fprintf ppf "%s (%s, %d bits)" t.entity_name kind t.width

@@ -1,0 +1,20 @@
+(** Integrity entities: the units of error injection and integrity checking.
+
+    The paper requires "error injection controlled independently per entity
+    for integrity checking" — an entity is a parity-protected FSM state
+    register, counter, or datapath register. *)
+
+type kind = Fsm | Counter | Datapath
+
+type t = {
+  entity_name : string;
+  reg_name : string;
+  kind : kind;
+  width : int;  (** register width including its embedded parity bit *)
+}
+
+val discover : Rtl.Mdl.t -> t list
+(** All parity-protected registers of a module, in declaration order. *)
+
+val kind_of_reg_class : Rtl.Mdl.reg_class -> kind option
+val pp : Format.formatter -> t -> unit

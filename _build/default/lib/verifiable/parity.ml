@@ -1,0 +1,14 @@
+module E = Rtl.Expr
+
+let encode body = E.concat (E.( !: ) (E.red_xor body)) body
+
+let payload word ~width =
+  if width < 2 then invalid_arg "Parity.payload: width must be at least 2";
+  E.slice word ~hi:(width - 2) ~lo:0
+
+let ok word = E.red_xor word
+let violated word = E.( !: ) (ok word)
+
+let aggregate = function
+  | [] -> E.fls
+  | first :: rest -> List.fold_left (fun acc e -> E.(acc |: e)) first rest

@@ -1,0 +1,20 @@
+(** Odd-parity protection idioms as expression builders. Every protected
+    value in the chip stores its payload together with one parity bit such
+    that the total number of set bits is odd. *)
+
+val encode : Rtl.Expr.t -> Rtl.Expr.t
+(** [encode body] is [{~(^body), body}] — the payload with its odd-parity
+    bit appended above the MSB. *)
+
+val payload : Rtl.Expr.t -> width:int -> Rtl.Expr.t
+(** [payload word ~width] strips the parity bit: the low [width - 1] bits of
+    the [width]-bit protected word. *)
+
+val ok : Rtl.Expr.t -> Rtl.Expr.t
+(** [ok word] is the 1-bit legality check: the word has odd parity. *)
+
+val violated : Rtl.Expr.t -> Rtl.Expr.t
+(** [violated word] = [~(ok word)] — a checker output (one HE source). *)
+
+val aggregate : Rtl.Expr.t list -> Rtl.Expr.t
+(** OR of individual checker outputs — a module's hardware-error report. *)

@@ -1,0 +1,72 @@
+module E = Rtl.Expr
+module M = Rtl.Mdl
+module A = Psl.Ast
+
+type plan = {
+  original : A.vunit;
+  sub_vunits : (string * A.vunit) list;
+  final_vunit : A.vunit;
+  cut_mdl : M.t;
+}
+
+let integrity_decl signal =
+  { A.prop_name = "pIntegrity_" ^ signal;
+    body = A.Always (A.Bool (E.red_xor (E.var signal)));
+    comment = Some (signal ^ " should be odd parity") }
+
+let vunit_of mdl_name ~vunit_name ~assumes ~asserts =
+  { A.vunit_name; bound_module = mdl_name; decls = assumes @ asserts;
+    directives =
+      List.map (fun (d : A.decl) -> { A.dir = A.Assume; target = d.A.prop_name })
+        assumes
+      @ List.map (fun (d : A.decl) -> { A.dir = A.Assert; target = d.A.prop_name })
+          asserts }
+
+(* free each cut wire into a primary input: its driver disappears and the
+   model checker treats it as unconstrained (up to the assumed parity) *)
+let cut_wires (m : M.t) cuts =
+  List.iter
+    (fun c ->
+      if not (List.mem_assoc c m.M.wires) then
+        invalid_arg
+          (Printf.sprintf "Partition: %s is not an internal wire of %s" c
+             m.M.name))
+    cuts;
+  let width c = List.assoc c m.M.wires in
+  let freed =
+    { m with
+      wires = List.filter (fun (w, _) -> not (List.mem w cuts)) m.M.wires;
+      assigns =
+        List.filter (fun (a : M.assign) -> not (List.mem a.M.lhs cuts))
+          m.M.assigns }
+  in
+  List.fold_left (fun acc c -> M.add_input acc c (width c)) freed cuts
+
+let partition (info : Transform.info) spec ~output ~cuts =
+  let name = info.Transform.mdl.M.name in
+  let base_assumes = Propgen.integrity_assume_decls info spec in
+  let original =
+    vunit_of name
+      ~vunit_name:(name ^ "_integrity_" ^ output)
+      ~assumes:base_assumes
+      ~asserts:[ integrity_decl output ]
+  in
+  let sub_vunits =
+    List.map
+      (fun c ->
+        ( c,
+          vunit_of name
+            ~vunit_name:(name ^ "_integrity_" ^ c)
+            ~assumes:base_assumes
+            ~asserts:[ integrity_decl c ] ))
+      cuts
+  in
+  let cut_assumes = List.map integrity_decl cuts in
+  let final_vunit =
+    vunit_of name
+      ~vunit_name:(name ^ "_integrity_" ^ output ^ "_from_cuts")
+      ~assumes:(base_assumes @ cut_assumes)
+      ~asserts:[ integrity_decl output ]
+  in
+  let cut_mdl = cut_wires info.Transform.mdl cuts in
+  { original; sub_vunits; final_vunit; cut_mdl }

@@ -1,0 +1,31 @@
+(** Divide-and-conquer property partitioning (Figure 7).
+
+    When the output-data-integrity property of an output [D] that merges
+    several parity-protected streams times out, cut the cone at intermediate
+    parity checkpoints [A', B', C']:
+
+    - one sub-property per cut: the cut signal keeps odd parity under the
+      original input assumptions (checked on the original module, where
+      cone-of-influence reduction shrinks the problem to the cut's fan-in);
+    - one final property: [D] keeps odd parity *assuming* each cut signal
+      does, checked on a module where the cuts are freed into primary inputs
+      so the fan-in behind them disappears.
+
+    Together the pieces imply the original property (standard
+    assume-guarantee composition over a cut). *)
+
+type plan = {
+  original : Psl.Ast.vunit;  (** the monolithic P2 property for [output] *)
+  sub_vunits : (string * Psl.Ast.vunit) list;
+      (** per cut signal: its integrity property on the original module *)
+  final_vunit : Psl.Ast.vunit;
+      (** integrity of [output] under assumed cut integrity *)
+  cut_mdl : Rtl.Mdl.t;
+      (** module with each cut wire re-declared as a free primary input —
+          check [final_vunit] against this *)
+}
+
+val partition :
+  Transform.info -> Propgen.spec -> output:string -> cuts:string list -> plan
+(** Raises [Invalid_argument] if a cut is not an internal wire of the
+    module. *)

@@ -1,0 +1,160 @@
+module E = Rtl.Expr
+module A = Psl.Ast
+
+type prop_class = P0 | P1 | P2 | P3
+
+let class_name = function
+  | P0 -> "Ability of Error Detection"
+  | P1 -> "Soundness of Internal States"
+  | P2 -> "Output Data Integrity"
+  | P3 -> "Other Properties"
+
+type spec = {
+  he : string;
+  he_map : (string * int) list;
+  parity_inputs : string list;
+  parity_outputs : string list;
+  extra : (string * A.fl) list;
+}
+
+let he_any (info : Transform.info) spec =
+  let w = Rtl.Mdl.signal_width info.Transform.mdl spec.he in
+  if w = 1 then E.var spec.he else E.red_or (E.var spec.he)
+
+(* the report expression for one checker source: its mapped HE bit when
+   known, the whole bus otherwise *)
+let he_for (info : Transform.info) spec source =
+  match List.assoc_opt source spec.he_map with
+  | Some bit ->
+    let w = Rtl.Mdl.signal_width info.Transform.mdl spec.he in
+    if w = 1 then E.var spec.he else E.bit (E.var spec.he) bit
+  | None -> he_any info spec
+
+let he_width (info : Transform.info) spec =
+  Rtl.Mdl.signal_width info.Transform.mdl spec.he
+
+let ec_none (info : Transform.info) =
+  let n = List.length info.Transform.entities in
+  let ec = E.var info.Transform.ec_port in
+  if n = 1 then E.( !: ) ec else E.( !: ) (E.red_or ec)
+
+let decl name ?comment body = { A.prop_name = name; body; comment }
+let assert_ name = { A.dir = A.Assert; target = name }
+let assume_ name = { A.dir = A.Assume; target = name }
+
+(* P0 (Figure 2): per entity, Check1 — injected illegal value reports next
+   cycle; per parity input, Check2 — illegal input reports next cycle. *)
+let edetect_vunit (info : Transform.info) spec =
+  let entity_props =
+    List.map
+      (fun (e : Entity.t) ->
+        let ec = Transform.control_bit info e in
+        let ed = Transform.data_slice info e in
+        let he = he_for info spec e.entity_name in
+        decl
+          ("pCheck_" ^ e.entity_name)
+          ~comment:"ED should be odd parity"
+          (A.Always
+             (A.Implies
+                (A.Bool E.(ec &: !:(red_xor ed)), A.Next (A.Bool he)))))
+      info.Transform.entities
+  in
+  let input_props =
+    List.map
+      (fun i ->
+        let he = he_for info spec i in
+        decl ("pCheckIn_" ^ i) ~comment:"I should be odd parity"
+          (A.Always
+             (A.Implies (A.Bool E.(!:(red_xor (var i))), A.Next (A.Bool he)))))
+      spec.parity_inputs
+  in
+  let decls = entity_props @ input_props in
+  { A.vunit_name = info.Transform.mdl.Rtl.Mdl.name ^ "_edetect";
+    bound_module = info.Transform.mdl.Rtl.Mdl.name; decls;
+    directives = List.map (fun (d : A.decl) -> assert_ d.A.prop_name) decls }
+
+let integrity_assumes (info : Transform.info) spec =
+  let input_assumes =
+    List.map
+      (fun i ->
+        decl ("pIntegrityI_" ^ i) ~comment:"I should be odd parity"
+          (A.Always (A.Bool (E.red_xor (E.var i)))))
+      spec.parity_inputs
+  in
+  let no_injection =
+    decl "pNoErrInjection" ~comment:"Error injection is disabled"
+      (A.Always (A.Bool (ec_none info)))
+  in
+  input_assumes @ [ no_injection ]
+
+let integrity_assume_decls = integrity_assumes
+
+(* P1 (Figure 3): under legal inputs and no injection, no checker fires. *)
+let soundness_vunit (info : Transform.info) spec =
+  let assumes = integrity_assumes info spec in
+  let w = he_width info spec in
+  let asserts =
+    List.init w (fun j ->
+        let bit = if w = 1 then E.var spec.he else E.bit (E.var spec.he) j in
+        decl
+          (if w = 1 then "pNoError" else Printf.sprintf "pNoError_%d" j)
+          ~comment:"then no error is reported"
+          (A.Never (A.Bool bit)))
+  in
+  { A.vunit_name = info.Transform.mdl.Rtl.Mdl.name ^ "_soundness";
+    bound_module = info.Transform.mdl.Rtl.Mdl.name;
+    decls = assumes @ asserts;
+    directives =
+      List.map (fun (d : A.decl) -> assume_ d.A.prop_name) assumes
+      @ List.map (fun (d : A.decl) -> assert_ d.A.prop_name) asserts }
+
+(* P2 (Figure 4): under the same assumptions, outputs keep odd parity. *)
+let integrity_vunit (info : Transform.info) spec =
+  let assumes = integrity_assumes info spec in
+  let asserts =
+    List.map
+      (fun o ->
+        decl ("pIntegrityO_" ^ o) ~comment:"then integrity of O holds"
+          (A.Always (A.Bool (E.red_xor (E.var o)))))
+      spec.parity_outputs
+  in
+  { A.vunit_name = info.Transform.mdl.Rtl.Mdl.name ^ "_integrity";
+    bound_module = info.Transform.mdl.Rtl.Mdl.name;
+    decls = assumes @ asserts;
+    directives =
+      List.map (fun (d : A.decl) -> assume_ d.A.prop_name) assumes
+      @ List.map (fun (d : A.decl) -> assert_ d.A.prop_name) asserts }
+
+let other_vunit (info : Transform.info) spec =
+  match spec.extra with
+  | [] -> None
+  | extra ->
+    let assumes = integrity_assumes info spec in
+    let asserts = List.map (fun (name, body) -> decl name body) extra in
+    Some
+      { A.vunit_name = info.Transform.mdl.Rtl.Mdl.name ^ "_other";
+        bound_module = info.Transform.mdl.Rtl.Mdl.name;
+        decls = assumes @ asserts;
+        directives =
+          List.map (fun (d : A.decl) -> assume_ d.A.prop_name) assumes
+          @ List.map (fun (d : A.decl) -> assert_ d.A.prop_name) asserts }
+
+let all info spec =
+  let base =
+    [ (P0, edetect_vunit info spec); (P1, soundness_vunit info spec);
+      (P2, integrity_vunit info spec) ]
+  in
+  match other_vunit info spec with
+  | Some v -> base @ [ (P3, v) ]
+  | None -> base
+
+let assert_count (v : A.vunit) =
+  List.length (List.filter (fun (d : A.directive) -> d.A.dir = A.Assert) v.A.directives)
+
+let counts info spec =
+  let count cls =
+    List.fold_left
+      (fun acc (c, v) -> if c = cls then acc + assert_count v else acc)
+      0 (all info spec)
+  in
+  (count P0, count P1, count P2, count P3)

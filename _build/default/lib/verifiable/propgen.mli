@@ -1,0 +1,46 @@
+(** Stereotype property generation — the paper's core idea (§3): every leaf
+    module gets the same three kinds of data-integrity properties, derived
+    mechanically from its integrity interface, so designers need no formal
+    expertise.
+
+    - P0, ability of error detection (Figure 2): injecting an illegal value
+      through the error-injection port, or presenting an illegal primary
+      input, must raise HE the next cycle;
+    - P1, soundness of internal states (Figure 3): with legal inputs and no
+      injection, HE never fires;
+    - P2, output data integrity (Figure 4): with legal inputs and no
+      injection, outputs keep odd parity;
+    - P3, other properties supplied by the designer. *)
+
+type prop_class = P0 | P1 | P2 | P3
+
+val class_name : prop_class -> string
+(** ["Ability of Error Detection"], etc. *)
+
+type spec = {
+  he : string;  (** hardware-error report signal (1 bit per checker group) *)
+  he_map : (string * int) list;
+      (** which HE bit carries each entity's / parity input's checker; when
+          an entry exists the P0 property asserts that specific report bit,
+          keeping its verification cone small — otherwise it asserts the OR
+          of the whole HE bus *)
+  parity_inputs : string list;  (** inputs carrying odd-parity codewords *)
+  parity_outputs : string list;
+  extra : (string * Psl.Ast.fl) list;  (** P3, with property names *)
+}
+
+val integrity_assume_decls : Transform.info -> spec -> Psl.Ast.decl list
+(** The shared P1/P2 assumption set: odd parity on every protected input and
+    no error injection ([pIntegrityI_*], [pNoErrInjection]). *)
+
+val edetect_vunit : Transform.info -> spec -> Psl.Ast.vunit
+val soundness_vunit : Transform.info -> spec -> Psl.Ast.vunit
+val integrity_vunit : Transform.info -> spec -> Psl.Ast.vunit
+val other_vunit : Transform.info -> spec -> Psl.Ast.vunit option
+(** [None] when [spec.extra] is empty. *)
+
+val all : Transform.info -> spec -> (prop_class * Psl.Ast.vunit) list
+
+val assert_count : Psl.Ast.vunit -> int
+val counts : Transform.info -> spec -> int * int * int * int
+(** [(p0, p1, p2, p3)] assert counts — the paper's Table 2 columns. *)

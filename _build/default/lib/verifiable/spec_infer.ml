@@ -1,0 +1,134 @@
+module E = Rtl.Expr
+module M = Rtl.Mdl
+
+let ( let* ) = Result.bind
+
+(* every expression in the module: assign right-hand sides and register
+   next-state functions *)
+let all_exprs (m : M.t) =
+  List.map (fun (a : M.assign) -> a.M.rhs) m.M.assigns
+  @ List.map (fun (r : M.reg) -> r.M.next) m.M.regs
+
+(* subterms of the form (^x) for a signal x *)
+let xor_reduced_signals (m : M.t) =
+  let acc = ref [] in
+  let rec walk (e : E.t) =
+    (match e with
+     | E.Unop (E.Red_xor, E.Var x) -> acc := x :: !acc
+     | E.Const _ | E.Var _ | E.Unop _ | E.Binop _ | E.Mux _ | E.Slice _ -> ());
+    match e with
+    | E.Const _ | E.Var _ -> ()
+    | E.Unop (_, a) | E.Slice (a, _, _) -> walk a
+    | E.Binop (_, a, b) ->
+      walk a;
+      walk b
+    | E.Mux (a, b, c) ->
+      walk a;
+      walk b;
+      walk c
+  in
+  List.iter walk (all_exprs m);
+  List.sort_uniq compare !acc
+
+(* expand wires so that structural shapes become visible *)
+let inliner (m : M.t) =
+  let driver = Hashtbl.create 97 in
+  List.iter (fun (a : M.assign) -> Hashtbl.replace driver a.M.lhs a.M.rhs)
+    m.M.assigns;
+  let rec expand visiting (e : E.t) =
+    E.subst
+      (fun x ->
+        if List.mem x visiting then None
+        else
+          Option.map (expand (x :: visiting)) (Hashtbl.find_opt driver x))
+      e
+  in
+  fun e -> E.simplify ~env:(M.signal_width m) (expand [] e)
+
+(* [Concat (~(^body), body)] — the odd-parity re-encoding idiom *)
+let rec is_parity_encoding (e : E.t) =
+  match e with
+  | E.Binop (E.Concat, E.Unop (E.Not, E.Unop (E.Red_xor, b1)), b2) ->
+    E.equal b1 b2
+  | E.Mux (_, t, f) -> is_parity_encoding t && is_parity_encoding f
+  | E.Const _ | E.Var _ | E.Unop _ | E.Binop _ | E.Slice _ -> false
+
+let infer (m : M.t) =
+  let entities = Entity.discover m in
+  let* () =
+    if entities = [] then Error "no parity-protected registers" else Ok ()
+  in
+  let* he =
+    match M.find_port m "HE" with
+    | Some p when p.M.dir = M.Output -> Ok p.M.port_name
+    | Some _ -> Error "HE is not an output"
+    | None -> Error "no HE output port"
+  in
+  let inline = inliner m in
+  let input_names = List.map (fun (p : M.port) -> p.M.port_name) (M.inputs m) in
+  let xored = xor_reduced_signals m in
+  let parity_inputs = List.filter (fun x -> List.mem x input_names) xored in
+  (* latched input checkers: a register whose next function reads (^input) *)
+  let checker_reg_watches =
+    List.filter_map
+      (fun (r : M.reg) ->
+        let watched =
+          List.filter
+            (fun x -> List.mem x parity_inputs)
+            (E.support r.M.next)
+        in
+        match watched with [ x ] -> Some (r.M.reg_name, x) | _ -> None)
+      (List.filter (fun (r : M.reg) -> r.M.reg_width = 1 && not r.M.parity_protected)
+         m.M.regs)
+  in
+  (* parity outputs: driven by a protected register or a re-encoding *)
+  let entity_names = List.map (fun (e : Entity.t) -> e.Entity.reg_name) entities in
+  let parity_outputs =
+    List.filter_map
+      (fun (p : M.port) ->
+        if p.M.dir <> M.Output || p.M.port_name = he then None
+        else
+          match
+            List.find_opt (fun (a : M.assign) -> a.M.lhs = p.M.port_name)
+              m.M.assigns
+          with
+          | None -> None
+          | Some a -> (
+            let driver = inline a.M.rhs in
+            match driver with
+            | E.Var x when List.mem x entity_names -> Some p.M.port_name
+            | _ when is_parity_encoding driver -> Some p.M.port_name
+            | E.Const _ | E.Var _ | E.Unop _ | E.Binop _ | E.Mux _
+            | E.Slice _ ->
+              None))
+      m.M.ports
+  in
+  (* the HE bit map: slice the (inlined) HE driver per bit and look at each
+     bit's support *)
+  let he_map =
+    match
+      List.find_opt (fun (a : M.assign) -> a.M.lhs = he) m.M.assigns
+    with
+    | None -> []
+    | Some a ->
+      let w = M.signal_width m he in
+      let driver = inline a.M.rhs in
+      List.concat
+        (List.init w (fun j ->
+             let bit =
+               E.simplify ~env:(M.signal_width m) (E.slice driver ~hi:j ~lo:j)
+             in
+             let support = E.support bit in
+             let entity_hits =
+               List.filter (fun e -> List.mem e support) entity_names
+             in
+             let input_hits =
+               List.filter_map
+                 (fun (reg, input) ->
+                   if List.mem reg support then Some input else None)
+                 checker_reg_watches
+             in
+             List.map (fun s -> (s, j)) (entity_hits @ input_hits)))
+  in
+  Ok
+    { Propgen.he; he_map; parity_inputs; parity_outputs; extra = [] }

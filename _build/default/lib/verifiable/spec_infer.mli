@@ -1,0 +1,22 @@
+(** Automatic integrity-specification extraction.
+
+    The paper relied on designers writing the data-integrity specification
+    by hand ("we used user-written properties, and automatic assertion
+    extraction was not performed"). This module implements the obvious
+    extension: infer a {!Propgen.spec} from the RTL's structure —
+
+    - the hardware-error report is the output port named [HE];
+    - parity-protected inputs are the inputs whose XOR-reduction is computed
+      somewhere in the module (a checker on the raw input);
+    - parity-protected outputs are the outputs driven (through wires) by a
+      parity-protected register or by an odd-parity re-encoding;
+    - the HE bit map is recovered by slicing the HE driver bit by bit and
+      inspecting each bit's support, tracing latched input checkers back to
+      the input they watch.
+
+    Inference is conservative: it only reports what it can justify
+    structurally, so a designer can always extend the result by hand. *)
+
+val infer : Rtl.Mdl.t -> (Propgen.spec, string) result
+(** Returns [Error] when the module has no [HE] output or no integrity
+    entities. *)

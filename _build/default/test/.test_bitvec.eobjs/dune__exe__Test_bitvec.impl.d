@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Array Bitvec List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_chip.ml: Alcotest Bitvec Chip Lazy List Mc Queue Random Rtl Sim String Synth Verifiable

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bitvec Chip Core Format Lazy List Mc Psl Rtl Sim String Verifiable

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Array Bitvec List QCheck QCheck_alcotest Rtl String

@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Bdd Bitvec Chip Fun Hashtbl List Mc Printf Psl QCheck QCheck_alcotest Queue Random Rtl Sim String Verifiable

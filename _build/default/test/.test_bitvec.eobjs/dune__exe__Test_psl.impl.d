@@ -1,0 +1,1 @@
+test/test_psl.ml: Alcotest Array Bitvec Bool Fun List Printf Psl QCheck QCheck_alcotest Rtl Sim String

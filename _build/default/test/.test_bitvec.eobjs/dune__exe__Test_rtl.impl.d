@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Bitvec Chip List Random Rtl Sim String

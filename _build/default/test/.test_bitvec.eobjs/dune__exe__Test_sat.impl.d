@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Cnf Dimacs Format List QCheck QCheck_alcotest Rtl Solver Tseitin

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bitvec List Random Rtl Sim String

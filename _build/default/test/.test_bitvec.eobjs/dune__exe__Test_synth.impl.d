@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Bitvec Chip Format List Random Rtl Sim String Synth Verifiable

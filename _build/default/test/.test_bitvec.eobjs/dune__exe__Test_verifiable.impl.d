@@ -1,0 +1,1 @@
+test/test_verifiable.ml: Alcotest Bitvec Chip List Mc Printf Psl QCheck QCheck_alcotest Random Result Rtl Sim Verifiable

@@ -1,0 +1,262 @@
+(* ROBDD engine: canonicity, boolean algebra, quantifiers, composition,
+   counting — checked against brute-force truth tables. *)
+
+let nvars = 6
+
+(* a random boolean-function AST we can both evaluate and build as a BDD *)
+type form =
+  | Var of int
+  | Not of form
+  | And of form * form
+  | Or of form * form
+  | Xor of form * form
+
+let rec eval_form assign = function
+  | Var i -> assign i
+  | Not f -> not (eval_form assign f)
+  | And (f, g) -> eval_form assign f && eval_form assign g
+  | Or (f, g) -> eval_form assign f || eval_form assign g
+  | Xor (f, g) -> eval_form assign f <> eval_form assign g
+
+let rec build man = function
+  | Var i -> Bdd.var man i
+  | Not f -> Bdd.not_ man (build man f)
+  | And (f, g) -> Bdd.and_ man (build man f) (build man g)
+  | Or (f, g) -> Bdd.or_ man (build man f) (build man g)
+  | Xor (f, g) -> Bdd.xor man (build man f) (build man g)
+
+let rec pp_form ppf = function
+  | Var i -> Format.fprintf ppf "v%d" i
+  | Not f -> Format.fprintf ppf "!%a" pp_form f
+  | And (f, g) -> Format.fprintf ppf "(%a&%a)" pp_form f pp_form g
+  | Or (f, g) -> Format.fprintf ppf "(%a|%a)" pp_form f pp_form g
+  | Xor (f, g) -> Format.fprintf ppf "(%a^%a)" pp_form f pp_form g
+
+let gen_form =
+  let open QCheck.Gen in
+  fix
+    (fun self depth ->
+      if depth = 0 then map (fun i -> Var i) (int_range 0 (nvars - 1))
+      else
+        frequency
+          [ (2, map (fun i -> Var i) (int_range 0 (nvars - 1)));
+            (2, map2 (fun a b -> And (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (2, map2 (fun a b -> Or (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (2, map2 (fun a b -> Xor (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map (fun a -> Not a) (self (depth - 1))) ])
+    4
+
+let arb_form = QCheck.make ~print:(Format.asprintf "%a" pp_form) gen_form
+
+let assignments =
+  List.init (1 lsl nvars) (fun mask i -> mask lsr i land 1 = 1)
+
+let semantically_equal f g =
+  List.for_all (fun a -> eval_form a f = eval_form a g) assignments
+
+let test_terminals () =
+  let man = Bdd.create ~nvars () in
+  Alcotest.(check bool) "one" true (Bdd.is_one (Bdd.one man));
+  Alcotest.(check bool) "zero" true (Bdd.is_zero (Bdd.zero man));
+  Alcotest.(check bool) "not one" true (Bdd.is_zero (Bdd.not_ man (Bdd.one man)));
+  let v = Bdd.var man 0 in
+  Alcotest.(check bool) "v & !v" true
+    (Bdd.is_zero (Bdd.and_ man v (Bdd.nvar man 0)));
+  Alcotest.(check bool) "v | !v" true
+    (Bdd.is_one (Bdd.or_ man v (Bdd.nvar man 0)));
+  Alcotest.(check bool) "canonicity" true
+    (Bdd.equal (Bdd.and_ man v (Bdd.var man 1)) (Bdd.and_ man (Bdd.var man 1) v))
+
+let test_quantifiers () =
+  let man = Bdd.create ~nvars () in
+  let v0 = Bdd.var man 0 and v1 = Bdd.var man 1 in
+  let f = Bdd.and_ man v0 v1 in
+  Alcotest.(check bool) "exists x0 (x0&x1) = x1" true
+    (Bdd.equal (Bdd.exists man [ 0 ] f) v1);
+  Alcotest.(check bool) "forall x0 (x0&x1) = 0" true
+    (Bdd.is_zero (Bdd.forall man [ 0 ] f));
+  let g = Bdd.or_ man v0 v1 in
+  Alcotest.(check bool) "forall x0 (x0|x1) = x1" true
+    (Bdd.equal (Bdd.forall man [ 0 ] g) v1);
+  Alcotest.(check bool) "and_exists = exists of and" true
+    (Bdd.equal (Bdd.and_exists man [ 0 ] v0 g)
+       (Bdd.exists man [ 0 ] (Bdd.and_ man v0 g)))
+
+let test_compose () =
+  let man = Bdd.create ~nvars () in
+  let v1 = Bdd.var man 1 and v2 = Bdd.var man 2 in
+  let f = Bdd.xor man (Bdd.var man 0) v1 in
+  let sub v = if v = 0 then Some (Bdd.and_ man v2 v1) else None in
+  let composed = Bdd.vector_compose man sub f in
+  let expected = Bdd.xor man (Bdd.and_ man v2 v1) v1 in
+  Alcotest.(check bool) "compose" true (Bdd.equal composed expected)
+
+let test_counting () =
+  let man = Bdd.create ~nvars () in
+  let v0 = Bdd.var man 0 and v1 = Bdd.var man 1 in
+  Alcotest.(check (float 0.01)) "sat_count var" (2.0 ** 5.0)
+    (Bdd.sat_count man v0);
+  Alcotest.(check (float 0.01)) "sat_count and" (2.0 ** 4.0)
+    (Bdd.sat_count man (Bdd.and_ man v0 v1));
+  Alcotest.(check (float 0.01)) "sat_count one" (2.0 ** 6.0)
+    (Bdd.sat_count man (Bdd.one man))
+
+let test_any_sat () =
+  let man = Bdd.create ~nvars () in
+  let f = Bdd.and_ man (Bdd.var man 1) (Bdd.nvar man 3) in
+  let cube = Bdd.any_sat man f in
+  Alcotest.(check bool) "assignment satisfies" true
+    (Bdd.eval man
+       (fun v -> match List.assoc_opt v cube with Some b -> b | None -> false)
+       f);
+  Alcotest.(check bool) "zero raises" true
+    (match Bdd.any_sat man (Bdd.zero man) with
+     | _ -> false
+     | exception Not_found -> true)
+
+let test_node_limit () =
+  let man = Bdd.create ~node_limit:10 ~nvars () in
+  Alcotest.(check bool) "limit fires" true
+    (match
+       List.fold_left
+         (fun acc i -> Bdd.xor man acc (Bdd.var man i))
+         (Bdd.zero man)
+         [ 0; 1; 2; 3; 4; 5 ]
+     with
+     | _ -> false
+     | exception Bdd.Node_limit -> true)
+
+let test_restrict_support () =
+  let man = Bdd.create ~nvars () in
+  let f = Bdd.xor man (Bdd.var man 0) (Bdd.var man 2) in
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (Bdd.support man f);
+  let r = Bdd.restrict man 0 true f in
+  Alcotest.(check bool) "restrict" true (Bdd.equal r (Bdd.nvar man 2));
+  Alcotest.(check (list int)) "support after restrict" [ 2 ] (Bdd.support man r)
+
+let test_fold_paths () =
+  let man = Bdd.create ~nvars () in
+  let f = Bdd.or_ man (Bdd.var man 0) (Bdd.var man 1) in
+  let paths = Bdd.fold_paths man f ~init:0 ~f:(fun acc _ -> acc + 1) in
+  Alcotest.(check int) "two 1-paths" 2 paths
+
+(* properties against truth tables *)
+
+let prop_build_correct =
+  QCheck.Test.make ~name:"BDD agrees with truth table" ~count:300 arb_form
+    (fun form ->
+      let man = Bdd.create ~nvars () in
+      let b = build man form in
+      List.for_all (fun a -> Bdd.eval man a b = eval_form a form) assignments)
+
+let prop_canonical =
+  QCheck.Test.make ~name:"semantic equality iff same node" ~count:200
+    (QCheck.pair arb_form arb_form) (fun (f, g) ->
+      let man = Bdd.create ~nvars () in
+      let bf = build man f and bg = build man g in
+      Bdd.equal bf bg = semantically_equal f g)
+
+let prop_exists_correct =
+  QCheck.Test.make ~name:"exists quantification" ~count:200
+    (QCheck.pair arb_form (QCheck.int_bound (nvars - 1))) (fun (f, v) ->
+      let man = Bdd.create ~nvars () in
+      let b = Bdd.exists man [ v ] (build man f) in
+      List.for_all
+        (fun a ->
+          let expected =
+            eval_form (fun i -> if i = v then false else a i) f
+            || eval_form (fun i -> if i = v then true else a i) f
+          in
+          Bdd.eval man a b = expected)
+        assignments)
+
+let prop_sat_count =
+  QCheck.Test.make ~name:"sat_count equals truth-table count" ~count:200
+    arb_form (fun f ->
+      let man = Bdd.create ~nvars () in
+      let b = build man f in
+      let expected =
+        List.length (List.filter (fun a -> eval_form a f) assignments)
+      in
+      abs_float (Bdd.sat_count man b -. float_of_int expected) < 0.5)
+
+let prop_and_exists_correct =
+  QCheck.Test.make ~name:"and_exists is relational product" ~count:150
+    (QCheck.pair arb_form arb_form) (fun (f, g) ->
+      let man = Bdd.create ~nvars () in
+      let bf = build man f and bg = build man g in
+      Bdd.equal
+        (Bdd.and_exists man [ 0; 2; 4 ] bf bg)
+        (Bdd.exists man [ 0; 2; 4 ] (Bdd.and_ man bf bg)))
+
+(* POBDD layer *)
+
+let test_pobdd_roundtrip () =
+  let man = Bdd.create ~nvars () in
+  let f =
+    Bdd.or_ man
+      (Bdd.and_ man (Bdd.var man 0) (Bdd.var man 2))
+      (Bdd.and_ man (Bdd.nvar man 0) (Bdd.var man 3))
+  in
+  let windows = Pobdd.windows man [ 0; 1 ] in
+  Alcotest.(check int) "window count" 4 (List.length windows);
+  let parts = Pobdd.decompose man ~windows f in
+  Alcotest.(check bool) "recombine restores" true
+    (Bdd.equal (Pobdd.recombine man parts) f);
+  Alcotest.(check bool) "peak below total" true
+    (Pobdd.peak_size man parts <= Pobdd.total_size man parts)
+
+let prop_pobdd_partition =
+  QCheck.Test.make ~name:"POBDD decompose/recombine roundtrip" ~count:100
+    arb_form (fun form ->
+      let man = Bdd.create ~nvars () in
+      let f = build man form in
+      let windows = Pobdd.windows man [ 1; 3 ] in
+      let parts = Pobdd.decompose man ~windows f in
+      Bdd.equal (Pobdd.recombine man parts) f)
+
+let prop_pobdd_windows_disjoint =
+  QCheck.Test.make ~name:"POBDD windows partition the space" ~count:50
+    (QCheck.make (QCheck.Gen.return ())) (fun () ->
+      let man = Bdd.create ~nvars () in
+      let windows = Pobdd.windows man [ 0; 2; 4 ] in
+      let union =
+        List.fold_left (fun acc w -> Bdd.or_ man acc w) (Bdd.zero man) windows
+      in
+      let pairwise_disjoint =
+        List.for_all
+          (fun w1 ->
+            List.for_all
+              (fun w2 ->
+                Bdd.equal w1 w2 || Bdd.is_zero (Bdd.and_ man w1 w2))
+              windows)
+          windows
+      in
+      Bdd.is_one union && pairwise_disjoint)
+
+let test_choose_splitting () =
+  let man = Bdd.create ~nvars () in
+  let f = Bdd.xor man (Bdd.var man 0) (Bdd.var man 4) in
+  let vars = Pobdd.choose_splitting_vars man ~candidates:[ 0; 1; 4 ] ~k:2 f in
+  Alcotest.(check int) "asked for two" 2 (List.length vars)
+
+let () =
+  Alcotest.run "bdd"
+    [ ("unit",
+       [ Alcotest.test_case "terminals and algebra" `Quick test_terminals;
+         Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+         Alcotest.test_case "vector compose" `Quick test_compose;
+         Alcotest.test_case "sat counting" `Quick test_counting;
+         Alcotest.test_case "any_sat" `Quick test_any_sat;
+         Alcotest.test_case "node limit" `Quick test_node_limit;
+         Alcotest.test_case "restrict and support" `Quick test_restrict_support;
+         Alcotest.test_case "fold paths" `Quick test_fold_paths ]);
+      ("pobdd",
+       [ Alcotest.test_case "roundtrip" `Quick test_pobdd_roundtrip;
+         Alcotest.test_case "splitting vars" `Quick test_choose_splitting;
+         QCheck_alcotest.to_alcotest prop_pobdd_partition;
+         QCheck_alcotest.to_alcotest prop_pobdd_windows_disjoint ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_build_correct; prop_canonical; prop_exists_correct;
+           prop_sat_count; prop_and_exists_correct ]) ]

@@ -1,0 +1,183 @@
+(* Unit and property tests for the bit-vector substrate. *)
+
+let bv = Bitvec.of_string
+
+let check_bv = Alcotest.testable Bitvec.pp Bitvec.equal
+
+let test_construction () =
+  Alcotest.(check int) "zero width" 4 (Bitvec.width (Bitvec.zero 4));
+  Alcotest.(check bool) "zero is zero" true (Bitvec.is_zero (Bitvec.zero 4));
+  Alcotest.(check check_bv) "of_int" (bv "1010") (Bitvec.of_int ~width:4 10);
+  Alcotest.(check check_bv) "of_int truncates" (bv "010")
+    (Bitvec.of_int ~width:3 10);
+  Alcotest.(check int) "to_int" 10 (Bitvec.to_int (bv "1010"));
+  Alcotest.(check string) "to_string" "1010" (Bitvec.to_string (bv "1010"));
+  Alcotest.(check check_bv) "underscores" (bv "1010") (bv "10_10");
+  Alcotest.check_raises "empty string" (Invalid_argument "Bitvec.of_string: empty")
+    (fun () -> ignore (bv ""));
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Bitvec: width must be positive") (fun () ->
+      ignore (Bitvec.zero 0))
+
+let test_bit_access () =
+  let v = bv "1010" in
+  Alcotest.(check bool) "bit 0" false (Bitvec.get v 0);
+  Alcotest.(check bool) "bit 1" true (Bitvec.get v 1);
+  Alcotest.(check bool) "bit 3" true (Bitvec.get v 3);
+  Alcotest.(check check_bv) "set" (bv "1011") (Bitvec.set v 0 true);
+  Alcotest.(check check_bv) "clear" (bv "0010") (Bitvec.set v 3 false);
+  Alcotest.(check check_bv) "corrupt flips" (bv "1000") (Bitvec.corrupt_bit v 1)
+
+let test_logic () =
+  let a = bv "1100" and b = bv "1010" in
+  Alcotest.(check check_bv) "and" (bv "1000") (Bitvec.logand a b);
+  Alcotest.(check check_bv) "or" (bv "1110") (Bitvec.logor a b);
+  Alcotest.(check check_bv) "xor" (bv "0110") (Bitvec.logxor a b);
+  Alcotest.(check check_bv) "not" (bv "0011") (Bitvec.lognot a)
+
+let test_reductions () =
+  Alcotest.(check bool) "red_or nonzero" true (Bitvec.red_or (bv "0100"));
+  Alcotest.(check bool) "red_or zero" false (Bitvec.red_or (bv "0000"));
+  Alcotest.(check bool) "red_and ones" true (Bitvec.red_and (bv "1111"));
+  Alcotest.(check bool) "red_and mixed" false (Bitvec.red_and (bv "1101"));
+  Alcotest.(check bool) "red_xor odd" true (Bitvec.red_xor (bv "0111"));
+  Alcotest.(check bool) "red_xor even" false (Bitvec.red_xor (bv "0110"));
+  Alcotest.(check int) "popcount" 3 (Bitvec.popcount (bv "0111"))
+
+let test_arithmetic () =
+  Alcotest.(check check_bv) "add" (bv "0101") (Bitvec.add (bv "0011") (bv "0010"));
+  Alcotest.(check check_bv) "add wraps" (bv "0000")
+    (Bitvec.add (bv "1111") (bv "0001"));
+  Alcotest.(check check_bv) "sub" (bv "0001") (Bitvec.sub (bv "0011") (bv "0010"));
+  Alcotest.(check check_bv) "sub wraps" (bv "1111")
+    (Bitvec.sub (bv "0000") (bv "0001"));
+  Alcotest.(check check_bv) "succ" (bv "0100") (Bitvec.succ (bv "0011"));
+  Alcotest.(check check_bv) "neg" (bv "1111") (Bitvec.neg (bv "0001"))
+
+let test_structure () =
+  Alcotest.(check check_bv) "concat" (bv "10_0111")
+    (Bitvec.concat (bv "10") (bv "0111"));
+  Alcotest.(check check_bv) "slice" (bv "11")
+    (Bitvec.slice (bv "0110") ~hi:2 ~lo:1);
+  Alcotest.(check check_bv) "shift left" (bv "1000")
+    (Bitvec.shift_left (bv "0001") 3);
+  Alcotest.(check check_bv) "shift right" (bv "0001")
+    (Bitvec.shift_right (bv "1000") 3);
+  Alcotest.(check check_bv) "shift out" (bv "0000")
+    (Bitvec.shift_left (bv "1000") 1)
+
+let test_compare () =
+  Alcotest.(check bool) "equal" true (Bitvec.equal (bv "0101") (bv "0101"));
+  Alcotest.(check bool) "unequal" false (Bitvec.equal (bv "0101") (bv "0100"));
+  Alcotest.(check bool) "lt" true (Bitvec.compare (bv "0011") (bv "0100") < 0);
+  Alcotest.(check bool) "gt" true (Bitvec.compare (bv "1000") (bv "0111") > 0);
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Bitvec.compare: width mismatch") (fun () ->
+      ignore (Bitvec.compare (bv "01") (bv "011")))
+
+let test_parity () =
+  Alcotest.(check bool) "odd parity detected" true
+    (Bitvec.has_odd_parity (bv "0001"));
+  Alcotest.(check bool) "even parity detected" false
+    (Bitvec.has_odd_parity (bv "0011"));
+  (* append_odd_parity always yields a legal codeword *)
+  Alcotest.(check bool) "encode 0000" true
+    (Bitvec.has_odd_parity (Bitvec.append_odd_parity (bv "0000")));
+  Alcotest.(check bool) "encode 0111" true
+    (Bitvec.has_odd_parity (Bitvec.append_odd_parity (bv "0111")));
+  Alcotest.(check int) "encode widens" 5
+    (Bitvec.width (Bitvec.append_odd_parity (bv "0111")))
+
+let test_wide () =
+  (* widths above one limb (62 bits) *)
+  let w = 130 in
+  let v = Bitvec.set (Bitvec.zero w) 129 true in
+  Alcotest.(check bool) "high bit set" true (Bitvec.get v 129);
+  Alcotest.(check int) "popcount wide" 1 (Bitvec.popcount v);
+  let all = Bitvec.ones w in
+  Alcotest.(check int) "ones popcount" w (Bitvec.popcount all);
+  Alcotest.(check bool) "red_and wide" true (Bitvec.red_and all);
+  Alcotest.(check check_bv) "not zero is ones" all
+    (Bitvec.lognot (Bitvec.zero w));
+  Alcotest.(check check_bv) "wide add wraps" (Bitvec.zero w)
+    (Bitvec.add all (Bitvec.of_int ~width:w 1))
+
+(* property tests *)
+
+let arb_width = QCheck.Gen.int_range 1 150
+
+let arb_bv =
+  QCheck.make
+    ~print:(fun v -> Bitvec.to_string v)
+    QCheck.Gen.(
+      arb_width >>= fun w ->
+      list_repeat w bool >|= fun bits ->
+      let arr = Array.of_list bits in
+      Bitvec.init w (fun i -> arr.(i)))
+
+let arb_bv_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> Bitvec.to_string a ^ "," ^ Bitvec.to_string b)
+    QCheck.Gen.(
+      arb_width >>= fun w ->
+      let vec = list_repeat w bool >|= fun bits ->
+        let arr = Array.of_list bits in
+        Bitvec.init w (fun i -> arr.(i))
+      in
+      pair vec vec)
+
+let prop_parity_encode =
+  QCheck.Test.make ~name:"append_odd_parity yields odd parity" ~count:200
+    arb_bv (fun v -> Bitvec.has_odd_parity (Bitvec.append_odd_parity v))
+
+let prop_corrupt_breaks_parity =
+  QCheck.Test.make ~name:"single bit flip breaks odd parity" ~count:200 arb_bv
+    (fun v ->
+      let code = Bitvec.append_odd_parity v in
+      not (Bitvec.has_odd_parity (Bitvec.corrupt_bit code 0)))
+
+let prop_xor_involution =
+  QCheck.Test.make ~name:"xor involution" ~count:200 arb_bv_pair
+    (fun (a, b) -> Bitvec.equal (Bitvec.logxor (Bitvec.logxor a b) b) a)
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"add commutes" ~count:200 arb_bv_pair (fun (a, b) ->
+      Bitvec.equal (Bitvec.add a b) (Bitvec.add b a))
+
+let prop_sub_add =
+  QCheck.Test.make ~name:"sub then add restores" ~count:200 arb_bv_pair
+    (fun (a, b) -> Bitvec.equal (Bitvec.add (Bitvec.sub a b) b) a)
+
+let prop_concat_slice =
+  QCheck.Test.make ~name:"concat then slice recovers parts" ~count:200
+    arb_bv_pair (fun (a, b) ->
+      let c = Bitvec.concat a b in
+      let wb = Bitvec.width b in
+      Bitvec.equal (Bitvec.slice c ~hi:(wb - 1) ~lo:0) b
+      && Bitvec.equal (Bitvec.slice c ~hi:(Bitvec.width c - 1) ~lo:wb) a)
+
+let prop_popcount_xor_parity =
+  QCheck.Test.make ~name:"red_xor matches popcount parity" ~count:200 arb_bv
+    (fun v -> Bitvec.red_xor v = (Bitvec.popcount v land 1 = 1))
+
+let prop_roundtrip_string =
+  QCheck.Test.make ~name:"to_string/of_string roundtrip" ~count:200 arb_bv
+    (fun v -> Bitvec.equal v (Bitvec.of_string (Bitvec.to_string v)))
+
+let () =
+  Alcotest.run "bitvec"
+    [ ("unit",
+       [ Alcotest.test_case "construction" `Quick test_construction;
+         Alcotest.test_case "bit access" `Quick test_bit_access;
+         Alcotest.test_case "logic" `Quick test_logic;
+         Alcotest.test_case "reductions" `Quick test_reductions;
+         Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+         Alcotest.test_case "structure" `Quick test_structure;
+         Alcotest.test_case "compare" `Quick test_compare;
+         Alcotest.test_case "parity" `Quick test_parity;
+         Alcotest.test_case "wide vectors" `Quick test_wide ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_parity_encode; prop_corrupt_breaks_parity; prop_xor_involution;
+           prop_add_comm; prop_sub_add; prop_concat_slice;
+           prop_popcount_xor_parity; prop_roundtrip_string ]) ]

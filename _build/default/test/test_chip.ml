@@ -1,0 +1,307 @@
+(* Synthetic chip generation: structural fidelity to Table 2, archetype
+   behavior, bug seeding, and the lint-clean / elaborable invariants. *)
+
+module G = Chip.Generator
+module M = Rtl.Mdl
+
+let chip = lazy (G.generate ())
+let clean_chip = lazy (G.generate ~with_bugs:false ())
+
+let test_table2_structure () =
+  let t = Lazy.force chip in
+  let p0, p1, p2, p3 = G.total_counts t in
+  Alcotest.(check int) "P0 total" 1306 p0;
+  Alcotest.(check int) "P1 total" 200 p1;
+  Alcotest.(check int) "P2 total" 520 p2;
+  Alcotest.(check int) "P3 total" 21 p3;
+  Alcotest.(check int) "grand total" 2047 (p0 + p1 + p2 + p3);
+  List.iter
+    (fun (c : G.category) ->
+      Alcotest.(check int)
+        ("category " ^ c.G.cat_name ^ " submodules")
+        c.G.expected.G.sub (List.length c.G.units))
+    t.G.categories
+
+let test_per_category_counts () =
+  let t = Lazy.force chip in
+  List.iter
+    (fun (c : G.category) ->
+      let sums =
+        List.fold_left
+          (fun (a, b, cc, d) (u : G.unit_) ->
+            let p0, p1, p2, p3 =
+              Verifiable.Propgen.counts u.G.info u.G.spec
+            in
+            (a + p0, b + p1, cc + p2, d + p3))
+          (0, 0, 0, 0) c.G.units
+      in
+      let s0, s1, s2, s3 = sums in
+      Alcotest.(check int) (c.G.cat_name ^ " P0") c.G.expected.G.p0 s0;
+      Alcotest.(check int) (c.G.cat_name ^ " P1") c.G.expected.G.p1 s1;
+      Alcotest.(check int) (c.G.cat_name ^ " P2") c.G.expected.G.p2 s2;
+      Alcotest.(check int) (c.G.cat_name ^ " P3") c.G.expected.G.p3 s3)
+    t.G.categories
+
+let test_design_clean () =
+  let t = Lazy.force chip in
+  Alcotest.(check bool) "verifiable design closed" true
+    (Rtl.Design.check_closed t.G.design = Ok ());
+  Alcotest.(check bool) "base design closed" true
+    (Rtl.Design.check_closed t.G.base_design = Ok ());
+  Alcotest.(check int) "verifiable design lint-clean" 0
+    (List.length (Rtl.Check.check_design t.G.design));
+  Alcotest.(check int) "base design lint-clean" 0
+    (List.length (Rtl.Check.check_design t.G.base_design))
+
+let test_chip_elaborates () =
+  let t = Lazy.force chip in
+  let nl = Rtl.Elaborate.run t.G.design ~top:t.G.chip_top in
+  Alcotest.(check bool) "flat netlist valid" true
+    (Rtl.Netlist.validate nl = Ok ())
+
+let test_bug_placement () =
+  let t = Lazy.force chip in
+  List.iter
+    (fun bug ->
+      let cat, u = G.find_unit t bug in
+      Alcotest.(check bool)
+        (Chip.Bugs.name bug ^ " placed")
+        true
+        (u.G.leaf.Chip.Archetype.bug = Some bug);
+      let expected_cat =
+        match bug with
+        | Chip.Bugs.B0 | Chip.Bugs.B1 | Chip.Bugs.B2 -> "A"
+        | Chip.Bugs.B3 -> "C"
+        | Chip.Bugs.B4 -> "D"
+        | Chip.Bugs.B5 | Chip.Bugs.B6 -> "E"
+      in
+      Alcotest.(check string) (Chip.Bugs.name bug ^ " category") expected_cat
+        cat.G.cat_name)
+    Chip.Bugs.all;
+  let clean = Lazy.force clean_chip in
+  Alcotest.(check bool) "clean chip has no bugs" true
+    (match G.find_unit clean Chip.Bugs.B0 with
+     | _ -> false
+     | exception Not_found -> true)
+
+let test_bug_counts_per_category () =
+  let t = Lazy.force chip in
+  List.iter
+    (fun (c : G.category) ->
+      let seeded =
+        List.length
+          (List.filter (fun (u : G.unit_) -> u.G.leaf.Chip.Archetype.bug <> None)
+             c.G.units)
+      in
+      Alcotest.(check int)
+        ("bugs seeded in " ^ c.G.cat_name)
+        c.G.expected.G.bugs seeded)
+    t.G.categories
+
+let test_chip_scale () =
+  let t = Lazy.force chip in
+  let gates = Synth.Area.gates_estimate t.G.design ~root:t.G.chip_top in
+  (* Table 1: 3.5M gates, within 5% *)
+  Alcotest.(check bool) "about 3.5M gates" true
+    (abs (gates - 3_500_000) < 175_000)
+
+let test_area_increase_shape () =
+  let t = Lazy.force chip in
+  let row name =
+    let c = List.find (fun (c : G.category) -> c.G.cat_name = name) t.G.categories in
+    let ver = Synth.Area.hierarchy_area t.G.design ~root:c.G.top in
+    let base = Synth.Area.hierarchy_area t.G.base_design ~root:c.G.top in
+    Synth.Area.increase_percent ~base ~with_feature:ver
+  in
+  (* Table 4: A 1.4%, B 0.4%, D 0.2% — allow 0.25 points of slack *)
+  Alcotest.(check bool) "A near 1.4%" true (abs_float (row "A" -. 1.4) < 0.25);
+  Alcotest.(check bool) "B near 0.4%" true (abs_float (row "B" -. 0.4) < 0.25);
+  Alcotest.(check bool) "D near 0.2%" true (abs_float (row "D" -. 0.2) < 0.25)
+
+(* archetype-level behavior *)
+
+let elaborated m = Rtl.Elaborate.run (Rtl.Design.of_modules [ m ]) ~top:m.M.name
+
+let test_clean_archetypes_quiet () =
+  (* every bug-free archetype keeps HE low under legal stimulus *)
+  let archetypes =
+    [ Chip.Archetype.fsm_ctrl ~name:"t_fsm" ();
+      Chip.Archetype.counter ~name:"t_cnt" ();
+      Chip.Archetype.csr ~name:"t_csr" ();
+      Chip.Archetype.macro_if ~name:"t_mif" ();
+      Chip.Archetype.datapath ~name:"t_alu" ();
+      Chip.Archetype.decoder ~name:"t_dec" ();
+      Chip.Archetype.merge ~name:"t_mrg" ();
+      Chip.Archetype.filler ~name:"t_fil" ~n_fsm:1 ~n_cnt:1 ~n_dp:1
+        ~n_parity_in:2 ~n_parity_out:2 ~he_bits:2 ~n_extra:1 ]
+  in
+  List.iter
+    (fun leaf ->
+      let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
+      let nl = elaborated info.Verifiable.Transform.mdl in
+      let sim = Sim.Simulator.create nl in
+      let profile =
+        Sim.Stimulus.legal_profile
+          ~parity_inputs:leaf.Chip.Archetype.parity_inputs
+          ~overrides:leaf.Chip.Archetype.sim_overrides nl
+      in
+      let st = Random.State.make [| 21 |] in
+      Sim.Simulator.reset sim;
+      for _ = 1 to 500 do
+        Sim.Simulator.drive_all sim (Sim.Stimulus.draw profile st);
+        Sim.Simulator.settle sim;
+        Alcotest.(check bool)
+          (leaf.Chip.Archetype.mdl.M.name ^ " HE quiet")
+          true
+          (Bitvec.is_zero (Sim.Simulator.peek sim leaf.Chip.Archetype.he));
+        Sim.Simulator.clock sim
+      done)
+    archetypes
+
+let test_injection_reports () =
+  (* corrupting any entity through the injection port raises HE next cycle *)
+  let leaf = Chip.Archetype.counter ~name:"inj_cnt" () in
+  let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
+  let nl = elaborated info.Verifiable.Transform.mdl in
+  let sim = Sim.Simulator.create nl in
+  Sim.Simulator.reset sim;
+  (* inject an even-parity (illegal) value *)
+  Sim.Simulator.cycle sim
+    [ ("EN", Bitvec.of_int ~width:1 0); ("LOAD", Bitvec.of_int ~width:1 0);
+      ("LOAD_VAL", Bitvec.of_string "10000");
+      (info.Verifiable.Transform.ec_port, Bitvec.of_int ~width:1 1);
+      (info.Verifiable.Transform.ed_port, Bitvec.of_string "00011") ];
+  Sim.Simulator.drive_all sim
+    [ (info.Verifiable.Transform.ec_port, Bitvec.of_int ~width:1 0) ];
+  Sim.Simulator.settle sim;
+  Alcotest.(check bool) "HE fired after injection" true
+    (not (Bitvec.is_zero (Sim.Simulator.peek sim "HE")))
+
+let test_filler_validation () =
+  Alcotest.(check bool) "needs entity" true
+    (match
+       Chip.Archetype.filler ~name:"f0" ~n_fsm:0 ~n_cnt:0 ~n_dp:0
+         ~n_parity_in:1 ~n_parity_out:1 ~he_bits:1 ~n_extra:0
+     with
+     | _ -> false
+     | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "extras need fsm" true
+    (match
+       Chip.Archetype.filler ~name:"f1" ~n_fsm:0 ~n_cnt:1 ~n_dp:0
+         ~n_parity_in:0 ~n_parity_out:1 ~he_bits:1 ~n_extra:1
+     with
+     | _ -> false
+     | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "dp needs input" true
+    (match
+       Chip.Archetype.filler ~name:"f2" ~n_fsm:0 ~n_cnt:0 ~n_dp:1
+         ~n_parity_in:0 ~n_parity_out:1 ~he_bits:1 ~n_extra:0
+     with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let test_bug_descriptions () =
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Chip.Bugs.name b ^ " described")
+        true
+        (String.length (Chip.Bugs.describe b) > 20))
+    Chip.Bugs.all;
+  Alcotest.(check int) "seven bugs" 7 (List.length Chip.Bugs.all)
+
+
+(* ---- FIFO archetype ---- *)
+
+let test_fifo_behaves_like_queue () =
+  let leaf = Chip.Archetype.fifo ~name:"t_fifo" () in
+  let nl = elaborated leaf.Chip.Archetype.mdl in
+  let sim = Sim.Simulator.create nl in
+  Sim.Simulator.reset sim;
+  let model = Queue.create () in
+  let st = Random.State.make [| 2025 |] in
+  for _ = 1 to 500 do
+    let push = Random.State.bool st in
+    let pop = Random.State.bool st in
+    let din = Sim.Stimulus.odd_parity 5 st in
+    (* sample flags before the edge to know what the DUT will accept *)
+    Sim.Simulator.drive_all sim
+      [ ("PUSH", Bitvec.of_bool push); ("POP", Bitvec.of_bool pop);
+        ("DIN", din) ];
+    Sim.Simulator.settle sim;
+    let full = Sim.Simulator.peek_bit sim "FULL" in
+    let empty = Sim.Simulator.peek_bit sim "EMPTY" in
+    Alcotest.(check bool) "flags vs model" (Queue.length model = 4) full;
+    Alcotest.(check bool) "empty vs model" (Queue.length model = 0) empty;
+    if (not empty) then
+      Alcotest.(check bool) "head matches model" true
+        (Bitvec.equal (Sim.Simulator.peek sim "DOUT") (Queue.peek model));
+    if push && not full then Queue.add din model;
+    if pop && not empty then ignore (Queue.pop model);
+    Sim.Simulator.clock sim;
+    Alcotest.(check bool) "HE quiet" true
+      (Bitvec.is_zero (Sim.Simulator.peek sim "HE"))
+  done
+
+let test_fifo_properties_prove () =
+  let leaf = Chip.Archetype.fifo ~name:"t_fifo2" () in
+  let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
+  Alcotest.(check int) "seven entities" 7
+    (List.length info.Verifiable.Transform.entities);
+  let spec =
+    { Verifiable.Propgen.he = leaf.Chip.Archetype.he;
+      he_map = leaf.Chip.Archetype.he_map;
+      parity_inputs = leaf.Chip.Archetype.parity_inputs;
+      parity_outputs = leaf.Chip.Archetype.parity_outputs;
+      extra = leaf.Chip.Archetype.extra_props }
+  in
+  let p0, p1, p2, p3 = Verifiable.Propgen.counts info spec in
+  Alcotest.(check (list int)) "property counts" [ 8; 3; 1; 4 ]
+    [ p0; p1; p2; p3 ];
+  List.iter
+    (fun (_, vunit) ->
+      List.iter
+        (fun (name, (o : Mc.Engine.outcome)) ->
+          match o.Mc.Engine.verdict with
+          | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ -> ()
+          | Mc.Engine.Failed _ -> Alcotest.failf "%s failed" name
+          | Mc.Engine.Resource_out msg ->
+            Alcotest.failf "%s: resource out: %s" name msg)
+        (Mc.Engine.check_vunit info.Verifiable.Transform.mdl vunit))
+    (Verifiable.Propgen.all info spec)
+
+let test_fifo_inferred_spec () =
+  let leaf = Chip.Archetype.fifo ~name:"t_fifo3" () in
+  match Verifiable.Spec_infer.infer leaf.Chip.Archetype.mdl with
+  | Error msg -> Alcotest.fail msg
+  | Ok inferred ->
+    Alcotest.(check (slist string compare)) "parity inputs" [ "DIN" ]
+      inferred.Verifiable.Propgen.parity_inputs;
+    List.iter
+      (fun (src, bit) ->
+        Alcotest.(check (option int)) ("he_map " ^ src) (Some bit)
+          (List.assoc_opt src inferred.Verifiable.Propgen.he_map))
+      leaf.Chip.Archetype.he_map
+
+let () =
+  Alcotest.run "chip"
+    [ ("structure",
+       [ Alcotest.test_case "table 2 totals" `Quick test_table2_structure;
+         Alcotest.test_case "per-category counts" `Quick test_per_category_counts;
+         Alcotest.test_case "lint clean" `Quick test_design_clean;
+         Alcotest.test_case "elaborates" `Slow test_chip_elaborates;
+         Alcotest.test_case "bug placement" `Quick test_bug_placement;
+         Alcotest.test_case "bug counts" `Quick test_bug_counts_per_category;
+         Alcotest.test_case "chip scale" `Quick test_chip_scale;
+         Alcotest.test_case "area increase shape" `Quick test_area_increase_shape ]);
+      ("fifo",
+       [ Alcotest.test_case "queue semantics" `Quick test_fifo_behaves_like_queue;
+         Alcotest.test_case "stereotype properties prove" `Slow
+           test_fifo_properties_prove;
+         Alcotest.test_case "spec inference" `Quick test_fifo_inferred_spec ]);
+      ("archetypes",
+       [ Alcotest.test_case "clean archetypes quiet" `Quick
+           test_clean_archetypes_quiet;
+         Alcotest.test_case "injection reports" `Quick test_injection_reports;
+         Alcotest.test_case "filler validation" `Quick test_filler_validation;
+         Alcotest.test_case "bug catalogue" `Quick test_bug_descriptions ]) ]

@@ -1,0 +1,306 @@
+(* End-to-end methodology: the design flow, a scoped-down verification
+   campaign, bug classification, and the report generators. *)
+
+module G = Chip.Generator
+module PG = Verifiable.Propgen
+
+let chip = lazy (G.generate ())
+
+let test_flow_release () =
+  let leaf = Chip.Archetype.counter ~name:"flow_cnt" () in
+  let spec =
+    { PG.he = leaf.Chip.Archetype.he; he_map = leaf.Chip.Archetype.he_map;
+      parity_inputs = leaf.Chip.Archetype.parity_inputs;
+      parity_outputs = leaf.Chip.Archetype.parity_outputs;
+      extra = leaf.Chip.Archetype.extra_props }
+  in
+  match Core.Flow.release_verifiable_rtl leaf.Chip.Archetype.mdl ~spec with
+  | Error issues ->
+    Alcotest.failf "release rejected: %d issues" (List.length issues)
+  | Ok release ->
+    Alcotest.(check int) "three stereotype vunits" 3
+      (List.length release.Core.Flow.vunits);
+    Alcotest.(check bool) "PSL text released" true
+      (String.length release.Core.Flow.psl_text > 100);
+    let feedback = Core.Flow.verify_release release in
+    Alcotest.(check int) "all properties checked" 5 (List.length feedback);
+    Alcotest.(check int) "no failures on clean module" 0
+      (List.length (Core.Flow.failures feedback))
+
+let test_flow_rejects_dirty_rtl () =
+  (* an undriven output must be fixed before release *)
+  let m = Rtl.Mdl.create "dirty" in
+  let m = Rtl.Mdl.add_output m "O" 1 in
+  let m =
+    Rtl.Mdl.add_reg ~cls:Rtl.Mdl.Counter ~parity_protected:true m "c" 2
+      (Rtl.Expr.var "c")
+  in
+  let spec =
+    { PG.he = "O"; he_map = []; parity_inputs = []; parity_outputs = [];
+      extra = [] }
+  in
+  match Core.Flow.release_verifiable_rtl m ~spec with
+  | Error issues -> Alcotest.(check bool) "issues reported" true (issues <> [])
+  | Ok _ -> Alcotest.fail "dirty RTL accepted"
+
+let test_flow_feedback_on_bug () =
+  let leaf = Chip.Archetype.counter ~name:"flow_bug" ~bug:true () in
+  let spec =
+    { PG.he = leaf.Chip.Archetype.he; he_map = leaf.Chip.Archetype.he_map;
+      parity_inputs = leaf.Chip.Archetype.parity_inputs;
+      parity_outputs = leaf.Chip.Archetype.parity_outputs; extra = [] }
+  in
+  match Core.Flow.release_verifiable_rtl leaf.Chip.Archetype.mdl ~spec with
+  | Error _ -> Alcotest.fail "release rejected"
+  | Ok release ->
+    let failures = Core.Flow.failures (Core.Flow.verify_release release) in
+    Alcotest.(check bool) "bug produces feedback" true (failures <> []);
+    List.iter
+      (fun (f : Core.Flow.feedback) ->
+        Alcotest.(check bool) "feedback formats" true
+          (String.length (Format.asprintf "%a" Core.Flow.pp_feedback f) > 0))
+      failures
+
+(* a mini campaign over the three bug modules of category A only: exercises
+   the full Campaign machinery without the cost of all 2047 properties *)
+let test_mini_campaign () =
+  let t = Lazy.force chip in
+  let cat_a =
+    List.find (fun (c : G.category) -> c.G.cat_name = "A") t.G.categories
+  in
+  let specials =
+    List.filter (fun (u : G.unit_) -> u.G.leaf.Chip.Archetype.bug <> None)
+      cat_a.G.units
+  in
+  Alcotest.(check int) "three seeded units in A" 3 (List.length specials);
+  let mini =
+    { t with
+      G.categories =
+        [ { cat_a with G.units = specials;
+            G.expected = { cat_a.G.expected with G.sub = 3 } } ] }
+  in
+  let result = Core.Campaign.run mini in
+  Alcotest.(check int) "one row" 1 (List.length result.Core.Campaign.rows);
+  (match result.Core.Campaign.rows with
+   | [ row ] ->
+     Alcotest.(check int) "three defective modules" 3 row.Core.Campaign.bugs_found;
+     Alcotest.(check bool) "some properties proved" true
+       (row.Core.Campaign.proved > 0);
+     Alcotest.(check int) "no resource-outs" 0 row.Core.Campaign.resource_out;
+     Alcotest.(check int) "totals add up" row.Core.Campaign.total
+       (row.Core.Campaign.p0 + row.Core.Campaign.p1 + row.Core.Campaign.p2
+        + row.Core.Campaign.p3)
+   | _ -> Alcotest.fail "expected one row");
+  (* every failed property sits in a module with a seeded bug *)
+  List.iter
+    (fun (r : Core.Campaign.prop_result) ->
+      Alcotest.(check bool) "failure has seeded bug" true (r.Core.Campaign.bug <> None))
+    (Core.Campaign.failed_results result);
+  let rendered = Format.asprintf "%a" Core.Campaign.pp_table2 result in
+  Alcotest.(check bool) "table renders" true (String.length rendered > 50);
+  (* CSV export: header plus one row per property *)
+  let csv = Core.Campaign.to_csv result in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+  in
+  Alcotest.(check int) "csv rows" (List.length result.Core.Campaign.results + 1)
+    (List.length lines);
+  (match lines with
+   | header :: _ ->
+     Alcotest.(check bool) "csv header" true
+       (String.length header > 0 && String.sub header 0 8 = "category")
+   | [] -> Alcotest.fail "empty csv")
+
+let test_trace_vcd_export () =
+  (* a counterexample exports as a well-formed VCD *)
+  let leaf = Chip.Archetype.counter ~name:"vcd_cnt" ~bug:true () in
+  let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
+  let spec =
+    { PG.he = leaf.Chip.Archetype.he; he_map = leaf.Chip.Archetype.he_map;
+      parity_inputs = leaf.Chip.Archetype.parity_inputs;
+      parity_outputs = leaf.Chip.Archetype.parity_outputs; extra = [] }
+  in
+  let vunit = PG.soundness_vunit info spec in
+  let assert_ = Psl.Ast.property vunit "pNoError_0" in
+  let assumes = List.map snd (Psl.Ast.assumes vunit) in
+  match
+    (Mc.Engine.check_property info.Verifiable.Transform.mdl ~assert_ ~assumes)
+      .Mc.Engine.verdict
+  with
+  | Mc.Engine.Failed trace ->
+    let vcd = Mc.Trace.to_vcd trace in
+    let contains needle =
+      let n = String.length needle and h = String.length vcd in
+      let rec go i = i + n <= h && (String.sub vcd i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "has definitions" true (contains "$enddefinitions");
+    Alcotest.(check bool) "has state var" true (contains "cnt_q");
+    Alcotest.(check bool) "has timesteps" true (contains "#0")
+  | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ | Mc.Engine.Resource_out _
+    ->
+    Alcotest.fail "expected failure"
+
+let test_classification_matches_paper () =
+  let t = Lazy.force chip in
+  let results = Core.Classify.run ~cycles:3_000 ~seeds:[ 11; 23; 37 ] t in
+  Alcotest.(check int) "seven bugs classified" 7 (List.length results);
+  List.iter
+    (fun (r : Core.Classify.result) ->
+      Alcotest.(check bool)
+        (Chip.Bugs.name r.Core.Classify.bug ^ " found by formal")
+        true r.Core.Classify.formal_found;
+      Alcotest.(check bool)
+        (Chip.Bugs.name r.Core.Classify.bug ^ " property class matches Table 3")
+        true
+        (r.Core.Classify.observed_cls = Some r.Core.Classify.expected_cls);
+      Alcotest.(check bool)
+        (Chip.Bugs.name r.Core.Classify.bug ^ " simulation difficulty matches")
+        true
+        (r.Core.Classify.sim_easy = r.Core.Classify.expected_easy))
+    results
+
+let test_report_table1 () =
+  let t = Lazy.force chip in
+  let rows = Core.Report.table1 t in
+  Alcotest.(check int) "four rows" 4 (List.length rows);
+  Alcotest.(check bool) "logic size row present" true
+    (List.mem_assoc "Logic size" rows)
+
+let test_report_table4_and_timing () =
+  let t = Lazy.force chip in
+  let rows = Core.Report.table4 t in
+  Alcotest.(check int) "five categories" 5 (List.length rows);
+  List.iter
+    (fun (r : Core.Report.area_row) ->
+      Alcotest.(check bool)
+        (r.Core.Report.cat ^ " increase positive")
+        true
+        (r.Core.Report.increase_pct > 0.0 && r.Core.Report.increase_pct < 5.0))
+    rows;
+  let timing = Core.Report.timing_impact t in
+  Alcotest.(check bool) "meets timing at 250MHz" true
+    timing.Core.Report.meets_timing;
+  Alcotest.(check (float 0.001)) "selector is the paper's 200ps" 200.0
+    timing.Core.Report.selector_delay_ps;
+  Alcotest.(check bool) "selector around 4-5% of cycle" true
+    (timing.Core.Report.selector_pct_of_path >= 3.0
+     && timing.Core.Report.selector_pct_of_path <= 6.0)
+
+let test_fig7_shape () =
+  (* small instance so the test is quick: the monolithic property must
+     exhaust the budget, all partitioned pieces must verify within it *)
+  let rows = Core.Report.fig7 ~payload_width:12 ~node_limit:60_000 () in
+  Alcotest.(check int) "five pieces" 5 (List.length rows);
+  (match rows with
+   | mono :: rest ->
+     Alcotest.(check bool) "monolithic times out" true
+       (String.length mono.Core.Report.verdict >= 8
+        && String.sub mono.Core.Report.verdict 0 8 = "time-out");
+     List.iter
+       (fun (r : Core.Report.fig7_outcome) ->
+         Alcotest.(check string)
+           (r.Core.Report.piece ^ " verdict")
+           "proved" r.Core.Report.verdict;
+         Alcotest.(check bool)
+           (r.Core.Report.piece ^ " smaller state")
+           true
+           (r.Core.Report.state_bits <= mono.Core.Report.state_bits))
+       rest
+   | [] -> Alcotest.fail "no rows")
+
+
+(* ---- sequential equivalence checking ---- *)
+
+let test_equiv_transform_safe () =
+  (* the paper's central safety claim, proved formally: with the injection
+     ports tied to zero, Verifiable RTL is equivalent to the original *)
+  List.iter
+    (fun (leaf : Chip.Archetype.leaf) ->
+      let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
+      match
+        Core.Equiv.check_transform_against ~original:leaf.Chip.Archetype.mdl
+          info
+      with
+      | Core.Equiv.Equivalent -> ()
+      | Core.Equiv.Different _ ->
+        Alcotest.failf "%s: transform changed behavior!"
+          leaf.Chip.Archetype.mdl.Rtl.Mdl.name
+      | Core.Equiv.Undecided msg ->
+        Alcotest.failf "%s: undecided: %s" leaf.Chip.Archetype.mdl.Rtl.Mdl.name
+          msg)
+    [ Chip.Archetype.counter ~name:"eq_cnt" ();
+      Chip.Archetype.fsm_ctrl ~name:"eq_fsm" ();
+      Chip.Archetype.csr ~name:"eq_csr" ();
+      Chip.Archetype.datapath ~name:"eq_alu" ();
+      Chip.Archetype.fifo ~name:"eq_fifo" () ]
+
+let test_equiv_finds_difference () =
+  (* the bugged counter differs from the clean one, with a trace that
+     actually distinguishes them in simulation *)
+  let clean = (Chip.Archetype.counter ~name:"eqd_cnt" ()).Chip.Archetype.mdl in
+  let bugged =
+    (Chip.Archetype.counter ~name:"eqd_cnt" ~bug:true ()).Chip.Archetype.mdl
+  in
+  match Core.Equiv.check_modules ~a:clean ~b:bugged () with
+  | Core.Equiv.Different { trace; _ } ->
+    Alcotest.(check bool) "nonempty trace" true (Mc.Trace.length trace > 0);
+    (* replay on both sides and compare outputs at the final cycle *)
+    (* the violation is observed on the settled outputs of the final
+       cycle, before that cycle's clock edge *)
+    let run m =
+      let nl =
+        Rtl.Elaborate.run (Rtl.Design.of_modules [ m ]) ~top:m.Rtl.Mdl.name
+      in
+      let sim = Sim.Simulator.create nl in
+      Sim.Simulator.reset sim;
+      let out = ref (Bitvec.zero 5, Bitvec.zero 2) in
+      List.iter
+        (fun inputs ->
+          Sim.Simulator.drive_all sim inputs;
+          Sim.Simulator.settle sim;
+          out := (Sim.Simulator.peek sim "COUNT", Sim.Simulator.peek sim "HE");
+          Sim.Simulator.clock sim)
+        (Mc.Trace.replay_stimulus trace);
+      !out
+    in
+    let c0, h0 = run clean in
+    let c1, h1 = run bugged in
+    Alcotest.(check bool) "trace distinguishes the machines" true
+      (not (Bitvec.equal c0 c1 && Bitvec.equal h0 h1))
+  | Core.Equiv.Equivalent -> Alcotest.fail "bugged counter declared equivalent"
+  | Core.Equiv.Undecided msg -> Alcotest.failf "undecided: %s" msg
+
+let test_equiv_interface_mismatch () =
+  let a = (Chip.Archetype.counter ~name:"eqi_a" ()).Chip.Archetype.mdl in
+  let b = (Chip.Archetype.datapath ~name:"eqi_b" ()).Chip.Archetype.mdl in
+  Alcotest.(check bool) "interface mismatch rejected" true
+    (match Core.Equiv.check_modules ~a ~b () with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "core"
+    [ ("flow",
+       [ Alcotest.test_case "release and verify" `Quick test_flow_release;
+         Alcotest.test_case "rejects dirty RTL" `Quick test_flow_rejects_dirty_rtl;
+         Alcotest.test_case "feedback on bug" `Quick test_flow_feedback_on_bug ]);
+      ("campaign",
+       [ Alcotest.test_case "mini campaign over bug modules" `Slow
+           test_mini_campaign;
+         Alcotest.test_case "trace vcd export" `Quick test_trace_vcd_export ]);
+      ("classification",
+       [ Alcotest.test_case "table 3 reproduction" `Slow
+           test_classification_matches_paper ]);
+      ("equivalence",
+       [ Alcotest.test_case "transform is safe (formal)" `Slow
+           test_equiv_transform_safe;
+         Alcotest.test_case "finds real differences" `Quick
+           test_equiv_finds_difference;
+         Alcotest.test_case "interface mismatch" `Quick
+           test_equiv_interface_mismatch ]);
+      ("report",
+       [ Alcotest.test_case "table 1" `Quick test_report_table1;
+         Alcotest.test_case "table 4 and timing" `Quick
+           test_report_table4_and_timing;
+         Alcotest.test_case "figure 7" `Slow test_fig7_shape ]) ]

@@ -1,0 +1,203 @@
+(* CDCL solver and Tseitin encoder: crafted instances, random CNFs checked
+   against brute force, and equisatisfiability of the encoding. *)
+
+module X = Rtl.Bexpr
+
+
+(* --- crafted instances --- *)
+
+let cnf nvars clauses = Cnf.create ~nvars clauses
+
+let is_sat = function Solver.Sat _ -> true | Solver.Unsat | Solver.Unknown -> false
+let is_unsat = function Solver.Unsat -> true | Solver.Sat _ | Solver.Unknown -> false
+
+let test_trivial () =
+  Alcotest.(check bool) "empty cnf sat" true (is_sat (Solver.solve (cnf 0 [])));
+  Alcotest.(check bool) "unit sat" true (is_sat (Solver.solve (cnf 1 [ [ 1 ] ])));
+  Alcotest.(check bool) "unit conflict" true
+    (is_unsat (Solver.solve (cnf 1 [ [ 1 ]; [ -1 ] ])));
+  Alcotest.(check bool) "empty clause" true
+    (is_unsat (Solver.solve (cnf 1 [ [] ])));
+  Alcotest.(check bool) "tautology dropped" true
+    (is_sat (Solver.solve (cnf 1 [ [ 1; -1 ] ])))
+
+let test_model_valid () =
+  let c = cnf 4 [ [ 1; 2 ]; [ -1; 3 ]; [ -3; -2; 4 ]; [ -4; 1 ] ] in
+  match Solver.solve c with
+  | Solver.Sat model ->
+    Alcotest.(check bool) "model satisfies" true
+      (Cnf.eval c (fun v -> model.(v - 1)))
+  | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected sat"
+
+let test_pigeonhole () =
+  (* 3 pigeons, 2 holes: classic small UNSAT *)
+  let var p h = (p * 2) + h + 1 in
+  let clauses =
+    (* every pigeon sits somewhere *)
+    List.init 3 (fun p -> [ var p 0; var p 1 ])
+    (* no two pigeons share a hole *)
+    @ List.concat_map
+        (fun h ->
+          [ [ -var 0 h; -var 1 h ]; [ -var 0 h; -var 2 h ];
+            [ -var 1 h; -var 2 h ] ])
+        [ 0; 1 ]
+  in
+  Alcotest.(check bool) "php(3,2) unsat" true
+    (is_unsat (Solver.solve (cnf 6 clauses)))
+
+let test_xor_chain () =
+  (* x1 xor x2 xor ... xor x5 = 1 and all equal: unsat for even weight mix *)
+  let eq a b = [ [ -a; b ]; [ a; -b ] ] in
+  let clauses = eq 1 2 @ eq 2 3 @ [ [ 1; 2; 3 ]; [ -1; -2; -3 ] ] in
+  (* all-equal plus "not all equal" *)
+  Alcotest.(check bool) "equality chain conflict" true
+    (is_unsat (Solver.solve (cnf 3 clauses)))
+
+let test_conflict_budget () =
+  (* php(5,4) is small but needs some search; budget of 1 conflict gives up *)
+  let pigeons = 5 and holes = 4 in
+  let var p h = (p * holes) + h + 1 in
+  let clauses =
+    List.init pigeons (fun p -> List.init holes (fun h -> var p h))
+    @ List.concat
+        (List.concat
+           (List.init holes (fun h ->
+                List.init pigeons (fun p1 ->
+                    List.filteri (fun p2 _ -> p2 > p1)
+                      (List.init pigeons (fun p2 -> [ -var p1 h; -var p2 h ]))))))
+  in
+  let c = cnf (pigeons * holes) clauses in
+  (match Solver.solve ~max_conflicts:1 c with
+   | Solver.Unknown -> ()
+   | Solver.Unsat -> () (* allowed: solved before the budget *)
+   | Solver.Sat _ -> Alcotest.fail "php(5,4) cannot be sat");
+  Alcotest.(check bool) "php(5,4) unsat with full budget" true
+    (is_unsat (Solver.solve c))
+
+(* --- random CNFs vs brute force --- *)
+
+let arb_cnf =
+  let open QCheck.Gen in
+  let gen =
+    int_range 1 6 >>= fun nvars ->
+    int_range 0 18 >>= fun nclauses ->
+    let lit = int_range 1 nvars >>= fun v -> map (fun b -> if b then v else -v) bool in
+    list_repeat nclauses (int_range 1 3 >>= fun len -> list_repeat len lit)
+    >|= fun clauses -> Cnf.create ~nvars clauses
+  in
+  QCheck.make
+    ~print:(fun c -> Format.asprintf "%a" Cnf.pp_dimacs c)
+    gen
+
+let brute_force_sat (c : Cnf.t) =
+  let n = c.Cnf.nvars in
+  let rec try_mask mask =
+    if mask >= 1 lsl n then false
+    else if Cnf.eval c (fun v -> mask lsr (v - 1) land 1 = 1) then true
+    else try_mask (mask + 1)
+  in
+  try_mask 0
+
+let prop_solver_correct =
+  QCheck.Test.make ~name:"CDCL agrees with brute force" ~count:500 arb_cnf
+    (fun c ->
+      match Solver.solve c with
+      | Solver.Sat model ->
+        Cnf.eval c (fun v -> model.(v - 1))
+      | Solver.Unsat -> not (brute_force_sat c)
+      | Solver.Unknown -> false)
+
+(* --- Tseitin --- *)
+
+let rec gen_bexpr_depth depth st =
+  let open QCheck.Gen in
+  if depth = 0 then map (fun i -> X.var i) (int_range 0 4) st
+  else
+    frequency
+      [ (2, map (fun i -> X.var i) (int_range 0 4));
+        (2,
+         map2 X.and_ (gen_bexpr_depth (depth - 1)) (gen_bexpr_depth (depth - 1)));
+        (2, map2 X.or_ (gen_bexpr_depth (depth - 1)) (gen_bexpr_depth (depth - 1)));
+        (2, map2 X.xor (gen_bexpr_depth (depth - 1)) (gen_bexpr_depth (depth - 1)));
+        (1, map X.not_ (gen_bexpr_depth (depth - 1)));
+        (1,
+         map3 X.ite
+           (gen_bexpr_depth (depth - 1))
+           (gen_bexpr_depth (depth - 1))
+           (gen_bexpr_depth (depth - 1))) ]
+      st
+
+let arb_bexpr =
+  QCheck.make ~print:(Format.asprintf "%a" X.pp) (gen_bexpr_depth 4)
+
+(* asserting e must be satisfiable exactly when e is not constant-false,
+   and any model must make e true *)
+let prop_tseitin_equisat =
+  QCheck.Test.make ~name:"Tseitin encoding is equisatisfiable" ~count:300
+    arb_bexpr (fun e ->
+      let ctx = Tseitin.create () in
+      let inputs = Array.init 5 (fun _ -> Tseitin.fresh_var ctx) in
+      let lit = Tseitin.lit_of_bexpr ctx (fun v -> inputs.(v)) e in
+      Tseitin.assert_lit ctx lit;
+      let c = Tseitin.to_cnf ctx in
+      let brute_sat =
+        let rec try_mask mask =
+          if mask >= 32 then false
+          else if X.eval (fun v -> mask lsr v land 1 = 1) e then true
+          else try_mask (mask + 1)
+        in
+        try_mask 0
+      in
+      match Solver.solve c with
+      | Solver.Sat model ->
+        let assign v = model.(inputs.(v) - 1) in
+        brute_sat && X.eval assign e
+      | Solver.Unsat -> not brute_sat
+      | Solver.Unknown -> false)
+
+
+(* --- DIMACS --- *)
+
+let test_dimacs_roundtrip () =
+  let c = cnf 4 [ [ 1; -2 ]; [ 3 ]; [ -4; 2; 1 ] ] in
+  let text = Format.asprintf "%a" Cnf.pp_dimacs c in
+  (match Dimacs.parse text with
+   | Ok c' ->
+     Alcotest.(check int) "nvars" c.Cnf.nvars c'.Cnf.nvars;
+     Alcotest.(check bool) "clauses" true (c.Cnf.clauses = c'.Cnf.clauses)
+   | Error msg -> Alcotest.fail msg)
+
+let test_dimacs_errors () =
+  let expect_error text =
+    match Dimacs.parse text with
+    | Ok _ -> Alcotest.failf "accepted %S" text
+    | Error _ -> ()
+  in
+  expect_error "1 2 0\n";               (* missing header *)
+  expect_error "p cnf 2 1\n1 2\n";     (* unterminated clause *)
+  expect_error "p cnf 2 2\n1 2 0\n";   (* clause count mismatch *)
+  expect_error "p cnf 1 1\n5 0\n";     (* literal out of range *)
+  expect_error "p cnf x y\n"           (* malformed header *)
+
+let test_dimacs_comments_and_spacing () =
+  match Dimacs.parse "c a comment\np cnf 3 2\n  1  -2  0\nc mid\n3 0\n" with
+  | Ok c ->
+    Alcotest.(check int) "clauses parsed" 2 (Cnf.num_clauses c)
+  | Error msg -> Alcotest.fail msg
+
+let () =
+  Alcotest.run "sat"
+    [ ("crafted",
+       [ Alcotest.test_case "trivial" `Quick test_trivial;
+         Alcotest.test_case "model validity" `Quick test_model_valid;
+         Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+         Alcotest.test_case "xor chain" `Quick test_xor_chain;
+         Alcotest.test_case "conflict budget" `Quick test_conflict_budget ]);
+      ("dimacs",
+       [ Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+         Alcotest.test_case "errors" `Quick test_dimacs_errors;
+         Alcotest.test_case "comments and spacing" `Quick
+           test_dimacs_comments_and_spacing ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_solver_correct; prop_tseitin_equisat ]) ]
