@@ -18,6 +18,16 @@ let table1 () =
   header "Table 1: chip implementation (synthetic reproduction)";
   Format.printf "%a" Core.Report.pp_table1 (Core.Report.table1 (Lazy.force chip))
 
+(* one structural result cache for the whole bench run: the post-fix
+   re-campaign of table2 reuses every verdict whose module the fixes did not
+   touch instead of re-proving it *)
+let campaign_cache = Mc.Cache.create ()
+
+let campaign_jobs =
+  match Sys.getenv_opt "DICHECK_JOBS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
+
 let run_campaign label chip =
   let t0 = Unix.gettimeofday () in
   let last = ref 0.0 in
@@ -29,7 +39,14 @@ let run_campaign label chip =
         (now -. t0)
     end
   in
-  Core.Campaign.run ~progress chip
+  let c =
+    Core.Campaign.run ~progress ~jobs:campaign_jobs ~cache:campaign_cache chip
+  in
+  Printf.printf
+    "  %s: %.1fs on %d jobs, %d/%d verdicts from cache\n%!" label
+    c.Core.Campaign.wall_time_s campaign_jobs c.Core.Campaign.cache_hits
+    (List.length c.Core.Campaign.results);
+  c
 
 let table2 () =
   header

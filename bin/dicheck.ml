@@ -42,8 +42,13 @@ let spec_of (leaf : Chip.Archetype.leaf) =
 (* ---- campaign ---- *)
 
 let campaign_cmd =
-  let run with_bugs =
+  let run with_bugs jobs csv cache_path no_cache =
     let chip = Chip.Generator.generate ~with_bugs () in
+    let cache =
+      if no_cache then Mc.Cache.create ()
+      else Mc.Cache.load_or_create cache_path
+    in
+    let warm = Mc.Cache.length cache in
     let t0 = Unix.gettimeofday () in
     let last = ref 0.0 in
     let progress ~done_ ~total =
@@ -53,19 +58,62 @@ let campaign_cmd =
         Printf.printf "... %d/%d (%.0fs)\n%!" done_ total (now -. t0)
       end
     in
-    let c = Core.Campaign.run ~progress chip in
+    let c = Core.Campaign.run ~progress ~jobs ~cache chip in
     Format.printf "%a" Core.Campaign.pp_table2 c;
     List.iter
       (fun (r : Core.Campaign.prop_result) ->
         Printf.printf "failed: %s %s\n" r.Core.Campaign.module_name
           r.Core.Campaign.prop_name)
-      (Core.Campaign.failed_results c)
+      (Core.Campaign.failed_results c);
+    Printf.printf
+      "wall time %.1fs, %d jobs; cache: %d hits, %d proved fresh (%d warm \
+       entries loaded)\n"
+      c.Core.Campaign.wall_time_s (max 1 jobs) c.Core.Campaign.cache_hits
+      (List.length c.Core.Campaign.results - c.Core.Campaign.cache_hits)
+      warm;
+    (match csv with
+     | Some path ->
+       Core.Campaign.write_csv c path;
+       Printf.printf "per-property results written to %s\n" path
+     | None -> ());
+    if not no_cache then
+      match Mc.Cache.save cache cache_path with
+      | () ->
+        Printf.printf "result cache saved to %s (%d entries)\n" cache_path
+          (Mc.Cache.length cache)
+      | exception Sys_error msg ->
+        Printf.eprintf "warning: could not save result cache: %s\n" msg
   in
   let with_bugs =
     Arg.(value & opt bool true & info [ "with-bugs" ] ~doc:"Seed the 7 bugs.")
   in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Check N properties in parallel (OCaml domains); 1 runs \
+                   sequentially.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"PATH"
+             ~doc:"Write per-property results (verdict, engine, time, cache \
+                   hit) as CSV.")
+  in
+  let cache_path =
+    Arg.(value & opt string ".dicheck.cache"
+         & info [ "cache" ] ~docv:"PATH"
+             ~doc:"Persistent structural result cache; loaded before and \
+                   saved after the run, so a repeated campaign reuses every \
+                   verdict.")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Do not load or save the persistent cache (verdicts are \
+                   still deduplicated within the run).")
+  in
   Cmd.v (Cmd.info "campaign" ~doc:"Run the full formal campaign (Table 2).")
-    Term.(const run $ with_bugs)
+    Term.(const run $ with_bugs $ jobs $ csv $ cache_path $ no_cache)
 
 (* ---- classify ---- *)
 
@@ -153,11 +201,13 @@ let check_cmd =
     exit (if !failures > 0 then 1 else 0)
   in
   let arch =
+    (* derived from [archetype_names] so the doc can't drift from what
+       [make_archetype] accepts *)
     Arg.(required
          & pos 0 (some string) None
          & info [] ~docv:"ARCHETYPE"
-             ~doc:"Leaf archetype (fsm_ctrl, counter, csr, macro_if, \
-                   datapath, decoder, merge).")
+             ~doc:(Printf.sprintf "Leaf archetype (%s)."
+                     (String.concat ", " archetype_names)))
   in
   let bug = Arg.(value & flag & info [ "bug" ] ~doc:"Seed the archetype's bug.") in
   let psl =

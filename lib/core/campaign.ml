@@ -9,6 +9,7 @@ type prop_result = {
   cls : PG.prop_class;
   outcome : Mc.Engine.outcome;
   bug : Chip.Bugs.id option;
+  cache_hit : bool;
 }
 
 type row = {
@@ -31,42 +32,78 @@ type t = {
   rows : row list;
   grand_total : row;
   wall_time_s : float;
+  cache_hits : int;
 }
 
-let count_asserts units =
-  List.fold_left
-    (fun acc (u : G.unit_) ->
-      let p0, p1, p2, p3 = PG.counts u.G.info u.G.spec in
-      acc + p0 + p1 + p2 + p3)
-    0 units
+(* one schedulable unit of campaign work: everything needed to prepare and
+   run a single property check, plus its provenance *)
+type work = {
+  w_category : string;
+  w_mdl : Rtl.Mdl.t;
+  w_vunit_name : string;
+  w_prop_name : string;
+  w_assert : Psl.Ast.fl;
+  w_assumes : Psl.Ast.fl list;
+  w_cls : PG.prop_class;
+  w_bug : Chip.Bugs.id option;
+}
 
-let run ?budget ?strategy ?(progress = fun ~done_:_ ~total:_ -> ()) (chip : G.t) =
+let work_items (chip : G.t) =
+  List.concat_map
+    (fun (c : G.category) ->
+      List.concat_map
+        (fun (u : G.unit_) ->
+          List.concat_map
+            (fun (cls, (vunit : Psl.Ast.vunit)) ->
+              let assumes = List.map snd (Psl.Ast.assumes vunit) in
+              List.map
+                (fun (prop_name, assert_) ->
+                  { w_category = c.G.cat_name;
+                    w_mdl = u.G.info.Verifiable.Transform.mdl;
+                    w_vunit_name = vunit.Psl.Ast.vunit_name;
+                    w_prop_name = prop_name; w_assert = assert_;
+                    w_assumes = assumes; w_cls = cls;
+                    w_bug = u.G.leaf.Chip.Archetype.bug })
+                (Psl.Ast.asserts vunit))
+            (PG.all u.G.info u.G.spec))
+        c.G.units)
+    chip.G.categories
+
+let run ?budget ?strategy ?(progress = fun ~done_:_ ~total:_ -> ()) ?jobs
+    ?cache (chip : G.t) =
   let t0 = Unix.gettimeofday () in
-  let total =
-    List.fold_left (fun acc c -> acc + count_asserts c.G.units) 0 chip.G.categories
-  in
+  let cache = match cache with Some c -> c | None -> Mc.Cache.create () in
+  let hits0 = Mc.Cache.hits cache in
+  let items = Array.of_list (work_items chip) in
+  let total = Array.length items in
   let done_ = ref 0 in
+  let progress_lock = Mutex.create () in
+  let check (w : work) =
+    (* prepare inside the worker so instrumentation, elaboration and COI
+       reduction parallelize along with the engine runs *)
+    let ob =
+      Mc.Obligation.prepare ?budget ?strategy w.w_mdl ~assert_:w.w_assert
+        ~assumes:w.w_assumes ~meta:()
+    in
+    let outcome, cache_hit =
+      Mc.Cache.find_or_run cache ~key:(Mc.Obligation.fingerprint ob)
+        (fun () -> Mc.Obligation.run ob)
+    in
+    Mutex.lock progress_lock;
+    incr done_;
+    let d = !done_ in
+    (* the callback runs under the lock so user printf output stays whole *)
+    (try progress ~done_:d ~total
+     with e ->
+       Mutex.unlock progress_lock;
+       raise e);
+    Mutex.unlock progress_lock;
+    { category = w.w_category; module_name = w.w_mdl.Rtl.Mdl.name;
+      vunit_name = w.w_vunit_name; prop_name = w.w_prop_name; cls = w.w_cls;
+      outcome; bug = w.w_bug; cache_hit }
+  in
   let results =
-    List.concat_map
-      (fun (c : G.category) ->
-        List.concat_map
-          (fun (u : G.unit_) ->
-            let vunits = PG.all u.G.info u.G.spec in
-            List.concat_map
-              (fun (cls, vunit) ->
-                List.map
-                  (fun (prop_name, outcome) ->
-                    incr done_;
-                    progress ~done_:!done_ ~total;
-                    { category = c.G.cat_name;
-                      module_name = u.G.info.Verifiable.Transform.mdl.Rtl.Mdl.name;
-                      vunit_name = vunit.Psl.Ast.vunit_name; prop_name; cls;
-                      outcome; bug = u.G.leaf.Chip.Archetype.bug })
-                  (Mc.Engine.check_vunit ?budget ?strategy
-                     u.G.info.Verifiable.Transform.mdl vunit))
-              vunits)
-          c.G.units)
-      chip.G.categories
+    Array.to_list (Executor.map (Executor.of_jobs jobs) check items)
   in
   let row_of cat subs cat_results =
     let by f = List.length (List.filter f cat_results) in
@@ -128,7 +165,8 @@ let run ?budget ?strategy ?(progress = fun ~done_:_ ~total:_ -> ()) (chip : G.t)
       resource_out = List.fold_left (fun a r -> a + r.resource_out) 0 rows;
       time_s = List.fold_left (fun a r -> a +. r.time_s) 0.0 rows }
   in
-  { results; rows; grand_total; wall_time_s = Unix.gettimeofday () -. t0 }
+  { results; rows; grand_total; wall_time_s = Unix.gettimeofday () -. t0;
+    cache_hits = Mc.Cache.hits cache - hits0 }
 
 let failed_results t =
   List.filter
@@ -143,7 +181,7 @@ let failed_results t =
 let to_csv t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    "category,module,vunit,property,class,verdict,engine,time_s,bug\n";
+    "category,module,vunit,property,class,verdict,engine,time_s,cache_hit,bug\n";
   List.iter
     (fun r ->
       let verdict =
@@ -154,10 +192,11 @@ let to_csv t =
         | Mc.Engine.Resource_out msg -> "resource_out:" ^ msg
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s,%.4f,%s\n" r.category
+        (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s,%.4f,%b,%s\n" r.category
            r.module_name r.vunit_name r.prop_name
            (Verifiable.Propgen.class_name r.cls)
            verdict r.outcome.Mc.Engine.engine_used r.outcome.Mc.Engine.time_s
+           r.cache_hit
            (match r.bug with Some b -> Chip.Bugs.name b | None -> "")))
     t.results;
   Buffer.contents buf

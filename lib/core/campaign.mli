@@ -1,6 +1,15 @@
 (** The full formal-verification campaign over the chip: every stereotype
     property of every leaf module, with the engine escalation the paper
-    describes. Regenerates the data behind Table 2. *)
+    describes. Regenerates the data behind Table 2.
+
+    The campaign is a scheduler over first-class proof obligations
+    ({!Mc.Obligation}): enumeration produces one work item per assert,
+    preparation + execution run on a pluggable {!Executor} (sequential or an
+    OCaml 5 domain pool via [?jobs]), and every prepared check is answered
+    through a structural result cache ({!Mc.Cache}) keyed on the reduced
+    netlist's canonical fingerprint — so the N structurally identical
+    subunits of a category are proved once. Results are index-ordered, so
+    verdicts are identical whatever the backend or job count. *)
 
 type prop_result = {
   category : string;
@@ -10,6 +19,7 @@ type prop_result = {
   cls : Verifiable.Propgen.prop_class;
   outcome : Mc.Engine.outcome;
   bug : Chip.Bugs.id option;  (** bug seeded in the module, if any *)
+  cache_hit : bool;  (** verdict reused from the structural cache *)
 }
 
 type row = {
@@ -32,20 +42,30 @@ type t = {
   rows : row list;  (** one per category, in A..E order *)
   grand_total : row;
   wall_time_s : float;
+  cache_hits : int;  (** checks answered from the cache during this run *)
 }
 
 val run :
   ?budget:Mc.Engine.budget ->
   ?strategy:Mc.Engine.strategy ->
   ?progress:(done_:int -> total:int -> unit) ->
+  ?jobs:int ->
+  ?cache:Mc.Cache.t ->
   Chip.Generator.t ->
   t
+(** [jobs] selects the executor backend: absent or [<= 1] runs sequentially,
+    [n] runs on a pool of [n] domains. [cache] is the structural result
+    cache; a private one is created per run when absent (deduplicating
+    within the run), while passing a shared cache additionally reuses
+    verdicts across runs — e.g. the post-fix re-campaign. [progress] may be
+    invoked from worker domains, serialized under a lock. *)
 
 val failed_results : t -> prop_result list
 val pp_table2 : Format.formatter -> t -> unit
 
 val to_csv : t -> string
 (** One row per property: category, module, vunit, property, class, verdict,
-    engine, time. Suitable for spreadsheet import or regression diffing. *)
+    engine, time, cache hit, bug. Suitable for spreadsheet import or
+    regression diffing. *)
 
 val write_csv : t -> string -> unit

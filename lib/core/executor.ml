@@ -1,0 +1,96 @@
+type t = Sequential | Pool of int
+
+let sequential = Sequential
+let pool ~jobs = if jobs <= 1 then Sequential else Pool jobs
+let of_jobs = function None -> Sequential | Some j -> pool ~jobs:j
+let jobs = function Sequential -> 1 | Pool n -> n
+
+(* One contiguous index range per worker: the owner pops from [lo], thieves
+   pop from [hi], so an owner keeps cache-friendly front-to-back order and
+   stealing takes the work the owner would reach last. *)
+type range = { mutable lo : int; mutable hi : int; lock : Mutex.t }
+
+let locked r f =
+  Mutex.lock r.lock;
+  let v = f r in
+  Mutex.unlock r.lock;
+  v
+
+let pop_own r =
+  locked r (fun r ->
+      if r.lo < r.hi then begin
+        let i = r.lo in
+        r.lo <- i + 1;
+        Some i
+      end
+      else None)
+
+let steal r =
+  locked r (fun r ->
+      if r.lo < r.hi then begin
+        r.hi <- r.hi - 1;
+        Some r.hi
+      end
+      else None)
+
+let remaining r = locked r (fun r -> r.hi - r.lo)
+
+let parallel_map ~workers f xs =
+  let n = Array.length xs in
+  let ranges =
+    Array.init workers (fun w ->
+        { lo = w * n / workers; hi = (w + 1) * n / workers;
+          lock = Mutex.create () })
+  in
+  let results = Array.make n None in
+  let rec next w =
+    match pop_own ranges.(w) with
+    | Some i -> Some i
+    | None ->
+      (* steal from whichever other range has the most left; rescan on a
+         lost race until everything is empty *)
+      let victim = ref (-1) and best = ref 0 in
+      Array.iteri
+        (fun v r ->
+          if v <> w then begin
+            let rem = remaining r in
+            if rem > !best then begin
+              best := rem;
+              victim := v
+            end
+          end)
+        ranges;
+      if !victim < 0 then None
+      else (match steal ranges.(!victim) with
+            | Some i -> Some i
+            | None -> next w)
+  in
+  let worker w () =
+    let rec loop () =
+      match next w with
+      | None -> ()
+      | Some i ->
+        results.(i) <-
+          Some (match f xs.(i) with v -> Ok v | exception e -> Error e);
+        loop ()
+    in
+    loop ()
+  in
+  let helpers =
+    Array.init (workers - 1) (fun k -> Domain.spawn (worker (k + 1)))
+  in
+  worker 0 ();
+  Array.iter Domain.join helpers;
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> assert false)
+    results
+
+let map t f xs =
+  match t with
+  | Sequential -> Array.map f xs
+  | Pool j ->
+    let n = Array.length xs in
+    if n = 0 then [||] else parallel_map ~workers:(min j n) f xs

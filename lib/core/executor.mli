@@ -1,0 +1,26 @@
+(** Pluggable obligation executor.
+
+    Two backends behind one [map]: a sequential one, and an OCaml 5 domain
+    pool with a work-stealing index queue. Results land at their input's
+    index, so ordering is deterministic and identical across backends — the
+    campaign's verdicts do not depend on how the work was scheduled. *)
+
+type t
+
+val sequential : t
+
+val pool : jobs:int -> t
+(** A pool of [jobs] worker domains (the calling domain counts as one).
+    [jobs <= 1] degrades to {!sequential}. *)
+
+val of_jobs : int option -> t
+(** [None] and [Some j] for [j <= 1] are {!sequential}. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map. The input is split into contiguous
+    per-worker ranges; a worker drains its own range from the front and,
+    when empty, steals from the back of the busiest remaining range. If any
+    application raises, the first exception in input order is re-raised
+    after all workers have stopped. *)

@@ -1,0 +1,77 @@
+type t = {
+  tbl : (string, Engine.outcome) Hashtbl.t;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { tbl = Hashtbl.create 1024; lock = Mutex.create (); hits = 0; misses = 0 }
+
+let with_lock c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+let find_or_run c ~key f =
+  let cached =
+    with_lock c (fun () ->
+        match Hashtbl.find_opt c.tbl key with
+        | Some o ->
+          c.hits <- c.hits + 1;
+          Some o
+        | None ->
+          c.misses <- c.misses + 1;
+          None)
+  in
+  match cached with
+  | Some o -> (o, true)
+  | None ->
+    let o = f () in
+    with_lock c (fun () -> Hashtbl.replace c.tbl key o);
+    (o, false)
+
+let length c = with_lock c (fun () -> Hashtbl.length c.tbl)
+let hits c = c.hits
+let misses c = c.misses
+
+let reset_stats c =
+  with_lock c (fun () ->
+      c.hits <- 0;
+      c.misses <- 0)
+
+(* bump when Engine.outcome (or anything reachable from it) changes shape:
+   Marshal gives no type safety across versions *)
+let magic = "dicheck-cache-v1\n"
+
+let save c path =
+  let entries =
+    with_lock c (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.tbl [])
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc (entries : (string * Engine.outcome) list) [])
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match really_input_string ic (String.length magic) with
+        | tag when tag = magic -> (
+          match (Marshal.from_channel ic : (string * Engine.outcome) list) with
+          | entries ->
+            let c = create () in
+            List.iter (fun (k, v) -> Hashtbl.replace c.tbl k v) entries;
+            Some c
+          | exception _ -> None)
+        | _ -> None
+        | exception End_of_file -> None)
+
+let load_or_create path =
+  match load path with Some c -> c | None -> create ()

@@ -1,0 +1,38 @@
+(** Structural result cache for proof obligations.
+
+    Maps obligation fingerprints ({!Obligation.fingerprint}) to engine
+    outcomes, so structurally identical checks — sibling subunits within a
+    chip category, or the post-fix re-campaign over unchanged modules — are
+    answered without re-proving. Thread-safe: a single cache may be shared
+    by every worker of a parallel executor, and across campaign runs within
+    one process. [save]/[load] persist it across processes.
+
+    A reused [Failed] verdict carries the counterexample trace of the
+    obligation that first populated the entry; for a structurally identical
+    sibling the trace is isomorphic but names the first sibling's signals. *)
+
+type t
+
+val create : unit -> t
+
+val find_or_run : t -> key:string -> (unit -> Engine.outcome) -> Engine.outcome * bool
+(** [find_or_run c ~key f] returns the cached outcome for [key] and [true],
+    or runs [f], stores its outcome and returns it with [false]. [f] runs
+    outside the cache lock, so concurrent misses on distinct keys proceed in
+    parallel (two simultaneous misses on the same key may both run [f]; the
+    engine is deterministic, so either result is the same). *)
+
+val length : t -> int
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit
+(** Zero the hit/miss counters, keeping the entries. *)
+
+val save : t -> string -> unit
+(** Persist entries to a file (OCaml [Marshal] behind a format tag). *)
+
+val load : string -> t option
+(** [None] if the file is missing, unreadable, or from another format
+    version. Statistics start at zero. *)
+
+val load_or_create : string -> t

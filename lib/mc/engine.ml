@@ -7,6 +7,15 @@ type strategy =
   | Kind
   | Auto
 
+let strategy_name = function
+  | Bdd_forward -> "bdd-forward"
+  | Bdd_backward -> "bdd-backward"
+  | Bdd_combined -> "bdd-combined"
+  | Pobdd -> "pobdd"
+  | Bmc -> "bmc"
+  | Kind -> "k-induction"
+  | Auto -> "auto"
+
 type budget = {
   bdd_node_limit : int option;
   pobdd_node_limit : int option;

@@ -12,6 +12,9 @@ type strategy =
   | Kind  (** SAT-based k-induction (unbounded) *)
   | Auto  (** combined BDD → POBDD → BMC escalation *)
 
+val strategy_name : strategy -> string
+(** Stable lower-case name, usable in CLI output and cache keys. *)
+
 type budget = {
   bdd_node_limit : int option;
   pobdd_node_limit : int option;  (** usually larger than [bdd_node_limit] *)
@@ -48,6 +51,18 @@ val check_netlist :
     [constraint_signal] names a 1-bit combinational function of the primary
     inputs; only inputs satisfying it are explored (invariant input
     assumptions). *)
+
+val instrumented_netlist :
+  Rtl.Mdl.t ->
+  assert_:Psl.Ast.fl ->
+  assumes:Psl.Ast.fl list ->
+  Rtl.Netlist.t * string * string option
+(** The preparation half of {!check_property}: inline the property's boolean
+    layer, prune irrelevant assumptions, lower invariant input assumptions to
+    an engine-level constraint, synthesize the safety monitor, elaborate and
+    cone-reduce. Returns [(netlist, ok_signal, constraint_signal)] — exactly
+    what {!check_netlist} consumes. {!Obligation.prepare} builds on this to
+    make the prepared check a first-class, schedulable value. *)
 
 val check_property :
   ?budget:budget ->

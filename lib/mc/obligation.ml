@@ -1,0 +1,59 @@
+type 'meta t = {
+  nl : Rtl.Netlist.t;
+  ok_signal : string;
+  constraint_signal : string option;
+  budget : Engine.budget;
+  strategy : Engine.strategy;
+  meta : 'meta;
+}
+
+let prepare ?(budget = Engine.default_budget) ?(strategy = Engine.Auto) mdl
+    ~assert_ ~assumes ~meta =
+  if not (Rtl.Mdl.is_leaf mdl) then
+    invalid_arg
+      (Printf.sprintf
+         "Obligation.prepare: %s is not a leaf module; the methodology \
+          checks leaf modules only"
+         mdl.Rtl.Mdl.name);
+  let nl, ok_signal, constraint_signal =
+    Engine.instrumented_netlist mdl ~assert_ ~assumes
+  in
+  { nl; ok_signal; constraint_signal; budget; strategy; meta }
+
+let of_vunit ?budget ?strategy mdl vunit ~meta =
+  let assumes = List.map snd (Psl.Ast.assumes vunit) in
+  List.map
+    (fun (prop_name, assert_) ->
+      prepare ?budget ?strategy mdl ~assert_ ~assumes ~meta:(meta ~prop_name))
+    (Psl.Ast.asserts vunit)
+
+let budget_salt (b : Engine.budget) =
+  let lim = function None -> "-" | Some n -> string_of_int n in
+  Printf.sprintf "%s/%s/%d/%d/%d/%d" (lim b.Engine.bdd_node_limit)
+    (lim b.Engine.pobdd_node_limit)
+    b.Engine.pobdd_split_vars b.Engine.bmc_depth b.Engine.induction_max_k
+    b.Engine.sat_max_conflicts
+
+let fingerprint o =
+  let salt =
+    Printf.sprintf "%s|%s" (Engine.strategy_name o.strategy)
+      (budget_salt o.budget)
+  in
+  let roots =
+    o.ok_signal
+    :: (match o.constraint_signal with Some c -> [ c ] | None -> [])
+  in
+  Rtl.Canon.fingerprint ~salt ~roots o.nl
+
+let run o =
+  Engine.check_netlist ~budget:o.budget ?constraint_signal:o.constraint_signal
+    ~strategy:o.strategy o.nl ~ok_signal:o.ok_signal
+
+let size o =
+  let state = Rtl.Netlist.state_bits o.nl in
+  let inputs =
+    List.fold_left (fun acc (_, w) -> acc + w) 0 o.nl.Rtl.Netlist.inputs
+  in
+  (state, inputs)
+
+let map_meta f o = { o with meta = f o.meta }

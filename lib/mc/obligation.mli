@@ -1,0 +1,62 @@
+(** First-class proof obligations.
+
+    An obligation is one fully-prepared property check: the instrumented,
+    cone-of-influence-reduced netlist, the 1-bit ok signal, the optional
+    input-constraint signal, and the engine strategy and resource budget it
+    should run under — everything {!Engine.check_netlist} needs, decoupled
+    from actually running it. Splitting preparation from execution is what
+    lets the campaign treat its 2047 checks as schedulable, deduplicatable
+    work items: obligations can be built up front, fingerprinted, fanned out
+    over a parallel executor, and answered from a structural result cache.
+
+    ['meta] carries caller-side provenance (category, module, property
+    class, …) through scheduling untouched. *)
+
+type 'meta t = {
+  nl : Rtl.Netlist.t;  (** instrumented and cone-reduced *)
+  ok_signal : string;
+  constraint_signal : string option;
+  budget : Engine.budget;
+  strategy : Engine.strategy;
+  meta : 'meta;
+}
+
+val prepare :
+  ?budget:Engine.budget ->
+  ?strategy:Engine.strategy ->
+  Rtl.Mdl.t ->
+  assert_:Psl.Ast.fl ->
+  assumes:Psl.Ast.fl list ->
+  meta:'a ->
+  'a t
+(** Instrument a leaf module with the property monitor and package the
+    reduced check. [strategy] defaults to [Auto], [budget] to
+    {!Engine.default_budget}. Raises [Invalid_argument] on non-leaf modules,
+    like {!Engine.check_property}. *)
+
+val of_vunit :
+  ?budget:Engine.budget ->
+  ?strategy:Engine.strategy ->
+  Rtl.Mdl.t ->
+  Psl.Ast.vunit ->
+  meta:(prop_name:string -> 'a) ->
+  'a t list
+(** One obligation per [assert] of the vunit, all under the vunit's
+    [assume]s; [meta] is invoked with each property's name. *)
+
+val fingerprint : _ t -> string
+(** Structural cache key: the canonical-form digest ({!Rtl.Canon}) of the
+    reduced netlist and its ok/constraint roots, salted with the strategy
+    and budget. Obligations over structurally identical logic — e.g. the N
+    generated subunits of one chip category — share a fingerprint and hence
+    a cached verdict; any change to the logic, the property cone, the
+    strategy or the budget changes the key. *)
+
+val run : _ t -> Engine.outcome
+(** Execute the prepared check ({!Engine.check_netlist}). *)
+
+val size : _ t -> int * int
+(** [(state bits, input bits)] of the prepared model — the paper's "problem
+    size of the properties". *)
+
+val map_meta : ('a -> 'b) -> 'a t -> 'b t

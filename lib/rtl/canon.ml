@@ -1,0 +1,63 @@
+let rename f (nl : Netlist.t) =
+  let port (name, w) = (f name, w) in
+  { Netlist.top = nl.Netlist.top;
+    inputs = List.map port nl.Netlist.inputs;
+    outputs = List.map port nl.Netlist.outputs;
+    wires = List.map port nl.Netlist.wires;
+    assigns =
+      List.map (fun (lhs, rhs) -> (f lhs, Expr.rename f rhs)) nl.Netlist.assigns;
+    regs =
+      List.map
+        (fun (r : Netlist.flat_reg) ->
+          { r with Netlist.name = f r.Netlist.name;
+            next = Expr.rename f r.Netlist.next })
+        nl.Netlist.regs }
+
+let canonical_map (nl : Netlist.t) =
+  let tbl = Hashtbl.create 97 in
+  let fresh = ref 0 in
+  let bind name =
+    if not (Hashtbl.mem tbl name) then begin
+      Hashtbl.add tbl name (Printf.sprintf "s%d" !fresh);
+      incr fresh
+    end
+  in
+  List.iter (fun (n, _) -> bind n) nl.Netlist.inputs;
+  List.iter (fun (n, _) -> bind n) nl.Netlist.outputs;
+  List.iter (fun (r : Netlist.flat_reg) -> bind r.Netlist.name) nl.Netlist.regs;
+  (* assign targets in topological order, then any undriven leftovers in
+     declaration order, so the numbering never depends on original names *)
+  List.iter (fun (lhs, _) -> bind lhs) nl.Netlist.assigns;
+  List.iter (fun (n, _) -> bind n) nl.Netlist.wires;
+  fun name -> match Hashtbl.find_opt tbl name with Some c -> c | None -> name
+
+let canonicalize nl =
+  let map = canonical_map nl in
+  (rename map nl, map)
+
+let fingerprint ?(salt = "") ?(roots = []) nl =
+  let nl, map = canonicalize nl in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "salt:%s\n" salt;
+  List.iter (fun r -> add "root:%s\n" (map r)) roots;
+  List.iter (fun (n, w) -> add "in:%s:%d\n" n w) nl.Netlist.inputs;
+  List.iter (fun (n, w) -> add "out:%s:%d\n" n w) nl.Netlist.outputs;
+  List.iter
+    (fun (r : Netlist.flat_reg) ->
+      let cls =
+        match r.Netlist.cls with
+        | Mdl.Fsm -> "fsm"
+        | Mdl.Counter -> "cnt"
+        | Mdl.Datapath -> "dp"
+        | Mdl.Plain -> "plain"
+      in
+      add "reg:%s:%d:%s:%s:%b:%s\n" r.Netlist.name r.Netlist.width
+        (Bitvec.to_string r.Netlist.reset_value)
+        cls r.Netlist.parity_protected
+        (Expr.to_string r.Netlist.next))
+    nl.Netlist.regs;
+  List.iter
+    (fun (lhs, rhs) -> add "asn:%s=%s\n" lhs (Expr.to_string rhs))
+    nl.Netlist.assigns;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

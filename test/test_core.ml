@@ -61,9 +61,9 @@ let test_flow_feedback_on_bug () =
           (String.length (Format.asprintf "%a" Core.Flow.pp_feedback f) > 0))
       failures
 
-(* a mini campaign over the three bug modules of category A only: exercises
-   the full Campaign machinery without the cost of all 2047 properties *)
-let test_mini_campaign () =
+(* the three bug modules of category A only: exercises the full Campaign
+   machinery without the cost of all 2047 properties *)
+let mini_chip () =
   let t = Lazy.force chip in
   let cat_a =
     List.find (fun (c : G.category) -> c.G.cat_name = "A") t.G.categories
@@ -73,12 +73,13 @@ let test_mini_campaign () =
       cat_a.G.units
   in
   Alcotest.(check int) "three seeded units in A" 3 (List.length specials);
-  let mini =
-    { t with
-      G.categories =
-        [ { cat_a with G.units = specials;
-            G.expected = { cat_a.G.expected with G.sub = 3 } } ] }
-  in
+  { t with
+    G.categories =
+      [ { cat_a with G.units = specials;
+          G.expected = { cat_a.G.expected with G.sub = 3 } } ] }
+
+let test_mini_campaign () =
+  let mini = mini_chip () in
   let result = Core.Campaign.run mini in
   Alcotest.(check int) "one row" 1 (List.length result.Core.Campaign.rows);
   (match result.Core.Campaign.rows with
@@ -110,6 +111,97 @@ let test_mini_campaign () =
      Alcotest.(check bool) "csv header" true
        (String.length header > 0 && String.sub header 0 8 = "category")
    | [] -> Alcotest.fail "empty csv")
+
+(* everything a verdict row asserts, minus wall-clock time and cache-hit
+   placement (both legitimately schedule-dependent) *)
+let result_key (r : Core.Campaign.prop_result) =
+  let verdict =
+    match r.Core.Campaign.outcome.Mc.Engine.verdict with
+    | Mc.Engine.Proved -> "proved"
+    | Mc.Engine.Proved_bounded d -> Printf.sprintf "bounded:%d" d
+    | Mc.Engine.Failed _ -> "failed"
+    | Mc.Engine.Resource_out m -> "resource:" ^ m
+  in
+  Printf.sprintf "%s/%s/%s/%s/%s/%s/%s" r.Core.Campaign.category
+    r.Core.Campaign.module_name r.Core.Campaign.vunit_name
+    r.Core.Campaign.prop_name
+    (Verifiable.Propgen.class_name r.Core.Campaign.cls)
+    verdict
+    (match r.Core.Campaign.bug with
+     | Some b -> Chip.Bugs.name b
+     | None -> "-")
+
+let row_key (r : Core.Campaign.row) =
+  (* every row field except the timing sum *)
+  Printf.sprintf "%s/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d" r.Core.Campaign.cat
+    r.Core.Campaign.subs r.Core.Campaign.bugs_found r.Core.Campaign.p0
+    r.Core.Campaign.p1 r.Core.Campaign.p2 r.Core.Campaign.p3
+    r.Core.Campaign.total r.Core.Campaign.proved r.Core.Campaign.failed
+    r.Core.Campaign.resource_out
+
+let test_parallel_matches_sequential () =
+  let mini = mini_chip () in
+  let seq = Core.Campaign.run mini in
+  let par = Core.Campaign.run ~jobs:4 mini in
+  Alcotest.(check (list string)) "same verdicts in the same order"
+    (List.map result_key seq.Core.Campaign.results)
+    (List.map result_key par.Core.Campaign.results);
+  Alcotest.(check (list string)) "same rows"
+    (List.map row_key seq.Core.Campaign.rows)
+    (List.map row_key par.Core.Campaign.rows);
+  Alcotest.(check string) "same grand total"
+    (row_key seq.Core.Campaign.grand_total)
+    (row_key par.Core.Campaign.grand_total)
+
+let test_campaign_warm_cache () =
+  let mini = mini_chip () in
+  let cache = Mc.Cache.create () in
+  let cold = Core.Campaign.run ~cache mini in
+  let fresh_after_cold = Mc.Cache.misses cache in
+  Alcotest.(check bool) "cold run proves something fresh" true
+    (fresh_after_cold > 0);
+  let warm = Core.Campaign.run ~jobs:4 ~cache mini in
+  Alcotest.(check int) "warm re-campaign runs zero fresh engine calls"
+    fresh_after_cold (Mc.Cache.misses cache);
+  Alcotest.(check int) "every warm verdict is a cache hit"
+    (List.length warm.Core.Campaign.results) warm.Core.Campaign.cache_hits;
+  Alcotest.(check bool) "warm results flag the hits" true
+    (List.for_all
+       (fun (r : Core.Campaign.prop_result) -> r.Core.Campaign.cache_hit)
+       warm.Core.Campaign.results);
+  Alcotest.(check (list string)) "warm verdicts identical to cold"
+    (List.map result_key cold.Core.Campaign.results)
+    (List.map result_key warm.Core.Campaign.results);
+  (* CSV reports the per-property cache-hit column *)
+  let csv = Core.Campaign.to_csv warm in
+  (match String.split_on_char '\n' csv with
+   | header :: _ ->
+     Alcotest.(check bool) "csv has cache_hit column" true
+       (List.mem "cache_hit" (String.split_on_char ',' header))
+   | [] -> Alcotest.fail "empty csv")
+
+let test_executor_map () =
+  let input = Array.init 201 (fun i -> i) in
+  let f i = (i * 37) mod 101 in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "pool of %d preserves order" jobs)
+        expected
+        (Core.Executor.map (Core.Executor.pool ~jobs) f input))
+    [ 1; 2; 3; 8 ];
+  Alcotest.(check (array int)) "empty input" [||]
+    (Core.Executor.map (Core.Executor.pool ~jobs:4) f [||]);
+  Alcotest.(check int) "of_jobs None is sequential" 1
+    Core.Executor.(jobs (of_jobs None));
+  Alcotest.(check int) "of_jobs clamps" 1 Core.Executor.(jobs (of_jobs (Some 0)));
+  (* exceptions propagate out of worker domains *)
+  Alcotest.check_raises "worker exception propagates" Exit (fun () ->
+      ignore
+        (Core.Executor.map (Core.Executor.pool ~jobs:3)
+           (fun i -> if i = 150 then raise Exit else i)
+           input))
 
 let test_trace_vcd_export () =
   (* a counterexample exports as a well-formed VCD *)
@@ -288,6 +380,11 @@ let () =
       ("campaign",
        [ Alcotest.test_case "mini campaign over bug modules" `Slow
            test_mini_campaign;
+         Alcotest.test_case "parallel executor matches sequential" `Slow
+           test_parallel_matches_sequential;
+         Alcotest.test_case "warm cache reruns without the engines" `Slow
+           test_campaign_warm_cache;
+         Alcotest.test_case "executor map" `Quick test_executor_map;
          Alcotest.test_case "trace vcd export" `Quick test_trace_vcd_export ]);
       ("classification",
        [ Alcotest.test_case "table 3 reproduction" `Slow

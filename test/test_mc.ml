@@ -465,6 +465,143 @@ let prop_engines_match_brute_force =
       engines_ok
       && abs_float (count -. float_of_int reachable_count) < 0.5)
 
+(* ---- proof obligations and the structural result cache ---- *)
+
+let counter_obligations ?(bug = false) name =
+  let leaf = Chip.Archetype.counter ~name ~bug () in
+  let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
+  let spec =
+    { Verifiable.Propgen.he = leaf.Chip.Archetype.he;
+      he_map = leaf.Chip.Archetype.he_map;
+      parity_inputs = leaf.Chip.Archetype.parity_inputs;
+      parity_outputs = leaf.Chip.Archetype.parity_outputs; extra = [] }
+  in
+  List.concat_map
+    (fun (_, vunit) ->
+      Mc.Obligation.of_vunit info.Verifiable.Transform.mdl vunit
+        ~meta:(fun ~prop_name -> prop_name))
+    (Verifiable.Propgen.all info spec)
+
+let test_obligation_fingerprints () =
+  let a = counter_obligations "ob_a" in
+  let b = counter_obligations "ob_b" in
+  let bugged = counter_obligations ~bug:true "ob_c" in
+  let fps obs = List.map Mc.Obligation.fingerprint obs in
+  List.iter
+    (fun fp -> Alcotest.(check int) "digest is 32 hex chars" 32 (String.length fp))
+    (fps a);
+  (* structurally identical clones, names aside: same keys *)
+  Alcotest.(check (list string)) "clone fingerprints agree" (fps a) (fps b);
+  (* the seeded bug changes the logic, so at least one key must change *)
+  Alcotest.(check bool) "bugged counter keys differ" true (fps a <> fps bugged);
+  (* a different budget is a different obligation *)
+  let tight =
+    { Mc.Engine.default_budget with Mc.Engine.bmc_depth = 7 }
+  in
+  let a' = List.hd a in
+  let fp_tight =
+    Mc.Obligation.fingerprint { a' with Mc.Obligation.budget = tight }
+  in
+  Alcotest.(check bool) "budget is part of the key" true
+    (fp_tight <> Mc.Obligation.fingerprint a')
+
+let test_obligation_run_matches_engine () =
+  let leaf = Chip.Archetype.counter ~name:"ob_run" ~bug:true () in
+  let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
+  let spec =
+    { Verifiable.Propgen.he = leaf.Chip.Archetype.he;
+      he_map = leaf.Chip.Archetype.he_map;
+      parity_inputs = leaf.Chip.Archetype.parity_inputs;
+      parity_outputs = leaf.Chip.Archetype.parity_outputs; extra = [] }
+  in
+  let vunit = Verifiable.Propgen.soundness_vunit info spec in
+  let tag (o : Mc.Engine.outcome) =
+    match o.Mc.Engine.verdict with
+    | Mc.Engine.Proved -> "proved"
+    | Mc.Engine.Proved_bounded d -> Printf.sprintf "bounded:%d" d
+    | Mc.Engine.Failed _ -> "failed"
+    | Mc.Engine.Resource_out _ -> "resource"
+  in
+  let via_engine =
+    List.map
+      (fun (name, o) -> (name, tag o))
+      (Mc.Engine.check_vunit info.Verifiable.Transform.mdl vunit)
+  in
+  let via_obligation =
+    List.map
+      (fun ob ->
+        (ob.Mc.Obligation.meta, tag (Mc.Obligation.run ob)))
+      (Mc.Obligation.of_vunit info.Verifiable.Transform.mdl vunit
+         ~meta:(fun ~prop_name -> prop_name))
+  in
+  Alcotest.(check (list (pair string string)))
+    "prepared obligations reproduce the engine facade" via_engine
+    via_obligation
+
+let test_cache_dedups_clones () =
+  let cache = Mc.Cache.create () in
+  let run obs =
+    List.map
+      (fun ob ->
+        Mc.Cache.find_or_run cache ~key:(Mc.Obligation.fingerprint ob)
+          (fun () -> Mc.Obligation.run ob))
+      obs
+  in
+  let a = counter_obligations "cache_a" in
+  let first = run a in
+  Alcotest.(check int) "cold run: every check is fresh" (List.length a)
+    (Mc.Cache.misses cache);
+  Alcotest.(check int) "cold run: no hits" 0 (Mc.Cache.hits cache);
+  (* a structurally identical sibling: zero fresh engine calls *)
+  let second = run (counter_obligations "cache_b") in
+  Alcotest.(check int) "warm run: no new misses" (List.length a)
+    (Mc.Cache.misses cache);
+  Alcotest.(check int) "warm run: all hits" (List.length a)
+    (Mc.Cache.hits cache);
+  List.iter2
+    (fun (_, hit1) (_, hit2) ->
+      Alcotest.(check bool) "first run misses" false hit1;
+      Alcotest.(check bool) "second run hits" true hit2)
+    first second
+
+let test_cache_persistence () =
+  let cache = Mc.Cache.create () in
+  let obs = counter_obligations "cache_p" in
+  List.iter
+    (fun ob ->
+      ignore
+        (Mc.Cache.find_or_run cache ~key:(Mc.Obligation.fingerprint ob)
+           (fun () -> Mc.Obligation.run ob)))
+    obs;
+  let path = Filename.temp_file "dicheck" ".cache" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Mc.Cache.save cache path;
+      let reloaded =
+        match Mc.Cache.load path with
+        | Some c -> c
+        | None -> Alcotest.fail "saved cache does not load"
+      in
+      Alcotest.(check int) "all entries survive the round trip"
+        (Mc.Cache.length cache) (Mc.Cache.length reloaded);
+      let fresh_runs = ref 0 in
+      List.iter
+        (fun ob ->
+          let _, hit =
+            Mc.Cache.find_or_run reloaded
+              ~key:(Mc.Obligation.fingerprint ob)
+              (fun () ->
+                incr fresh_runs;
+                Mc.Obligation.run ob)
+          in
+          Alcotest.(check bool) "reloaded entry hits" true hit)
+        obs;
+      Alcotest.(check int) "zero fresh engine calls after reload" 0
+        !fresh_runs);
+  Alcotest.(check bool) "missing file loads as None" true
+    (Mc.Cache.load "/nonexistent/dicheck.cache" = None)
+
 let () =
   Alcotest.run "mc"
     [ ("sym",
@@ -488,5 +625,14 @@ let () =
        [ Alcotest.test_case "k-induction basics" `Quick test_kinduction;
          Alcotest.test_case "agrees with BDD on bug modules" `Slow
            test_kinduction_agrees_on_bugs ]);
+      ("obligation",
+       [ Alcotest.test_case "structural fingerprints" `Quick
+           test_obligation_fingerprints;
+         Alcotest.test_case "run matches engine facade" `Quick
+           test_obligation_run_matches_engine;
+         Alcotest.test_case "cache dedups structural clones" `Quick
+           test_cache_dedups_clones;
+         Alcotest.test_case "cache persists across processes" `Quick
+           test_cache_persistence ]);
       ("cross-validation",
        [ QCheck_alcotest.to_alcotest prop_engines_match_brute_force ]) ]

@@ -266,6 +266,53 @@ let test_vparse_errors () =
   expect_error "module m (); assign x = 5; endmodule";  (* bare int *)
   expect_error "module m (); wire [3:1] w; endmodule"  (* range not to 0 *)
 
+(* ---- canonical renaming and structural fingerprints ---- *)
+
+(* a small mealy machine, parameterized only by signal names: structural
+   twins must fingerprint identically whatever they call their nets *)
+let named_machine ~state ~inp ~out ~wire =
+  let m = M.create ("m_" ^ state) in
+  let m = M.add_input m inp 2 in
+  let m = M.add_output m out 2 in
+  let m = M.add_wire m wire 2 in
+  let m = M.add_assign m wire E.(var state ^: var inp) in
+  let m = M.add_assign m out E.(var wire +: of_int ~width:2 1) in
+  M.add_reg ~cls:M.Fsm m state 2 (E.var wire)
+
+let elab m = Rtl.Elaborate.run (Rtl.Design.of_modules [ m ]) ~top:m.M.name
+
+let test_canon_fingerprint () =
+  let a = elab (named_machine ~state:"cs" ~inp:"IN" ~out:"OUT" ~wire:"nx") in
+  let b =
+    elab (named_machine ~state:"zustand" ~inp:"EIN" ~out:"AUS" ~wire:"w9")
+  in
+  Alcotest.(check string) "structural twins share a fingerprint"
+    (Rtl.Canon.fingerprint a) (Rtl.Canon.fingerprint b);
+  (* roots are translated through the canonical map before digesting *)
+  Alcotest.(check string) "roots are canonicalized too"
+    (Rtl.Canon.fingerprint ~roots:[ "OUT" ] a)
+    (Rtl.Canon.fingerprint ~roots:[ "AUS" ] b);
+  Alcotest.(check bool) "roots still matter" true
+    (Rtl.Canon.fingerprint ~roots:[ "OUT" ] a <> Rtl.Canon.fingerprint a);
+  Alcotest.(check bool) "salt separates keys" true
+    (Rtl.Canon.fingerprint ~salt:"bmc" a <> Rtl.Canon.fingerprint ~salt:"bdd" a);
+  (* any structural difference must change the digest *)
+  let c = elab (M.add_input (named_machine ~state:"cs" ~inp:"IN" ~out:"OUT" ~wire:"nx") "SPARE" 1) in
+  Alcotest.(check bool) "extra input changes the fingerprint" true
+    (Rtl.Canon.fingerprint a <> Rtl.Canon.fingerprint c)
+
+let test_canon_rename_valid () =
+  let nl = elab (named_machine ~state:"cs" ~inp:"IN" ~out:"OUT" ~wire:"nx") in
+  let canon, map = Rtl.Canon.canonicalize nl in
+  (match Rtl.Netlist.validate canon with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "canonical netlist invalid: %s" msg);
+  Alcotest.(check (pair int int)) "same shape"
+    (Rtl.Netlist.state_bits nl, List.length nl.Rtl.Netlist.assigns)
+    (Rtl.Netlist.state_bits canon, List.length canon.Rtl.Netlist.assigns);
+  Alcotest.(check string) "map covers declared signals" "s0" (map "IN");
+  Alcotest.(check string) "unknown names map to themselves" "nope" (map "nope")
+
 let () =
   Alcotest.run "rtl"
     [ ("module",
@@ -282,6 +329,11 @@ let () =
       ("analysis",
        [ Alcotest.test_case "cone of influence" `Quick test_coi;
          Alcotest.test_case "verilog emission" `Quick test_verilog ]);
+      ("canon",
+       [ Alcotest.test_case "structural fingerprint" `Quick
+           test_canon_fingerprint;
+         Alcotest.test_case "canonical rename validity" `Quick
+           test_canon_rename_valid ]);
       ("verilog roundtrip",
        [ Alcotest.test_case "modules" `Quick test_verilog_roundtrip;
          Alcotest.test_case "hierarchy and simulation" `Quick
