@@ -31,12 +31,12 @@ let campaign_jobs =
 let run_campaign label chip =
   let t0 = Unix.gettimeofday () in
   let last = ref 0.0 in
-  let progress ~done_ ~total =
+  let progress (p : Core.Campaign.progress) =
     let now = Unix.gettimeofday () in
     if now -. !last > 10.0 then begin
       last := now;
-      Printf.printf "  ... %s: %d/%d properties (%.0fs)\n%!" label done_ total
-        (now -. t0)
+      Printf.printf "  ... %s: %d/%d properties (%.0fs)\n%!" label
+        p.Core.Campaign.done_ p.Core.Campaign.total (now -. t0)
     end
   in
   let c =

@@ -42,47 +42,95 @@ let spec_of (leaf : Chip.Archetype.leaf) =
 (* ---- campaign ---- *)
 
 let campaign_cmd =
-  let run with_bugs jobs csv cache_path no_cache =
-    let chip = Chip.Generator.generate ~with_bugs () in
-    let cache =
-      if no_cache then Mc.Cache.create ()
-      else Mc.Cache.load_or_create cache_path
-    in
-    let warm = Mc.Cache.length cache in
-    let t0 = Unix.gettimeofday () in
-    let last = ref 0.0 in
-    let progress ~done_ ~total =
-      let now = Unix.gettimeofday () in
-      if now -. !last > 10.0 then begin
-        last := now;
-        Printf.printf "... %d/%d (%.0fs)\n%!" done_ total (now -. t0)
-      end
-    in
-    let c = Core.Campaign.run ~progress ~jobs ~cache chip in
-    Format.printf "%a" Core.Campaign.pp_table2 c;
-    List.iter
-      (fun (r : Core.Campaign.prop_result) ->
-        Printf.printf "failed: %s %s\n" r.Core.Campaign.module_name
-          r.Core.Campaign.prop_name)
-      (Core.Campaign.failed_results c);
-    Printf.printf
-      "wall time %.1fs, %d jobs; cache: %d hits, %d proved fresh (%d warm \
-       entries loaded)\n"
-      c.Core.Campaign.wall_time_s (max 1 jobs) c.Core.Campaign.cache_hits
-      (List.length c.Core.Campaign.results - c.Core.Campaign.cache_hits)
-      warm;
-    (match csv with
-     | Some path ->
-       Core.Campaign.write_csv c path;
-       Printf.printf "per-property results written to %s\n" path
-     | None -> ());
-    if not no_cache then
-      match Mc.Cache.save cache cache_path with
-      | () ->
-        Printf.printf "result cache saved to %s (%d entries)\n" cache_path
-          (Mc.Cache.length cache)
-      | exception Sys_error msg ->
-        Printf.eprintf "warning: could not save result cache: %s\n" msg
+  let run with_bugs jobs csv cache_path no_cache deadline max_retries
+      journal_path resume =
+    try
+      let chip = Chip.Generator.generate ~with_bugs () in
+      let cache =
+        if no_cache then Mc.Cache.create ()
+        else Mc.Cache.load_or_create cache_path
+      in
+      let budget =
+        match deadline with
+        | None -> None
+        | Some d ->
+          Some
+            { Mc.Engine.default_budget with
+              Mc.Engine.wall_deadline_s = Some d }
+      in
+      let journal =
+        match journal_path with
+        | None ->
+          if resume then begin
+            Printf.eprintf "error: --resume requires --journal FILE\n";
+            exit 3
+          end;
+          None
+        | Some path -> Some (Core.Journal.create ~resume path)
+      in
+      (match journal with
+       | Some j when Core.Journal.replay_count j > 0 ->
+         Printf.printf "resuming: %d obligations replayed from %s\n%!"
+           (Core.Journal.replay_count j) (Core.Journal.path j)
+       | _ -> ());
+      let warm = Mc.Cache.length cache in
+      let t0 = Unix.gettimeofday () in
+      let last = ref 0.0 in
+      let progress (p : Core.Campaign.progress) =
+        let now = Unix.gettimeofday () in
+        if now -. !last > 10.0 then begin
+          last := now;
+          Printf.printf
+            "... %d/%d (%.0fs; %d cache hits, %d replayed, %d retries)\n%!"
+            p.Core.Campaign.done_ p.Core.Campaign.total (now -. t0)
+            p.Core.Campaign.cache_hits p.Core.Campaign.replayed
+            p.Core.Campaign.retries
+        end
+      in
+      let c =
+        Core.Campaign.run ?budget ~progress ~jobs ~cache ?journal
+          ~max_retries chip
+      in
+      Option.iter Core.Journal.close journal;
+      Format.printf "%a" Core.Campaign.pp_table2 c;
+      List.iter
+        (fun (r : Core.Campaign.prop_result) ->
+          Printf.printf "failed: %s %s\n" r.Core.Campaign.module_name
+            r.Core.Campaign.prop_name)
+        (Core.Campaign.failed_results c);
+      Printf.printf
+        "wall time %.1fs, %d jobs; cache: %d hits, %d proved fresh (%d warm \
+         entries loaded)\n"
+        c.Core.Campaign.wall_time_s (max 1 jobs) c.Core.Campaign.cache_hits
+        (List.length c.Core.Campaign.results
+        - c.Core.Campaign.cache_hits - c.Core.Campaign.replayed)
+        warm;
+      if c.Core.Campaign.replayed > 0 || c.Core.Campaign.retries > 0 then
+        Printf.printf "robustness: %d replayed from journal, %d crash retries\n"
+          c.Core.Campaign.replayed c.Core.Campaign.retries;
+      (match csv with
+       | Some path ->
+         Core.Campaign.write_csv c path;
+         Printf.printf "per-property results written to %s\n" path
+       | None -> ());
+      if not no_cache then begin
+        match Mc.Cache.save cache cache_path with
+        | () ->
+          Printf.printf "result cache saved to %s (%d entries)\n" cache_path
+            (Mc.Cache.length cache)
+        | exception Sys_error msg ->
+          Printf.eprintf "warning: could not save result cache: %s\n" msg
+      end;
+      (* 0 all proved; 1 property failures; 2 no failures but unresolved
+         (resource-out or error) verdicts remain; 3 internal error *)
+      let g = c.Core.Campaign.grand_total in
+      if g.Core.Campaign.failed > 0 then exit 1
+      else if g.Core.Campaign.resource_out + g.Core.Campaign.errors > 0 then
+        exit 2
+      else exit 0
+    with e ->
+      Printf.eprintf "dicheck: internal error: %s\n" (Printexc.to_string e);
+      exit 3
   in
   let with_bugs =
     Arg.(value & opt bool true & info [ "with-bugs" ] ~doc:"Seed the 7 bugs.")
@@ -112,8 +160,34 @@ let campaign_cmd =
              ~doc:"Do not load or save the persistent cache (verdicts are \
                    still deduplicated within the run).")
   in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECS"
+             ~doc:"Wall-clock deadline per obligation; an overrunning check \
+                   yields a resource-out verdict instead of hanging a \
+                   worker.")
+  in
+  let max_retries =
+    Arg.(value & opt int 2
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:"Re-run a crashed obligation up to N times with a halved \
+                   budget before recording an error verdict.")
+  in
+  let journal_path =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Append every completed obligation to FILE (fsync'd), so \
+                   a killed campaign can be resumed.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Replay verdicts already in the --journal file instead of \
+                   re-running their engines.")
+  in
   Cmd.v (Cmd.info "campaign" ~doc:"Run the full formal campaign (Table 2).")
-    Term.(const run $ with_bugs $ jobs $ csv $ cache_path $ no_cache)
+    Term.(const run $ with_bugs $ jobs $ csv $ cache_path $ no_cache
+          $ deadline $ max_retries $ journal_path $ resume)
 
 (* ---- classify ---- *)
 
@@ -193,6 +267,7 @@ let check_cmd =
                 incr failures;
                 "FAILED"
               | Mc.Engine.Resource_out m -> "resource out: " ^ m
+              | Mc.Engine.Error m -> "engine error: " ^ m
             in
             Printf.printf "%-28s %-30s %s (%.3fs)\n" name verdict
               o.Mc.Engine.engine_used o.Mc.Engine.time_s)

@@ -81,7 +81,7 @@ let () =
           match o.Mc.Engine.verdict with
           | Mc.Engine.Proved -> ()
           | Mc.Engine.Proved_bounded _ | Mc.Engine.Failed _
-          | Mc.Engine.Resource_out _ ->
+          | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
             Printf.printf "unexpected verdict on %s\n" name)
         (Mc.Engine.check_vunit mdl vunit))
     (Verifiable.Propgen.all info spec);

@@ -110,7 +110,8 @@ let () =
              | Mc.Engine.Proved_bounded d ->
                Printf.sprintf "no violation up to %d" d
              | Mc.Engine.Failed _ -> "FAILED"
-             | Mc.Engine.Resource_out m -> "resource out: " ^ m)
+             | Mc.Engine.Resource_out m -> "resource out: " ^ m
+             | Mc.Engine.Error m -> "engine error: " ^ m)
             o.Mc.Engine.engine_used o.Mc.Engine.time_s)
         (Mc.Engine.check_vunit mdl vunit))
     vunits

@@ -80,7 +80,7 @@ let () =
      Printf.printf "replaying the trace in the simulator: assertion fired = %b\n"
        !fired
    | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ | Mc.Engine.Resource_out _
-     ->
+   | Mc.Engine.Error _ ->
      Printf.printf "unexpected verdict\n");
 
   (* and show the fixed decoder proves *)
@@ -95,6 +95,7 @@ let () =
          | Mc.Engine.Proved -> "proved"
          | Mc.Engine.Proved_bounded d -> Printf.sprintf "bounded %d" d
          | Mc.Engine.Failed _ -> "FAILED"
-         | Mc.Engine.Resource_out r -> r))
+         | Mc.Engine.Resource_out r -> r
+         | Mc.Engine.Error r -> "engine error: " ^ r))
     (Mc.Engine.check_vunit info'.Verifiable.Transform.mdl
        (PG.integrity_vunit info' spec'))

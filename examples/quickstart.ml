@@ -44,7 +44,7 @@ let run_flow title leaf =
             Printf.printf "counterexample for %s:\n%s" f.Core.Flow.prop_name
               (Mc.Trace.to_string trace)
           | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
-          | Mc.Engine.Resource_out _ ->
+          | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
             ())
         failures
     end

@@ -100,6 +100,7 @@ let () =
                   Printf.sprintf "no violation to depth %d" d
                 | Mc.Engine.Failed _ -> "FAILED"
                 | Mc.Engine.Resource_out r -> "resource out: " ^ r
+                | Mc.Engine.Error r -> "engine error: " ^ r
               in
               Printf.printf "%-24s %-13s %-30s %s\n" prop
                 (Verifiable.Propgen.class_name cls

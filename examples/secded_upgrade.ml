@@ -46,7 +46,8 @@ let () =
          | Mc.Engine.Proved -> "proved"
          | Mc.Engine.Proved_bounded d -> Printf.sprintf "bounded %d" d
          | Mc.Engine.Failed _ -> "FAILED"
-         | Mc.Engine.Resource_out m -> m)
+         | Mc.Engine.Resource_out m -> m
+         | Mc.Engine.Error m -> "engine error: " ^ m)
         o.Mc.Engine.engine_used o.Mc.Engine.time_s)
     props;
   Printf.printf

@@ -12,11 +12,19 @@ type man = {
   ite_cache : (int * int * int, int) Hashtbl.t;
   nvars : int;
   mutable node_limit : int option;
+  mutable interrupt : (unit -> bool) option;
+  mutable interrupt_fuel : int;
 }
 
 type t = int
 
 exception Node_limit
+exception Interrupted
+
+(* how many node allocations between two polls of the interrupt callback:
+   rare enough that the gettimeofday behind a deadline check is free, often
+   enough that one runaway apply cannot overshoot a deadline by much *)
+let interrupt_period = 8192
 
 let terminal_level = max_int
 
@@ -30,13 +38,19 @@ let create ?node_limit ~nvars () =
       unique = Hashtbl.create 4096;
       ite_cache = Hashtbl.create 4096;
       nvars;
-      node_limit }
+      node_limit;
+      interrupt = None;
+      interrupt_fuel = interrupt_period }
   in
   (* node 0 = false, 1 = true *)
   m
 
 let nvars m = m.nvars
 let set_node_limit m l = m.node_limit <- l
+
+let set_interrupt m f =
+  m.interrupt <- f;
+  m.interrupt_fuel <- interrupt_period
 let node_count m = m.next_free
 
 let clear_caches m = Hashtbl.reset m.ite_cache
@@ -68,6 +82,14 @@ let mk m v l h =
       (match m.node_limit with
        | Some limit when m.next_free >= limit -> raise Node_limit
        | Some _ | None -> ());
+      (match m.interrupt with
+       | Some f ->
+         m.interrupt_fuel <- m.interrupt_fuel - 1;
+         if m.interrupt_fuel <= 0 then begin
+           m.interrupt_fuel <- interrupt_period;
+           if f () then raise Interrupted
+         end
+       | None -> ());
       if m.next_free >= Array.length m.var then grow m;
       let n = m.next_free in
       m.next_free <- n + 1;

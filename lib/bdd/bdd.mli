@@ -15,12 +15,25 @@ exception Node_limit
     node limit — the reproducible stand-in for the paper's model-checker
     time-outs (Figure 7). *)
 
+exception Interrupted
+(** Raised by any node-allocating operation when the manager's interrupt
+    callback ({!set_interrupt}) returns [true] — the cooperative wall-clock
+    cancellation point inside long-running BDD operations. *)
+
 val create : ?node_limit:int -> nvars:int -> unit -> man
 (** [create ~nvars ()] makes a manager for variables [0 .. nvars-1].
     [node_limit] defaults to unlimited. *)
 
 val nvars : man -> int
 val set_node_limit : man -> int option -> unit
+
+val set_interrupt : man -> (unit -> bool) option -> unit
+(** Install (or clear) a cancellation callback, polled every few thousand
+    node allocations. When it returns [true] the allocating operation raises
+    {!Interrupted}, abandoning the partially-built result. The arena stays
+    consistent — only in-flight operation caches may hold partial entries —
+    but callers normally discard the whole manager afterwards. *)
+
 val node_count : man -> int
 (** Total nodes allocated in the arena (a monotone work measure). *)
 

@@ -10,6 +10,8 @@ type prop_result = {
   outcome : Mc.Engine.outcome;
   bug : Chip.Bugs.id option;
   cache_hit : bool;
+  replayed : bool;
+  attempts : int;
 }
 
 type row = {
@@ -24,7 +26,16 @@ type row = {
   proved : int;
   failed : int;
   resource_out : int;
+  errors : int;
   time_s : float;
+}
+
+type progress = {
+  done_ : int;
+  total : int;
+  retries : int;
+  cache_hits : int;
+  replayed : int;
 }
 
 type t = {
@@ -33,6 +44,8 @@ type t = {
   grand_total : row;
   wall_time_s : float;
   cache_hits : int;
+  retries : int;
+  replayed : int;
 }
 
 (* one schedulable unit of campaign work: everything needed to prepare and
@@ -69,15 +82,28 @@ let work_items (chip : G.t) =
         c.G.units)
     chip.G.categories
 
-let run ?budget ?strategy ?(progress = fun ~done_:_ ~total:_ -> ()) ?jobs
-    ?cache (chip : G.t) =
+(* a captured worker crash, rendered as a verdict so it can flow through
+   Table 2 and the CSV like any other outcome *)
+let crash_outcome exn =
+  { Mc.Engine.verdict = Mc.Engine.Error (Printexc.to_string exn);
+    engine_used = "crash"; time_s = 0.0; iterations = 0; work_nodes = 0 }
+
+let run ?budget ?strategy ?(progress = fun (_ : progress) -> ()) ?jobs ?cache
+    ?journal ?(max_retries = 2) ?(retry_backoff_s = 0.05) ?fault_hook
+    (chip : G.t) =
   let t0 = Unix.gettimeofday () in
   let cache = match cache with Some c -> c | None -> Mc.Cache.create () in
   let hits0 = Mc.Cache.hits cache in
   let items = Array.of_list (work_items chip) in
   let total = Array.length items in
-  let done_ = ref 0 in
+  let done_ = ref 0 and retries_n = ref 0 and hits_n = ref 0
+  and replayed_n = ref 0 in
   let progress_lock = Mutex.create () in
+  let note_retry () =
+    Mutex.lock progress_lock;
+    incr retries_n;
+    Mutex.unlock progress_lock
+  in
   let check (w : work) =
     (* prepare inside the worker so instrumentation, elaboration and COI
        reduction parallelize along with the engine runs *)
@@ -85,25 +111,98 @@ let run ?budget ?strategy ?(progress = fun ~done_:_ ~total:_ -> ()) ?jobs
       Mc.Obligation.prepare ?budget ?strategy w.w_mdl ~assert_:w.w_assert
         ~assumes:w.w_assumes ~meta:()
     in
-    let outcome, cache_hit =
-      Mc.Cache.find_or_run cache ~key:(Mc.Obligation.fingerprint ob)
-        (fun () -> Mc.Obligation.run ob)
+    let key = Mc.Obligation.fingerprint ob in
+    let fault attempt =
+      match fault_hook with
+      | Some f ->
+        f ~module_name:w.w_mdl.Rtl.Mdl.name ~prop_name:w.w_prop_name
+          ~fingerprint:key ~attempt
+      | None -> ()
+    in
+    let record outcome =
+      (* checkpoint + cache under the ORIGINAL fingerprint even when a retry
+         ran with a degraded budget: the obligation answered is the same one.
+         Error verdicts are recorded in neither, so a transient crash can
+         poison neither structurally identical siblings nor a resumed run. *)
+      match outcome.Mc.Engine.verdict with
+      | Mc.Engine.Error _ -> ()
+      | _ ->
+        Mc.Cache.add cache ~key outcome;
+        Option.iter (fun j -> Journal.append j ~key outcome) journal
+    in
+    let outcome, cache_hit, replayed, attempts =
+      match Option.bind journal (fun j -> Journal.replay j ~key) with
+      | Some outcome -> (outcome, false, true, 0)
+      | None -> (
+        match Mc.Cache.find cache ~key with
+        | Some outcome ->
+          (* re-journal cache hits: after a kill the in-memory cache is gone,
+             so resume must be able to replay them from disk *)
+          Option.iter (fun j -> Journal.append j ~key outcome) journal;
+          (outcome, true, false, 0)
+        | None ->
+          (* retry ladder: a crash gets capped re-runs with a halved budget
+             and exponential backoff; a crash on the last rung becomes an
+             [Error] verdict instead of taking the campaign down *)
+          let rec attempt ob n =
+            (* the hook runs inside the match scrutinee: a fault it injects
+               is indistinguishable from the engine itself crashing *)
+            match
+              fault n;
+              Mc.Obligation.run ob
+            with
+            | outcome -> (outcome, n)
+            | exception exn ->
+              if n > max_retries then (crash_outcome exn, n)
+              else begin
+                note_retry ();
+                if retry_backoff_s > 0.0 then
+                  Unix.sleepf
+                    (Float.min 1.0
+                       (retry_backoff_s *. (2.0 ** float_of_int (n - 1))));
+                attempt
+                  { ob with
+                    Mc.Obligation.budget =
+                      Mc.Engine.degrade_budget ob.Mc.Obligation.budget }
+                  (n + 1)
+              end
+          in
+          let outcome, attempts = attempt ob 1 in
+          record outcome;
+          (outcome, false, false, attempts))
     in
     Mutex.lock progress_lock;
     incr done_;
-    let d = !done_ in
+    if cache_hit then incr hits_n;
+    if replayed then incr replayed_n;
+    let snap =
+      { done_ = !done_; total; retries = !retries_n; cache_hits = !hits_n;
+        replayed = !replayed_n }
+    in
     (* the callback runs under the lock so user printf output stays whole *)
-    (try progress ~done_:d ~total
+    (try progress snap
      with e ->
        Mutex.unlock progress_lock;
        raise e);
     Mutex.unlock progress_lock;
     { category = w.w_category; module_name = w.w_mdl.Rtl.Mdl.name;
       vunit_name = w.w_vunit_name; prop_name = w.w_prop_name; cls = w.w_cls;
-      outcome; bug = w.w_bug; cache_hit }
+      outcome; bug = w.w_bug; cache_hit; replayed; attempts }
   in
   let results =
-    Array.to_list (Executor.map (Executor.of_jobs jobs) check items)
+    (* the executor's per-item isolation is the outer safety net: anything
+       that escapes the retry ladder (a crash in prepare, a raising progress
+       callback) still yields a row instead of losing the campaign *)
+    Executor.map_result (Executor.of_jobs jobs) check items
+    |> Array.mapi (fun i -> function
+         | Ok r -> r
+         | Error exn ->
+           let w = items.(i) in
+           { category = w.w_category; module_name = w.w_mdl.Rtl.Mdl.name;
+             vunit_name = w.w_vunit_name; prop_name = w.w_prop_name;
+             cls = w.w_cls; outcome = crash_outcome exn; bug = w.w_bug;
+             cache_hit = false; replayed = false; attempts = 0 })
+    |> Array.to_list
   in
   let row_of cat subs cat_results =
     let by f = List.length (List.filter f cat_results) in
@@ -115,7 +214,7 @@ let run ?budget ?strategy ?(progress = fun ~done_:_ ~total:_ -> ()) ?jobs
              match r.outcome.Mc.Engine.verdict with
              | Mc.Engine.Failed _ -> Some r.module_name
              | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
-             | Mc.Engine.Resource_out _ ->
+             | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
                None)
            cat_results)
     in
@@ -128,19 +227,30 @@ let run ?budget ?strategy ?(progress = fun ~done_:_ ~total:_ -> ()) ?jobs
         by (fun r ->
             match r.outcome.Mc.Engine.verdict with
             | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ -> true
-            | Mc.Engine.Failed _ | Mc.Engine.Resource_out _ -> false);
+            | Mc.Engine.Failed _ | Mc.Engine.Resource_out _
+            | Mc.Engine.Error _ ->
+              false);
       failed =
         by (fun r ->
             match r.outcome.Mc.Engine.verdict with
             | Mc.Engine.Failed _ -> true
             | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
-            | Mc.Engine.Resource_out _ -> false);
+            | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
+              false);
       resource_out =
         by (fun r ->
             match r.outcome.Mc.Engine.verdict with
             | Mc.Engine.Resource_out _ -> true
             | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
-            | Mc.Engine.Failed _ -> false);
+            | Mc.Engine.Failed _ | Mc.Engine.Error _ ->
+              false);
+      errors =
+        by (fun r ->
+            match r.outcome.Mc.Engine.verdict with
+            | Mc.Engine.Error _ -> true
+            | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
+            | Mc.Engine.Failed _ | Mc.Engine.Resource_out _ ->
+              false);
       time_s =
         List.fold_left (fun acc r -> acc +. r.outcome.Mc.Engine.time_s) 0.0
           cat_results }
@@ -159,14 +269,16 @@ let run ?budget ?strategy ?(progress = fun ~done_:_ ~total:_ -> ()) ?jobs
       p1 = List.fold_left (fun a r -> a + r.p1) 0 rows;
       p2 = List.fold_left (fun a r -> a + r.p2) 0 rows;
       p3 = List.fold_left (fun a r -> a + r.p3) 0 rows;
-      total = List.fold_left (fun a r -> a + r.total) 0 rows;
+      total = List.fold_left (fun a (r : row) -> a + r.total) 0 rows;
       proved = List.fold_left (fun a r -> a + r.proved) 0 rows;
       failed = List.fold_left (fun a r -> a + r.failed) 0 rows;
       resource_out = List.fold_left (fun a r -> a + r.resource_out) 0 rows;
+      errors = List.fold_left (fun a r -> a + r.errors) 0 rows;
       time_s = List.fold_left (fun a r -> a +. r.time_s) 0.0 rows }
   in
   { results; rows; grand_total; wall_time_s = Unix.gettimeofday () -. t0;
-    cache_hits = Mc.Cache.hits cache - hits0 }
+    cache_hits = Mc.Cache.hits cache - hits0; retries = !retries_n;
+    replayed = !replayed_n }
 
 let failed_results t =
   List.filter
@@ -174,14 +286,15 @@ let failed_results t =
       match r.outcome.Mc.Engine.verdict with
       | Mc.Engine.Failed _ -> true
       | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
-      | Mc.Engine.Resource_out _ ->
+      | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
         false)
     t.results
 
 let to_csv t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    "category,module,vunit,property,class,verdict,engine,time_s,cache_hit,bug\n";
+    "category,module,vunit,property,class,verdict,engine,time_s,cache_hit,\
+     replayed,attempts,bug\n";
   List.iter
     (fun r ->
       let verdict =
@@ -190,13 +303,16 @@ let to_csv t =
         | Mc.Engine.Proved_bounded d -> Printf.sprintf "bounded:%d" d
         | Mc.Engine.Failed _ -> "failed"
         | Mc.Engine.Resource_out msg -> "resource_out:" ^ msg
+        | Mc.Engine.Error msg ->
+          (* commas would shift the columns; the message is free-form *)
+          "error:" ^ String.map (fun c -> if c = ',' then ';' else c) msg
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s,%.4f,%b,%s\n" r.category
+        (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s,%.4f,%b,%b,%d,%s\n" r.category
            r.module_name r.vunit_name r.prop_name
            (Verifiable.Propgen.class_name r.cls)
            verdict r.outcome.Mc.Engine.engine_used r.outcome.Mc.Engine.time_s
-           r.cache_hit
+           r.cache_hit r.replayed r.attempts
            (match r.bug with Some b -> Chip.Bugs.name b | None -> "")))
     t.results;
   Buffer.contents buf
@@ -211,12 +327,13 @@ let write_csv t path =
 
 let pp_table2 ppf t =
   Format.fprintf ppf
-    "Module    # of   # of   P0     P1     P2     P3     Total  Time(s)@.";
+    "Module    # of   # of   P0     P1     P2     P3     Total  Err    \
+     Time(s)@.";
   Format.fprintf ppf
     "Name      Sub    Bug@.";
   let line (r : row) =
-    Format.fprintf ppf "%-9s %-6d %-6d %-6d %-6d %-6d %-6d %-6d %.1f@." r.cat
-      r.subs r.bugs_found r.p0 r.p1 r.p2 r.p3 r.total r.time_s
+    Format.fprintf ppf "%-9s %-6d %-6d %-6d %-6d %-6d %-6d %-6d %-6d %.1f@."
+      r.cat r.subs r.bugs_found r.p0 r.p1 r.p2 r.p3 r.total r.errors r.time_s
   in
   List.iter line t.rows;
   line t.grand_total

@@ -9,7 +9,23 @@
     through a structural result cache ({!Mc.Cache}) keyed on the reduced
     netlist's canonical fingerprint — so the N structurally identical
     subunits of a category are proved once. Results are index-ordered, so
-    verdicts are identical whatever the backend or job count. *)
+    verdicts are identical whatever the backend or job count.
+
+    The runtime is fault-tolerant in three layers:
+    - {b deadlines} — set [wall_deadline_s] in the budget and any obligation
+      that overruns it yields [Resource_out "deadline"] instead of hanging a
+      worker;
+    - {b crash isolation + retry} — an obligation whose engine run raises is
+      retried with a degraded budget ({!Mc.Engine.degrade_budget}, capped by
+      [max_retries], exponential backoff); a crash on the last rung becomes
+      an {!Mc.Engine.Error} verdict in its row, and the executor's per-item
+      isolation catches anything that escapes (e.g. a crash in preparation),
+      so one poisoned obligation can never lose the rest of the campaign;
+    - {b checkpoint/resume} — pass a {!Journal} and every completed
+      obligation is fsync'd to disk as it finishes; reopening the journal
+      with [~resume:true] replays those verdicts without re-running engines.
+      [Error] verdicts are neither cached nor journaled, so transient
+      crashes are re-attempted on resume. *)
 
 type prop_result = {
   category : string;
@@ -20,6 +36,10 @@ type prop_result = {
   outcome : Mc.Engine.outcome;
   bug : Chip.Bugs.id option;  (** bug seeded in the module, if any *)
   cache_hit : bool;  (** verdict reused from the structural cache *)
+  replayed : bool;  (** verdict replayed from the resume journal *)
+  attempts : int;
+      (** engine runs performed for this result: 1 for a clean fresh run,
+          [> 1] after crash retries, 0 for cache hits and replays *)
 }
 
 type row = {
@@ -34,7 +54,16 @@ type row = {
   proved : int;
   failed : int;
   resource_out : int;
+  errors : int;  (** obligations that crashed through the whole retry ladder *)
   time_s : float;
+}
+
+type progress = {
+  done_ : int;  (** obligations completed so far; never exceeds [total] *)
+  total : int;
+  retries : int;  (** crash re-runs performed so far *)
+  cache_hits : int;  (** of the completed, answered from the cache *)
+  replayed : int;  (** of the completed, replayed from the journal *)
 }
 
 type t = {
@@ -43,14 +72,25 @@ type t = {
   grand_total : row;
   wall_time_s : float;
   cache_hits : int;  (** checks answered from the cache during this run *)
+  retries : int;  (** crash re-runs performed during this run *)
+  replayed : int;  (** checks replayed from the journal *)
 }
 
 val run :
   ?budget:Mc.Engine.budget ->
   ?strategy:Mc.Engine.strategy ->
-  ?progress:(done_:int -> total:int -> unit) ->
+  ?progress:(progress -> unit) ->
   ?jobs:int ->
   ?cache:Mc.Cache.t ->
+  ?journal:Journal.t ->
+  ?max_retries:int ->
+  ?retry_backoff_s:float ->
+  ?fault_hook:
+    (module_name:string ->
+    prop_name:string ->
+    fingerprint:string ->
+    attempt:int ->
+    unit) ->
   Chip.Generator.t ->
   t
 (** [jobs] selects the executor backend: absent or [<= 1] runs sequentially,
@@ -58,14 +98,23 @@ val run :
     cache; a private one is created per run when absent (deduplicating
     within the run), while passing a shared cache additionally reuses
     verdicts across runs — e.g. the post-fix re-campaign. [progress] may be
-    invoked from worker domains, serialized under a lock. *)
+    invoked from worker domains, serialized under a lock.
+
+    [journal] checkpoints every completed obligation and replays the records
+    it was opened with (see {!Journal.create} [~resume]). [max_retries]
+    (default 2) caps crash re-runs per obligation; each retry degrades the
+    budget via {!Mc.Engine.degrade_budget} and sleeps [retry_backoff_s]
+    (default 0.05s) doubling per rung, capped at 1s. [fault_hook], intended
+    for tests, runs in the worker just before each real engine attempt
+    (never for cache hits or replays) — it can count engine invocations or
+    inject crashes. *)
 
 val failed_results : t -> prop_result list
 val pp_table2 : Format.formatter -> t -> unit
 
 val to_csv : t -> string
 (** One row per property: category, module, vunit, property, class, verdict,
-    engine, time, cache hit, bug. Suitable for spreadsheet import or
-    regression diffing. *)
+    engine, time, cache hit, replayed, attempts, bug. Suitable for
+    spreadsheet import or regression diffing. *)
 
 val write_csv : t -> string -> unit

@@ -35,7 +35,7 @@ let find_failing ?budget (u : G.unit_) expected_cls =
             match o.Mc.Engine.verdict with
             | Mc.Engine.Failed _ -> true
             | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
-            | Mc.Engine.Resource_out _ ->
+            | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
               false)
           outcomes
       in
@@ -114,7 +114,7 @@ let run ?budget ?(cycles = 10_000) ?(seeds = [ 11; 23; 37; 58; 71 ]) (chip : G.t
           match outcome.Mc.Engine.verdict with
           | Mc.Engine.Failed trace -> Some (Mc.Trace.length trace)
           | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
-          | Mc.Engine.Resource_out _ ->
+          | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
             None
         in
         let sim_found_runs, sim_first_fire =

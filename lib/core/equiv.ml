@@ -161,6 +161,7 @@ let check_modules ?budget ?(strategy = Mc.Engine.Bdd_forward) ~a ~b ?(tie_a = []
   | Mc.Engine.Proved_bounded d ->
     Undecided (Printf.sprintf "equivalent up to depth %d only (BMC)" d)
   | Mc.Engine.Resource_out msg -> Undecided msg
+  | Mc.Engine.Error msg -> Undecided ("engine error: " ^ msg)
   | Mc.Engine.Failed trace ->
     let output = match outs_a with (name, _) :: _ -> name | [] -> "?" in
     Different { output; trace }

@@ -35,7 +35,7 @@ let steal r =
 
 let remaining r = locked r (fun r -> r.hi - r.lo)
 
-let parallel_map ~workers f xs =
+let parallel_map_result ~workers f xs =
   let n = Array.length xs in
   let ranges =
     Array.init workers (fun w ->
@@ -81,16 +81,17 @@ let parallel_map ~workers f xs =
   in
   worker 0 ();
   Array.iter Domain.join helpers;
-  Array.map
-    (function
-      | Some (Ok v) -> v
-      | Some (Error e) -> raise e
-      | None -> assert false)
-    results
+  Array.map (function Some r -> r | None -> assert false) results
 
-let map t f xs =
+let map_result t f xs =
   match t with
-  | Sequential -> Array.map f xs
+  | Sequential ->
+    Array.map (fun x -> match f x with v -> Ok v | exception e -> Error e) xs
   | Pool j ->
     let n = Array.length xs in
-    if n = 0 then [||] else parallel_map ~workers:(min j n) f xs
+    if n = 0 then [||] else parallel_map_result ~workers:(min j n) f xs
+
+let map t f xs =
+  Array.map
+    (function Ok v -> v | Error e -> raise e)
+    (map_result t f xs)

@@ -18,9 +18,15 @@ val of_jobs : int option -> t
 
 val jobs : t -> int
 
+val map_result : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** Order-preserving parallel map with per-item crash isolation. The input
+    is split into contiguous per-worker ranges; a worker drains its own
+    range from the front and, when empty, steals from the back of the
+    busiest remaining range. An application that raises becomes [Error exn]
+    at its index — every other item still runs to completion, so one
+    poisoned obligation cannot lose the rest of a campaign. *)
+
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
-(** Order-preserving parallel map. The input is split into contiguous
-    per-worker ranges; a worker drains its own range from the front and,
-    when empty, steals from the back of the busiest remaining range. If any
-    application raises, the first exception in input order is re-raised
-    after all workers have stopped. *)
+(** {!map_result} with the historical re-raising behavior: if any
+    application raised, the first exception in input order is re-raised
+    after all items have been attempted. *)

@@ -47,7 +47,7 @@ let failures feedback =
       match f.outcome.Mc.Engine.verdict with
       | Mc.Engine.Failed _ -> true
       | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
-      | Mc.Engine.Resource_out _ ->
+      | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
         false)
     feedback
 
@@ -58,6 +58,7 @@ let pp_feedback ppf f =
     | Mc.Engine.Proved_bounded d -> Printf.sprintf "no violation up to %d" d
     | Mc.Engine.Failed _ -> "FAILED"
     | Mc.Engine.Resource_out msg -> "resource out: " ^ msg
+    | Mc.Engine.Error msg -> "engine error: " ^ msg
   in
   Format.fprintf ppf "%-28s [%s] %s (%s, %.3fs)" f.prop_name
     (Verifiable.Propgen.class_name f.cls)

@@ -1,0 +1,47 @@
+(** Append-only campaign journal — the checkpoint half of checkpoint/resume.
+
+    While a campaign runs, every completed obligation is appended as one
+    fsync'd line keyed by its structural fingerprint
+    ({!Mc.Obligation.fingerprint}). A killed campaign therefore leaves a
+    valid prefix of its work on disk; reopening the journal with
+    [~resume:true] loads that prefix into a replay table, and
+    {!Campaign.run} answers those fingerprints without touching an engine.
+
+    File format: a version-tag header line, then one
+    ["<fingerprint> <hex(Marshal(outcome))>"] line per record. The loader
+    tolerates a truncated or garbled tail (the line a crash interrupted)
+    by keeping the valid prefix and warning on stderr. Thread-safe:
+    appends are serialized under a mutex. *)
+
+type t
+
+val create : ?resume:bool -> ?fsync:bool -> string -> t
+(** Open a journal at [path]. With [resume = false] (default) any existing
+    file is truncated and a fresh journal started; with [resume = true]
+    existing records are loaded into the replay table and new records are
+    appended after them. [fsync] (default [true]) syncs every record to
+    disk — the durability a checkpoint exists for; disable only in tests. *)
+
+val replay : t -> key:string -> Mc.Engine.outcome option
+(** The outcome recorded for this fingerprint in a previous run, if any.
+    Fixed at open time: records appended during the current run are not
+    consulted, so replay decisions are schedule-independent. *)
+
+val replay_count : t -> int
+(** Number of distinct fingerprints loaded for replay. *)
+
+val entries : t -> (string * Mc.Engine.outcome) list
+(** The replay table as a list (order unspecified). *)
+
+val append : t -> key:string -> Mc.Engine.outcome -> unit
+(** Write one record and (unless [fsync:false]) sync it to disk before
+    returning — once [append] returns, a SIGKILL cannot lose the record. *)
+
+val close : t -> unit
+
+val path : t -> string
+
+val load : string -> (string * Mc.Engine.outcome) list
+(** Standalone tolerant reader (later duplicates win is NOT applied — the
+    raw record list in file order). Missing file is an empty list; a
+    truncated tail or foreign format version warns and drops the rest. *)

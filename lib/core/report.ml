@@ -78,6 +78,7 @@ let verdict_string = function
   | Mc.Engine.Proved_bounded d -> Printf.sprintf "no violation up to %d" d
   | Mc.Engine.Failed _ -> "FAILED"
   | Mc.Engine.Resource_out msg -> "time-out (" ^ msg ^ ")"
+  | Mc.Engine.Error msg -> "ERROR (" ^ msg ^ ")"
 
 let check_piece ~budget ~piece mdl vunit =
   match Psl.Ast.asserts vunit with

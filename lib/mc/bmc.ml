@@ -14,7 +14,8 @@ type result =
   | Violation of Trace.t * stats
   | Inconclusive of stats
 
-let check ?(max_conflicts = max_int) ?constraint_signal nl ~ok_signal ~depth =
+let check ?(max_conflicts = max_int) ?(deadline = Deadline.none)
+    ?constraint_signal nl ~ok_signal ~depth =
   let flat = B.flatten nl in
   let nstate =
     List.fold_left (fun acc (_, v) -> acc + Array.length v) 0 flat.B.reg_vars
@@ -54,6 +55,7 @@ let check ?(max_conflicts = max_int) ?constraint_signal nl ~ok_signal ~depth =
   let constraints = ref [] in
   let state = ref state0 in
   for k = 0 to depth do
+    Deadline.check deadline;
     let s = subst_frame k !state in
     bads := (k, s bad0) :: !bads;
     (match constraint0 with
@@ -87,7 +89,7 @@ let check ?(max_conflicts = max_int) ?constraint_signal nl ~ok_signal ~depth =
     { depth; cnf_vars = cnf.Cnf.nvars; cnf_clauses = Cnf.num_clauses cnf;
       decisions; conflicts }
   in
-  match Solver.solve ~max_conflicts cnf with
+  match Solver.solve ~max_conflicts ~should_stop:(Deadline.checker deadline) cnf with
   | Solver.Unsat -> No_violation_upto (depth, mk_stats ())
   | Solver.Unknown -> Inconclusive (mk_stats ())
   | Solver.Sat model ->
@@ -132,11 +134,15 @@ let check ?(max_conflicts = max_int) ?constraint_signal nl ~ok_signal ~depth =
     done;
     Violation (List.rev !cycles, stats)
 
-let find_shortest ?max_conflicts ?constraint_signal nl ~ok_signal ~max_depth =
+let find_shortest ?max_conflicts ?deadline ?constraint_signal nl ~ok_signal
+    ~max_depth =
   let rec go d last =
     if d > max_depth then last
     else
-      match check ?max_conflicts ?constraint_signal nl ~ok_signal ~depth:d with
+      match
+        check ?max_conflicts ?deadline ?constraint_signal nl ~ok_signal
+          ~depth:d
+      with
       | Violation _ as v -> v
       | Inconclusive _ as i -> i
       | No_violation_upto _ as ok -> go (d + 1) ok

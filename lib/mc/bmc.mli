@@ -16,6 +16,7 @@ type result =
 
 val check :
   ?max_conflicts:int ->
+  ?deadline:Deadline.t ->
   ?constraint_signal:string ->
   Rtl.Netlist.t ->
   ok_signal:string ->
@@ -24,10 +25,13 @@ val check :
 (** Checks whether [ok_signal] (1 bit) can be 0 in any of cycles
     [0 .. depth]. When [constraint_signal] is given (a 1-bit combinational
     function of the inputs), it is asserted in every unrolled frame, so only
-    constraint-satisfying stimulus is considered. *)
+    constraint-satisfying stimulus is considered. [deadline] is polled once
+    per unrolled frame (raising {!Deadline.Expired}) and passed to the SAT
+    search as its [should_stop] callback (yielding {!Inconclusive}). *)
 
 val find_shortest :
   ?max_conflicts:int ->
+  ?deadline:Deadline.t ->
   ?constraint_signal:string ->
   Rtl.Netlist.t ->
   ok_signal:string ->

@@ -15,6 +15,15 @@ type t
 
 val create : unit -> t
 
+val find : t -> key:string -> Engine.outcome option
+(** Lookup that counts: a hit bumps [hits], a miss bumps [misses]. *)
+
+val add : t -> key:string -> Engine.outcome -> unit
+(** Insert (or overwrite) an entry. Callers that must not cache certain
+    outcomes — e.g. the campaign excludes [Error] verdicts so a transient
+    crash cannot poison structurally identical siblings — use
+    {!find}/[add] directly instead of {!find_or_run}. *)
+
 val find_or_run : t -> key:string -> (unit -> Engine.outcome) -> Engine.outcome * bool
 (** [find_or_run c ~key f] returns the cached outcome for [key] and [true],
     or runs [f], stores its outcome and returns it with [false]. [f] runs
@@ -29,10 +38,13 @@ val reset_stats : t -> unit
 (** Zero the hit/miss counters, keeping the entries. *)
 
 val save : t -> string -> unit
-(** Persist entries to a file (OCaml [Marshal] behind a format tag). *)
+(** Persist entries to a file (OCaml [Marshal] behind a format tag).
+    Atomic: the entries are written to a temp file, fsync'd and renamed
+    over [path], so a crash mid-save can never leave a truncated cache. *)
 
 val load : string -> t option
-(** [None] if the file is missing, unreadable, or from another format
-    version. Statistics start at zero. *)
+(** [None] if the file is missing, unreadable, truncated, corrupt, or from
+    another format version; anything but "missing" warns on stderr.
+    Never raises on bad file contents. Statistics start at zero. *)
 
 val load_or_create : string -> t

@@ -1,0 +1,10 @@
+type t = float option
+
+exception Expired
+
+let none = None
+let after s = Some (Unix.gettimeofday () +. s)
+let of_budget = Option.map (fun s -> Unix.gettimeofday () +. s)
+let expired = function None -> false | Some t -> Unix.gettimeofday () >= t
+let check d = if expired d then raise Expired
+let checker d () = expired d

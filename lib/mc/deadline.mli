@@ -1,0 +1,33 @@
+(** Cooperative wall-clock deadlines.
+
+    A deadline is an absolute point in time (or [None] for "unbounded"),
+    fixed once when an engine run starts and threaded through every
+    long-running loop: the BDD reachability fixpoints, the POBDD partition
+    loop, the BMC unroll, and — as a polling callback — the CDCL search and
+    the BDD node allocator. Each loop polls the deadline at its natural
+    iteration boundary and raises {!Expired}; the engine catches it and
+    reports [Resource_out "deadline"], so a pathological obligation is cut
+    off in bounded time instead of hanging its worker. *)
+
+type t = float option
+(** Absolute [Unix.gettimeofday] time, or [None] for no deadline. *)
+
+exception Expired
+
+val none : t
+
+val after : float -> t
+(** A deadline this many seconds from now. *)
+
+val of_budget : float option -> t
+(** Fix a relative budget ({!Engine.budget.wall_deadline_s}) into an
+    absolute deadline, now. *)
+
+val expired : t -> bool
+
+val check : t -> unit
+(** Raise {!Expired} if the deadline has passed. *)
+
+val checker : t -> unit -> bool
+(** [expired] as a thunk — the shape {!Bdd.set_interrupt} and
+    [Solver.solve ?should_stop] expect. *)

@@ -23,18 +23,28 @@ type budget = {
   bmc_depth : int;
   induction_max_k : int;
   sat_max_conflicts : int;
+  wall_deadline_s : float option;
 }
 
 let default_budget =
   { bdd_node_limit = Some 2_000_000; pobdd_node_limit = Some 8_000_000;
     pobdd_split_vars = 2; bmc_depth = 20; induction_max_k = 20;
-    sat_max_conflicts = 2_000_000 }
+    sat_max_conflicts = 2_000_000; wall_deadline_s = None }
+
+let degrade_budget b =
+  let half = Option.map (fun n -> max 1 (n / 2)) in
+  { b with
+    bdd_node_limit = half b.bdd_node_limit;
+    pobdd_node_limit = half b.pobdd_node_limit;
+    sat_max_conflicts = max 1 (b.sat_max_conflicts / 2);
+    wall_deadline_s = Option.map (fun s -> s /. 2.0) b.wall_deadline_s }
 
 type verdict =
   | Proved
   | Proved_bounded of int
   | Failed of Trace.t
   | Resource_out of string
+  | Error of string
 
 type outcome = {
   verdict : verdict;
@@ -58,47 +68,66 @@ let of_reach engine (r, time_s) =
     { verdict = Failed trace; engine_used = engine; time_s;
       iterations = stats.Reach.iterations; work_nodes = stats.Reach.bdd_nodes }
 
-let run_bdd ~node_limit ~engine nl ok_signal constraint_signal check =
+let deadline_msg = "deadline"
+
+let run_bdd ~node_limit ~deadline ~engine nl ok_signal constraint_signal check
+    =
   let f () =
     let sym = Sym.create ?node_limit nl in
+    (* the manager-level interrupt bounds even a single runaway image
+       computation; the per-iteration Deadline.check in the fixpoint loops
+       bounds everything between BDD operations *)
+    (match deadline with
+     | None -> ()
+     | Some _ ->
+       Bdd.set_interrupt (Sym.man sym) (Some (Deadline.checker deadline)));
     let ok = (Sym.signal_bdd sym ok_signal).(0) in
     let constrain =
       Option.map (fun c -> (Sym.signal_bdd sym c).(0)) constraint_signal
     in
-    check ?constrain sym ok
+    check ?constrain ~deadline sym ok
   in
   match timed f with
   | result -> Ok (of_reach engine result)
-  | exception Bdd.Node_limit -> Error "BDD node limit exceeded"
+  | exception Bdd.Node_limit -> Stdlib.Error "BDD node limit exceeded"
+  | exception (Deadline.Expired | Bdd.Interrupted) -> Stdlib.Error deadline_msg
 
-let run_bmc ~budget nl ok_signal constraint_signal =
+let run_bmc ~budget ~deadline nl ok_signal constraint_signal =
   let f () =
-    Bmc.check ~max_conflicts:budget.sat_max_conflicts ?constraint_signal nl
-      ~ok_signal ~depth:budget.bmc_depth
+    Bmc.check ~max_conflicts:budget.sat_max_conflicts ~deadline
+      ?constraint_signal nl ~ok_signal ~depth:budget.bmc_depth
   in
-  let r, time_s = timed f in
-  match r with
-  | Bmc.No_violation_upto (d, stats) ->
-    { verdict = Proved_bounded d; engine_used = "bmc"; time_s;
-      iterations = d; work_nodes = stats.Bmc.cnf_clauses }
-  | Bmc.Violation (trace, stats) ->
-    { verdict = Failed trace; engine_used = "bmc"; time_s;
-      iterations = stats.Bmc.depth; work_nodes = stats.Bmc.cnf_clauses }
-  | Bmc.Inconclusive stats ->
-    { verdict = Resource_out "SAT conflict budget exceeded";
-      engine_used = "bmc"; time_s; iterations = stats.Bmc.depth;
-      work_nodes = stats.Bmc.cnf_clauses }
+  match timed f with
+  | exception Deadline.Expired ->
+    { verdict = Resource_out deadline_msg; engine_used = "bmc"; time_s = 0.0;
+      iterations = 0; work_nodes = 0 }
+  | r, time_s ->
+    (match r with
+     | Bmc.No_violation_upto (d, stats) ->
+       { verdict = Proved_bounded d; engine_used = "bmc"; time_s;
+         iterations = d; work_nodes = stats.Bmc.cnf_clauses }
+     | Bmc.Violation (trace, stats) ->
+       { verdict = Failed trace; engine_used = "bmc"; time_s;
+         iterations = stats.Bmc.depth; work_nodes = stats.Bmc.cnf_clauses }
+     | Bmc.Inconclusive stats ->
+       let msg =
+         if Deadline.expired deadline then deadline_msg
+         else "SAT conflict budget exceeded"
+       in
+       { verdict = Resource_out msg; engine_used = "bmc"; time_s;
+         iterations = stats.Bmc.depth; work_nodes = stats.Bmc.cnf_clauses })
 
 let check_netlist ?(budget = default_budget) ?constraint_signal ~strategy nl
     ~ok_signal =
+  let deadline = Deadline.of_budget budget.wall_deadline_s in
   let bdd check engine =
-    run_bdd ~node_limit:budget.bdd_node_limit ~engine nl ok_signal
+    run_bdd ~node_limit:budget.bdd_node_limit ~deadline ~engine nl ok_signal
       constraint_signal check
   in
   let pobdd () =
-    run_bdd ~node_limit:budget.pobdd_node_limit ~engine:"pobdd" nl ok_signal
-      constraint_signal (fun ?constrain sym ok ->
-        Umc.check_forward_partitioned ?constrain sym ~ok
+    run_bdd ~node_limit:budget.pobdd_node_limit ~deadline ~engine:"pobdd" nl
+      ok_signal constraint_signal (fun ?constrain ~deadline sym ok ->
+        Umc.check_forward_partitioned ?constrain ~deadline sym ~ok
           ~num_split_vars:budget.pobdd_split_vars)
   in
   let resource_out msg engine =
@@ -108,21 +137,24 @@ let check_netlist ?(budget = default_budget) ?constraint_signal ~strategy nl
   match strategy with
   | Bdd_forward -> (
     match
-      bdd (fun ?constrain sym ok -> Reach.check_forward ?constrain sym ~ok)
+      bdd (fun ?constrain ~deadline sym ok ->
+          Reach.check_forward ?constrain ~deadline sym ~ok)
         "bdd-forward"
     with
     | Ok o -> o
     | Error msg -> resource_out msg "bdd-forward")
   | Bdd_backward -> (
     match
-      bdd (fun ?constrain sym ok -> Reach.check_backward ?constrain sym ~ok)
+      bdd (fun ?constrain ~deadline sym ok ->
+          Reach.check_backward ?constrain ~deadline sym ~ok)
         "bdd-backward"
     with
     | Ok o -> o
     | Error msg -> resource_out msg "bdd-backward")
   | Bdd_combined -> (
     match
-      bdd (fun ?constrain sym ok -> Reach.check_combined ?constrain sym ~ok)
+      bdd (fun ?constrain ~deadline sym ok ->
+          Reach.check_combined ?constrain ~deadline sym ~ok)
         "bdd-combined"
     with
     | Ok o -> o
@@ -131,35 +163,47 @@ let check_netlist ?(budget = default_budget) ?constraint_signal ~strategy nl
     match pobdd () with
     | Ok o -> o
     | Error msg -> resource_out msg "pobdd")
-  | Bmc -> run_bmc ~budget nl ok_signal constraint_signal
+  | Bmc -> run_bmc ~budget ~deadline nl ok_signal constraint_signal
   | Kind -> (
     let f () =
       Induction.check ~max_conflicts:budget.sat_max_conflicts
-        ~max_k:budget.induction_max_k ?constraint_signal nl ~ok_signal
+        ~max_k:budget.induction_max_k ~deadline ?constraint_signal nl
+        ~ok_signal
     in
-    let r, time_s = timed f in
-    match r with
-    | Induction.Proved_by_induction s ->
-      { verdict = Proved; engine_used = "k-induction"; time_s;
-        iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses }
-    | Induction.Violation (trace, s) ->
-      { verdict = Failed trace; engine_used = "k-induction"; time_s;
-        iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses }
-    | Induction.Inconclusive s ->
-      { verdict = Resource_out "induction inconclusive";
-        engine_used = "k-induction"; time_s; iterations = s.Induction.k;
-        work_nodes = s.Induction.cnf_clauses })
+    match timed f with
+    | exception Deadline.Expired -> resource_out deadline_msg "k-induction"
+    | r, time_s ->
+      (match r with
+       | Induction.Proved_by_induction s ->
+         { verdict = Proved; engine_used = "k-induction"; time_s;
+           iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses }
+       | Induction.Violation (trace, s) ->
+         { verdict = Failed trace; engine_used = "k-induction"; time_s;
+           iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses }
+       | Induction.Inconclusive s ->
+         let msg =
+           if Deadline.expired deadline then deadline_msg
+           else "induction inconclusive"
+         in
+         { verdict = Resource_out msg; engine_used = "k-induction"; time_s;
+           iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses }))
   | Auto -> (
     match
-      bdd (fun ?constrain sym ok -> Reach.check_combined ?constrain sym ~ok)
+      bdd (fun ?constrain ~deadline sym ok ->
+          Reach.check_combined ?constrain ~deadline sym ~ok)
         "bdd-combined"
     with
     | Ok o -> o
+    | Error _ when Deadline.expired deadline ->
+      (* out of wall-clock: escalating would only burn the worker longer *)
+      resource_out deadline_msg "bdd-combined"
     | Error _ -> (
       (* escalate: partitioned engine with a larger budget *)
       match pobdd () with
       | Ok o -> o
-      | Error _ -> run_bmc ~budget nl ok_signal constraint_signal))
+      | Error _ when Deadline.expired deadline ->
+        resource_out deadline_msg "pobdd"
+      | Error _ -> run_bmc ~budget ~deadline nl ok_signal constraint_signal))
 
 (* Inline combinationally-driven signals into the property's boolean layer
    and simplify, so that e.g. [HE[3]] where HE is a concatenation of checker

@@ -22,15 +22,30 @@ type budget = {
   bmc_depth : int;
   induction_max_k : int;
   sat_max_conflicts : int;
+  wall_deadline_s : float option;
+      (** cooperative wall-clock bound for the whole check, across every
+          escalation stage; expiry yields [Resource_out "deadline"] *)
 }
 
 val default_budget : budget
+(** No wall deadline; the node/conflict limits of the seed configuration. *)
+
+val degrade_budget : budget -> budget
+(** One rung down the retry ladder: node limits, SAT conflicts and the wall
+    deadline halved (never below 1). Used by the campaign when re-running an
+    obligation that crashed its worker. *)
 
 type verdict =
   | Proved
   | Proved_bounded of int  (** BMC only: no violation up to this depth *)
   | Failed of Trace.t
   | Resource_out of string  (** the paper's "time out happens" *)
+  | Error of string
+      (** the obligation's engine run crashed (raised) and exhausted its
+          retries; the message is the final exception. Never produced by
+          {!check_netlist} itself — the campaign runtime turns a captured
+          worker crash into this verdict so one poisoned obligation cannot
+          lose the rest of the campaign. *)
 
 type outcome = {
   verdict : verdict;
@@ -50,7 +65,11 @@ val check_netlist :
 (** Check that the 1-bit [ok_signal] holds in every reachable state.
     [constraint_signal] names a 1-bit combinational function of the primary
     inputs; only inputs satisfying it are explored (invariant input
-    assumptions). *)
+    assumptions). When [budget.wall_deadline_s] is set, the deadline is
+    fixed on entry and polled cooperatively in every engine loop (BDD
+    fixpoint iterations and node allocations, POBDD partitions, BMC unroll
+    frames, CDCL search steps); an expired deadline yields
+    [Resource_out "deadline"] in bounded time instead of hanging. *)
 
 val instrumented_netlist :
   Rtl.Mdl.t ->

@@ -13,8 +13,8 @@ type result =
    at frames 0..k-1, the constraint asserted everywhere, and ~ok at frame k.
    UNSAT means every reachable violation would have to appear within k steps
    of reset, which the base case has excluded. *)
-let step_case ~max_conflicts ?constraint_signal (flat : B.flat) ~nstate
-    ~ninputs ~ok0 ~k =
+let step_case ~max_conflicts ~deadline ?constraint_signal (flat : B.flat)
+    ~nstate ~ninputs ~ok0 ~k =
   let next_of = Array.make (max nstate 1) X.fls in
   List.iter
     (fun (reg_name, (vars : int array)) ->
@@ -43,6 +43,7 @@ let step_case ~max_conflicts ?constraint_signal (flat : B.flat) ~nstate
   in
   let state = ref free_state in
   for frame = 0 to k do
+    Deadline.check deadline;
     let s = subst_frame frame !state in
     let ok_f = s ok0 in
     if frame < k then
@@ -55,10 +56,10 @@ let step_case ~max_conflicts ?constraint_signal (flat : B.flat) ~nstate
     if frame < k then state := Array.map s next_of
   done;
   let cnf = Tseitin.to_cnf ctx in
-  (Solver.solve ~max_conflicts cnf, cnf)
+  (Solver.solve ~max_conflicts ~should_stop:(Deadline.checker deadline) cnf, cnf)
 
-let check ?(max_conflicts = max_int) ?(max_k = 20) ?constraint_signal nl
-    ~ok_signal =
+let check ?(max_conflicts = max_int) ?(max_k = 20)
+    ?(deadline = Deadline.none) ?constraint_signal nl ~ok_signal =
   let flat = B.flatten nl in
   let nstate =
     List.fold_left (fun acc (_, v) -> acc + Array.length v) 0 flat.B.reg_vars
@@ -75,7 +76,8 @@ let check ?(max_conflicts = max_int) ?(max_k = 20) ?constraint_signal nl
     else
       (* base case: no violation within k cycles of reset *)
       match
-        Bmc.check ~max_conflicts ?constraint_signal nl ~ok_signal ~depth:k
+        Bmc.check ~max_conflicts ~deadline ?constraint_signal nl ~ok_signal
+          ~depth:k
       with
       | Bmc.Violation (trace, s) ->
         Violation
@@ -85,8 +87,8 @@ let check ?(max_conflicts = max_int) ?(max_k = 20) ?constraint_signal nl
           { k; cnf_vars = s.Bmc.cnf_vars; cnf_clauses = s.Bmc.cnf_clauses }
       | Bmc.No_violation_upto _ -> (
         match
-          step_case ~max_conflicts ?constraint_signal flat ~nstate ~ninputs
-            ~ok0 ~k:(k + 1)
+          step_case ~max_conflicts ~deadline ?constraint_signal flat ~nstate
+            ~ninputs ~ok0 ~k:(k + 1)
         with
         | Solver.Unsat, cnf ->
           Proved_by_induction

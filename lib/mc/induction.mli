@@ -22,10 +22,14 @@ type result =
 val check :
   ?max_conflicts:int ->
   ?max_k:int ->
+  ?deadline:Deadline.t ->
   ?constraint_signal:string ->
   Rtl.Netlist.t ->
   ok_signal:string ->
   result
 (** [max_k] defaults to 20. The inductive step is the plain variant (no
     state-uniqueness constraints), which is sound but may stay inconclusive
-    on properties that need strengthening. *)
+    on properties that need strengthening. [deadline] is threaded into every
+    base-case BMC run and step-case SAT search; expiry raises
+    {!Deadline.Expired} between frames and yields {!Inconclusive} from
+    within a search. *)

@@ -29,10 +29,12 @@ let of_vunit ?budget ?strategy mdl vunit ~meta =
 
 let budget_salt (b : Engine.budget) =
   let lim = function None -> "-" | Some n -> string_of_int n in
-  Printf.sprintf "%s/%s/%d/%d/%d/%d" (lim b.Engine.bdd_node_limit)
+  let sec = function None -> "-" | Some s -> Printf.sprintf "%g" s in
+  Printf.sprintf "%s/%s/%d/%d/%d/%d/%s" (lim b.Engine.bdd_node_limit)
     (lim b.Engine.pobdd_node_limit)
     b.Engine.pobdd_split_vars b.Engine.bmc_depth b.Engine.induction_max_k
     b.Engine.sat_max_conflicts
+    (sec b.Engine.wall_deadline_s)
 
 let fingerprint o =
   let salt =

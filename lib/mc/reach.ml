@@ -111,10 +111,11 @@ let failing_inputs ?constrain sym ~ok state_bits =
 (* ---- forward traversal ---- *)
 
 (* forward rings: rings.(j) = states first reached at step j (cur vars) *)
-let forward_rings_to_violation ?constrain sym ~bad =
+let forward_rings_to_violation ?constrain ?(deadline = Deadline.none) sym ~bad =
   let man = Sym.man sym in
   let parts = make_parts sym in
   let rec go rings reached frontier iter peak =
+    Deadline.check deadline;
     let peak = max peak (Bdd.size man reached) in
     if not (Bdd.is_zero (Bdd.and_ man frontier bad)) then
       `Violation (List.rev (frontier :: rings), iter, peak)
@@ -183,10 +184,10 @@ let trace_of_forward ?constrain sym ~ok rings =
 let trace_from_rings ?constrain sym ~ok rings =
   trace_of_forward ?constrain sym ~ok rings
 
-let check_forward ?constrain sym ~ok =
+let check_forward ?constrain ?deadline sym ~ok =
   let man = Sym.man sym in
   let bad = bad_states ?constrain sym ~ok in
-  match forward_rings_to_violation ?constrain sym ~bad with
+  match forward_rings_to_violation ?constrain ?deadline sym ~bad with
   | `Proved (iterations, peak) ->
     Proved { iterations; bdd_nodes = Bdd.node_count man; peak_set_size = peak }
   | `Violation (rings, iterations, peak) ->
@@ -209,9 +210,10 @@ let reachable ?constrain sym =
 (* ---- backward traversal ---- *)
 
 (* backward rings: brings.(t) = states whose minimum distance to bad is t *)
-let backward_rings ?constrain sym ~bad ~stop_when =
+let backward_rings ?constrain ?(deadline = Deadline.none) sym ~bad ~stop_when =
   let man = Sym.man sym in
   let rec go rings covered frontier iter peak =
+    Deadline.check deadline;
     let peak = max peak (Bdd.size man covered) in
     match stop_when frontier covered with
     | Some v -> `Hit (List.rev (frontier :: rings), v, iter, peak)
@@ -250,7 +252,7 @@ let forward_walk_to_bad ?constrain sym ~ok rings_array start_bits
   walk start_bits start_ring_index first_step;
   List.rev !cycles
 
-let check_backward ?constrain sym ~ok =
+let check_backward ?constrain ?deadline sym ~ok =
   let man = Sym.man sym in
   let bad = bad_states ?constrain sym ~ok in
   let init = Sym.init sym in
@@ -258,7 +260,7 @@ let check_backward ?constrain sym ~ok =
     let hit = Bdd.and_ man frontier init in
     if Bdd.is_zero hit then None else Some hit
   in
-  match backward_rings ?constrain sym ~bad ~stop_when with
+  match backward_rings ?constrain ?deadline sym ~bad ~stop_when with
   | `Fixpoint (iterations, peak) ->
     Proved { iterations; bdd_nodes = Bdd.node_count man; peak_set_size = peak }
   | `Hit (rings, hit, iterations, peak) ->
@@ -275,12 +277,13 @@ let check_backward ?constrain sym ~ok =
 
 (* ---- combined forward/backward traversal ---- *)
 
-let check_combined ?constrain sym ~ok =
+let check_combined ?constrain ?(deadline = Deadline.none) sym ~ok =
   let man = Sym.man sym in
   let parts = make_parts sym in
   let bad = bad_states ?constrain sym ~ok in
   let init = Sym.init sym in
   let rec go f_rings f_reached f_frontier b_rings b_covered b_frontier iter peak =
+    Deadline.check deadline;
     let peak =
       max peak (max (Bdd.size man f_reached) (Bdd.size man b_covered))
     in

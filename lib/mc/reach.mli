@@ -36,6 +36,14 @@ val trace_from_rings : ?constrain:Bdd.t -> Sym.t -> ok:Bdd.t -> Bdd.t list -> Tr
 (** Build a counterexample from forward onion rings (oldest first, the last
     ring containing a bad state) — shared with the POBDD engine. *)
 
-val check_forward : ?constrain:Bdd.t -> Sym.t -> ok:Bdd.t -> result
-val check_backward : ?constrain:Bdd.t -> Sym.t -> ok:Bdd.t -> result
-val check_combined : ?constrain:Bdd.t -> Sym.t -> ok:Bdd.t -> result
+val check_forward :
+  ?constrain:Bdd.t -> ?deadline:Deadline.t -> Sym.t -> ok:Bdd.t -> result
+
+val check_backward :
+  ?constrain:Bdd.t -> ?deadline:Deadline.t -> Sym.t -> ok:Bdd.t -> result
+
+val check_combined :
+  ?constrain:Bdd.t -> ?deadline:Deadline.t -> Sym.t -> ok:Bdd.t -> result
+(** All three fixpoints poll [deadline] once per frontier iteration and
+    raise {!Deadline.Expired} when it passes; counterexample extraction
+    after a violation is not interrupted. *)

@@ -1,4 +1,5 @@
-let check_forward_partitioned ?constrain sym ~ok ~num_split_vars =
+let check_forward_partitioned ?constrain ?(deadline = Deadline.none) sym ~ok
+    ~num_split_vars =
   let man = Sym.man sym in
   let bad = Reach.bad_states ?constrain sym ~ok in
   let split_vars =
@@ -31,6 +32,7 @@ let check_forward_partitioned ?constrain sym ~ok ~num_split_vars =
     Array.exists (fun f -> not (Bdd.is_zero (Bdd.and_ man f bad))) frontier
   in
   let rec go iter =
+    Deadline.check deadline;
     track_peak ();
     if hit_bad () then begin
       let trace = Reach.trace_from_rings ?constrain sym ~ok (List.rev !rings) in

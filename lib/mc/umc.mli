@@ -4,8 +4,14 @@
     variables, bounding the peak BDD size. *)
 
 val check_forward_partitioned :
-  ?constrain:Bdd.t -> Sym.t -> ok:Bdd.t -> num_split_vars:int -> Reach.result
+  ?constrain:Bdd.t ->
+  ?deadline:Deadline.t ->
+  Sym.t ->
+  ok:Bdd.t ->
+  num_split_vars:int ->
+  Reach.result
 (** Forward reachability with [2^num_split_vars] partitions. The splitting
     variables are chosen greedily ({!Pobdd.choose_splitting_vars}) on the
     bad-state set; [Reach.stats.peak_set_size] reports the largest single
-    partition, which is the quantity partitioning bounds. *)
+    partition, which is the quantity partitioning bounds. The partition loop
+    polls [deadline] once per iteration and raises {!Deadline.Expired}. *)

@@ -226,7 +226,8 @@ let decide st =
     Some !best
   end
 
-let solve ?(max_conflicts = max_int) (cnf : Cnf.t) =
+let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false)
+    (cnf : Cnf.t) =
   last_decisions := 0;
   last_conflicts := 0;
   last_propagations := 0;
@@ -267,7 +268,17 @@ let solve ?(max_conflicts = max_int) (cnf : Cnf.t) =
       let restart_limit = ref 100 in
       let conflicts_since_restart = ref 0 in
       let result = ref None in
+      (* poll the stop callback once per [stop_period] search steps: each
+         step is one propagate + decide/analyze, so the poll (typically a
+         gettimeofday behind a deadline) stays off the hot path *)
+      let stop_period = 1024 in
+      let stop_fuel = ref stop_period in
       while !result = None do
+        decr stop_fuel;
+        if !stop_fuel <= 0 then begin
+          stop_fuel := stop_period;
+          if should_stop () then result := Some Unknown
+        end;
         let confl = propagate st in
         if confl >= 0 then begin
           incr conflicts_total;

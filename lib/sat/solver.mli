@@ -6,10 +6,13 @@
 type result =
   | Sat of bool array  (** [model.(v-1)] is the value of DIMACS variable [v] *)
   | Unsat
-  | Unknown  (** conflict budget exhausted *)
+  | Unknown  (** conflict budget exhausted, or [should_stop] fired *)
 
-val solve : ?max_conflicts:int -> Cnf.t -> result
-(** [max_conflicts] defaults to unlimited. *)
+val solve : ?max_conflicts:int -> ?should_stop:(unit -> bool) -> Cnf.t -> result
+(** [max_conflicts] defaults to unlimited. [should_stop] is a cooperative
+    cancellation callback (e.g. a wall-clock deadline), polled every ~1000
+    search steps; when it returns [true] the search gives up with
+    {!Unknown}. *)
 
 val stats_last : unit -> int * int * int
 (** [(decisions, conflicts, propagations)] of the most recent [solve] call —

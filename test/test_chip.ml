@@ -266,7 +266,8 @@ let test_fifo_properties_prove () =
           | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ -> ()
           | Mc.Engine.Failed _ -> Alcotest.failf "%s failed" name
           | Mc.Engine.Resource_out msg ->
-            Alcotest.failf "%s: resource out: %s" name msg)
+            Alcotest.failf "%s: resource out: %s" name msg
+          | Mc.Engine.Error msg -> Alcotest.failf "%s: error: %s" name msg)
         (Mc.Engine.check_vunit info.Verifiable.Transform.mdl vunit))
     (Verifiable.Propgen.all info spec)
 

@@ -121,6 +121,7 @@ let result_key (r : Core.Campaign.prop_result) =
     | Mc.Engine.Proved_bounded d -> Printf.sprintf "bounded:%d" d
     | Mc.Engine.Failed _ -> "failed"
     | Mc.Engine.Resource_out m -> "resource:" ^ m
+    | Mc.Engine.Error m -> "error:" ^ m
   in
   Printf.sprintf "%s/%s/%s/%s/%s/%s/%s" r.Core.Campaign.category
     r.Core.Campaign.module_name r.Core.Campaign.vunit_name
@@ -230,7 +231,7 @@ let test_trace_vcd_export () =
     Alcotest.(check bool) "has state var" true (contains "cnt_q");
     Alcotest.(check bool) "has timesteps" true (contains "#0")
   | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ | Mc.Engine.Resource_out _
-    ->
+  | Mc.Engine.Error _ ->
     Alcotest.fail "expected failure"
 
 let test_classification_matches_paper () =

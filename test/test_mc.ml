@@ -57,6 +57,7 @@ let check_verdict name expected (o : Mc.Engine.outcome) =
     | Mc.Engine.Proved_bounded _ -> "bounded"
     | Mc.Engine.Failed _ -> "failed"
     | Mc.Engine.Resource_out _ -> "resource"
+    | Mc.Engine.Error _ -> "error"
   in
   Alcotest.(check string) name expected got
 
@@ -95,7 +96,7 @@ let test_engines_find_violation () =
           Alcotest.(check int) (name ^ " trace length") 4
             (Mc.Trace.length trace)
       | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ | Mc.Engine.Resource_out _
-        ->
+      | Mc.Engine.Error _ ->
         Alcotest.failf "%s: expected failure" name)
     (all_strategies @ [ ("bmc", Mc.Engine.Bmc) ])
 
@@ -128,7 +129,7 @@ let test_trace_replay () =
         Alcotest.(check bool) (name ^ " replay fires monitor") true
           (replay_confirms m assert_ [] trace)
       | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ | Mc.Engine.Resource_out _
-        ->
+      | Mc.Engine.Error _ ->
         Alcotest.failf "%s: expected failure" name)
     (all_strategies @ [ ("bmc", Mc.Engine.Bmc) ])
 
@@ -251,7 +252,8 @@ let test_kinduction () =
   (match o.Mc.Engine.verdict with
    | Mc.Engine.Proved | Mc.Engine.Resource_out _ -> ()
    | Mc.Engine.Failed _ -> Alcotest.fail "k-induction claimed a violation"
-   | Mc.Engine.Proved_bounded _ -> Alcotest.fail "unexpected bounded verdict");
+   | Mc.Engine.Proved_bounded _ -> Alcotest.fail "unexpected bounded verdict"
+   | Mc.Engine.Error m -> Alcotest.failf "unexpected error verdict: %s" m);
   (* a real violation must surface through the base case with a trace *)
   let bad = Psl.Parser.fl_of_string "always (c < 3'b100)" in
   (match
@@ -261,7 +263,7 @@ let test_kinduction () =
    | Mc.Engine.Failed trace ->
      Alcotest.(check bool) "trace replays" true (replay_confirms m bad [] trace)
    | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ | Mc.Engine.Resource_out _
-     ->
+   | Mc.Engine.Error _ ->
      Alcotest.fail "expected violation");
   (* an invariant that is inductive at depth 0: a self-holding register *)
   let m2 = M.create "hold" in
@@ -275,7 +277,7 @@ let test_kinduction () =
   (match o2.Mc.Engine.verdict with
    | Mc.Engine.Proved -> ()
    | Mc.Engine.Proved_bounded _ | Mc.Engine.Failed _
-   | Mc.Engine.Resource_out _ ->
+   | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
      Alcotest.fail "self-holding invariant should be inductive")
 
 (* k-induction agrees with BDD reachability across the chip's bug modules *)
@@ -440,6 +442,7 @@ let prop_engines_match_brute_force =
           (* BMC at default depth 20 >= diameter of a <=16-state system *)
           expected_ok
         | Mc.Engine.Resource_out _ -> true (* k-induction may be inconclusive *)
+        | Mc.Engine.Error _ -> false
       in
       let engines_ok =
         List.for_all verdict_matches
@@ -521,6 +524,7 @@ let test_obligation_run_matches_engine () =
     | Mc.Engine.Proved_bounded d -> Printf.sprintf "bounded:%d" d
     | Mc.Engine.Failed _ -> "failed"
     | Mc.Engine.Resource_out _ -> "resource"
+    | Mc.Engine.Error _ -> "error"
   in
   let via_engine =
     List.map

@@ -1,0 +1,529 @@
+(* Fault-tolerant campaign runtime: wall-clock deadlines, crash isolation
+   with retry, and journal checkpoint/resume — including a chaos test that
+   SIGKILLs a campaign mid-run and proves the resumed run reaches the same
+   verdicts without re-proving the checkpointed prefix.
+
+   Process hygiene: the chaos test forks, so every test before it (and the
+   fork's child itself) must stay single-domain; the domain-pool tests come
+   after it in the run order below. *)
+
+module G = Chip.Generator
+module PG = Verifiable.Propgen
+module M = Rtl.Mdl
+module E = Rtl.Expr
+
+let chip = lazy (G.generate ())
+
+(* the three bug modules of category A only: exercises the full Campaign
+   machinery without the cost of all 2047 properties *)
+let mini_chip () =
+  let t = Lazy.force chip in
+  let cat_a =
+    List.find (fun (c : G.category) -> c.G.cat_name = "A") t.G.categories
+  in
+  let specials =
+    List.filter (fun (u : G.unit_) -> u.G.leaf.Chip.Archetype.bug <> None)
+      cat_a.G.units
+  in
+  { t with
+    G.categories =
+      [ { cat_a with G.units = specials;
+          G.expected = { cat_a.G.expected with G.sub = 3 } } ] }
+
+let result_key (r : Core.Campaign.prop_result) =
+  let verdict =
+    match r.Core.Campaign.outcome.Mc.Engine.verdict with
+    | Mc.Engine.Proved -> "proved"
+    | Mc.Engine.Proved_bounded d -> Printf.sprintf "bounded:%d" d
+    | Mc.Engine.Failed _ -> "failed"
+    | Mc.Engine.Resource_out m -> "resource:" ^ m
+    | Mc.Engine.Error m -> "error:" ^ m
+  in
+  Printf.sprintf "%s/%s/%s/%s" r.Core.Campaign.module_name
+    r.Core.Campaign.vunit_name r.Core.Campaign.prop_name verdict
+
+let keys (t : Core.Campaign.t) = List.map result_key t.Core.Campaign.results
+
+let outcome verdict =
+  { Mc.Engine.verdict; engine_used = "test"; time_s = 0.0; iterations = 0;
+    work_nodes = 0 }
+
+(* ---- wall-clock deadlines ---- *)
+
+(* a counter too wide to explore: forward reachability needs 2^28 fixpoint
+   iterations, so without a deadline this check effectively never returns
+   (the BDDs of counter prefixes stay tiny, so no node limit fires) *)
+let wide_counter () =
+  let w = 28 in
+  let m = M.create "wide_cnt" in
+  let m = M.add_output m "OK" 1 in
+  let m = M.add_reg m "c" w E.(var "c" +: of_int ~width:w 1) in
+  M.add_assign m "OK" E.(!:(var "c" ==: of_int ~width:w ((1 lsl w) - 1)))
+
+let check_deadline_verdict name (o : Mc.Engine.outcome) =
+  match o.Mc.Engine.verdict with
+  | Mc.Engine.Resource_out "deadline" -> ()
+  | Mc.Engine.Resource_out m ->
+    Alcotest.failf "%s: resource out for %s, not the deadline" name m
+  | _ -> Alcotest.failf "%s: expected Resource_out \"deadline\"" name
+
+let test_deadline_bounds_bdd () =
+  let m = wide_counter () in
+  let budget =
+    { Mc.Engine.default_budget with
+      Mc.Engine.bdd_node_limit = None; wall_deadline_s = Some 0.3 }
+  in
+  let t0 = Unix.gettimeofday () in
+  let o =
+    Mc.Engine.check_property ~budget ~strategy:Mc.Engine.Bdd_forward m
+      ~assert_:(Psl.Parser.fl_of_string "always OK") ~assumes:[]
+  in
+  check_deadline_verdict "bdd forward" o;
+  Alcotest.(check bool) "wall time bounded" true
+    (Unix.gettimeofday () -. t0 < 10.0)
+
+let test_deadline_bounds_bmc () =
+  let m = wide_counter () in
+  (* enough frames that the unroll would run for ages without the deadline *)
+  let budget =
+    { Mc.Engine.default_budget with
+      Mc.Engine.bmc_depth = 1_000_000; wall_deadline_s = Some 0.2 }
+  in
+  let t0 = Unix.gettimeofday () in
+  let o =
+    Mc.Engine.check_property ~budget ~strategy:Mc.Engine.Bmc m
+      ~assert_:(Psl.Parser.fl_of_string "always OK") ~assumes:[]
+  in
+  check_deadline_verdict "bmc" o;
+  Alcotest.(check bool) "wall time bounded" true
+    (Unix.gettimeofday () -. t0 < 10.0)
+
+let test_deadline_expired_at_entry () =
+  (* an already-expired deadline must not hang the Auto escalation either *)
+  let m = wide_counter () in
+  let budget =
+    { Mc.Engine.default_budget with Mc.Engine.wall_deadline_s = Some 0.0 }
+  in
+  let o =
+    Mc.Engine.check_property ~budget m
+      ~assert_:(Psl.Parser.fl_of_string "always OK") ~assumes:[]
+  in
+  check_deadline_verdict "auto" o
+
+let test_deadline_none_is_unchanged () =
+  (* no deadline in the budget: a feasible check still proves *)
+  let m = M.create "hold_ok" in
+  let m = M.add_output m "OK" 1 in
+  let m = M.add_reg ~reset:(Bitvec.of_string "1") m "h" 1 (E.var "h") in
+  let m = M.add_assign m "OK" (E.var "h") in
+  match
+    (Mc.Engine.check_property ~strategy:Mc.Engine.Bdd_forward m
+       ~assert_:(Psl.Parser.fl_of_string "always OK") ~assumes:[])
+      .Mc.Engine.verdict
+  with
+  | Mc.Engine.Proved -> ()
+  | _ -> Alcotest.fail "small counter should prove without a deadline"
+
+(* ---- cooperative SAT cancellation ---- *)
+
+let test_solver_should_stop () =
+  (* pigeonhole PHP(9,8): exponential for CDCL, so the always-true
+     cancellation callback must fire long before any real answer *)
+  let n = 8 in
+  let v i j = ((i - 1) * n) + j in
+  let clauses =
+    List.concat_map
+      (fun i -> [ List.init n (fun j -> v i (j + 1)) ])
+      (List.init (n + 1) (fun i -> i + 1))
+    @ List.concat_map
+        (fun j ->
+          List.concat_map
+            (fun i ->
+              List.filter_map
+                (fun i' -> if i' > i then Some [ -v i j; -v i' j ] else None)
+                (List.init (n + 1) (fun k -> k + 1)))
+            (List.init (n + 1) (fun k -> k + 1)))
+        (List.init n (fun j -> j + 1))
+  in
+  let cnf = Cnf.create ~nvars:((n + 1) * n) clauses in
+  match Solver.solve ~should_stop:(fun () -> true) cnf with
+  | Solver.Unknown -> ()
+  | Solver.Sat _ -> Alcotest.fail "PHP is unsatisfiable"
+  | Solver.Unsat -> Alcotest.fail "cancellation never fired"
+
+(* ---- cache robustness ---- *)
+
+let test_cache_tolerates_corruption () =
+  let path = Filename.temp_file "dicheck_cache" ".bin" in
+  (* garbage file: empty cache, no exception *)
+  let oc = open_out_bin path in
+  output_string oc "this is not a cache";
+  close_out oc;
+  Alcotest.(check int) "garbage loads as empty" 0
+    (Mc.Cache.length (Mc.Cache.load_or_create path));
+  (* a valid save round-trips *)
+  let c = Mc.Cache.create () in
+  Mc.Cache.add c ~key:"k1" (outcome Mc.Engine.Proved);
+  Mc.Cache.save c path;
+  let c2 = Mc.Cache.load_or_create path in
+  Alcotest.(check int) "round trip" 1 (Mc.Cache.length c2);
+  (match Mc.Cache.find c2 ~key:"k1" with
+   | Some o ->
+     Alcotest.(check bool) "verdict survives" true
+       (o.Mc.Engine.verdict = Mc.Engine.Proved)
+   | None -> Alcotest.fail "entry lost in round trip");
+  (* truncation (a crash mid-write of a non-atomic writer): empty cache *)
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 (String.length full / 2));
+  close_out oc;
+  Alcotest.(check int) "truncated loads as empty" 0
+    (Mc.Cache.length (Mc.Cache.load_or_create path));
+  Sys.remove path
+
+let test_cache_save_is_atomic () =
+  let dir = Filename.temp_file "dicheck_cachedir" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "results.cache" in
+  let c = Mc.Cache.create () in
+  Mc.Cache.add c ~key:"k" (outcome (Mc.Engine.Resource_out "deadline"));
+  Mc.Cache.save c path;
+  (* temp-and-rename must leave exactly the target file behind *)
+  Alcotest.(check (list string)) "no temp droppings" [ "results.cache" ]
+    (List.sort compare (Array.to_list (Sys.readdir dir)));
+  Alcotest.(check int) "saved cache loads" 1
+    (Mc.Cache.length (Mc.Cache.load_or_create path));
+  Sys.remove path;
+  Unix.rmdir dir
+
+(* ---- journal unit behavior ---- *)
+
+let test_journal_round_trip () =
+  let path = Filename.temp_file "dicheck_journal" ".log" in
+  let j = Core.Journal.create path in
+  Alcotest.(check int) "fresh journal replays nothing" 0
+    (Core.Journal.replay_count j);
+  Core.Journal.append j ~key:"aaa" (outcome Mc.Engine.Proved);
+  Core.Journal.append j ~key:"bbb" (outcome (Mc.Engine.Proved_bounded 7));
+  Core.Journal.close j;
+  Alcotest.(check int) "two records on disk" 2
+    (List.length (Core.Journal.load path));
+  let j2 = Core.Journal.create ~resume:true path in
+  Alcotest.(check int) "resume loads both" 2 (Core.Journal.replay_count j2);
+  (match Core.Journal.replay j2 ~key:"bbb" with
+   | Some o ->
+     Alcotest.(check bool) "outcome round-trips" true
+       (o.Mc.Engine.verdict = Mc.Engine.Proved_bounded 7)
+   | None -> Alcotest.fail "bbb not replayed");
+  Core.Journal.append j2 ~key:"ccc" (outcome Mc.Engine.Proved);
+  Core.Journal.close j2;
+  Alcotest.(check int) "append after resume" 3
+    (List.length (Core.Journal.load path));
+  Sys.remove path
+
+let test_journal_tolerates_torn_tail () =
+  let path = Filename.temp_file "dicheck_journal" ".log" in
+  let j = Core.Journal.create path in
+  Core.Journal.append j ~key:"aaa" (outcome Mc.Engine.Proved);
+  Core.Journal.append j ~key:"bbb" (outcome Mc.Engine.Proved);
+  Core.Journal.close j;
+  (* simulate a SIGKILL mid-append: a partial, garbled last line *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "ccc deadbee";
+  close_out oc;
+  Alcotest.(check int) "torn tail dropped, prefix kept" 2
+    (List.length (Core.Journal.load path));
+  let j2 = Core.Journal.create ~resume:true path in
+  Alcotest.(check int) "resume over torn tail" 2
+    (Core.Journal.replay_count j2);
+  Core.Journal.close j2;
+  (* a foreign format version is ignored wholesale *)
+  let oc = open_out_bin path in
+  output_string oc "some-other-format-v9\naaa 00\n";
+  close_out oc;
+  Alcotest.(check int) "foreign version ignored" 0
+    (List.length (Core.Journal.load path));
+  Sys.remove path
+
+(* ---- chaos: SIGKILL mid-campaign, then resume ---- *)
+
+let count calls ~module_name:_ ~prop_name:_ ~fingerprint:_ ~attempt:_ =
+  incr calls
+
+let test_chaos_kill_resume () =
+  let mini = mini_chip () in
+  let clean_calls = ref 0 in
+  let clean = Core.Campaign.run ~fault_hook:(count clean_calls) mini in
+  let jpath = Filename.temp_file "dicheck_chaos" ".journal" in
+  (match Unix.fork () with
+   | 0 ->
+     (* child: run with a fresh journal and kill ourselves — no unwinding,
+        no at_exit — after a handful of completions. Journal appends are
+        fsync'd before the progress callback sees the completion, so the
+        records for everything we saw complete must be on disk. *)
+     (try
+        let j = Core.Journal.create jpath in
+        let progress (p : Core.Campaign.progress) =
+          if p.Core.Campaign.done_ >= 5 then
+            Unix.kill (Unix.getpid ()) Sys.sigkill
+        in
+        ignore (Core.Campaign.run ~journal:j ~progress mini)
+      with _ -> ());
+     (* only reachable if the kill never fired *)
+     Unix._exit 99
+   | pid ->
+     let _, status = Unix.waitpid [] pid in
+     (match status with
+      | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+      | _ -> Alcotest.fail "child should have died by SIGKILL");
+     let j = Core.Journal.create ~resume:true jpath in
+     let replayable = Core.Journal.replay_count j in
+     Alcotest.(check bool) "a checkpoint prefix survived the kill" true
+       (replayable > 0);
+     let resumed_calls = ref 0 in
+     let resumed =
+       Core.Campaign.run ~journal:j ~fault_hook:(count resumed_calls) mini
+     in
+     Core.Journal.close j;
+     (* nothing is proved twice: the resumed run executes exactly the
+        obligations the journal does not cover *)
+     Alcotest.(check int) "resume re-proves only the un-checkpointed rest"
+       (!clean_calls - replayable) !resumed_calls;
+     Alcotest.(check bool) "some verdicts were replayed" true
+       (resumed.Core.Campaign.replayed > 0);
+     Alcotest.(check (list string)) "resumed verdicts = undisturbed verdicts"
+       (keys clean) (keys resumed);
+     Sys.remove jpath)
+
+(* ---- crash isolation and the retry ladder ---- *)
+
+(* the fingerprint of the first obligation a sequential campaign executes:
+   a deterministic target for fault injection *)
+let first_fingerprint mini =
+  let fp = ref None in
+  let record ~module_name:_ ~prop_name:_ ~fingerprint ~attempt:_ =
+    if !fp = None then fp := Some fingerprint
+  in
+  ignore (Core.Campaign.run ~fault_hook:record mini);
+  match !fp with
+  | Some fp -> fp
+  | None -> Alcotest.fail "campaign never reached an engine"
+
+let test_crash_isolation () =
+  let mini = mini_chip () in
+  let clean = Core.Campaign.run mini in
+  let fp = first_fingerprint mini in
+  let crash ~module_name:_ ~prop_name:_ ~fingerprint ~attempt:_ =
+    if fingerprint = fp then failwith "injected fault"
+  in
+  let run jobs =
+    Core.Campaign.run ~jobs ~fault_hook:crash ~max_retries:1
+      ~retry_backoff_s:0.0 mini
+  in
+  let seq = run 1 in
+  let g = seq.Core.Campaign.grand_total in
+  Alcotest.(check bool) "error verdicts recorded" true
+    (g.Core.Campaign.errors > 0);
+  Alcotest.(check bool) "crash retries happened" true
+    (seq.Core.Campaign.retries > 0);
+  (* the poisoned obligation crashed through its whole ladder; everything
+     else is untouched *)
+  List.iter2
+    (fun (c : Core.Campaign.prop_result) (s : Core.Campaign.prop_result) ->
+      match s.Core.Campaign.outcome.Mc.Engine.verdict with
+      | Mc.Engine.Error msg ->
+        Alcotest.(check bool) "error carries the exception" true
+          (String.length msg > 0);
+        Alcotest.(check int) "ladder ran 1 + max_retries attempts" 2
+          s.Core.Campaign.attempts
+      | _ ->
+        Alcotest.(check string) "other obligations unaffected" (result_key c)
+          (result_key s))
+    clean.Core.Campaign.results seq.Core.Campaign.results;
+  (* identical rows from the pool: isolation is schedule-independent *)
+  let par = run 4 in
+  Alcotest.(check (list string)) "sequential = pool under injected crashes"
+    (keys seq) (keys par);
+  (* the error column flows through Table 2 and the CSV *)
+  let contains hay needle =
+    let h = String.length hay and n = String.length needle in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let table = Format.asprintf "%a" Core.Campaign.pp_table2 seq in
+  Alcotest.(check bool) "table has an Err column" true
+    (contains (List.hd (String.split_on_char '\n' table)) "Err");
+  let csv = Core.Campaign.to_csv seq in
+  Alcotest.(check bool) "csv reports error verdicts" true
+    (List.exists
+       (fun line ->
+         List.exists
+           (fun field ->
+             String.length field >= 6 && String.sub field 0 6 = "error:")
+           (String.split_on_char ',' line))
+       (String.split_on_char '\n' csv))
+
+let test_retry_recovers_transient_crash () =
+  let mini = mini_chip () in
+  let clean = Core.Campaign.run mini in
+  let fp = first_fingerprint mini in
+  let crash_once ~module_name:_ ~prop_name:_ ~fingerprint ~attempt =
+    if fingerprint = fp && attempt = 1 then failwith "transient fault"
+  in
+  let r =
+    Core.Campaign.run ~fault_hook:crash_once ~retry_backoff_s:0.0 mini
+  in
+  Alcotest.(check (list string)) "retry reaches the clean verdicts"
+    (keys clean) (keys r);
+  Alcotest.(check int) "exactly one retry" 1 r.Core.Campaign.retries;
+  Alcotest.(check int) "no error verdicts" 0
+    r.Core.Campaign.grand_total.Core.Campaign.errors;
+  Alcotest.(check bool) "the recovered obligation took two attempts" true
+    (List.exists
+       (fun (pr : Core.Campaign.prop_result) -> pr.Core.Campaign.attempts = 2)
+       r.Core.Campaign.results)
+
+(* ---- journal-driven resume in the campaign ---- *)
+
+let test_journal_resume_proves_nothing_twice () =
+  let mini = mini_chip () in
+  let jpath = Filename.temp_file "dicheck_resume" ".journal" in
+  let j = Core.Journal.create jpath in
+  let calls1 = ref 0 in
+  let first = Core.Campaign.run ~journal:j ~fault_hook:(count calls1) mini in
+  Core.Journal.close j;
+  Alcotest.(check bool) "first run ran engines" true (!calls1 > 0);
+  let j2 = Core.Journal.create ~resume:true jpath in
+  Alcotest.(check int) "journal holds every distinct obligation" !calls1
+    (Core.Journal.replay_count j2);
+  let calls2 = ref 0 in
+  let snapshots = ref [] in
+  let progress (p : Core.Campaign.progress) = snapshots := p :: !snapshots in
+  let second =
+    Core.Campaign.run ~journal:j2 ~fault_hook:(count calls2) ~progress mini
+  in
+  Core.Journal.close j2;
+  Alcotest.(check int) "resume runs zero engines" 0 !calls2;
+  Alcotest.(check int) "every verdict replayed"
+    (List.length second.Core.Campaign.results)
+    second.Core.Campaign.replayed;
+  Alcotest.(check bool) "results flag the replays" true
+    (List.for_all
+       (fun (r : Core.Campaign.prop_result) -> r.Core.Campaign.replayed)
+       second.Core.Campaign.results);
+  Alcotest.(check (list string)) "replayed verdicts identical" (keys first)
+    (keys second);
+  (* progress stays sane under replay: done_ counts up to total, never past *)
+  let total = List.length second.Core.Campaign.results in
+  Alcotest.(check bool) "done_ <= total and monotone" true
+    (List.for_all
+       (fun (p : Core.Campaign.progress) ->
+         p.Core.Campaign.done_ >= 1 && p.Core.Campaign.done_ <= p.Core.Campaign.total)
+       !snapshots);
+  Alcotest.(check int) "final done_ = total" total
+    (match !snapshots with
+     | last :: _ -> last.Core.Campaign.done_
+     | [] -> -1);
+  Sys.remove jpath
+
+let test_journal_partial_resume () =
+  let mini = mini_chip () in
+  let jpath = Filename.temp_file "dicheck_partial" ".journal" in
+  let j = Core.Journal.create jpath in
+  let calls1 = ref 0 in
+  let first = Core.Campaign.run ~journal:j ~fault_hook:(count calls1) mini in
+  Core.Journal.close j;
+  (* keep the header and the first three records, then a torn tail — a
+     hand-made crash prefix *)
+  let lines =
+    String.split_on_char '\n'
+      (In_channel.with_open_bin jpath In_channel.input_all)
+  in
+  let keep = List.filteri (fun i _ -> i < 4) lines in
+  let oc = open_out_bin jpath in
+  List.iter (fun l -> output_string oc (l ^ "\n")) keep;
+  output_string oc "torn";
+  close_out oc;
+  let j2 = Core.Journal.create ~resume:true jpath in
+  let replayable = Core.Journal.replay_count j2 in
+  Alcotest.(check bool) "partial prefix loaded" true
+    (replayable > 0 && replayable <= 3);
+  let calls2 = ref 0 in
+  let second =
+    Core.Campaign.run ~journal:j2 ~fault_hook:(count calls2) mini
+  in
+  Core.Journal.close j2;
+  Alcotest.(check int) "only the missing obligations re-run"
+    (!calls1 - replayable) !calls2;
+  Alcotest.(check (list string)) "verdicts identical after partial resume"
+    (keys first) (keys second);
+  Sys.remove jpath
+
+(* ---- executor crash isolation ---- *)
+
+let test_executor_map_result () =
+  let input = Array.init 101 (fun i -> i) in
+  let f i = if i mod 10 = 3 then failwith "boom" else i * 2 in
+  List.iter
+    (fun jobs ->
+      let r = Core.Executor.map_result (Core.Executor.pool ~jobs) f input in
+      Array.iteri
+        (fun i x ->
+          match x with
+          | Ok v ->
+            Alcotest.(check bool)
+              (Printf.sprintf "jobs=%d ok at %d" jobs i) true
+              (i mod 10 <> 3 && v = i * 2)
+          | Error (Failure m) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "jobs=%d error at %d" jobs i) true
+              (i mod 10 = 3 && m = "boom")
+          | Error _ -> Alcotest.fail "unexpected exception")
+        r)
+    [ 1; 4 ];
+  (* map re-raises the first failure in input order after the sweep *)
+  Alcotest.check_raises "map re-raises" (Failure "boom") (fun () ->
+      ignore (Core.Executor.map (Core.Executor.pool ~jobs:4) f input))
+
+let () =
+  Alcotest.run "runtime"
+    [ ("deadline",
+       [ Alcotest.test_case "bounds a pathological BDD obligation" `Quick
+           test_deadline_bounds_bdd;
+         Alcotest.test_case "bounds a pathological BMC unroll" `Quick
+           test_deadline_bounds_bmc;
+         Alcotest.test_case "expired at entry" `Quick
+           test_deadline_expired_at_entry;
+         Alcotest.test_case "absent deadline changes nothing" `Quick
+           test_deadline_none_is_unchanged ]);
+      ("sat-cancel",
+       [ Alcotest.test_case "should_stop interrupts CDCL" `Quick
+           test_solver_should_stop ]);
+      ("cache-robustness",
+       [ Alcotest.test_case "corrupt and truncated files load empty" `Quick
+           test_cache_tolerates_corruption;
+         Alcotest.test_case "save is atomic" `Quick
+           test_cache_save_is_atomic ]);
+      ("journal",
+       [ Alcotest.test_case "round trip and resume-append" `Quick
+           test_journal_round_trip;
+         Alcotest.test_case "torn tail and foreign versions" `Quick
+           test_journal_tolerates_torn_tail ]);
+      (* forks: must precede anything that spawns domains *)
+      ("chaos",
+       [ Alcotest.test_case "SIGKILL mid-run, resume, same verdicts" `Quick
+           test_chaos_kill_resume ]);
+      ("crash-isolation",
+       [ Alcotest.test_case "injected crash becomes an Error row" `Quick
+           test_crash_isolation;
+         Alcotest.test_case "retry recovers a transient crash" `Quick
+           test_retry_recovers_transient_crash ]);
+      ("resume",
+       [ Alcotest.test_case "full journal replays everything" `Quick
+           test_journal_resume_proves_nothing_twice;
+         Alcotest.test_case "partial journal re-runs only the rest" `Quick
+           test_journal_partial_resume ]);
+      ("executor",
+       [ Alcotest.test_case "map_result isolates per-item crashes" `Quick
+           test_executor_map_result ]) ]

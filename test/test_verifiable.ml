@@ -181,7 +181,8 @@ let test_generated_properties_verify () =
           | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ -> ()
           | Mc.Engine.Failed _ -> Alcotest.failf "%s failed" name
           | Mc.Engine.Resource_out msg ->
-            Alcotest.failf "%s resource out: %s" name msg)
+            Alcotest.failf "%s resource out: %s" name msg
+          | Mc.Engine.Error msg -> Alcotest.failf "%s error: %s" name msg)
         (Mc.Engine.check_vunit info.T.mdl vunit))
     (PG.all info spec)
 
@@ -205,7 +206,7 @@ let test_partition_soundness () =
         match o.Mc.Engine.verdict with
         | Mc.Engine.Proved -> ()
         | Mc.Engine.Proved_bounded _ | Mc.Engine.Failed _
-        | Mc.Engine.Resource_out _ ->
+        | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
           Alcotest.failf "%s not proved" name)
       (Mc.Engine.check_vunit ~strategy:Mc.Engine.Bdd_forward mdl vunit)
   in
@@ -294,7 +295,8 @@ let test_spec_infer_properties_verify () =
           (fun (name, (o : Mc.Engine.outcome)) ->
             match o.Mc.Engine.verdict with
             | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ -> ()
-            | Mc.Engine.Failed _ | Mc.Engine.Resource_out _ ->
+            | Mc.Engine.Failed _ | Mc.Engine.Resource_out _
+            | Mc.Engine.Error _ ->
               Alcotest.failf "%s did not prove" name)
           (Mc.Engine.check_vunit info.T.mdl vunit))
       (PG.all info spec)
@@ -388,7 +390,7 @@ let test_ecc_reg_properties_prove () =
       with
       | Mc.Engine.Proved -> ()
       | Mc.Engine.Proved_bounded _ | Mc.Engine.Failed _
-      | Mc.Engine.Resource_out _ ->
+      | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
         Alcotest.failf "%s did not prove" name)
     props
 
