@@ -28,14 +28,19 @@ let campaign_jobs =
   | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
   | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
 
+(* every campaign the bench runs, in order, for BENCH_campaign.json *)
+let campaign_runs : (string * Core.Campaign.t) list ref = ref []
+
 let run_campaign label chip =
   let t0 = Unix.gettimeofday () in
   let last = ref 0.0 in
+  (* heartbeats go to stderr (fixed 10s interval) so stdout stays a clean
+     artifact stream *)
   let progress (p : Core.Campaign.progress) =
     let now = Unix.gettimeofday () in
     if now -. !last > 10.0 then begin
       last := now;
-      Printf.printf "  ... %s: %d/%d properties (%.0fs)\n%!" label
+      Printf.eprintf "  ... %s: %d/%d properties (%.0fs)\n%!" label
         p.Core.Campaign.done_ p.Core.Campaign.total (now -. t0)
     end
   in
@@ -46,7 +51,52 @@ let run_campaign label chip =
     "  %s: %.1fs on %d jobs, %d/%d verdicts from cache\n%!" label
     c.Core.Campaign.wall_time_s campaign_jobs c.Core.Campaign.cache_hits
     (List.length c.Core.Campaign.results);
+  campaign_runs := !campaign_runs @ [ (label, c) ];
   c
+
+(* machine-readable campaign benchmark record, written on every bench run
+   (schema "dicheck-bench-v1"; empty "runs" when no campaign artifact ran) *)
+let write_bench_json path =
+  let module J = Obs.Json in
+  let run_json (label, (c : Core.Campaign.t)) =
+    let g = c.Core.Campaign.grand_total in
+    let p = Core.Campaign.aggregate_perf c in
+    J.Obj
+      [ ("label", J.String label);
+        ("wall_s", J.Float c.Core.Campaign.wall_time_s);
+        ("jobs", J.Int campaign_jobs);
+        ("properties", J.Int g.Core.Campaign.total);
+        ("proved", J.Int g.Core.Campaign.proved);
+        ("failed", J.Int g.Core.Campaign.failed);
+        ("resource_out", J.Int g.Core.Campaign.resource_out);
+        ("errors", J.Int g.Core.Campaign.errors);
+        ("cache_hits", J.Int c.Core.Campaign.cache_hits);
+        ("replayed", J.Int c.Core.Campaign.replayed);
+        ("retries", J.Int c.Core.Campaign.retries);
+        ("engine_time_s", J.Float p.Core.Campaign.engine_time_s);
+        ("engine_attempts", J.Int p.Core.Campaign.engine_attempts);
+        ("fix_iterations", J.Int p.Core.Campaign.fix_iterations);
+        ("bdd_peak", J.Int p.Core.Campaign.bdd_peak);
+        ("sat_decisions", J.Int p.Core.Campaign.sat_decisions);
+        ("sat_conflicts", J.Int p.Core.Campaign.sat_conflicts);
+        ("sat_propagations", J.Int p.Core.Campaign.sat_propagations);
+        ("max_unroll_depth", J.Int p.Core.Campaign.max_unroll_depth);
+        ("max_final_k", J.Int p.Core.Campaign.max_final_k) ]
+  in
+  let j =
+    J.Obj
+      [ ("schema", J.String "dicheck-bench-v1");
+        ("generated_at_unix", J.Float (Unix.gettimeofday ()));
+        ("jobs", J.Int campaign_jobs);
+        ("runs", J.List (List.map run_json !campaign_runs)) ]
+  in
+  let oc = open_out path in
+  (try output_string oc (J.to_string_pretty j)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc;
+  Printf.eprintf "campaign benchmark data written to %s\n%!" path
 
 let table2 () =
   header
@@ -219,15 +269,16 @@ let () =
   let args =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
-  match args with
-  | [] -> List.iter (fun (_, f) -> f ()) artifacts
-  | names ->
-    List.iter
-      (fun name ->
-        match List.assoc_opt name artifacts with
-        | Some f -> f ()
-        | None ->
-          Printf.eprintf "unknown artifact %s; available: %s\n" name
-            (String.concat " " (List.map fst artifacts));
-          exit 1)
-      names
+  (match args with
+   | [] -> List.iter (fun (_, f) -> f ()) artifacts
+   | names ->
+     List.iter
+       (fun name ->
+         match List.assoc_opt name artifacts with
+         | Some f -> f ()
+         | None ->
+           Printf.eprintf "unknown artifact %s; available: %s\n" name
+             (String.concat " " (List.map fst artifacts));
+           exit 1)
+       names);
+  write_bench_json "BENCH_campaign.json"

@@ -43,13 +43,16 @@ let spec_of (leaf : Chip.Archetype.leaf) =
 
 let campaign_cmd =
   let run with_bugs jobs csv cache_path no_cache deadline max_retries
-      journal_path resume =
+      journal_path resume trace metrics progress_interval =
     try
       let chip = Chip.Generator.generate ~with_bugs () in
       let cache =
         if no_cache then Mc.Cache.create ()
         else Mc.Cache.load_or_create cache_path
       in
+      (* record spans/counters only when an artifact actually wants them *)
+      let recording = trace <> None || metrics <> None in
+      if recording then Core.Telemetry.start ();
       let budget =
         match deadline with
         | None -> None
@@ -70,7 +73,7 @@ let campaign_cmd =
       in
       (match journal with
        | Some j when Core.Journal.replay_count j > 0 ->
-         Printf.printf "resuming: %d obligations replayed from %s\n%!"
+         Printf.eprintf "resuming: %d obligations replayed from %s\n%!"
            (Core.Journal.replay_count j) (Core.Journal.path j)
        | _ -> ());
       let warm = Mc.Cache.length cache in
@@ -78,9 +81,9 @@ let campaign_cmd =
       let last = ref 0.0 in
       let progress (p : Core.Campaign.progress) =
         let now = Unix.gettimeofday () in
-        if now -. !last > 10.0 then begin
+        if now -. !last > progress_interval then begin
           last := now;
-          Printf.printf
+          Printf.eprintf
             "... %d/%d (%.0fs; %d cache hits, %d replayed, %d retries)\n%!"
             p.Core.Campaign.done_ p.Core.Campaign.total (now -. t0)
             p.Core.Campaign.cache_hits p.Core.Campaign.replayed
@@ -92,6 +95,19 @@ let campaign_cmd =
           ~max_retries chip
       in
       Option.iter Core.Journal.close journal;
+      let report =
+        if recording then Some (Core.Telemetry.stop ()) else None
+      in
+      (match (trace, report) with
+       | Some path, Some rep ->
+         Obs.Trace_export.write path rep;
+         Printf.eprintf "trace written to %s (load in ui.perfetto.dev)\n" path
+       | _ -> ());
+      (match metrics with
+       | Some path ->
+         Core.Campaign.write_metrics_json ?report ~jobs c path;
+         Printf.eprintf "metrics written to %s\n" path
+       | None -> ());
       Format.printf "%a" Core.Campaign.pp_table2 c;
       List.iter
         (fun (r : Core.Campaign.prop_result) ->
@@ -111,12 +127,12 @@ let campaign_cmd =
       (match csv with
        | Some path ->
          Core.Campaign.write_csv c path;
-         Printf.printf "per-property results written to %s\n" path
+         Printf.eprintf "per-property results written to %s\n" path
        | None -> ());
       if not no_cache then begin
         match Mc.Cache.save cache cache_path with
         | () ->
-          Printf.printf "result cache saved to %s (%d entries)\n" cache_path
+          Printf.eprintf "result cache saved to %s (%d entries)\n" cache_path
             (Mc.Cache.length cache)
         | exception Sys_error msg ->
           Printf.eprintf "warning: could not save result cache: %s\n" msg
@@ -185,9 +201,29 @@ let campaign_cmd =
              ~doc:"Replay verdicts already in the --journal file instead of \
                    re-running their engines.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"PATH"
+             ~doc:"Write a Chrome trace_event JSON of the run (one lane per \
+                   worker domain; load it in chrome://tracing or \
+                   ui.perfetto.dev).")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"PATH"
+             ~doc:"Write a JSON metrics summary: Table 2 totals per \
+                   category, aggregated engine counters, and resource-out \
+                   causes.")
+  in
+  let progress_interval =
+    Arg.(value & opt float 10.0
+         & info [ "progress-interval" ] ~docv:"SECS"
+             ~doc:"Seconds between progress heartbeats on stderr.")
+  in
   Cmd.v (Cmd.info "campaign" ~doc:"Run the full formal campaign (Table 2).")
     Term.(const run $ with_bugs $ jobs $ csv $ cache_path $ no_cache
-          $ deadline $ max_retries $ journal_path $ resume)
+          $ deadline $ max_retries $ journal_path $ resume $ trace $ metrics
+          $ progress_interval)
 
 (* ---- classify ---- *)
 

@@ -14,6 +14,7 @@ type man = {
   mutable node_limit : int option;
   mutable interrupt : (unit -> bool) option;
   mutable interrupt_fuel : int;
+  mutable interrupt_polls : int;
 }
 
 type t = int
@@ -40,7 +41,8 @@ let create ?node_limit ~nvars () =
       nvars;
       node_limit;
       interrupt = None;
-      interrupt_fuel = interrupt_period }
+      interrupt_fuel = interrupt_period;
+      interrupt_polls = 0 }
   in
   (* node 0 = false, 1 = true *)
   m
@@ -52,6 +54,7 @@ let set_interrupt m f =
   m.interrupt <- f;
   m.interrupt_fuel <- interrupt_period
 let node_count m = m.next_free
+let interrupt_polls m = m.interrupt_polls
 
 let clear_caches m = Hashtbl.reset m.ite_cache
 
@@ -87,6 +90,7 @@ let mk m v l h =
          m.interrupt_fuel <- m.interrupt_fuel - 1;
          if m.interrupt_fuel <= 0 then begin
            m.interrupt_fuel <- interrupt_period;
+           m.interrupt_polls <- m.interrupt_polls + 1;
            if f () then raise Interrupted
          end
        | None -> ());

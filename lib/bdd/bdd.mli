@@ -37,6 +37,11 @@ val set_interrupt : man -> (unit -> bool) option -> unit
 val node_count : man -> int
 (** Total nodes allocated in the arena (a monotone work measure). *)
 
+val interrupt_polls : man -> int
+(** How many times the interrupt callback has been polled (once per ~8k node
+    allocations while a callback is installed) — reported by the engine layer
+    as a telemetry counter. *)
+
 val clear_caches : man -> unit
 
 (** {1 Constants and variables} *)

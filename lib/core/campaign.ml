@@ -86,7 +86,8 @@ let work_items (chip : G.t) =
    Table 2 and the CSV like any other outcome *)
 let crash_outcome exn =
   { Mc.Engine.verdict = Mc.Engine.Error (Printexc.to_string exn);
-    engine_used = "crash"; time_s = 0.0; iterations = 0; work_nodes = 0 }
+    engine_used = "crash"; time_s = 0.0; iterations = 0; work_nodes = 0;
+    perf = Mc.Engine.empty_perf }
 
 let run ?budget ?strategy ?(progress = fun (_ : progress) -> ()) ?jobs ?cache
     ?journal ?(max_retries = 2) ?(retry_backoff_s = 0.05) ?fault_hook
@@ -104,7 +105,7 @@ let run ?budget ?strategy ?(progress = fun (_ : progress) -> ()) ?jobs ?cache
     incr retries_n;
     Mutex.unlock progress_lock
   in
-  let check (w : work) =
+  let check_body (w : work) =
     (* prepare inside the worker so instrumentation, elaboration and COI
        reduction parallelize along with the engine runs *)
     let ob =
@@ -188,6 +189,14 @@ let run ?budget ?strategy ?(progress = fun (_ : progress) -> ()) ?jobs ?cache
     { category = w.w_category; module_name = w.w_mdl.Rtl.Mdl.name;
       vunit_name = w.w_vunit_name; prop_name = w.w_prop_name; cls = w.w_cls;
       outcome; bug = w.w_bug; cache_hit; replayed; attempts }
+  in
+  let check (w : work) =
+    Obs.Telemetry.span ~cat:"obligation"
+      ~args:
+        [ ("category", w.w_category); ("module", w.w_mdl.Rtl.Mdl.name);
+          ("property", w.w_prop_name) ]
+      (w.w_mdl.Rtl.Mdl.name ^ "." ^ w.w_prop_name)
+      (fun () -> check_body w)
   in
   let results =
     (* the executor's per-item isolation is the outer safety net: anything
@@ -290,29 +299,151 @@ let failed_results t =
         false)
     t.results
 
+(* Work totals over every result row — cached and replayed rows carry the
+   perf of the run that produced them, so these totals do not depend on how
+   the executor scheduled the campaign (unlike live sink counters, where a
+   pool can run two structurally identical obligations concurrently and
+   miss the cache twice). *)
+type perf_totals = {
+  engine_time_s : float;
+  engine_attempts : int;
+  fix_iterations : int;
+  bdd_peak : int;
+  peak_set_size : int;
+  bdd_polls : int;
+  sat_decisions : int;
+  sat_conflicts : int;
+  sat_propagations : int;
+  sat_restarts : int;
+  max_unroll_depth : int;
+  max_final_k : int;
+}
+
+let aggregate_perf t =
+  List.fold_left
+    (fun a r ->
+      let p = r.outcome.Mc.Engine.perf in
+      { engine_time_s = a.engine_time_s +. r.outcome.Mc.Engine.time_s;
+        engine_attempts =
+          a.engine_attempts + List.length p.Mc.Engine.attempts;
+        fix_iterations = a.fix_iterations + p.Mc.Engine.fix_iterations;
+        bdd_peak = max a.bdd_peak p.Mc.Engine.bdd_peak;
+        peak_set_size = max a.peak_set_size p.Mc.Engine.peak_set_size;
+        bdd_polls = a.bdd_polls + p.Mc.Engine.bdd_polls;
+        sat_decisions = a.sat_decisions + p.Mc.Engine.sat_decisions;
+        sat_conflicts = a.sat_conflicts + p.Mc.Engine.sat_conflicts;
+        sat_propagations = a.sat_propagations + p.Mc.Engine.sat_propagations;
+        sat_restarts = a.sat_restarts + p.Mc.Engine.sat_restarts;
+        max_unroll_depth = max a.max_unroll_depth p.Mc.Engine.unroll_depth;
+        max_final_k = max a.max_final_k p.Mc.Engine.final_k })
+    { engine_time_s = 0.0; engine_attempts = 0; fix_iterations = 0;
+      bdd_peak = 0; peak_set_size = 0; bdd_polls = 0; sat_decisions = 0;
+      sat_conflicts = 0; sat_propagations = 0; sat_restarts = 0;
+      max_unroll_depth = -1; max_final_k = -1 }
+    t.results
+
+let resource_out_causes t =
+  let tbl = Hashtbl.create 7 in
+  List.iter
+    (fun r ->
+      match Mc.Engine.resource_cause r.outcome with
+      | Some c ->
+        Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c))
+      | None -> ())
+    t.results;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let to_metrics_json ?report ?jobs t =
+  let module J = Obs.Json in
+  let p = aggregate_perf t in
+  let row_fields (r : row) =
+    [ ("subs", J.Int r.subs); ("bugs_found", J.Int r.bugs_found);
+      ("p0", J.Int r.p0); ("p1", J.Int r.p1); ("p2", J.Int r.p2);
+      ("p3", J.Int r.p3); ("total", J.Int r.total);
+      ("proved", J.Int r.proved); ("failed", J.Int r.failed);
+      ("resource_out", J.Int r.resource_out); ("errors", J.Int r.errors);
+      ("time_s", J.Float r.time_s) ]
+  in
+  let fields =
+    [ ("schema", J.String "dicheck-metrics-v1");
+      ("wall_time_s", J.Float t.wall_time_s) ]
+    @ (match jobs with Some j -> [ ("jobs", J.Int j) ] | None -> [])
+    @ [ ("totals",
+         J.Obj
+           (row_fields t.grand_total
+           @ [ ("cache_hits", J.Int t.cache_hits);
+               ("retries", J.Int t.retries);
+               ("replayed", J.Int t.replayed) ]));
+        ("resource_out_causes",
+         J.Obj
+           (List.map (fun (c, n) -> (c, J.Int n)) (resource_out_causes t)));
+        ("perf",
+         J.Obj
+           [ ("engine_time_s", J.Float p.engine_time_s);
+             ("engine_attempts", J.Int p.engine_attempts);
+             ("fix_iterations", J.Int p.fix_iterations);
+             ("bdd_peak", J.Int p.bdd_peak);
+             ("peak_set_size", J.Int p.peak_set_size);
+             ("bdd_polls", J.Int p.bdd_polls);
+             ("sat_decisions", J.Int p.sat_decisions);
+             ("sat_conflicts", J.Int p.sat_conflicts);
+             ("sat_propagations", J.Int p.sat_propagations);
+             ("sat_restarts", J.Int p.sat_restarts);
+             ("max_unroll_depth", J.Int p.max_unroll_depth);
+             ("max_final_k", J.Int p.max_final_k) ]);
+        ("categories",
+         J.Obj
+           (List.map (fun (r : row) -> (r.cat, J.Obj (row_fields r)))
+              t.rows)) ]
+    @
+    match report with
+    | None -> []
+    | Some rep ->
+      [ ("counters",
+         J.Obj
+           (List.map
+              (fun (k, v) -> (k, J.Int v))
+              (List.sort compare rep.Obs.Telemetry.counters)));
+        ("recording_domains", J.Int rep.Obs.Telemetry.domains);
+        ("spans", J.Int (List.length rep.Obs.Telemetry.spans)) ]
+  in
+  J.to_string_pretty (J.Obj fields)
+
+let write_metrics_json ?report ?jobs t path =
+  let oc = open_out path in
+  (try output_string oc (to_metrics_json ?report ?jobs t)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
 let to_csv t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    "category,module,vunit,property,class,verdict,engine,time_s,cache_hit,\
-     replayed,attempts,bug\n";
+    "category,module,vunit,property,class,verdict,cause,engine,wall_ms,\
+     iterations,bdd_peak,sat_conflicts,cache_hit,replayed,attempts,bug\n";
   List.iter
     (fun r ->
-      let verdict =
+      let verdict, cause =
         match r.outcome.Mc.Engine.verdict with
-        | Mc.Engine.Proved -> "proved"
-        | Mc.Engine.Proved_bounded d -> Printf.sprintf "bounded:%d" d
-        | Mc.Engine.Failed _ -> "failed"
-        | Mc.Engine.Resource_out msg -> "resource_out:" ^ msg
+        | Mc.Engine.Proved -> ("proved", "")
+        | Mc.Engine.Proved_bounded d -> (Printf.sprintf "bounded:%d" d, "")
+        | Mc.Engine.Failed _ -> ("failed", "")
+        | Mc.Engine.Resource_out msg -> ("resource_out", msg)
         | Mc.Engine.Error msg ->
           (* commas would shift the columns; the message is free-form *)
-          "error:" ^ String.map (fun c -> if c = ',' then ';' else c) msg
+          ("error",
+           String.map (fun c -> if c = ',' then ';' else c) msg)
       in
+      let p = r.outcome.Mc.Engine.perf in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s,%.4f,%b,%b,%d,%s\n" r.category
-           r.module_name r.vunit_name r.prop_name
+        (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s,%s,%.1f,%d,%d,%d,%b,%b,%d,%s\n"
+           r.category r.module_name r.vunit_name r.prop_name
            (Verifiable.Propgen.class_name r.cls)
-           verdict r.outcome.Mc.Engine.engine_used r.outcome.Mc.Engine.time_s
-           r.cache_hit r.replayed r.attempts
+           verdict cause r.outcome.Mc.Engine.engine_used
+           (1000.0 *. r.outcome.Mc.Engine.time_s)
+           r.outcome.Mc.Engine.iterations p.Mc.Engine.bdd_peak
+           p.Mc.Engine.sat_conflicts r.cache_hit r.replayed r.attempts
            (match r.bug with Some b -> Chip.Bugs.name b | None -> "")))
     t.results;
   Buffer.contents buf
@@ -327,13 +458,20 @@ let write_csv t path =
 
 let pp_table2 ppf t =
   Format.fprintf ppf
-    "Module    # of   # of   P0     P1     P2     P3     Total  Err    \
+    "Module    # of   # of   P0     P1     P2     P3     Total  RO     Err    \
      Time(s)@.";
   Format.fprintf ppf
     "Name      Sub    Bug@.";
   let line (r : row) =
-    Format.fprintf ppf "%-9s %-6d %-6d %-6d %-6d %-6d %-6d %-6d %-6d %.1f@."
-      r.cat r.subs r.bugs_found r.p0 r.p1 r.p2 r.p3 r.total r.errors r.time_s
+    Format.fprintf ppf
+      "%-9s %-6d %-6d %-6d %-6d %-6d %-6d %-6d %-6d %-6d %.1f@."
+      r.cat r.subs r.bugs_found r.p0 r.p1 r.p2 r.p3 r.total r.resource_out
+      r.errors r.time_s
   in
   List.iter line t.rows;
-  line t.grand_total
+  line t.grand_total;
+  match resource_out_causes t with
+  | [] -> ()
+  | causes ->
+    Format.fprintf ppf "resource-out causes:%t@." (fun ppf ->
+        List.iter (fun (c, n) -> Format.fprintf ppf " %s=%d" c n) causes)

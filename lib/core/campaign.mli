@@ -110,11 +110,50 @@ val run :
     inject crashes. *)
 
 val failed_results : t -> prop_result list
+
 val pp_table2 : Format.formatter -> t -> unit
+(** The paper's Table 2, plus an [RO] (resource-out) column and, when any
+    obligation ran out of resources, a final ["resource-out causes:"] line
+    breaking the RO count down by canonical cause
+    ({!Mc.Engine.resource_cause}). *)
+
+type perf_totals = {
+  engine_time_s : float;  (** summed engine wall time over all results *)
+  engine_attempts : int;  (** engine runs, counting escalation stages *)
+  fix_iterations : int;
+  bdd_peak : int;  (** largest single BDD arena anywhere in the campaign *)
+  peak_set_size : int;
+  bdd_polls : int;
+  sat_decisions : int;
+  sat_conflicts : int;
+  sat_propagations : int;
+  sat_restarts : int;
+  max_unroll_depth : int;  (** [-1] if BMC never ran *)
+  max_final_k : int;  (** [-1] if k-induction never ran *)
+}
+(** Engine-work totals summed (or maxed) over every result row. Cached and
+    replayed rows carry the perf of the run that originally produced them,
+    so these totals are schedule-independent: a sequential run and a domain
+    pool over the same chip agree exactly. *)
+
+val aggregate_perf : t -> perf_totals
+
+val resource_out_causes : t -> (string * int) list
+(** Count of [Resource_out] results per canonical cause, sorted by cause. *)
+
+val to_metrics_json : ?report:Obs.Telemetry.report -> ?jobs:int -> t -> string
+(** The campaign summary as pretty-printed JSON (schema
+    ["dicheck-metrics-v1"]): grand totals and per-category rows mirroring
+    Table 2, {!aggregate_perf} under ["perf"], {!resource_out_causes}, and —
+    when a telemetry [report] is supplied — the raw sink counters. *)
+
+val write_metrics_json :
+  ?report:Obs.Telemetry.report -> ?jobs:int -> t -> string -> unit
 
 val to_csv : t -> string
 (** One row per property: category, module, vunit, property, class, verdict,
-    engine, time, cache hit, replayed, attempts, bug. Suitable for
-    spreadsheet import or regression diffing. *)
+    resource cause, engine, wall ms, iterations, BDD peak, SAT conflicts,
+    cache hit, replayed, attempts, bug. Suitable for spreadsheet import or
+    regression diffing. *)
 
 val write_csv : t -> string -> unit

@@ -1,5 +1,36 @@
 type t = Sequential | Pool of int
 
+module Telemetry = Obs.Telemetry
+
+(* Per-worker telemetry: one span covering the worker's whole drain (so each
+   pool domain gets a lane in the trace) plus utilization counters. [run]
+   executes one item and returns its wall time; item work itself shows up as
+   the obligation spans nested inside the worker span. *)
+let with_worker_telemetry ~w body =
+  let t0 = Unix.gettimeofday () in
+  let busy = ref 0.0 in
+  let items = ref 0 in
+  let run f =
+    let s = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        busy := !busy +. (Unix.gettimeofday () -. s);
+        incr items)
+      f
+  in
+  Telemetry.span ~cat:"exec"
+    ~args:[ ("worker", string_of_int w) ]
+    "exec.worker"
+    (fun () -> body run);
+  if Telemetry.active () then begin
+    let total = Unix.gettimeofday () -. t0 in
+    Telemetry.count ~n:!items "exec.items";
+    Telemetry.count ~n:(int_of_float (1e6 *. !busy)) "exec.busy_us";
+    Telemetry.count
+      ~n:(int_of_float (1e6 *. Float.max 0.0 (total -. !busy)))
+      "exec.idle_us"
+  end
+
 let sequential = Sequential
 let pool ~jobs = if jobs <= 1 then Sequential else Pool jobs
 let of_jobs = function None -> Sequential | Some j -> pool ~jobs:j
@@ -66,15 +97,19 @@ let parallel_map_result ~workers f xs =
             | None -> next w)
   in
   let worker w () =
-    let rec loop () =
-      match next w with
-      | None -> ()
-      | Some i ->
-        results.(i) <-
-          Some (match f xs.(i) with v -> Ok v | exception e -> Error e);
-        loop ()
-    in
-    loop ()
+    with_worker_telemetry ~w (fun run ->
+        let rec loop () =
+          match next w with
+          | None -> ()
+          | Some i ->
+            results.(i) <-
+              Some
+                (match run (fun () -> f xs.(i)) with
+                 | v -> Ok v
+                 | exception e -> Error e);
+            loop ()
+        in
+        loop ())
   in
   let helpers =
     Array.init (workers - 1) (fun k -> Domain.spawn (worker (k + 1)))
@@ -86,7 +121,16 @@ let parallel_map_result ~workers f xs =
 let map_result t f xs =
   match t with
   | Sequential ->
-    Array.map (fun x -> match f x with v -> Ok v | exception e -> Error e) xs
+    let results = ref [||] in
+    with_worker_telemetry ~w:0 (fun run ->
+        results :=
+          Array.map
+            (fun x ->
+              match run (fun () -> f x) with
+              | v -> Ok v
+              | exception e -> Error e)
+            xs);
+    !results
   | Pool j ->
     let n = Array.length xs in
     if n = 0 then [||] else parallel_map_result ~workers:(min j n) f xs

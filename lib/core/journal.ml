@@ -6,7 +6,8 @@
    newline-terminated line, so a SIGKILL mid-append truncates at most the
    last line — which the tolerant loader simply drops. *)
 
-let magic = "dicheck-journal-v1"
+(* v2: Engine.outcome gained a perf record *)
+let magic = "dicheck-journal-v2"
 
 type t = {
   path : string;
@@ -77,7 +78,10 @@ let load path =
 let entries t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.replay []
 
-let replay t ~key = Hashtbl.find_opt t.replay key
+let replay t ~key =
+  let r = Hashtbl.find_opt t.replay key in
+  if r <> None then Obs.Telemetry.count "journal.replays";
+  r
 
 let replay_count t = Hashtbl.length t.replay
 
@@ -102,6 +106,7 @@ let create ?(resume = false) ?(fsync = true) path =
   { path; oc; fsync; lock = Mutex.create (); replay }
 
 let append t ~key outcome =
+  Obs.Telemetry.count "journal.appends";
   let payload = to_hex (Marshal.to_string (outcome : Mc.Engine.outcome) []) in
   Mutex.lock t.lock;
   Fun.protect

@@ -1,0 +1,3 @@
+(* Re-export so campaign users can say [Core.Telemetry] without depending on
+   the obs library path directly. *)
+include Obs.Telemetry

@@ -7,6 +7,8 @@ type stats = {
   cnf_clauses : int;
   decisions : int;
   conflicts : int;
+  propagations : int;
+  restarts : int;
 }
 
 type result =
@@ -84,12 +86,18 @@ let check ?(max_conflicts = max_int) ?(deadline = Deadline.none)
     (fun c -> Tseitin.assert_lit ctx (Tseitin.lit_of_bexpr ctx var_map c))
     !constraints;
   let cnf = Tseitin.to_cnf ctx in
-  let mk_stats () =
-    let decisions, conflicts, _ = Solver.stats_last () in
-    { depth; cnf_vars = cnf.Cnf.nvars; cnf_clauses = Cnf.num_clauses cnf;
-      decisions; conflicts }
+  let result, sat_stats =
+    Solver.solve_stats ~max_conflicts
+      ~should_stop:(Deadline.checker deadline) cnf
   in
-  match Solver.solve ~max_conflicts ~should_stop:(Deadline.checker deadline) cnf with
+  let mk_stats () =
+    { depth; cnf_vars = cnf.Cnf.nvars; cnf_clauses = Cnf.num_clauses cnf;
+      decisions = sat_stats.Solver.decisions;
+      conflicts = sat_stats.Solver.conflicts;
+      propagations = sat_stats.Solver.propagations;
+      restarts = sat_stats.Solver.restarts }
+  in
+  match result with
   | Solver.Unsat -> No_violation_upto (depth, mk_stats ())
   | Solver.Unknown -> Inconclusive (mk_stats ())
   | Solver.Sat model ->
@@ -150,4 +158,4 @@ let find_shortest ?max_conflicts ?deadline ?constraint_signal nl ~ok_signal
   go 0
     (No_violation_upto
        (-1, { depth = -1; cnf_vars = 0; cnf_clauses = 0; decisions = 0;
-              conflicts = 0 }))
+              conflicts = 0; propagations = 0; restarts = 0 }))

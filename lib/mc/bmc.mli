@@ -7,6 +7,8 @@ type stats = {
   cnf_clauses : int;
   decisions : int;
   conflicts : int;
+  propagations : int;
+  restarts : int;
 }
 
 type result =

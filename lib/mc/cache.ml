@@ -13,14 +13,20 @@ let with_lock c f =
   Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
 
 let find c ~key =
-  with_lock c (fun () ->
-      match Hashtbl.find_opt c.tbl key with
-      | Some o ->
-        c.hits <- c.hits + 1;
-        Some o
-      | None ->
-        c.misses <- c.misses + 1;
-        None)
+  let r =
+    with_lock c (fun () ->
+        match Hashtbl.find_opt c.tbl key with
+        | Some o ->
+          c.hits <- c.hits + 1;
+          Some o
+        | None ->
+          c.misses <- c.misses + 1;
+          None)
+  in
+  (match r with
+   | Some _ -> Obs.Telemetry.count "cache.hit"
+   | None -> Obs.Telemetry.count "cache.miss");
+  r
 
 let add c ~key o = with_lock c (fun () -> Hashtbl.replace c.tbl key o)
 
@@ -43,7 +49,7 @@ let reset_stats c =
 
 (* bump when Engine.outcome (or anything reachable from it) changes shape:
    Marshal gives no type safety across versions *)
-let magic = "dicheck-cache-v2\n"
+let magic = "dicheck-cache-v3\n"
 
 (* atomic: a crash (or SIGKILL) mid-save leaves either the previous cache or
    the new one on disk, never a truncated file that poisons later runs *)

@@ -46,34 +46,124 @@ type verdict =
   | Resource_out of string
   | Error of string
 
+type perf = {
+  bdd_peak : int;
+  bdd_polls : int;
+  fix_iterations : int;
+  peak_set_size : int;
+  sat_decisions : int;
+  sat_conflicts : int;
+  sat_propagations : int;
+  sat_restarts : int;
+  unroll_depth : int;
+  final_k : int;
+  attempts : string list;
+}
+
+let empty_perf =
+  { bdd_peak = 0; bdd_polls = 0; fix_iterations = 0; peak_set_size = 0;
+    sat_decisions = 0; sat_conflicts = 0; sat_propagations = 0;
+    sat_restarts = 0; unroll_depth = -1; final_k = -1; attempts = [] }
+
 type outcome = {
   verdict : verdict;
   engine_used : string;
   time_s : float;
   iterations : int;
   work_nodes : int;
+  perf : perf;
 }
+
+let resource_cause o =
+  match o.verdict with Resource_out c -> Some c | _ -> None
+
+module Telemetry = Obs.Telemetry
+
+(* Work accounting for one check_netlist run, mutated as engine attempts
+   complete (including attempts that end in an exception), then frozen into
+   the outcome's [perf]. *)
+type acc = {
+  mutable a_bdd_peak : int;
+  mutable a_bdd_alloc : int;  (* additive across attempts, for counters *)
+  mutable a_bdd_polls : int;
+  mutable a_fix_iterations : int;
+  mutable a_peak_set_size : int;
+  mutable a_sat_d : int;
+  mutable a_sat_c : int;
+  mutable a_sat_p : int;
+  mutable a_sat_r : int;
+  mutable a_unroll : int;
+  mutable a_final_k : int;
+  mutable a_attempts_rev : string list;
+}
+
+let fresh_acc () =
+  { a_bdd_peak = 0; a_bdd_alloc = 0; a_bdd_polls = 0; a_fix_iterations = 0;
+    a_peak_set_size = 0; a_sat_d = 0; a_sat_c = 0; a_sat_p = 0; a_sat_r = 0;
+    a_unroll = -1; a_final_k = -1; a_attempts_rev = [] }
+
+let perf_of_acc a =
+  { bdd_peak = a.a_bdd_peak; bdd_polls = a.a_bdd_polls;
+    fix_iterations = a.a_fix_iterations; peak_set_size = a.a_peak_set_size;
+    sat_decisions = a.a_sat_d; sat_conflicts = a.a_sat_c;
+    sat_propagations = a.a_sat_p; sat_restarts = a.a_sat_r;
+    unroll_depth = a.a_unroll; final_k = a.a_final_k;
+    attempts = List.rev a.a_attempts_rev }
+
+let acc_sat acc (s : Solver.stats) =
+  acc.a_sat_d <- acc.a_sat_d + s.Solver.decisions;
+  acc.a_sat_c <- acc.a_sat_c + s.Solver.conflicts;
+  acc.a_sat_p <- acc.a_sat_p + s.Solver.propagations;
+  acc.a_sat_r <- acc.a_sat_r + s.Solver.restarts
+
+let report_counters acc =
+  if Telemetry.active () then begin
+    Telemetry.count "engine.checks";
+    Telemetry.count ~n:(List.length acc.a_attempts_rev) "engine.attempts";
+    Telemetry.count ~n:acc.a_bdd_alloc "bdd.nodes";
+    Telemetry.count ~n:acc.a_bdd_polls "bdd.interrupt_polls";
+    Telemetry.count ~n:acc.a_fix_iterations "reach.iterations";
+    Telemetry.count ~n:acc.a_sat_d "sat.decisions";
+    Telemetry.count ~n:acc.a_sat_c "sat.conflicts";
+    Telemetry.count ~n:acc.a_sat_p "sat.propagations";
+    Telemetry.count ~n:acc.a_sat_r "sat.restarts"
+  end
 
 let timed f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let of_reach engine (r, time_s) =
+let of_reach acc engine (r, time_s) =
+  let record (s : Reach.stats) =
+    acc.a_fix_iterations <- acc.a_fix_iterations + s.Reach.iterations;
+    acc.a_peak_set_size <- max acc.a_peak_set_size s.Reach.peak_set_size;
+    acc.a_bdd_peak <- max acc.a_bdd_peak s.Reach.bdd_nodes
+  in
   match r with
   | Reach.Proved stats ->
+    record stats;
     { verdict = Proved; engine_used = engine; time_s;
-      iterations = stats.Reach.iterations; work_nodes = stats.Reach.bdd_nodes }
+      iterations = stats.Reach.iterations; work_nodes = stats.Reach.bdd_nodes;
+      perf = empty_perf }
   | Reach.Failed (trace, stats) ->
+    record stats;
     { verdict = Failed trace; engine_used = engine; time_s;
-      iterations = stats.Reach.iterations; work_nodes = stats.Reach.bdd_nodes }
+      iterations = stats.Reach.iterations; work_nodes = stats.Reach.bdd_nodes;
+      perf = empty_perf }
 
 let deadline_msg = "deadline"
+let bdd_nodes_msg = "bdd-nodes"
+let sat_conflicts_msg = "sat-conflicts"
+let kind_inconclusive_msg = "kind-inconclusive"
 
-let run_bdd ~node_limit ~deadline ~engine nl ok_signal constraint_signal check
-    =
+let run_bdd ~acc ~node_limit ~deadline ~engine nl ok_signal constraint_signal
+    check =
+  acc.a_attempts_rev <- engine :: acc.a_attempts_rev;
+  let man_ref = ref None in
   let f () =
     let sym = Sym.create ?node_limit nl in
+    man_ref := Some (Sym.man sym);
     (* the manager-level interrupt bounds even a single runaway image
        computation; the per-iteration Deadline.check in the fixpoint loops
        bounds everything between BDD operations *)
@@ -87,123 +177,176 @@ let run_bdd ~node_limit ~deadline ~engine nl ok_signal constraint_signal check
     in
     check ?constrain ~deadline sym ok
   in
-  match timed f with
-  | result -> Ok (of_reach engine result)
-  | exception Bdd.Node_limit -> Stdlib.Error "BDD node limit exceeded"
-  | exception (Deadline.Expired | Bdd.Interrupted) -> Stdlib.Error deadline_msg
+  (* the manager dies with the attempt, so its peak and poll count must be
+     read on every exit path, including Node_limit raised mid-Sym.create *)
+  let record_man () =
+    match !man_ref with
+    | None -> ()
+    | Some m ->
+      let n = Bdd.node_count m in
+      acc.a_bdd_peak <- max acc.a_bdd_peak n;
+      acc.a_bdd_alloc <- acc.a_bdd_alloc + n;
+      acc.a_bdd_polls <- acc.a_bdd_polls + Bdd.interrupt_polls m
+  in
+  match Telemetry.span ~cat:"engine" engine (fun () -> timed f) with
+  | result ->
+    record_man ();
+    Ok (of_reach acc engine result)
+  | exception Bdd.Node_limit ->
+    record_man ();
+    Stdlib.Error bdd_nodes_msg
+  | exception (Deadline.Expired | Bdd.Interrupted) ->
+    record_man ();
+    Stdlib.Error deadline_msg
 
-let run_bmc ~budget ~deadline nl ok_signal constraint_signal =
+let run_bmc ~acc ~budget ~deadline nl ok_signal constraint_signal =
+  acc.a_attempts_rev <- "bmc" :: acc.a_attempts_rev;
+  let acc_bmc (s : Bmc.stats) =
+    acc.a_unroll <- max acc.a_unroll s.Bmc.depth;
+    acc_sat acc
+      { Solver.decisions = s.Bmc.decisions; conflicts = s.Bmc.conflicts;
+        propagations = s.Bmc.propagations; restarts = s.Bmc.restarts;
+        learned = 0 }
+  in
   let f () =
     Bmc.check ~max_conflicts:budget.sat_max_conflicts ~deadline
       ?constraint_signal nl ~ok_signal ~depth:budget.bmc_depth
   in
-  match timed f with
+  match Telemetry.span ~cat:"engine" "bmc" (fun () -> timed f) with
   | exception Deadline.Expired ->
     { verdict = Resource_out deadline_msg; engine_used = "bmc"; time_s = 0.0;
-      iterations = 0; work_nodes = 0 }
+      iterations = 0; work_nodes = 0; perf = empty_perf }
   | r, time_s ->
     (match r with
      | Bmc.No_violation_upto (d, stats) ->
+       acc_bmc stats;
        { verdict = Proved_bounded d; engine_used = "bmc"; time_s;
-         iterations = d; work_nodes = stats.Bmc.cnf_clauses }
+         iterations = d; work_nodes = stats.Bmc.cnf_clauses;
+         perf = empty_perf }
      | Bmc.Violation (trace, stats) ->
+       acc_bmc stats;
        { verdict = Failed trace; engine_used = "bmc"; time_s;
-         iterations = stats.Bmc.depth; work_nodes = stats.Bmc.cnf_clauses }
+         iterations = stats.Bmc.depth; work_nodes = stats.Bmc.cnf_clauses;
+         perf = empty_perf }
      | Bmc.Inconclusive stats ->
+       acc_bmc stats;
        let msg =
          if Deadline.expired deadline then deadline_msg
-         else "SAT conflict budget exceeded"
+         else sat_conflicts_msg
        in
        { verdict = Resource_out msg; engine_used = "bmc"; time_s;
-         iterations = stats.Bmc.depth; work_nodes = stats.Bmc.cnf_clauses })
+         iterations = stats.Bmc.depth; work_nodes = stats.Bmc.cnf_clauses;
+         perf = empty_perf })
 
 let check_netlist ?(budget = default_budget) ?constraint_signal ~strategy nl
     ~ok_signal =
   let deadline = Deadline.of_budget budget.wall_deadline_s in
+  let acc = fresh_acc () in
   let bdd check engine =
-    run_bdd ~node_limit:budget.bdd_node_limit ~deadline ~engine nl ok_signal
-      constraint_signal check
+    run_bdd ~acc ~node_limit:budget.bdd_node_limit ~deadline ~engine nl
+      ok_signal constraint_signal check
   in
   let pobdd () =
-    run_bdd ~node_limit:budget.pobdd_node_limit ~deadline ~engine:"pobdd" nl
-      ok_signal constraint_signal (fun ?constrain ~deadline sym ok ->
+    run_bdd ~acc ~node_limit:budget.pobdd_node_limit ~deadline
+      ~engine:"pobdd" nl ok_signal constraint_signal
+      (fun ?constrain ~deadline sym ok ->
         Umc.check_forward_partitioned ?constrain ~deadline sym ~ok
           ~num_split_vars:budget.pobdd_split_vars)
   in
   let resource_out msg engine =
     { verdict = Resource_out msg; engine_used = engine; time_s = 0.0;
-      iterations = 0; work_nodes = 0 }
+      iterations = 0; work_nodes = 0; perf = empty_perf }
   in
-  match strategy with
-  | Bdd_forward -> (
-    match
-      bdd (fun ?constrain ~deadline sym ok ->
-          Reach.check_forward ?constrain ~deadline sym ~ok)
-        "bdd-forward"
-    with
-    | Ok o -> o
-    | Error msg -> resource_out msg "bdd-forward")
-  | Bdd_backward -> (
-    match
-      bdd (fun ?constrain ~deadline sym ok ->
-          Reach.check_backward ?constrain ~deadline sym ~ok)
-        "bdd-backward"
-    with
-    | Ok o -> o
-    | Error msg -> resource_out msg "bdd-backward")
-  | Bdd_combined -> (
-    match
-      bdd (fun ?constrain ~deadline sym ok ->
-          Reach.check_combined ?constrain ~deadline sym ~ok)
-        "bdd-combined"
-    with
-    | Ok o -> o
-    | Error msg -> resource_out msg "bdd-combined")
-  | Pobdd -> (
-    match pobdd () with
-    | Ok o -> o
-    | Error msg -> resource_out msg "pobdd")
-  | Bmc -> run_bmc ~budget ~deadline nl ok_signal constraint_signal
-  | Kind -> (
-    let f () =
-      Induction.check ~max_conflicts:budget.sat_max_conflicts
-        ~max_k:budget.induction_max_k ~deadline ?constraint_signal nl
-        ~ok_signal
-    in
-    match timed f with
-    | exception Deadline.Expired -> resource_out deadline_msg "k-induction"
-    | r, time_s ->
-      (match r with
-       | Induction.Proved_by_induction s ->
-         { verdict = Proved; engine_used = "k-induction"; time_s;
-           iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses }
-       | Induction.Violation (trace, s) ->
-         { verdict = Failed trace; engine_used = "k-induction"; time_s;
-           iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses }
-       | Induction.Inconclusive s ->
-         let msg =
-           if Deadline.expired deadline then deadline_msg
-           else "induction inconclusive"
-         in
-         { verdict = Resource_out msg; engine_used = "k-induction"; time_s;
-           iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses }))
-  | Auto -> (
-    match
-      bdd (fun ?constrain ~deadline sym ok ->
-          Reach.check_combined ?constrain ~deadline sym ~ok)
-        "bdd-combined"
-    with
-    | Ok o -> o
-    | Error _ when Deadline.expired deadline ->
-      (* out of wall-clock: escalating would only burn the worker longer *)
-      resource_out deadline_msg "bdd-combined"
-    | Error _ -> (
-      (* escalate: partitioned engine with a larger budget *)
+  let outcome =
+    match strategy with
+    | Bdd_forward -> (
+      match
+        bdd (fun ?constrain ~deadline sym ok ->
+            Reach.check_forward ?constrain ~deadline sym ~ok)
+          "bdd-forward"
+      with
+      | Ok o -> o
+      | Error msg -> resource_out msg "bdd-forward")
+    | Bdd_backward -> (
+      match
+        bdd (fun ?constrain ~deadline sym ok ->
+            Reach.check_backward ?constrain ~deadline sym ~ok)
+          "bdd-backward"
+      with
+      | Ok o -> o
+      | Error msg -> resource_out msg "bdd-backward")
+    | Bdd_combined -> (
+      match
+        bdd (fun ?constrain ~deadline sym ok ->
+            Reach.check_combined ?constrain ~deadline sym ~ok)
+          "bdd-combined"
+      with
+      | Ok o -> o
+      | Error msg -> resource_out msg "bdd-combined")
+    | Pobdd -> (
       match pobdd () with
       | Ok o -> o
+      | Error msg -> resource_out msg "pobdd")
+    | Bmc -> run_bmc ~acc ~budget ~deadline nl ok_signal constraint_signal
+    | Kind -> (
+      acc.a_attempts_rev <- "k-induction" :: acc.a_attempts_rev;
+      let acc_kind (s : Induction.stats) =
+        acc.a_final_k <- max acc.a_final_k s.Induction.k;
+        acc_sat acc
+          { Solver.decisions = s.Induction.decisions;
+            conflicts = s.Induction.conflicts;
+            propagations = s.Induction.propagations;
+            restarts = s.Induction.restarts; learned = 0 }
+      in
+      let f () =
+        Induction.check ~max_conflicts:budget.sat_max_conflicts
+          ~max_k:budget.induction_max_k ~deadline ?constraint_signal nl
+          ~ok_signal
+      in
+      match Telemetry.span ~cat:"engine" "k-induction" (fun () -> timed f) with
+      | exception Deadline.Expired -> resource_out deadline_msg "k-induction"
+      | r, time_s ->
+        (match r with
+         | Induction.Proved_by_induction s ->
+           acc_kind s;
+           { verdict = Proved; engine_used = "k-induction"; time_s;
+             iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses;
+             perf = empty_perf }
+         | Induction.Violation (trace, s) ->
+           acc_kind s;
+           { verdict = Failed trace; engine_used = "k-induction"; time_s;
+             iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses;
+             perf = empty_perf }
+         | Induction.Inconclusive s ->
+           acc_kind s;
+           let msg =
+             if Deadline.expired deadline then deadline_msg
+             else kind_inconclusive_msg
+           in
+           { verdict = Resource_out msg; engine_used = "k-induction"; time_s;
+             iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses;
+             perf = empty_perf }))
+    | Auto -> (
+      match
+        bdd (fun ?constrain ~deadline sym ok ->
+            Reach.check_combined ?constrain ~deadline sym ~ok)
+          "bdd-combined"
+      with
+      | Ok o -> o
       | Error _ when Deadline.expired deadline ->
-        resource_out deadline_msg "pobdd"
-      | Error _ -> run_bmc ~budget ~deadline nl ok_signal constraint_signal))
+        (* out of wall-clock: escalating would only burn the worker longer *)
+        resource_out deadline_msg "bdd-combined"
+      | Error _ -> (
+        (* escalate: partitioned engine with a larger budget *)
+        match pobdd () with
+        | Ok o -> o
+        | Error _ when Deadline.expired deadline ->
+          resource_out deadline_msg "pobdd"
+        | Error _ ->
+          run_bmc ~acc ~budget ~deadline nl ok_signal constraint_signal))
+  in
+  report_counters acc;
+  { outcome with perf = perf_of_acc acc }
 
 (* Inline combinationally-driven signals into the property's boolean layer
    and simplify, so that e.g. [HE[3]] where HE is a concatenation of checker
@@ -282,13 +425,19 @@ let split_constraint_assumes mdl assumes =
     assumes
 
 let instrumented_netlist mdl ~assert_ ~assumes =
-  let assert_ = inline_bools mdl assert_ in
-  let assumes = List.map (inline_bools mdl) assumes in
-  let assumes = prune_assumes mdl ~assert_ ~assumes in
+  let sp name f = Telemetry.span ~cat:"prepare" name f in
+  let assert_, assumes =
+    sp "prepare.inline" (fun () ->
+        (inline_bools mdl assert_, List.map (inline_bools mdl) assumes))
+  in
+  let assumes =
+    sp "prepare.prune" (fun () -> prune_assumes mdl ~assert_ ~assumes)
+  in
   let constraints, temporal_assumes = split_constraint_assumes mdl assumes in
   let inst =
-    Psl.Monitor.instrument mdl ~prefix:"mon" ~assert_
-      ~assumes:temporal_assumes
+    sp "prepare.monitor" (fun () ->
+        Psl.Monitor.instrument mdl ~prefix:"mon" ~assert_
+          ~assumes:temporal_assumes)
   in
   let mdl', constraint_signal =
     match constraints with
@@ -301,8 +450,11 @@ let instrumented_netlist mdl ~assert_ ~assumes =
       let m = Rtl.Mdl.add_wire inst.Psl.Monitor.mdl name 1 in
       (Rtl.Mdl.add_assign m name c, Some name)
   in
-  let design = Rtl.Design.of_modules [ mdl' ] in
-  let nl = Rtl.Elaborate.run design ~top:mdl'.Rtl.Mdl.name in
+  let nl =
+    sp "prepare.elaborate" (fun () ->
+        let design = Rtl.Design.of_modules [ mdl' ] in
+        Rtl.Elaborate.run design ~top:mdl'.Rtl.Mdl.name)
+  in
   (* cone-of-influence reduction: only the logic feeding the property
      matters; this is what makes the divide-and-conquer partitioning of
      Figure 7 effective *)
@@ -310,7 +462,7 @@ let instrumented_netlist mdl ~assert_ ~assumes =
     inst.Psl.Monitor.invariant_ok
     :: (match constraint_signal with Some c -> [ c ] | None -> [])
   in
-  let nl = Rtl.Coi.reduce nl ~roots in
+  let nl = sp "prepare.coi" (fun () -> Rtl.Coi.reduce nl ~roots) in
   (nl, inst.Psl.Monitor.invariant_ok, constraint_signal)
 
 let problem_size mdl ~assert_ ~assumes =

@@ -47,13 +47,39 @@ type verdict =
           worker crash into this verdict so one poisoned obligation cannot
           lose the rest of the campaign. *)
 
+type perf = {
+  bdd_peak : int;  (** largest BDD arena across all attempts (0 if none) *)
+  bdd_polls : int;  (** manager interrupt-callback polls, summed *)
+  fix_iterations : int;  (** reachability fixpoint iterations, summed *)
+  peak_set_size : int;  (** largest frontier/reached-set BDD *)
+  sat_decisions : int;
+  sat_conflicts : int;
+  sat_propagations : int;
+  sat_restarts : int;
+  unroll_depth : int;  (** deepest BMC unroll, [-1] if BMC never ran *)
+  final_k : int;  (** k-induction's final [k], [-1] if it never ran *)
+  attempts : string list;  (** engines tried, in escalation order *)
+}
+(** Per-check work measures, captured whether the check concluded or ran out
+    of resources. Attached to every {!outcome}, so cached and replayed
+    outcomes carry the perf of the run that produced them — summing over a
+    campaign's results is therefore schedule-independent. *)
+
+val empty_perf : perf
+
 type outcome = {
   verdict : verdict;
   engine_used : string;
   time_s : float;
   iterations : int;
   work_nodes : int;  (** BDD nodes allocated or CNF clauses, per engine *)
+  perf : perf;
 }
+
+val resource_cause : outcome -> string option
+(** The canonical cause string of a [Resource_out] verdict — ["deadline"],
+    ["bdd-nodes"], ["sat-conflicts"] or ["kind-inconclusive"] — and [None]
+    for every other verdict. *)
 
 val check_netlist :
   ?budget:budget ->

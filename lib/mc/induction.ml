@@ -1,7 +1,15 @@
 module B = Rtl.Bitblast
 module X = Rtl.Bexpr
 
-type stats = { k : int; cnf_vars : int; cnf_clauses : int }
+type stats = {
+  k : int;
+  cnf_vars : int;
+  cnf_clauses : int;
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  restarts : int;
+}
 
 type result =
   | Proved_by_induction of stats
@@ -56,7 +64,11 @@ let step_case ~max_conflicts ~deadline ?constraint_signal (flat : B.flat)
     if frame < k then state := Array.map s next_of
   done;
   let cnf = Tseitin.to_cnf ctx in
-  (Solver.solve ~max_conflicts ~should_stop:(Deadline.checker deadline) cnf, cnf)
+  let result, sat_stats =
+    Solver.solve_stats ~max_conflicts
+      ~should_stop:(Deadline.checker deadline) cnf
+  in
+  (result, cnf, sat_stats)
 
 let check ?(max_conflicts = max_int) ?(max_k = 20)
     ?(deadline = Deadline.none) ?constraint_signal nl ~ok_signal =
@@ -71,8 +83,28 @@ let check ?(max_conflicts = max_int) ?(max_k = 20)
   if Array.length ok_bits <> 1 then
     invalid_arg "Induction.check: ok signal must be 1 bit";
   let ok0 = ok_bits.(0) in
+  (* SAT work accumulated across every base-case and step-case solve, so the
+     reported counters cover the whole induction run, not just the last CNF *)
+  let acc_d = ref 0 and acc_c = ref 0 and acc_p = ref 0 and acc_r = ref 0 in
+  let add_sat (s : Solver.stats) =
+    acc_d := !acc_d + s.Solver.decisions;
+    acc_c := !acc_c + s.Solver.conflicts;
+    acc_p := !acc_p + s.Solver.propagations;
+    acc_r := !acc_r + s.Solver.restarts
+  in
+  let add_bmc (s : Bmc.stats) =
+    acc_d := !acc_d + s.Bmc.decisions;
+    acc_c := !acc_c + s.Bmc.conflicts;
+    acc_p := !acc_p + s.Bmc.propagations;
+    acc_r := !acc_r + s.Bmc.restarts
+  in
+  let mk_stats ~k ~cnf_vars ~cnf_clauses =
+    { k; cnf_vars; cnf_clauses; decisions = !acc_d; conflicts = !acc_c;
+      propagations = !acc_p; restarts = !acc_r }
+  in
   let rec iterate k =
-    if k > max_k then Inconclusive { k = max_k; cnf_vars = 0; cnf_clauses = 0 }
+    if k > max_k then
+      Inconclusive (mk_stats ~k:max_k ~cnf_vars:0 ~cnf_clauses:0)
     else
       (* base case: no violation within k cycles of reset *)
       match
@@ -80,22 +112,32 @@ let check ?(max_conflicts = max_int) ?(max_k = 20)
           ~depth:k
       with
       | Bmc.Violation (trace, s) ->
+        add_bmc s;
         Violation
-          (trace, { k; cnf_vars = s.Bmc.cnf_vars; cnf_clauses = s.Bmc.cnf_clauses })
+          (trace,
+           mk_stats ~k ~cnf_vars:s.Bmc.cnf_vars ~cnf_clauses:s.Bmc.cnf_clauses)
       | Bmc.Inconclusive s ->
+        add_bmc s;
         Inconclusive
-          { k; cnf_vars = s.Bmc.cnf_vars; cnf_clauses = s.Bmc.cnf_clauses }
-      | Bmc.No_violation_upto _ -> (
+          (mk_stats ~k ~cnf_vars:s.Bmc.cnf_vars ~cnf_clauses:s.Bmc.cnf_clauses)
+      | Bmc.No_violation_upto (_, s) -> (
+        add_bmc s;
         match
           step_case ~max_conflicts ~deadline ?constraint_signal flat ~nstate
             ~ninputs ~ok0 ~k:(k + 1)
         with
-        | Solver.Unsat, cnf ->
+        | Solver.Unsat, cnf, sat ->
+          add_sat sat;
           Proved_by_induction
-            { k; cnf_vars = cnf.Cnf.nvars; cnf_clauses = Cnf.num_clauses cnf }
-        | Solver.Sat _, _ -> iterate (k + 1)
-        | Solver.Unknown, cnf ->
+            (mk_stats ~k ~cnf_vars:cnf.Cnf.nvars
+               ~cnf_clauses:(Cnf.num_clauses cnf))
+        | Solver.Sat _, _, sat ->
+          add_sat sat;
+          iterate (k + 1)
+        | Solver.Unknown, cnf, sat ->
+          add_sat sat;
           Inconclusive
-            { k; cnf_vars = cnf.Cnf.nvars; cnf_clauses = Cnf.num_clauses cnf })
+            (mk_stats ~k ~cnf_vars:cnf.Cnf.nvars
+               ~cnf_clauses:(Cnf.num_clauses cnf)))
   in
   iterate 0

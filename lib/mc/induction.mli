@@ -10,6 +10,10 @@ type stats = {
   k : int;  (** the depth at which the result was established *)
   cnf_vars : int;
   cnf_clauses : int;
+  decisions : int;  (** summed over every base-case and step-case solve *)
+  conflicts : int;
+  propagations : int;
+  restarts : int;
 }
 
 type result =

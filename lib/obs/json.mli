@@ -1,0 +1,36 @@
+(** A small, dependency-free JSON value type with a printer and a parser.
+
+    Exists so the observability artifacts (Chrome traces, metrics summaries,
+    bench emissions) can be produced — and validated back, in tests and CI —
+    without pulling a JSON library into the build. The printer always emits
+    valid JSON (floats are clamped away from [nan]/[inf]); the parser
+    accepts standard JSON, decoding [\uXXXX] escapes to UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for artifacts meant to be read raw. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an error.
+    Numbers without [.]/[e] parse as [Int], others as [Float]. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing fields and non-objects. *)
+
+val to_int : t -> int option
+(** [Int n] and integral [Float]s. *)
+
+val to_float : t -> float option
+val to_list : t -> t list option
+val to_str : t -> string option

@@ -1,0 +1,133 @@
+type span = {
+  name : string;
+  cat : string;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  args : (string * string) list;
+}
+
+type report = {
+  wall_s : float;
+  domains : int;
+  counters : (string * int) list;
+  spans : span list;
+}
+
+(* One buffer per (collector, domain): all recording is domain-local, so
+   concurrent obligations never contend. The generation stamp ties a DLS
+   buffer to the collector it belongs to — a stale buffer from a previous
+   collector is simply re-registered. *)
+type buf = {
+  b_gen : int;
+  b_tid : int;
+  mutable b_spans : span list;
+  b_counters : (string, int) Hashtbl.t;
+}
+
+type collector = {
+  gen : int;
+  t0 : float;
+  lock : Mutex.t;
+  mutable bufs : buf list;
+  mutable next_tid : int;
+}
+
+let current : collector option Atomic.t = Atomic.make None
+let generation = Atomic.make 0
+let probe = Atomic.make 0
+
+let calls_probe () = Atomic.get probe
+
+let dls : buf option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let buf_of c =
+  match Domain.DLS.get dls with
+  | Some b when b.b_gen = c.gen -> b
+  | Some _ | None ->
+    Mutex.lock c.lock;
+    let tid = c.next_tid in
+    c.next_tid <- tid + 1;
+    let b =
+      { b_gen = c.gen; b_tid = tid; b_spans = [];
+        b_counters = Hashtbl.create 64 }
+    in
+    c.bufs <- b :: c.bufs;
+    Mutex.unlock c.lock;
+    Domain.DLS.set dls (Some b);
+    b
+
+let start () =
+  let gen = 1 + Atomic.fetch_and_add generation 1 in
+  Atomic.set current
+    (Some
+       { gen; t0 = Unix.gettimeofday (); lock = Mutex.create (); bufs = [];
+         next_tid = 0 })
+
+let active () = Atomic.get current <> None
+
+let count ?(n = 1) name =
+  Atomic.incr probe;
+  match Atomic.get current with
+  | None -> ()
+  | Some c ->
+    let b = buf_of c in
+    (match Hashtbl.find_opt b.b_counters name with
+     | Some v -> Hashtbl.replace b.b_counters name (v + n)
+     | None -> Hashtbl.replace b.b_counters name n)
+
+let span ?(cat = "default") ?(args = []) name f =
+  Atomic.incr probe;
+  match Atomic.get current with
+  | None -> f ()
+  | Some c ->
+    let b = buf_of c in
+    let t0 = Unix.gettimeofday () in
+    let record () =
+      let t1 = Unix.gettimeofday () in
+      b.b_spans <-
+        { name; cat; ts_us = (t0 -. c.t0) *. 1e6;
+          dur_us = (t1 -. t0) *. 1e6; tid = b.b_tid; args }
+        :: b.b_spans
+    in
+    (match f () with
+     | v ->
+       record ();
+       v
+     | exception e ->
+       record ();
+       raise e)
+
+let stop () =
+  match Atomic.get current with
+  | None -> { wall_s = 0.0; domains = 0; counters = []; spans = [] }
+  | Some c ->
+    Atomic.set current None;
+    (* recording domains have either finished (the campaign joined its pool)
+       or will harmlessly keep writing to buffers we snapshot here *)
+    Mutex.lock c.lock;
+    let bufs = c.bufs in
+    Mutex.unlock c.lock;
+    let merged = Hashtbl.create 64 in
+    List.iter
+      (fun b ->
+        Hashtbl.iter
+          (fun k v ->
+            match Hashtbl.find_opt merged k with
+            | Some v0 -> Hashtbl.replace merged k (v0 + v)
+            | None -> Hashtbl.replace merged k v)
+          b.b_counters)
+      bufs;
+    let counters =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged [])
+    in
+    let spans =
+      List.sort
+        (fun a b -> compare (a.ts_us, a.tid, a.name) (b.ts_us, b.tid, b.name))
+        (List.concat_map (fun b -> b.b_spans) bufs)
+    in
+    { wall_s = Unix.gettimeofday () -. c.t0;
+      domains = List.length bufs; counters; spans }
+
+let counter r name =
+  match List.assoc_opt name r.counters with Some v -> v | None -> 0

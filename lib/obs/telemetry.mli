@@ -1,0 +1,73 @@
+(** Engine-level telemetry: spans and monotonic counters with a pluggable
+    collector.
+
+    The design point is the campaign runtime: dozens of OCaml 5 domains
+    running proof obligations concurrently, each wanting to record which
+    phase it is in (cone-of-influence reduction, monitor synthesis, reach
+    fixpoint, BMC unroll, …) and how much engine work it performed — without
+    cross-domain mutable races and without taxing the hot paths.
+
+    Two properties drive the implementation:
+
+    - {b per-domain buffers}: every domain that records anything gets its
+      own buffer (via [Domain.DLS]), registered once with the active
+      collector under a lock. Records then touch only domain-local state, so
+      concurrent obligations never contend or race. {!stop} merges the
+      buffers: counters are summed, spans concatenated and sorted.
+    - {b near-zero cost when disabled}: with no collector installed
+      ({!active} [= false]), {!count} and {!span} are a single atomic probe
+      increment plus one load-and-branch — no allocation on that path, which
+      the test suite checks via {!calls_probe} and [Gc.minor_words].
+
+    The intended granularity is {e per solve / per phase}, not per BDD node
+    or per SAT conflict: engines keep their own cheap internal counters (a
+    solver's stats record, a BDD manager's arena size) and report them here
+    in bulk with [count ~n] when a solve or phase completes. *)
+
+type span = {
+  name : string;  (** e.g. ["bdd-combined"] or ["fsm_ctrl/p0_soundness"] *)
+  cat : string;  (** grouping: ["engine"], ["prepare"], ["obligation"], … *)
+  ts_us : float;  (** start time, microseconds since the collector started *)
+  dur_us : float;
+  tid : int;  (** lane: the recording domain's id within this collector *)
+  args : (string * string) list;
+}
+
+type report = {
+  wall_s : float;  (** collector lifetime, {!start} to {!stop} *)
+  domains : int;  (** distinct domains that recorded anything *)
+  counters : (string * int) list;  (** merged across domains, sorted *)
+  spans : span list;  (** merged, sorted by start time *)
+}
+
+val start : unit -> unit
+(** Install a fresh collector. Subsequent {!count}/{!span} calls from any
+    domain record into it. A collector already active is replaced (its data
+    is dropped); collectors are process-global, so tests and drivers should
+    bracket campaigns with [start]/[stop]. *)
+
+val stop : unit -> report
+(** Uninstall the active collector and merge its per-domain buffers. Returns
+    an empty report when no collector is active. *)
+
+val active : unit -> bool
+
+val count : ?n:int -> string -> unit
+(** Add [n] (default 1) to the named monotonic counter in the calling
+    domain's buffer. Free (and allocation-free) when no collector is
+    active. Use suffix [_us] for time-valued counters — consumers treat
+    those as non-deterministic when diffing runs. *)
+
+val span : ?cat:string -> ?args:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** [span name f] times [f ()] and records a completed span in the calling
+    domain's buffer, including when [f] raises (the exception is
+    re-raised). When no collector is active, [span name f] is just [f ()]. *)
+
+val calls_probe : unit -> int
+(** Process-lifetime total of {!count} and {!span} invocations, recorded
+    whether or not a collector is active — the hook the zero-overhead test
+    uses to prove the disabled path was actually exercised. *)
+
+val counter : report -> string -> int
+(** Merged value of a counter, 0 when absent. *)

@@ -1,0 +1,39 @@
+let to_json (r : Telemetry.report) =
+  let tids =
+    List.sort_uniq compare
+      (List.map (fun (s : Telemetry.span) -> s.Telemetry.tid) r.Telemetry.spans)
+  in
+  let thread_meta tid =
+    Json.Obj
+      [ ("ph", Json.String "M"); ("pid", Json.Int 1); ("tid", Json.Int tid);
+        ("name", Json.String "thread_name");
+        ("args",
+         Json.Obj [ ("name", Json.String (Printf.sprintf "domain-%d" tid)) ])
+      ]
+  in
+  let slice (s : Telemetry.span) =
+    Json.Obj
+      [ ("name", Json.String s.Telemetry.name);
+        ("cat", Json.String s.Telemetry.cat); ("ph", Json.String "X");
+        ("ts", Json.Float s.Telemetry.ts_us);
+        ("dur", Json.Float s.Telemetry.dur_us); ("pid", Json.Int 1);
+        ("tid", Json.Int s.Telemetry.tid);
+        ("args",
+         Json.Obj
+           (List.map (fun (k, v) -> (k, Json.String v)) s.Telemetry.args)) ]
+  in
+  Json.Obj
+    [ ("traceEvents",
+       Json.List
+         (List.map thread_meta tids @ List.map slice r.Telemetry.spans));
+      ("displayTimeUnit", Json.String "ms") ]
+
+let to_chrome_string r = Json.to_string (to_json r)
+
+let write path r =
+  let oc = open_out path in
+  (try output_string oc (to_chrome_string r)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,16 @@
+(** Chrome [trace_event] export of a telemetry report.
+
+    Produces the JSON object format ([{"traceEvents": [...]}]) that
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto} load
+    directly: one lane ([tid]) per recording domain, one complete ([ph:"X"])
+    slice per span, with span args attached. Timestamps are microseconds
+    since the collector started, which is what the viewers expect. *)
+
+val to_json : Telemetry.report -> Json.t
+(** The trace as a JSON value: thread-name metadata events for each lane
+    followed by one ["X"] event per span, all under [pid] 1. *)
+
+val to_chrome_string : Telemetry.report -> string
+
+val write : string -> Telemetry.report -> unit
+(** Write {!to_chrome_string} to a file. *)

@@ -6,11 +6,16 @@
 
 type result = Sat of bool array | Unsat | Unknown
 
-let last_decisions = ref 0
-let last_conflicts = ref 0
-let last_propagations = ref 0
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  restarts : int;
+  learned : int;
+}
 
-let stats_last () = (!last_decisions, !last_conflicts, !last_propagations)
+let zero_stats =
+  { decisions = 0; conflicts = 0; propagations = 0; restarts = 0; learned = 0 }
 
 type state = {
   nvars : int;
@@ -28,6 +33,13 @@ type state = {
   mutable var_inc : float;
   phase : bool array;
   seen : bool array;
+  (* per-solve work counters: solver-local, so concurrent solves on
+     different domains never race (unlike the old stats_last globals) *)
+  mutable n_decisions : int;
+  mutable n_conflicts : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+  mutable n_learned : int;
 }
 
 let neg l = l lxor 1
@@ -75,7 +87,7 @@ let propagate st =
   while !conflict < 0 && st.qhead < st.trail_size do
     let p = st.trail.(st.qhead) in
     st.qhead <- st.qhead + 1;
-    incr last_propagations;
+    st.n_propagations <- st.n_propagations + 1;
     let false_lit = neg p in
     let ws = st.watches.(false_lit) in
     st.watches.(false_lit) <- [];
@@ -218,7 +230,7 @@ let decide st =
   done;
   if !best < 0 then None
   else begin
-    incr last_decisions;
+    st.n_decisions <- st.n_decisions + 1;
     st.trail_lim <- st.trail_size :: st.trail_lim;
     let l = lit_of_var !best st.phase.(!best) in
     let ok = enqueue st l (-1) in
@@ -226,11 +238,8 @@ let decide st =
     Some !best
   end
 
-let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false)
+let solve_stats ?(max_conflicts = max_int) ?(should_stop = fun () -> false)
     (cnf : Cnf.t) =
-  last_decisions := 0;
-  last_conflicts := 0;
-  last_propagations := 0;
   let n = cnf.Cnf.nvars in
   let st =
     { nvars = n; clauses = Array.make 256 [||]; num_clauses = 0;
@@ -238,7 +247,14 @@ let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false)
       level = Array.make (max 1 n) 0; reason = Array.make (max 1 n) (-1);
       trail = Array.make (max 1 n) 0; trail_size = 0; qhead = 0;
       trail_lim = []; activity = Array.make (max 1 n) 0.0; var_inc = 1.0;
-      phase = Array.make (max 1 n) false; seen = Array.make (max 1 n) false }
+      phase = Array.make (max 1 n) false; seen = Array.make (max 1 n) false;
+      n_decisions = 0; n_conflicts = 0; n_propagations = 0; n_restarts = 0;
+      n_learned = 0 }
+  in
+  let stats_of st =
+    { decisions = st.n_decisions; conflicts = st.n_conflicts;
+      propagations = st.n_propagations; restarts = st.n_restarts;
+      learned = st.n_learned }
   in
   let lit_of_dimacs l =
     let v = abs l - 1 in
@@ -260,9 +276,9 @@ let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false)
           | _ -> ignore (add_clause_raw st (Array.of_list lits)))
       cnf.Cnf.clauses
   with
-  | exception Trivially_unsat -> Unsat
+  | exception Trivially_unsat -> (Unsat, stats_of st)
   | () ->
-    if propagate st >= 0 then Unsat
+    if propagate st >= 0 then (Unsat, stats_of st)
     else begin
       let conflicts_total = ref 0 in
       let restart_limit = ref 100 in
@@ -283,12 +299,13 @@ let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false)
         if confl >= 0 then begin
           incr conflicts_total;
           incr conflicts_since_restart;
-          incr last_conflicts;
+          st.n_conflicts <- st.n_conflicts + 1;
           st.var_inc <- st.var_inc /. 0.95;
           if decision_level st = 0 then result := Some Unsat
           else if !conflicts_total >= max_conflicts then result := Some Unknown
           else begin
             let learnt, bt_level = analyze st confl in
+            st.n_learned <- st.n_learned + 1;
             backtrack st bt_level;
             if Array.length learnt = 1 then begin
               if not (enqueue st learnt.(0) (-1)) then result := Some Unsat
@@ -303,6 +320,7 @@ let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false)
         else if !conflicts_since_restart >= !restart_limit then begin
           conflicts_since_restart := 0;
           restart_limit := !restart_limit * 3 / 2;
+          st.n_restarts <- st.n_restarts + 1;
           backtrack st 0
         end
         else
@@ -312,5 +330,10 @@ let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false)
             result := Some (Sat model)
           | Some _ -> ()
       done;
-      match !result with Some r -> r | None -> assert false
+      match !result with
+      | Some r -> (r, stats_of st)
+      | None -> assert false
     end
+
+let solve ?max_conflicts ?should_stop cnf =
+  fst (solve_stats ?max_conflicts ?should_stop cnf)

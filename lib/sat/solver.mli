@@ -8,12 +8,26 @@ type result =
   | Unsat
   | Unknown  (** conflict budget exhausted, or [should_stop] fired *)
 
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  restarts : int;
+  learned : int;  (** learnt clauses added by conflict analysis *)
+}
+(** Per-solve work counters: a deterministic work measure for a single
+    [solve_stats] call. The counters live in the solver state, so
+    concurrent solves on different domains never observe each other. *)
+
+val zero_stats : stats
+
 val solve : ?max_conflicts:int -> ?should_stop:(unit -> bool) -> Cnf.t -> result
 (** [max_conflicts] defaults to unlimited. [should_stop] is a cooperative
     cancellation callback (e.g. a wall-clock deadline), polled every ~1000
     search steps; when it returns [true] the search gives up with
     {!Unknown}. *)
 
-val stats_last : unit -> int * int * int
-(** [(decisions, conflicts, propagations)] of the most recent [solve] call —
-    a deterministic work measure for benchmarking. *)
+val solve_stats :
+  ?max_conflicts:int -> ?should_stop:(unit -> bool) -> Cnf.t ->
+  result * stats
+(** Like {!solve}, but also returns the work counters for this solve. *)

@@ -1,0 +1,344 @@
+(* Observability stack: the JSON codec, the telemetry collector, the Chrome
+   trace export, and the campaign-level guarantees built on them — counter
+   determinism for sequential runs and schedule-independent perf aggregates
+   between the sequential and pool executors. *)
+
+module T = Obs.Telemetry
+module J = Obs.Json
+module G = Chip.Generator
+module M = Rtl.Mdl
+module E = Rtl.Expr
+
+let chip = lazy (G.generate ())
+
+(* same cut-down campaign fixture as test_runtime: category A bug modules
+   only, enough to exercise caching and both executors cheaply *)
+let mini_chip () =
+  let t = Lazy.force chip in
+  let cat_a =
+    List.find (fun (c : G.category) -> c.G.cat_name = "A") t.G.categories
+  in
+  let specials =
+    List.filter (fun (u : G.unit_) -> u.G.leaf.Chip.Archetype.bug <> None)
+      cat_a.G.units
+  in
+  { t with
+    G.categories =
+      [ { cat_a with G.units = specials;
+          G.expected = { cat_a.G.expected with G.sub = 3 } } ] }
+
+(* ---- JSON round-trips ---- *)
+
+let sample_json =
+  J.Obj
+    [ ("schema", J.String "test-v1");
+      ("ok", J.Bool true);
+      ("nothing", J.Null);
+      ("n", J.Int 42);
+      ("neg", J.Int (-7));
+      ("x", J.Float 1.5);
+      ("s", J.String "line\nbreak \"quoted\" back\\slash");
+      ("xs", J.List [ J.Int 1; J.Int 2; J.Int 3 ]);
+      ("nested", J.Obj [ ("empty_list", J.List []); ("empty_obj", J.Obj []) ])
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun render ->
+      match J.parse (render sample_json) with
+      | Ok v -> Alcotest.(check bool) "round-trip preserves" true
+                  (v = sample_json)
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    [ J.to_string; J.to_string_pretty ]
+
+let test_json_parse_errors () =
+  let bad = [ "{"; "[1,]"; "{\"a\":}"; "1 2"; "tru"; "\"\\q\"" ] in
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON: %s" s
+      | Error _ -> ())
+    bad;
+  (* \uXXXX decodes to UTF-8 *)
+  match J.parse "\"\\u00e9\"" with
+  | Ok (J.String "\xc3\xa9") -> ()
+  | Ok _ -> Alcotest.fail "unicode escape decoded wrong"
+  | Error e -> Alcotest.failf "unicode escape rejected: %s" e
+
+(* ---- collector basics ---- *)
+
+let test_collector_merge () =
+  T.start ();
+  T.count "apples";
+  T.count ~n:4 "apples";
+  T.count "pears";
+  let v = T.span ~cat:"test" ~args:[ ("k", "v") ] "outer" (fun () ->
+      T.span ~cat:"test" "inner" (fun () -> 17))
+  in
+  Alcotest.(check int) "span returns the thunk's value" 17 v;
+  (try T.span "raiser" (fun () -> failwith "boom") with Failure _ -> ());
+  let r = T.stop () in
+  Alcotest.(check int) "counters sum" 5 (T.counter r "apples");
+  Alcotest.(check int) "second counter" 1 (T.counter r "pears");
+  Alcotest.(check int) "absent counter is 0" 0 (T.counter r "nope");
+  Alcotest.(check int) "one recording domain" 1 r.T.domains;
+  let names = List.map (fun (s : T.span) -> s.T.name) r.T.spans in
+  Alcotest.(check bool) "spans recorded, raising included" true
+    (List.mem "outer" names && List.mem "inner" names
+     && List.mem "raiser" names);
+  List.iter
+    (fun (s : T.span) ->
+      Alcotest.(check bool) "durations are sane" true
+        (s.T.dur_us >= 0.0 && s.T.ts_us >= 0.0))
+    r.T.spans;
+  (* stop really uninstalls *)
+  Alcotest.(check bool) "inactive after stop" false (T.active ())
+
+let test_stop_without_start () =
+  let r = T.stop () in
+  Alcotest.(check int) "empty report" 0 (List.length r.T.counters);
+  Alcotest.(check int) "no spans" 0 (List.length r.T.spans)
+
+(* ---- zero-cost disabled path ---- *)
+
+let test_zero_sink_overhead () =
+  Alcotest.(check bool) "no collector installed" false (T.active ());
+  let iters = 100_000 in
+  (* warm up: first call may initialize the DLS slot *)
+  T.count "warmup";
+  let p0 = T.calls_probe () in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    T.count "disabled.counter"
+  done;
+  let words = Gc.minor_words () -. w0 in
+  let probed = T.calls_probe () - p0 in
+  Alcotest.(check int) "probe proves the path ran" iters probed;
+  (* the disabled path is one atomic incr + a load-and-branch: allow a
+     little slack for the loop itself, but nothing per-iteration *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no per-call allocation (%.0f minor words)" words)
+    true
+    (words < float_of_int iters /. 10.)
+
+(* ---- engine resource causes are canonical strings ---- *)
+
+let test_bdd_nodes_cause () =
+  let w = 24 in
+  let m = M.create "node_hog" in
+  let m = M.add_output m "OK" 1 in
+  let m = M.add_reg m "c" w E.(var "c" +: of_int ~width:w 1) in
+  let m =
+    M.add_assign m "OK" E.(!:(var "c" ==: of_int ~width:w ((1 lsl w) - 1)))
+  in
+  let budget =
+    { Mc.Engine.default_budget with
+      Mc.Engine.bdd_node_limit = Some 64; wall_deadline_s = None }
+  in
+  let o =
+    Mc.Engine.check_property ~budget ~strategy:Mc.Engine.Bdd_forward m
+      ~assert_:(Psl.Parser.fl_of_string "always OK") ~assumes:[]
+  in
+  (match o.Mc.Engine.verdict with
+   | Mc.Engine.Resource_out "bdd-nodes" -> ()
+   | Mc.Engine.Resource_out c -> Alcotest.failf "wrong cause: %s" c
+   | _ -> Alcotest.fail "expected Resource_out");
+  Alcotest.(check (option string)) "resource_cause accessor"
+    (Some "bdd-nodes") (Mc.Engine.resource_cause o)
+
+(* ---- SAT per-solve stats ---- *)
+
+let test_solver_stats_deterministic () =
+  (* a small unsatisfiable pigeonhole-ish instance: forces real search *)
+  let cnf =
+    (* 4 pigeons, 3 holes: var p*3 + h + 1 *)
+    let v p h = (p * 3) + h + 1 in
+    let at_least = List.init 4 (fun p -> List.init 3 (fun h -> v p h)) in
+    let no_share =
+      List.concat_map
+        (fun h ->
+          let pairs = ref [] in
+          for p1 = 0 to 3 do
+            for p2 = p1 + 1 to 3 do
+              pairs := [ -v p1 h; -v p2 h ] :: !pairs
+            done
+          done;
+          !pairs)
+        [ 0; 1; 2 ]
+    in
+    Cnf.create ~nvars:12 (at_least @ no_share)
+  in
+  let r1, s1 = Solver.solve_stats cnf in
+  let r2, s2 = Solver.solve_stats cnf in
+  (match r1 with
+   | Solver.Unsat -> ()
+   | _ -> Alcotest.fail "pigeonhole should be unsat");
+  Alcotest.(check bool) "same result" true (r1 = r2);
+  Alcotest.(check bool) "stats identical across runs" true (s1 = s2);
+  Alcotest.(check bool) "search actually happened" true
+    (s1.Solver.propagations > 0 && s1.Solver.decisions > 0)
+
+(* ---- sequential counter determinism ---- *)
+
+let non_time_counters (r : T.report) =
+  List.filter
+    (fun (name, _) ->
+      not (String.length name > 3
+           && String.sub name (String.length name - 3) 3 = "_us"))
+    r.T.counters
+
+let run_recorded ?jobs mini =
+  T.start ();
+  let t = Core.Campaign.run ?jobs mini in
+  let r = T.stop () in
+  (t, r)
+
+let test_sequential_counters_deterministic () =
+  let mini = mini_chip () in
+  let _, r1 = run_recorded mini in
+  let _, r2 = run_recorded mini in
+  Alcotest.(check (list (pair string int)))
+    "non-time counters identical across sequential runs"
+    (non_time_counters r1) (non_time_counters r2);
+  Alcotest.(check bool) "engine counters present" true
+    (T.counter r1 "engine.checks" > 0 && T.counter r1 "cache.miss" > 0)
+
+(* ---- sequential vs pool: schedule-independent aggregates ---- *)
+
+let ints_of (p : Core.Campaign.perf_totals) =
+  [ p.Core.Campaign.engine_attempts; p.Core.Campaign.fix_iterations;
+    p.Core.Campaign.bdd_peak; p.Core.Campaign.peak_set_size;
+    p.Core.Campaign.bdd_polls; p.Core.Campaign.sat_decisions;
+    p.Core.Campaign.sat_conflicts; p.Core.Campaign.sat_propagations;
+    p.Core.Campaign.sat_restarts; p.Core.Campaign.max_unroll_depth;
+    p.Core.Campaign.max_final_k ]
+
+let result_key (r : Core.Campaign.prop_result) =
+  Printf.sprintf "%s/%s/%s" r.Core.Campaign.module_name
+    r.Core.Campaign.vunit_name r.Core.Campaign.prop_name
+
+let test_seq_vs_pool_aggregates () =
+  let mini = mini_chip () in
+  let seq, _ = run_recorded ~jobs:1 mini in
+  let par, _ = run_recorded ~jobs:4 mini in
+  Alcotest.(check (list string)) "same rows in the same order"
+    (List.map result_key seq.Core.Campaign.results)
+    (List.map result_key par.Core.Campaign.results);
+  Alcotest.(check (list int)) "perf aggregates schedule-independent"
+    (ints_of (Core.Campaign.aggregate_perf seq))
+    (ints_of (Core.Campaign.aggregate_perf par));
+  Alcotest.(check (list (pair string int))) "resource-out causes agree"
+    (Core.Campaign.resource_out_causes seq)
+    (Core.Campaign.resource_out_causes par);
+  Alcotest.(check bool) "aggregates are non-trivial" true
+    ((Core.Campaign.aggregate_perf seq).Core.Campaign.engine_attempts > 0)
+
+(* ---- trace export parses back and is structurally a Chrome trace ---- *)
+
+let test_trace_export_parses () =
+  let mini = mini_chip () in
+  let _, r = run_recorded ~jobs:2 mini in
+  Alcotest.(check bool) "campaign produced spans" true
+    (List.length r.T.spans > 0);
+  let s = Obs.Trace_export.to_chrome_string r in
+  let j =
+    match J.parse s with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+  in
+  let events =
+    match Option.bind (J.member "traceEvents" j) J.to_list with
+    | Some evs -> evs
+    | None -> Alcotest.fail "traceEvents missing"
+  in
+  let ph e = Option.bind (J.member "ph" e) J.to_str in
+  let xs = List.filter (fun e -> ph e = Some "X") events in
+  let ms = List.filter (fun e -> ph e = Some "M") events in
+  Alcotest.(check int) "one X event per span" (List.length r.T.spans)
+    (List.length xs);
+  let tid_of e = Option.bind (J.member "tid" e) J.to_int in
+  List.iter
+    (fun e ->
+      let has f = J.member f e <> None in
+      Alcotest.(check bool) "X event is complete" true
+        (has "name" && has "cat" && has "ts" && has "dur" && tid_of e <> None
+         && Option.bind (J.member "pid" e) J.to_int = Some 1))
+    xs;
+  (* every lane used by an X event is named by an M metadata event *)
+  let named_tids = List.filter_map tid_of ms in
+  List.iter
+    (fun e ->
+      match tid_of e with
+      | Some tid ->
+        Alcotest.(check bool) "lane has a thread_name" true
+          (List.mem tid named_tids)
+      | None -> ())
+    xs;
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string)) "M events are thread_name"
+        (Some "thread_name")
+        (Option.bind (J.member "name" e) J.to_str))
+    ms
+
+(* ---- metrics JSON parses back with the documented schema ---- *)
+
+let test_metrics_json_parses () =
+  let mini = mini_chip () in
+  let t, r = run_recorded ~jobs:2 mini in
+  let s = Core.Campaign.to_metrics_json ~report:r ~jobs:2 t in
+  let j =
+    match J.parse s with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "metrics JSON does not parse: %s" e
+  in
+  let str_at path =
+    Option.bind (J.member path j) J.to_str
+  in
+  Alcotest.(check (option string)) "schema tag"
+    (Some "dicheck-metrics-v1") (str_at "schema");
+  let int_at obj f = Option.bind (J.member f obj) J.to_int in
+  (match J.member "totals" j with
+   | Some totals ->
+     Alcotest.(check (option int)) "totals.total"
+       (Some (List.length t.Core.Campaign.results))
+       (int_at totals "total")
+   | None -> Alcotest.fail "totals missing");
+  (match Option.bind (J.member "perf" j) (J.member "engine_attempts") with
+   | Some a ->
+     Alcotest.(check (option int)) "perf.engine_attempts"
+       (Some (Core.Campaign.aggregate_perf t).Core.Campaign.engine_attempts)
+       (J.to_int a)
+   | None -> Alcotest.fail "perf.engine_attempts missing");
+  (match J.member "counters" j with
+   | Some (J.Obj _) -> ()
+   | _ -> Alcotest.fail "counters missing though a report was supplied")
+
+let () =
+  Alcotest.run "obs"
+    [ ("json",
+       [ Alcotest.test_case "print/parse round-trip" `Quick
+           test_json_roundtrip;
+         Alcotest.test_case "parser rejects invalid input" `Quick
+           test_json_parse_errors ]);
+      ("telemetry",
+       [ Alcotest.test_case "collector merges counters and spans" `Quick
+           test_collector_merge;
+         Alcotest.test_case "stop without start is empty" `Quick
+           test_stop_without_start;
+         Alcotest.test_case "disabled path allocates nothing" `Quick
+           test_zero_sink_overhead ]);
+      ("engine",
+       [ Alcotest.test_case "bdd node limit reports canonical cause" `Quick
+           test_bdd_nodes_cause;
+         Alcotest.test_case "per-solve SAT stats deterministic" `Quick
+           test_solver_stats_deterministic ]);
+      ("campaign",
+       [ Alcotest.test_case "sequential counters deterministic" `Slow
+           test_sequential_counters_deterministic;
+         Alcotest.test_case "sequential = pool perf aggregates" `Slow
+           test_seq_vs_pool_aggregates;
+         Alcotest.test_case "trace export parses back" `Slow
+           test_trace_export_parses;
+         Alcotest.test_case "metrics JSON parses back" `Slow
+           test_metrics_json_parses ]) ]

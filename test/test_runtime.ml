@@ -46,7 +46,7 @@ let keys (t : Core.Campaign.t) = List.map result_key t.Core.Campaign.results
 
 let outcome verdict =
   { Mc.Engine.verdict; engine_used = "test"; time_s = 0.0; iterations = 0;
-    work_nodes = 0 }
+    work_nodes = 0; perf = Mc.Engine.empty_perf }
 
 (* ---- wall-clock deadlines ---- *)
 
@@ -358,10 +358,11 @@ let test_crash_isolation () =
   Alcotest.(check bool) "csv reports error verdicts" true
     (List.exists
        (fun line ->
-         List.exists
-           (fun field ->
-             String.length field >= 6 && String.sub field 0 6 = "error:")
-           (String.split_on_char ',' line))
+         (* verdict column "error" with a non-empty cause right after it *)
+         match String.split_on_char ',' line with
+         | _cat :: _m :: _v :: _p :: _cls :: "error" :: cause :: _ ->
+           cause <> ""
+         | _ -> false)
        (String.split_on_char '\n' csv))
 
 let test_retry_recovers_transient_crash () =
