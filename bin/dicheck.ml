@@ -2,6 +2,8 @@
 
    Subcommands:
      campaign   run the formal campaign over the synthetic chip (Table 2)
+     explain    diagnose one falsified obligation (replay, minimize, cone)
+     report     render a campaign diagnosis directory as an HTML drill-down
      classify   bug classification, formal vs simulation (Table 3)
      area       area cost of the injection feature (Tables 1 and 4)
      fig7       divide-and-conquer partitioning experiment
@@ -39,11 +41,89 @@ let spec_of (leaf : Chip.Archetype.leaf) =
     parity_outputs = leaf.Chip.Archetype.parity_outputs;
     extra = leaf.Chip.Archetype.extra_props }
 
+(* ---- diagnosis artifacts (campaign --diagnose, explain, report) ---- *)
+
+let write_file path s =
+  let oc = open_out path in
+  (try output_string oc s
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let ensure_dir dir =
+  try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let diag_status_string (dg : Diag.Diagnosis.t) =
+  match dg.Diag.Diagnosis.validation.Diag.Diagnosis.status with
+  | `Confirmed -> "confirmed"
+  | `Not_confirmed _ -> "not-confirmed"
+
+(* one .diag.json + one .vcd per falsified obligation, plus an index.json
+   that `dicheck report` consumes *)
+let write_diagnosis_dir dir (ds : Diag.Diagnosis.diagnosed list) =
+  ensure_dir dir;
+  let entries =
+    List.map
+      (fun (d : Diag.Diagnosis.diagnosed) ->
+        let a = d.Diag.Diagnosis.artifacts in
+        let dg = a.Diag.Diagnosis.diag in
+        let base =
+          dg.Diag.Diagnosis.module_name ^ "." ^ dg.Diag.Diagnosis.prop_name
+        in
+        let json_file = base ^ ".diag.json" in
+        let vcd_file = base ^ ".vcd" in
+        write_file (Filename.concat dir json_file)
+          (Obs.Json.to_string_pretty (Diag.Diagnosis.to_json dg) ^ "\n");
+        write_file (Filename.concat dir vcd_file) (Diag.Diagnosis.to_vcd a);
+        (dg, json_file, vcd_file))
+      ds
+  in
+  let confirmed =
+    List.length
+      (List.filter (fun (dg, _, _) -> diag_status_string dg = "confirmed")
+         entries)
+  in
+  let index =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.String "dicheck-diag-index-v1");
+        ("falsified", Obs.Json.Int (List.length entries));
+        ("confirmed", Obs.Json.Int confirmed);
+        ( "failures",
+          Obs.Json.List
+            (List.map
+               (fun ((dg : Diag.Diagnosis.t), json_file, vcd_file) ->
+                 Obs.Json.Obj
+                   [ ("module", Obs.Json.String dg.Diag.Diagnosis.module_name);
+                     ("property", Obs.Json.String dg.Diag.Diagnosis.prop_name);
+                     ( "class",
+                       Obs.Json.String
+                         (Diag.Diagnosis.cls_tag dg.Diag.Diagnosis.cls) );
+                     ( "bug",
+                       match dg.Diag.Diagnosis.bug with
+                       | Some b -> Obs.Json.String (Chip.Bugs.name b)
+                       | None -> Obs.Json.Null );
+                     ("status", Obs.Json.String (diag_status_string dg));
+                     ("diag", Obs.Json.String json_file);
+                     ("vcd", Obs.Json.String vcd_file) ])
+               entries) ) ]
+  in
+  write_file (Filename.concat dir "index.json")
+    (Obs.Json.to_string_pretty index ^ "\n");
+  (List.length entries, confirmed)
+
 (* ---- campaign ---- *)
 
 let campaign_cmd =
   let run with_bugs jobs csv cache_path no_cache deadline max_retries
-      journal_path resume trace metrics progress_interval =
+      journal_path resume trace metrics progress_interval diagnose =
     try
       let chip = Chip.Generator.generate ~with_bugs () in
       let cache =
@@ -95,6 +175,16 @@ let campaign_cmd =
           ~max_retries chip
       in
       Option.iter Core.Journal.close journal;
+      (* diagnose before stopping telemetry so the diag spans/counters land
+         in the --trace and --metrics artifacts *)
+      (match diagnose with
+       | None -> ()
+       | Some dir ->
+         let ds = Diag.Diagnosis.diagnose_campaign ~jobs chip c in
+         let n, confirmed = write_diagnosis_dir dir ds in
+         Printf.eprintf
+           "diagnosis written to %s (%d falsified, %d confirmed by replay)\n"
+           dir n confirmed);
       let report =
         if recording then Some (Core.Telemetry.stop ()) else None
       in
@@ -220,10 +310,216 @@ let campaign_cmd =
          & info [ "progress-interval" ] ~docv:"SECS"
              ~doc:"Seconds between progress heartbeats on stderr.")
   in
+  let diagnose =
+    Arg.(value & opt (some string) None
+         & info [ "diagnose" ] ~docv:"DIR"
+             ~doc:"Diagnose every falsified obligation after the run: \
+                   cross-validate the counterexample by simulator replay, \
+                   minimize it, compute its fault cone, and write one \
+                   .diag.json and one annotated .vcd per failure (plus \
+                   index.json) into DIR.")
+  in
   Cmd.v (Cmd.info "campaign" ~doc:"Run the full formal campaign (Table 2).")
     Term.(const run $ with_bugs $ jobs $ csv $ cache_path $ no_cache
           $ deadline $ max_retries $ journal_path $ resume $ trace $ metrics
-          $ progress_interval)
+          $ progress_interval $ diagnose)
+
+(* ---- explain ---- *)
+
+let explain_cmd =
+  let run obligation with_bugs json_path vcd_path =
+    try
+      let chip = Chip.Generator.generate ~with_bugs () in
+      let works = Core.Campaign.work_items chip in
+      let matches (w : Core.Campaign.work) =
+        w.Core.Campaign.w_mdl.Rtl.Mdl.name ^ "." ^ w.Core.Campaign.w_prop_name
+        = obligation
+      in
+      match List.find_opt matches works with
+      | None ->
+        Printf.eprintf
+          "unknown obligation %s (expected MODULE.PROPERTY; `dicheck \
+           campaign` prints the falsified ones)\n"
+          obligation;
+        exit 3
+      | Some w ->
+        let outcome =
+          Mc.Engine.check_property w.Core.Campaign.w_mdl
+            ~assert_:w.Core.Campaign.w_assert
+            ~assumes:w.Core.Campaign.w_assumes
+        in
+        (match outcome.Mc.Engine.verdict with
+         | Mc.Engine.Failed trace ->
+           let a =
+             Diag.Diagnosis.diagnose
+               ?he_signal:(Diag.Diagnosis.he_signal_of chip w)
+               w trace
+           in
+           let dg = a.Diag.Diagnosis.diag in
+           let v = dg.Diag.Diagnosis.validation in
+           Printf.printf "obligation:   %s (%s%s)\n" obligation
+             (Diag.Diagnosis.cls_tag dg.Diag.Diagnosis.cls)
+             (match dg.Diag.Diagnosis.bug with
+              | Some b -> ", seeded bug " ^ Chip.Bugs.name b
+              | None -> "");
+           Printf.printf "validation:   %s\n"
+             (match v.Diag.Diagnosis.status with
+              | `Confirmed ->
+                "confirmed — the simulator reproduces the violation"
+              | `Not_confirmed reason -> "NOT confirmed: " ^ reason);
+           (match v.Diag.Diagnosis.fail_cycle with
+            | Some c -> Printf.printf "fails at:     cycle %d\n" c
+            | None -> ());
+           Printf.printf "minimized:    %d -> %d cycles, %d -> %d care bits\n"
+             dg.Diag.Diagnosis.original_cycles
+             dg.Diag.Diagnosis.minimized_cycles
+             dg.Diag.Diagnosis.original_care_bits
+             dg.Diag.Diagnosis.minimized_care_bits;
+           (match dg.Diag.Diagnosis.he_signal with
+            | Some h -> Printf.printf "HE signal:    %s\n" h
+            | None -> ());
+           List.iter
+             (fun (c : Diag.Cone.cycle_cone) ->
+               if c.Diag.Cone.corrupted <> [] then
+                 Printf.printf "cycle %-2d cone: %s\n" c.Diag.Cone.cone_step
+                   (String.concat ", " c.Diag.Cone.corrupted))
+             dg.Diag.Diagnosis.cone;
+           if dg.Diag.Diagnosis.golden_failed then
+             Printf.printf
+               "note:         the golden legal-input run also fails; the \
+                cone is best-effort\n";
+           Printf.printf "\n%s\n" dg.Diag.Diagnosis.explanation;
+           (match json_path with
+            | Some p ->
+              write_file p
+                (Obs.Json.to_string_pretty (Diag.Diagnosis.to_json dg) ^ "\n");
+              Printf.eprintf "diagnosis JSON written to %s\n" p
+            | None -> ());
+           (match vcd_path with
+            | Some p ->
+              write_file p (Diag.Diagnosis.to_vcd a);
+              Printf.eprintf "annotated waveform written to %s\n" p
+            | None -> ());
+           exit
+             (match v.Diag.Diagnosis.status with
+              | `Confirmed -> 0
+              | `Not_confirmed _ -> 1)
+         | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ ->
+           Printf.printf
+             "not falsified: %s holds — nothing to diagnose\n" obligation;
+           exit 2
+         | Mc.Engine.Resource_out m ->
+           Printf.printf "unresolved (resource out: %s) — no counterexample \
+                          to diagnose\n" m;
+           exit 2
+         | Mc.Engine.Error m ->
+           Printf.printf "unresolved (engine error: %s)\n" m;
+           exit 2)
+    with e ->
+      Printf.eprintf "dicheck: internal error: %s\n" (Printexc.to_string e);
+      exit 3
+  in
+  let obligation =
+    Arg.(required
+         & pos 0 (some string) None
+         & info [] ~docv:"MODULE.PROPERTY"
+             ~doc:"The obligation to diagnose, as `dicheck campaign` prints \
+                   failures (e.g. a_fsm_ctrl00.p0_reports_injection).")
+  in
+  let with_bugs =
+    Arg.(value & opt bool true & info [ "with-bugs" ] ~doc:"Seed the 7 bugs.")
+  in
+  let json_path =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+             ~doc:"Write the structured diagnosis (schema dicheck-diag-v1).")
+  in
+  let vcd_path =
+    Arg.(value & opt (some string) None
+         & info [ "vcd" ] ~docv:"PATH"
+             ~doc:"Write the minimized counterexample as an annotated VCD \
+                   waveform (stimulus, registers, outputs, HE bus, monitor \
+                   nets).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Diagnose one falsified obligation: cross-validate by simulator \
+             replay, minimize the counterexample, compute the fault cone. \
+             Exits 0 when the replay confirms the violation, 1 when it does \
+             not, 2 when the property is not falsified.")
+    Term.(const run $ obligation $ with_bugs $ json_path $ vcd_path)
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let run dir html_out =
+    let html_out =
+      match html_out with
+      | Some p -> p
+      | None -> Filename.concat dir "report.html"
+    in
+    let fail msg =
+      Printf.eprintf "dicheck report: %s\n" msg;
+      exit 3
+    in
+    let parse_or_fail what src =
+      match Obs.Json.parse src with
+      | Ok j -> j
+      | Error m -> fail (Printf.sprintf "%s: %s" what m)
+    in
+    let index_path = Filename.concat dir "index.json" in
+    let src =
+      try read_file index_path
+      with Sys_error m -> fail ("cannot read " ^ m)
+    in
+    let idx = parse_or_fail index_path src in
+    let failures =
+      match Option.bind (Obs.Json.member "failures" idx) Obs.Json.to_list with
+      | Some l -> l
+      | None -> fail (index_path ^ ": no \"failures\" list")
+    in
+    let entries =
+      List.map
+        (fun f ->
+          let str name =
+            match Option.bind (Obs.Json.member name f) Obs.Json.to_str with
+            | Some s -> s
+            | None ->
+              fail (Printf.sprintf "%s: failure entry lacks %S" index_path
+                      name)
+          in
+          let diag_file = str "diag" in
+          let vcd_file = str "vcd" in
+          let dsrc =
+            try read_file (Filename.concat dir diag_file)
+            with Sys_error m -> fail ("cannot read " ^ m)
+          in
+          match Diag.Diagnosis.of_json (parse_or_fail diag_file dsrc) with
+          | Ok dg -> { Diag.Report_html.diag = dg; vcd = Some vcd_file }
+          | Error m -> fail (Printf.sprintf "%s: %s" diag_file m))
+        failures
+    in
+    Diag.Report_html.write html_out entries;
+    Printf.printf "report written to %s (%d falsified obligations)\n" html_out
+      (List.length entries)
+  in
+  let dir =
+    Arg.(required
+         & opt (some dir) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Diagnosis directory produced by `dicheck campaign \
+                   --diagnose DIR`.")
+  in
+  let html_out =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"PATH"
+             ~doc:"Output HTML file (default DIR/report.html).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render a campaign diagnosis directory as a self-contained HTML \
+             drill-down report.")
+    Term.(const run $ dir $ html_out)
 
 (* ---- classify ---- *)
 
@@ -395,5 +691,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "dicheck" ~doc)
-          [ campaign_cmd; classify_cmd; area_cmd; fig7_cmd; check_cmd;
-            infer_cmd; emit_cmd ]))
+          [ campaign_cmd; explain_cmd; report_cmd; classify_cmd; area_cmd;
+            fig7_cmd; check_cmd; infer_cmd; emit_cmd ]))

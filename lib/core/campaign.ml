@@ -48,8 +48,6 @@ type t = {
   replayed : int;
 }
 
-(* one schedulable unit of campaign work: everything needed to prepare and
-   run a single property check, plus its provenance *)
 type work = {
   w_category : string;
   w_mdl : Rtl.Mdl.t;

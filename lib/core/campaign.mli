@@ -66,6 +66,25 @@ type progress = {
   replayed : int;  (** of the completed, replayed from the journal *)
 }
 
+type work = {
+  w_category : string;
+  w_mdl : Rtl.Mdl.t;  (** the Verifiable-RTL leaf the property binds to *)
+  w_vunit_name : string;
+  w_prop_name : string;
+  w_assert : Psl.Ast.fl;
+  w_assumes : Psl.Ast.fl list;
+  w_cls : Verifiable.Propgen.prop_class;
+  w_bug : Chip.Bugs.id option;
+}
+(** One schedulable unit of campaign work: everything needed to prepare and
+    run a single property check, plus its provenance. Exposed so downstream
+    consumers (e.g. the counterexample diagnosis layer) can re-prepare the
+    exact obligation behind a campaign result row. *)
+
+val work_items : Chip.Generator.t -> work list
+(** The campaign's work list in scheduling order: one item per assert of
+    every stereotype vunit of every leaf, matching [run]'s result order. *)
+
 type t = {
   results : prop_result list;
   rows : row list;  (** one per category, in A..E order *)

@@ -1,0 +1,89 @@
+type stats = {
+  replays : int;
+  cycles_removed : int;
+  bits_cleared : int;
+}
+
+let care_bits stimulus =
+  List.fold_left
+    (fun acc cycle ->
+      List.fold_left (fun acc (_, v) -> acc + Bitvec.popcount v) acc cycle)
+    0 stimulus
+
+let truncate_to_first_failure ~fail_cycle stimulus =
+  List.filteri (fun j _ -> j <= fail_cycle) stimulus
+
+(* remove stimulus[i .. i+len) *)
+let drop_range stimulus i len =
+  List.filteri (fun j _ -> j < i || j >= i + len) stimulus
+
+(* rewrite one input word of one cycle *)
+let map_word j name f stimulus =
+  List.mapi
+    (fun k cycle ->
+      if k <> j then cycle
+      else List.map (fun (n, v) -> if n = name then (n, f v) else (n, v)) cycle)
+    stimulus
+
+let minimize ~oracle stimulus =
+  let replays = ref 0 in
+  let check s =
+    incr replays;
+    oracle s
+  in
+  let original_cycles = List.length stimulus in
+  (* pass 1: delta-debug whole cycles out — chunk sizes halving from n/2
+     down to 1; on a successful removal stay at the same index (the next
+     chunk slid into place) *)
+  let rec scan size i cur =
+    if i + size > List.length cur then cur
+    else
+      let candidate = drop_range cur i size in
+      if candidate <> [] && check candidate then scan size i candidate
+      else scan size (i + size) cur
+  in
+  let rec by_sizes size cur =
+    if size < 1 then cur
+    else
+      let cur = scan size 0 cur in
+      by_sizes (if size = 1 then 0 else size / 2) cur
+  in
+  let cur = ref (by_sizes (max 1 (original_cycles / 2)) stimulus) in
+  let after_cycles = List.length !cur in
+  (* pass 2: don't-care inputs — zero whole words, then individual set bits,
+     keeping each clearing only if the violation survives *)
+  let bits_cleared = ref 0 in
+  for j = 0 to after_cycles - 1 do
+    let names = List.map fst (List.nth !cur j) in
+    List.iter
+      (fun name ->
+        let v = List.assoc name (List.nth !cur j) in
+        let pop = Bitvec.popcount v in
+        if pop > 0 then begin
+          let candidate =
+            map_word j name (fun v -> Bitvec.zero (Bitvec.width v)) !cur
+          in
+          if check candidate then begin
+            cur := candidate;
+            bits_cleared := !bits_cleared + pop
+          end
+          else
+            for bit = 0 to Bitvec.width v - 1 do
+              let v = List.assoc name (List.nth !cur j) in
+              if Bitvec.get v bit then begin
+                let candidate =
+                  map_word j name (fun v -> Bitvec.set v bit false) !cur
+                in
+                if check candidate then begin
+                  cur := candidate;
+                  incr bits_cleared
+                end
+              end
+            done
+        end)
+      names
+  done;
+  ( !cur,
+    { replays = !replays;
+      cycles_removed = original_cycles - after_cycles;
+      bits_cleared = !bits_cleared } )

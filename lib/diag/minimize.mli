@@ -1,0 +1,37 @@
+(** Delta-debugging counterexample minimization against the replay oracle.
+
+    Three deterministic passes, each preserving "the stimulus still drives
+    the monitor into a genuine violation" (checked by replaying):
+
+    - {b truncation} — cut the stimulus after its first failing cycle;
+    - {b cycle removal} — delta-debug whole cycles out (chunks of halving
+      size down to single cycles), re-truncating after each success;
+    - {b don't-care clearing} — zero whole input words, then individual set
+      bits, keeping each clearing only if the violation survives.
+
+    Because the oracle demands a {e genuine} violation (constraint clean
+    through the failing cycle, monitor assumptions unbroken), a candidate
+    that cheats by violating an assumption never registers as failing — the
+    minimized stimulus is still a legal counterexample. *)
+
+type stats = {
+  replays : int;  (** oracle invocations *)
+  cycles_removed : int;
+  bits_cleared : int;  (** input bits zeroed by the don't-care pass *)
+}
+
+val care_bits : (string * Bitvec.t) list list -> int
+(** Set input bits across the whole stimulus — the size measure the
+    don't-care pass shrinks. *)
+
+val minimize :
+  oracle:((string * Bitvec.t) list list -> bool) ->
+  (string * Bitvec.t) list list ->
+  (string * Bitvec.t) list list * stats
+(** [minimize ~oracle stimulus] assumes [oracle stimulus = true] and returns
+    a 1-minimal-ish failing stimulus (no single cycle or set bit can be
+    dropped). The oracle receives candidate stimuli and must be pure. *)
+
+val truncate_to_first_failure :
+  fail_cycle:int -> (string * Bitvec.t) list list -> (string * Bitvec.t) list list
+(** Keep cycles [0 .. fail_cycle] only. *)

@@ -1,0 +1,210 @@
+type entry = {
+  diag : Diagnosis.t;
+  vcd : string option;
+}
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&#39;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let style =
+  {|body{font-family:system-ui,sans-serif;margin:2rem auto;max-width:70rem;
+padding:0 1rem;color:#1b1b1b}
+h1{font-size:1.5rem}h2{font-size:1.15rem;margin-top:2.5rem;
+border-top:1px solid #ddd;padding-top:1rem}
+table{border-collapse:collapse;margin:0.75rem 0}
+th,td{border:1px solid #ccc;padding:0.3rem 0.6rem;text-align:left;
+font-size:0.9rem}
+th{background:#f2f2f2}
+code,.mono{font-family:ui-monospace,monospace;font-size:0.85rem}
+.ok{color:#0a6d2c;font-weight:600}.bad{color:#b00020;font-weight:600}
+.muted{color:#666}
+.expl{background:#f7f7f2;border-left:4px solid #c9b458;padding:0.6rem 0.9rem;
+margin:0.75rem 0}|}
+
+let anchor (d : Diagnosis.t) =
+  let clean =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+        | _ -> '-')
+      (d.Diagnosis.module_name ^ "-" ^ d.Diagnosis.prop_name)
+  in
+  clean
+
+let status_cell (d : Diagnosis.t) =
+  match d.Diagnosis.validation.Diagnosis.status with
+  | `Confirmed -> {|<span class="ok">confirmed</span>|}
+  | `Not_confirmed r ->
+    Printf.sprintf {|<span class="bad">not confirmed</span> (%s)|} (escape r)
+
+let summary_row (e : entry) =
+  let d = e.diag in
+  Printf.sprintf
+    {|<tr class="failure-row"><td><a href="#%s">%s</a></td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d&nbsp;&rarr;&nbsp;%d</td><td>%d&nbsp;&rarr;&nbsp;%d</td><td>%s</td></tr>|}
+    (anchor d)
+    (escape d.Diagnosis.module_name)
+    (escape d.Diagnosis.prop_name)
+    (Diagnosis.cls_tag d.Diagnosis.cls)
+    (match d.Diagnosis.bug with
+     | Some b -> escape (Chip.Bugs.name b)
+     | None -> {|<span class="muted">&ndash;</span>|})
+    (escape d.Diagnosis.category)
+    d.Diagnosis.original_cycles d.Diagnosis.minimized_cycles
+    d.Diagnosis.original_care_bits d.Diagnosis.minimized_care_bits
+    (status_cell d)
+
+let cone_table (d : Diagnosis.t) =
+  if d.Diagnosis.cone = [] then
+    {|<p class="muted">no fault cone (diagnosis did not replay)</p>|}
+  else
+    let rows =
+      List.map
+        (fun (c : Cone.cycle_cone) ->
+          Printf.sprintf
+            {|<tr><td>%d</td><td class="mono">%s</td></tr>|}
+            c.Cone.cone_step
+            (if c.Cone.corrupted = [] then
+               {|<span class="muted">&ndash;</span>|}
+             else escape (String.concat ", " c.Cone.corrupted)))
+        d.Diagnosis.cone
+    in
+    Printf.sprintf
+      {|<table><tr><th>cycle</th><th>corrupted signals (failing vs golden run)</th></tr>%s</table>%s|}
+      (String.concat "" rows)
+      (if d.Diagnosis.golden_failed then
+         {|<p class="bad">the golden (neutral legal-input) run also violates the property; the cone above is best-effort</p>|}
+       else "")
+
+let stimulus_table (d : Diagnosis.t) =
+  match d.Diagnosis.minimized_stimulus with
+  | [] -> {|<p class="muted">empty stimulus</p>|}
+  | first :: _ as stim ->
+    let names = List.map fst first in
+    let header =
+      String.concat ""
+        ({|<th>cycle</th>|}
+         :: List.map (fun n -> Printf.sprintf "<th>%s</th>" (escape n)) names)
+    in
+    let rows =
+      List.mapi
+        (fun j cycle ->
+          let cells =
+            List.map
+              (fun n ->
+                match List.assoc_opt n cycle with
+                | Some v ->
+                  Printf.sprintf {|<td class="mono">%s</td>|}
+                    (escape (Bitvec.to_string v))
+                | None -> {|<td class="muted">?</td>|})
+              names
+          in
+          Printf.sprintf "<tr><td>%d</td>%s</tr>" j (String.concat "" cells))
+        stim
+    in
+    Printf.sprintf "<table><tr>%s</tr>%s</table>" header
+      (String.concat "" rows)
+
+let detail (e : entry) =
+  let d = e.diag in
+  let v = d.Diagnosis.validation in
+  Printf.sprintf
+    {|<h2 id="%s">%s &middot; %s <span class="muted">(%s, vunit %s)</span></h2>
+<p class="expl">%s</p>
+<table>
+<tr><th>validation</th><td>%s</td></tr>
+<tr><th>fail cycle</th><td>%s</td></tr>
+<tr><th>minimized trace reproduces</th><td>%s</td></tr>
+<tr><th>trace length</th><td>%d cycles &rarr; %d cycles</td></tr>
+<tr><th>care bits</th><td>%d &rarr; %d</td></tr>
+<tr><th>HE report signal</th><td class="mono">%s</td></tr>
+<tr><th>waveform</th><td>%s</td></tr>
+</table>
+<h3>fault cone</h3>
+%s
+<h3>minimized stimulus</h3>
+%s|}
+    (anchor d)
+    (escape d.Diagnosis.module_name)
+    (escape d.Diagnosis.prop_name)
+    (Diagnosis.cls_tag d.Diagnosis.cls)
+    (escape d.Diagnosis.vunit_name)
+    (escape d.Diagnosis.explanation)
+    (status_cell d)
+    (match v.Diagnosis.fail_cycle with
+     | Some c -> string_of_int c
+     | None -> {|<span class="muted">&ndash;</span>|})
+    (if v.Diagnosis.minimized_reproduces then {|<span class="ok">yes</span>|}
+     else {|<span class="bad">no</span>|})
+    d.Diagnosis.original_cycles d.Diagnosis.minimized_cycles
+    d.Diagnosis.original_care_bits d.Diagnosis.minimized_care_bits
+    (match d.Diagnosis.he_signal with
+     | Some h -> escape h
+     | None -> "&ndash;")
+    (match e.vcd with
+     | Some href ->
+       Printf.sprintf {|<a href="%s" class="mono">%s</a>|} (escape href)
+         (escape href)
+     | None -> {|<span class="muted">not written</span>|})
+    (cone_table d)
+    (stimulus_table d)
+
+let render entries =
+  let confirmed =
+    List.length
+      (List.filter
+         (fun e ->
+           e.diag.Diagnosis.validation.Diagnosis.status = `Confirmed)
+         entries)
+  in
+  let summary =
+    if entries = [] then
+      {|<p class="ok">No falsified obligations — nothing to diagnose.</p>|}
+    else
+      Printf.sprintf
+        {|<p>%d falsified obligation%s; %d confirmed by simulator replay.</p>
+<table>
+<tr><th>module</th><th>property</th><th>class</th><th>bug</th><th>cat</th><th>cycles</th><th>care bits</th><th>validation</th></tr>
+%s
+</table>|}
+        (List.length entries)
+        (if List.length entries = 1 then "" else "s")
+        confirmed
+        (String.concat "\n" (List.map summary_row entries))
+  in
+  Printf.sprintf
+    {|<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>dicheck campaign diagnosis</title>
+<style>%s</style>
+</head>
+<body>
+<h1>Campaign counterexample diagnosis</h1>
+%s
+%s
+</body>
+</html>
+|}
+    style summary
+    (String.concat "\n" (List.map detail entries))
+
+let write path entries =
+  let oc = open_out path in
+  (try output_string oc (render entries)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

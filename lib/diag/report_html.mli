@@ -1,0 +1,17 @@
+(** Self-contained HTML campaign drill-down report.
+
+    One page, no external assets: a summary table with one row per
+    falsified obligation, then a detail section per failure — explanation,
+    validation verdict, minimization sizes, the fault cone cycle by cycle,
+    the minimized stimulus, and (when the caller wrote one) a link to the
+    annotated VCD. All dynamic text is HTML-escaped. *)
+
+type entry = {
+  diag : Diagnosis.t;
+  vcd : string option;  (** relative href of the annotated waveform *)
+}
+
+val render : entry list -> string
+(** Deterministic: same entries, same bytes (no timestamps). *)
+
+val write : string -> entry list -> unit

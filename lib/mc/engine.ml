@@ -424,7 +424,10 @@ let split_constraint_assumes mdl assumes =
       | None -> Either.Right a)
     assumes
 
-let instrumented_netlist mdl ~assert_ ~assumes =
+(* shared preparation front half: inline, prune, lower input invariants to a
+   constraint wire, weave in the safety monitor, elaborate — everything up
+   to (but excluding) the cone-of-influence reduction *)
+let prepare_full_netlist mdl ~assert_ ~assumes =
   let sp name f = Telemetry.span ~cat:"prepare" name f in
   let assert_, assumes =
     sp "prepare.inline" (fun () ->
@@ -455,15 +458,27 @@ let instrumented_netlist mdl ~assert_ ~assumes =
         let design = Rtl.Design.of_modules [ mdl' ] in
         Rtl.Elaborate.run design ~top:mdl'.Rtl.Mdl.name)
   in
+  (nl, inst.Psl.Monitor.invariant_ok, constraint_signal)
+
+let replay_model mdl ~assert_ ~assumes =
+  prepare_full_netlist mdl ~assert_ ~assumes
+
+let instrumented_netlist mdl ~assert_ ~assumes =
+  let nl, ok_signal, constraint_signal =
+    prepare_full_netlist mdl ~assert_ ~assumes
+  in
   (* cone-of-influence reduction: only the logic feeding the property
      matters; this is what makes the divide-and-conquer partitioning of
      Figure 7 effective *)
   let roots =
-    inst.Psl.Monitor.invariant_ok
+    ok_signal
     :: (match constraint_signal with Some c -> [ c ] | None -> [])
   in
-  let nl = sp "prepare.coi" (fun () -> Rtl.Coi.reduce nl ~roots) in
-  (nl, inst.Psl.Monitor.invariant_ok, constraint_signal)
+  let nl =
+    Telemetry.span ~cat:"prepare" "prepare.coi" (fun () ->
+        Rtl.Coi.reduce nl ~roots)
+  in
+  (nl, ok_signal, constraint_signal)
 
 let problem_size mdl ~assert_ ~assumes =
   let nl, _, _ = instrumented_netlist mdl ~assert_ ~assumes in

@@ -109,6 +109,22 @@ val instrumented_netlist :
     what {!check_netlist} consumes. {!Obligation.prepare} builds on this to
     make the prepared check a first-class, schedulable value. *)
 
+val replay_model :
+  Rtl.Mdl.t ->
+  assert_:Psl.Ast.fl ->
+  assumes:Psl.Ast.fl list ->
+  Rtl.Netlist.t * string * string option
+(** {!instrumented_netlist} without the final cone-of-influence reduction:
+    the same inlining, assumption pruning, constraint lowering and monitor
+    synthesis, but every module signal is kept. This is the model the
+    diagnosis layer replays counterexamples on — the simulator cross-check
+    then exercises an independently-prepared model (no COI), and the replay
+    exposes the full internal/output signal set (e.g. the [HE] report bus)
+    that the reduced engine model may have pruned away. Inputs of the
+    reduced model are a subset of this model's inputs; replaying a reduced
+    trace with the pruned inputs held at zero cannot change the property
+    cone (that is what the COI reduction proved). *)
+
 val check_property :
   ?budget:budget ->
   ?strategy:strategy ->

@@ -29,6 +29,11 @@ let to_string t = Format.asprintf "%a" pp t
 
 let replay_stimulus t = List.map (fun c -> c.inputs) t
 
+(* Bijective base-94 identifier codes over printable ASCII 33..126:
+   0..93 -> "!".."~", 94 -> "!!", 8929 -> "~~", 8930 -> "!!!", … Injective
+   for any index (the test suite checks thousands of ids), so dumps with
+   more than 94 signals — which annotated replays routinely produce — never
+   alias two signals onto one identifier. *)
 let vcd_id i =
   let base = 94 and first = 33 in
   let rec go i acc =
@@ -36,46 +41,71 @@ let vcd_id i =
     let acc = String.make 1 c ^ acc in
     if i < base then acc else go ((i / base) - 1) acc
   in
-  go i ""
+  if i < 0 then invalid_arg "Trace.vcd_id: negative index" else go i ""
 
-let to_vcd t =
+(* The dumped signal set: the trace's own inputs+state first, then any
+   replay-only signals (outputs, internal wires, monitor nets) in snapshot
+   order. Replayed values for signals the trace already carries are dropped —
+   the trace is the engine's ground truth and replay validation checks the
+   two agree. *)
+let vcd_signals t replay =
+  let trace_bindings =
+    match t with [] -> [] | c :: _ -> c.inputs @ c.state
+  in
+  let seen = Hashtbl.create 97 in
+  let add acc (name, v) =
+    if Hashtbl.mem seen name then acc
+    else begin
+      Hashtbl.add seen name ();
+      (name, Bitvec.width v) :: acc
+    end
+  in
+  let acc = List.fold_left add [] trace_bindings in
+  let acc =
+    match replay with
+    | [] -> acc
+    | snapshot :: _ -> List.fold_left add acc snapshot
+  in
+  List.mapi (fun i (name, w) -> (name, w, vcd_id i)) (List.rev acc)
+
+let to_vcd ?(replay = []) t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "$date formal counterexample $end\n";
   Buffer.add_string buf "$version repro data-integrity model checker $end\n";
   Buffer.add_string buf "$timescale 1ns $end\n$scope module trace $end\n";
-  let signals =
-    match t with
-    | [] -> []
-    | c :: _ ->
-      List.mapi
-        (fun i (name, v) -> (name, Bitvec.width v, vcd_id i))
-        (c.inputs @ c.state)
-  in
+  let signals = vcd_signals t replay in
   List.iter
     (fun (name, w, id) ->
       let safe = String.map (fun ch -> if ch = '.' then '_' else ch) name in
       Buffer.add_string buf (Printf.sprintf "$var wire %d %s %s $end\n" w id safe))
     signals;
   Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
-  List.iter
-    (fun c ->
+  let replay = Array.of_list replay in
+  List.iteri
+    (fun j c ->
       Buffer.add_string buf (Printf.sprintf "#%d\n" c.step);
-      List.iter2
-        (fun (_, w, id) (_, v) ->
-          if w = 1 then
-            Buffer.add_string buf
-              (Printf.sprintf "%d%s\n" (if Bitvec.get v 0 then 1 else 0) id)
-          else
-            Buffer.add_string buf
-              (Printf.sprintf "b%s %s\n" (Bitvec.to_string v) id))
-        signals
-        (c.inputs @ c.state))
+      let bindings =
+        c.inputs @ c.state
+        @ (if j < Array.length replay then replay.(j) else [])
+      in
+      List.iter
+        (fun (name, w, id) ->
+          match List.assoc_opt name bindings with
+          | None -> ()  (* unchanged this cycle; VCD carries the old value *)
+          | Some v ->
+            if w = 1 then
+              Buffer.add_string buf
+                (Printf.sprintf "%d%s\n" (if Bitvec.get v 0 then 1 else 0) id)
+            else
+              Buffer.add_string buf
+                (Printf.sprintf "b%s %s\n" (Bitvec.to_string v) id))
+        signals)
     t;
   Buffer.contents buf
 
-let write_vcd t path =
+let write_vcd ?replay t path =
   let oc = open_out path in
-  (try output_string oc (to_vcd t)
+  (try output_string oc (to_vcd ?replay t)
    with e ->
      close_out oc;
      raise e);

@@ -17,8 +17,20 @@ val replay_stimulus : t -> (string * Bitvec.t) list list
 (** Per-cycle input vectors, ready to feed to the simulator to confirm the
     counterexample. *)
 
-val to_vcd : t -> string
-(** Render the counterexample as a VCD waveform (inputs and state, one
-    timestep per cycle) for inspection in a wave viewer. *)
+val vcd_id : int -> string
+(** Bijective base-94 VCD identifier code of a signal index (printable
+    ASCII [!]..[~]; two characters from index 94, three from 8930, …).
+    Injective for every index, so dumps with more than 94 signals never
+    alias identifiers. Raises [Invalid_argument] on a negative index. *)
 
-val write_vcd : t -> string -> unit
+val to_vcd : ?replay:(string * Bitvec.t) list list -> t -> string
+(** Render the counterexample as a VCD waveform, one timestep per cycle.
+    Without [replay], only the trace's inputs and state are dumped. With
+    [replay] — one snapshot of replayed signal values per cycle, as produced
+    by simulating the counterexample — the dump also carries every replayed
+    output and internal signal (e.g. the [HE] report bus and the monitor's
+    fail net), so the waveform shows the violation itself, not just the
+    stimulus that causes it. Replayed values for signals the trace already
+    carries are ignored in favor of the trace's own. *)
+
+val write_vcd : ?replay:(string * Bitvec.t) list list -> t -> string -> unit

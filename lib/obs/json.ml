@@ -279,6 +279,10 @@ let to_float = function
   | Int n -> Some (float_of_int n)
   | Null | Bool _ | String _ | List _ | Obj _ -> None
 
+let to_bool = function
+  | Bool b -> Some b
+  | Null | Int _ | Float _ | String _ | List _ | Obj _ -> None
+
 let to_list = function
   | List l -> Some l
   | Null | Bool _ | Int _ | Float _ | String _ | Obj _ -> None

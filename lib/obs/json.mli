@@ -32,5 +32,6 @@ val to_int : t -> int option
 (** [Int n] and integral [Float]s. *)
 
 val to_float : t -> float option
+val to_bool : t -> bool option
 val to_list : t -> t list option
 val to_str : t -> string option

@@ -4,7 +4,9 @@ type t = {
   mutable samples : (string * Bitvec.t) list list;  (* newest first *)
 }
 
-(* VCD identifier codes: printable ASCII starting at '!' *)
+(* Bijective base-94 identifier codes over printable ASCII 33..126, the
+   same scheme as [Mc.Trace.vcd_id]: injective for any index, so recordings
+   of more than 94 signals never alias two signals onto one identifier. *)
 let id_of_index i =
   let base = 94 and first = 33 in
   let rec go i acc =
@@ -12,7 +14,7 @@ let id_of_index i =
     let acc = String.make 1 c ^ acc in
     if i < base then acc else go ((i / base) - 1) acc
   in
-  go i ""
+  if i < 0 then invalid_arg "Vcd.id_of_index: negative index" else go i ""
 
 let create sim ~signals =
   let nl = Simulator.netlist sim in

@@ -11,4 +11,10 @@ val sample : t -> unit
 val to_string : t -> string
 (** Render the recorded trace as a VCD file. *)
 
+val id_of_index : int -> string
+(** Bijective base-94 VCD identifier code of a signal index (printable
+    ASCII [!]..[~]); injective for every index, so recordings of more than
+    94 signals keep distinct identifiers. Raises [Invalid_argument] on a
+    negative index. *)
+
 val write_file : t -> string -> unit
