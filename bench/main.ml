@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- table2   -- one artifact only
      dune exec bench/main.exe -- micro    -- Bechamel micro-benchmarks
 
-   Artifacts: table1 table2 table3 table4 timing fig7 micro *)
+   Artifacts: table1 table2 table3 table4 timing fig7 fuzz micro *)
 
 let header title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') title (String.make 72 '=')
@@ -167,6 +167,40 @@ let fig7 () =
   Format.printf "%a" Core.Report.pp_fig7
     (Core.Report.fig7 ~payload_width:16 ~node_limit:100_000 ())
 
+(* ---- differential fuzz throughput (BENCH_fuzz.json) ---- *)
+
+let fuzz () =
+  header "Differential fuzz throughput (dicheck fuzz)";
+  let config =
+    { Qa.Fuzz.default_config with Qa.Fuzz.seed = 42; count = 15 }
+  in
+  let s = Qa.Fuzz.run config in
+  Printf.printf
+    "%d designs, %d obligations, %d engine runs in %.1fs\n\
+     %.1f designs/s, %.1f obligations/s\n\
+     discrepancies: %d; mutation kill: %d/%d\n"
+    s.Qa.Fuzz.cases_run s.Qa.Fuzz.obligations s.Qa.Fuzz.engine_runs
+    s.Qa.Fuzz.elapsed_s
+    (float_of_int s.Qa.Fuzz.cases_run /. max s.Qa.Fuzz.elapsed_s 1e-9)
+    (float_of_int s.Qa.Fuzz.obligations /. max s.Qa.Fuzz.elapsed_s 1e-9)
+    (List.length s.Qa.Fuzz.discrepancies)
+    (List.fold_left (fun a (_, d, _) -> a + d) 0 s.Qa.Fuzz.kill_table)
+    (List.fold_left (fun a (_, _, t) -> a + t) 0 s.Qa.Fuzz.kill_table);
+  let module J = Obs.Json in
+  let j =
+    J.Obj
+      [ ("schema", J.String "dicheck-fuzz-bench-v1");
+        ("generated_at_unix", J.Float (Unix.gettimeofday ()));
+        ("summary", Qa.Fuzz.summary_json s) ]
+  in
+  let oc = open_out "BENCH_fuzz.json" in
+  (try output_string oc (J.to_string_pretty j)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc;
+  Printf.eprintf "fuzz benchmark data written to BENCH_fuzz.json\n%!"
+
 (* ---- Bechamel micro-benchmarks: one kernel per table/figure ---- *)
 
 let micro () =
@@ -263,7 +297,8 @@ let micro () =
 
 let artifacts =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
-    ("table4", table4); ("timing", timing); ("fig7", fig7); ("micro", micro) ]
+    ("table4", table4); ("timing", timing); ("fig7", fig7); ("fuzz", fuzz);
+    ("micro", micro) ]
 
 let () =
   let args =

@@ -8,7 +8,9 @@
      area       area cost of the injection feature (Tables 1 and 4)
      fig7       divide-and-conquer partitioning experiment
      check      model-check a PSL file against a named chip archetype
-     emit       print an archetype's (Verifiable) RTL as Verilog or its PSL *)
+     emit       print an archetype's (Verifiable) RTL as Verilog or its PSL
+     fuzz       differential fuzzing: cross-engine verdicts, replay
+                validation, mutation gauntlet, shrunk reproducers *)
 
 open Cmdliner
 
@@ -657,6 +659,145 @@ let infer_cmd =
        ~doc:"Infer the data-integrity specification from an archetype's RTL.")
     Term.(const run $ arch)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let run seed count budget out_dir inject no_gauntlet trace metrics =
+    try
+      let recording = trace <> None || metrics <> None in
+      if recording then Obs.Telemetry.start ();
+      let config =
+        { Qa.Fuzz.seed; count; budget_s = budget; out_dir; inject;
+          gauntlet = not no_gauntlet }
+      in
+      let s = Qa.Fuzz.run config in
+      let report = if recording then Some (Obs.Telemetry.stop ()) else None in
+      (match (trace, report) with
+       | Some path, Some rep ->
+         Obs.Trace_export.write path rep;
+         Printf.eprintf "trace written to %s (load in ui.perfetto.dev)\n" path
+       | _ -> ());
+      (match (metrics, report) with
+       | Some path, rep ->
+         let counters =
+           match rep with
+           | None -> []
+           | Some r ->
+             List.map
+               (fun (k, v) -> (k, Obs.Json.Int v))
+               r.Obs.Telemetry.counters
+         in
+         write_file path
+           (Obs.Json.to_string_pretty
+              (Obs.Json.Obj
+                 [ ("schema", Obs.Json.String "dicheck-fuzz-metrics-v1");
+                   ("summary", Qa.Fuzz.summary_json s);
+                   ("counters", Obs.Json.Obj counters) ])
+           ^ "\n");
+         Printf.eprintf "metrics written to %s\n" path
+       | None, _ -> ());
+      Printf.printf
+        "fuzz: %d/%d designs, %d obligations, %d engine runs in %.1fs%s\n"
+        s.Qa.Fuzz.cases_run count s.Qa.Fuzz.obligations s.Qa.Fuzz.engine_runs
+        s.Qa.Fuzz.elapsed_s
+        (if s.Qa.Fuzz.budget_exhausted then " (wall budget exhausted)" else "");
+      if s.Qa.Fuzz.kill_table <> [] then begin
+        Printf.printf "mutation gauntlet:\n";
+        List.iter
+          (fun (b, d, t) ->
+            Printf.printf "  %-3s (%s) %d/%d killed\n" (Chip.Bugs.name b)
+              (Qa.Shrink.class_label (Chip.Bugs.property_class b))
+              d t)
+          s.Qa.Fuzz.kill_table;
+        List.iter
+          (fun (id, b, why) ->
+            Printf.printf "  MISSED %s on %s: %s\n" (Chip.Bugs.name b) id why)
+          s.Qa.Fuzz.gauntlet_misses
+      end;
+      List.iter
+        (fun (d : Qa.Differential.discrepancy) ->
+          Printf.printf "DISCREPANCY [%s] %s%s: %s\n"
+            (Qa.Differential.kind_name d.Qa.Differential.kind)
+            d.Qa.Differential.case_id
+            (match d.Qa.Differential.prop with
+             | Some p -> "." ^ p
+             | None -> "")
+            d.Qa.Differential.detail)
+        s.Qa.Fuzz.discrepancies;
+      List.iter
+        (fun (sh : Qa.Fuzz.shrunk) ->
+          Printf.printf "shrunk: %s -> %s (%d steps, %d evals)\n"
+            (Qa.Gen.describe sh.Qa.Fuzz.from_params)
+            (Qa.Gen.describe sh.Qa.Fuzz.to_params)
+            sh.Qa.Fuzz.steps sh.Qa.Fuzz.evals;
+          List.iter (Printf.printf "  reproducer: %s\n") sh.Qa.Fuzz.files)
+        s.Qa.Fuzz.shrunk;
+      if Qa.Fuzz.ok s then begin
+        Printf.printf "fuzz: OK — no discrepancies, 100%% mutation kill\n";
+        exit 0
+      end
+      else exit 1
+    with e ->
+      Printf.eprintf "dicheck: internal error: %s\n" (Printexc.to_string e);
+      exit 3
+  in
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Generator seed; the whole run is a deterministic function \
+                   of (seed, count).")
+  in
+  let count =
+    Arg.(value & opt int 50
+         & info [ "count" ] ~docv:"K" ~doc:"Number of designs to generate.")
+  in
+  let budget =
+    Arg.(value & opt (some float) None
+         & info [ "budget" ] ~docv:"SECS"
+             ~doc:"Stop starting new designs after SECS of wall time (the \
+                   design in flight still completes).")
+  in
+  let out_dir =
+    Arg.(value & opt string "fuzz-failures"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Directory for shrunk reproducers (.v, .psl, .json); \
+                   created on first failure.")
+  in
+  let inject =
+    Arg.(value & opt (some int) None
+         & info [ "inject-disagreement" ] ~docv:"INDEX"
+             ~doc:"Test hook: report an artificial discrepancy on the \
+                   INDEX-th design, exercising the shrinking and exit-code \
+                   paths without a real engine bug.")
+  in
+  let no_gauntlet =
+    Arg.(value & flag
+         & info [ "no-gauntlet" ]
+             ~doc:"Skip the mutation gauntlet (Table 3 bug classes seeded \
+                   into each design).")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"PATH"
+             ~doc:"Write a Chrome trace_event JSON of the fuzz run.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"PATH"
+             ~doc:"Write a JSON metrics summary (designs/s, obligations/s, \
+                   kill table, telemetry counters).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing of the engines: run every obligation of \
+             seeded-random Verifiable-RTL designs through each engine \
+             strategy plus bounded exhaustive simulation, replay-validate \
+             every counterexample, seed Table 3 mutations and require 100% \
+             kill, and shrink any disagreement to a minimal reproducer. \
+             Exits non-zero on any discrepancy.")
+    Term.(const run $ seed $ count $ budget $ out_dir $ inject $ no_gauntlet
+          $ trace $ metrics)
+
 (* ---- emit ---- *)
 
 let emit_cmd =
@@ -692,4 +833,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "dicheck" ~doc)
           [ campaign_cmd; explain_cmd; report_cmd; classify_cmd; area_cmd;
-            fig7_cmd; check_cmd; infer_cmd; emit_cmd ]))
+            fig7_cmd; check_cmd; infer_cmd; emit_cmd; fuzz_cmd ]))

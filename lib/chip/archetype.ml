@@ -40,16 +40,24 @@ let assign_he m ~he checkers_grouped =
 
 let payload_of word ~width = E.slice word ~hi:(width - 2) ~lo:0
 
+(* reset value of a [w]-bit protected word: payload 0 with the parity bit
+   (bit [w-1]) set, so the codeword has odd parity *)
+let reset_word w = Bitvec.set (Bitvec.zero w) (w - 1) true
+
+let bits_for n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 1
+
 (* ---------------- FSM controller (B0 host) ---------------- *)
 
-let fsm_ctrl ~name ?(bug = false) () =
-  let nstates = 5 in
-  let k = 3 in
+let fsm_ctrl ~name ?(bug = false) ?(nstates = 5) () =
+  if nstates < 3 then invalid_arg "Archetype.fsm_ctrl: nstates must be >= 3";
+  let k = max 2 (bits_for nstates) in
   let m = M.create name in
-  let m = M.add_input m "CMD" 5 in
-  let m = M.add_output m "STATUS" 4 in
-  let cur = payload_of (E.var "state_q") ~width:4 in
-  let go = E.bit (payload_of (E.var "CMD") ~width:5) 0 in
+  let m = M.add_input m "CMD" (k + 2) in
+  let m = M.add_output m "STATUS" (k + 1) in
+  let cur = payload_of (E.var "state_q") ~width:(k + 1) in
+  let go = E.bit (payload_of (E.var "CMD") ~width:(k + 2)) 0 in
   let wrap = E.(cur ==: of_int ~width:k (nstates - 1)) in
   let next_payload =
     E.mux go (E.mux wrap (E.of_int ~width:k 0) E.(cur +: of_int ~width:k 1)) cur
@@ -62,7 +70,7 @@ let fsm_ctrl ~name ?(bug = false) () =
   in
   let m =
     M.add_reg ~cls:M.Fsm ~parity_protected:true
-      ~reset:(Bitvec.of_string "1000") m "state_q" 4 next_word
+      ~reset:(reset_word (k + 1)) m "state_q" (k + 1) next_word
   in
   let m, cmd_chk = latch m "cmd_chk_q" (P.violated (E.var "CMD")) in
   let illegal = E.( !: ) E.(cur <: of_int ~width:k nstates) in
@@ -79,8 +87,9 @@ let fsm_ctrl ~name ?(bug = false) () =
 
 (* ---------------- loadable counter (B2 host) ---------------- *)
 
-let counter ~name ?(bug = false) () =
-  let w = 4 in
+let counter ~name ?(bug = false) ?(width = 4) () =
+  if width < 2 then invalid_arg "Archetype.counter: width must be >= 2";
+  let w = width in
   let m = M.create name in
   let m = M.add_input m "EN" 1 in
   let m = M.add_input m "LOAD" 1 in
@@ -96,7 +105,8 @@ let counter ~name ?(bug = false) () =
   let next_word =
     if bug then
       let wrap =
-        E.(var "EN" &: !:(var "LOAD") &: (cur ==: of_int ~width:w 15))
+        E.(var "EN" &: !:(var "LOAD")
+           &: (cur ==: of_int ~width:w ((1 lsl w) - 1)))
       in
       (* B2: inverted parity exactly at wrap-around *)
       E.mux wrap (E.concat (E.red_xor next_payload) next_payload) correct
@@ -104,7 +114,7 @@ let counter ~name ?(bug = false) () =
   in
   let m =
     M.add_reg ~cls:M.Counter ~parity_protected:true
-      ~reset:(Bitvec.of_string "10000") m "cnt_q" (w + 1) next_word
+      ~reset:(reset_word (w + 1)) m "cnt_q" (w + 1) next_word
   in
   let m, lv_chk = latch m "lv_chk_q" (P.violated (E.var "LOAD_VAL")) in
   let m = assign_he m ~he:"HE" [ P.violated (E.var "cnt_q"); lv_chk ] in
@@ -115,17 +125,20 @@ let counter ~name ?(bug = false) () =
 
 (* ---------------- control/status register (B1 host) ---------------- *)
 
-let csr_reserved_mask = 0xF0
-
-let csr ~name ?(bug = false) () =
-  let w = 8 in
+let csr ~name ?(bug = false) ?(width = 8) () =
+  if width < 2 then invalid_arg "Archetype.csr: width must be >= 2";
+  let w = width in
+  (* the high half of the register is reserved (0xF0 at the default width) *)
+  let csr_reserved_mask = ((1 lsl w) - 1) land lnot ((1 lsl (w / 2)) - 1) in
+  let all_ones = (1 lsl w) - 1 in
   let m = M.create name in
   let m = M.add_input m "WE" 1 in
   let m = M.add_input m "WDATA" (w + 1) in
   let m = M.add_output m "RDATA" (w + 1) in
   let wpayload = payload_of (E.var "WDATA") ~width:(w + 1) in
   let cleared =
-    E.(wpayload &: const (Bitvec.of_int ~width:w (lnot csr_reserved_mask land 0xFF)))
+    E.(wpayload
+       &: const (Bitvec.of_int ~width:w (lnot csr_reserved_mask land all_ones)))
   in
   let stored =
     if bug then
@@ -136,7 +149,7 @@ let csr ~name ?(bug = false) () =
   let next_word = E.mux (E.var "WE") stored (E.var "csr_q") in
   let m =
     M.add_reg ~cls:M.Datapath ~parity_protected:true
-      ~reset:(Bitvec.of_string "100000000") m "csr_q" (w + 1) next_word
+      ~reset:(reset_word (w + 1)) m "csr_q" (w + 1) next_word
   in
   let m, w_chk = latch m "w_chk_q" (P.violated (E.var "WDATA")) in
   let m = assign_he m ~he:"HE" [ P.violated (E.var "csr_q"); w_chk ] in
@@ -148,7 +161,9 @@ let csr ~name ?(bug = false) () =
     let payload = Bitvec.random st w in
     let payload =
       if raw then payload
-      else Bitvec.logand payload (Bitvec.of_int ~width:w (lnot csr_reserved_mask land 0xFF))
+      else
+        Bitvec.logand payload
+          (Bitvec.of_int ~width:w (lnot csr_reserved_mask land all_ones))
     in
     Bitvec.append_odd_parity payload
   in
@@ -159,8 +174,9 @@ let csr ~name ?(bug = false) () =
 
 (* ---------------- macro interface (B3 host) ---------------- *)
 
-let macro_if ~name ?(bug = false) () =
-  let w = 8 in
+let macro_if ~name ?(bug = false) ?(width = 8) () =
+  if width < 2 then invalid_arg "Archetype.macro_if: width must be >= 2";
+  let w = width in
   let m = M.create name in
   let m = M.add_input m "MACRO_READY" 1 in
   let m = M.add_input m "DIN" (w + 1) in
@@ -168,7 +184,7 @@ let macro_if ~name ?(bug = false) () =
   let m = M.add_reg m "warmup_q" 1 E.tru in
   let m =
     M.add_reg ~cls:M.Datapath ~parity_protected:true
-      ~reset:(Bitvec.of_string "100000000") m "buf_q" (w + 1) (E.var "DIN")
+      ~reset:(reset_word (w + 1)) m "buf_q" (w + 1) (E.var "DIN")
   in
   let m, in_chk = latch m "in_chk_q" (P.violated (E.var "DIN")) in
   (* B3: report gating trusts the macro's ready signal, which is not
@@ -188,8 +204,9 @@ let macro_if ~name ?(bug = false) () =
 
 (* ---------------- ALU datapath (B4 host) ---------------- *)
 
-let datapath ~name ?(bug = false) () =
-  let w = 8 in
+let datapath ~name ?(bug = false) ?(width = 8) () =
+  if width < 2 then invalid_arg "Archetype.datapath: width must be >= 2";
+  let w = width in
   let m = M.create name in
   let m = M.add_input m "A" (w + 1) in
   let m = M.add_input m "B" (w + 1) in
@@ -211,7 +228,7 @@ let datapath ~name ?(bug = false) () =
   in
   let m =
     M.add_reg ~cls:M.Datapath ~parity_protected:true
-      ~reset:(Bitvec.of_string "100000000") m "r_q" (w + 1) stored
+      ~reset:(reset_word (w + 1)) m "r_q" (w + 1) stored
   in
   let m, a_chk = latch m "a_chk_q" (P.violated (E.var "A")) in
   let m, b_chk = latch m "b_chk_q" (P.violated (E.var "B")) in
@@ -225,9 +242,11 @@ let datapath ~name ?(bug = false) () =
 
 (* ---------------- address decoder (B5/B6 host) ---------------- *)
 
-let decoder ~name ?bug () =
-  let w = 8 in
-  let valid_cases = 91 in
+let decoder ~name ?bug ?(width = 8) ?(valid_cases = 91) () =
+  if width < 2 then invalid_arg "Archetype.decoder: width must be >= 2";
+  if valid_cases < 1 || valid_cases > 1 lsl width then
+    invalid_arg "Archetype.decoder: valid_cases out of range";
+  let w = width in
   let m = M.create name in
   let m = M.add_input m "ADDR" w in
   let m = M.add_input m "DIN" (w + 1) in
@@ -251,7 +270,7 @@ let decoder ~name ?bug () =
   in
   let m =
     M.add_reg ~cls:M.Datapath ~parity_protected:true
-      ~reset:(Bitvec.of_string "100000000") m "q" (w + 1) stored
+      ~reset:(reset_word (w + 1)) m "q" (w + 1) stored
   in
   let m, din_chk = latch m "din_chk_q" (P.violated (E.var "DIN")) in
   let m = assign_he m ~he:"HE" [ P.violated (E.var "q"); din_chk ] in
@@ -421,10 +440,11 @@ let filler ~name ~n_fsm ~n_cnt ~n_dp ~n_parity_in ~n_parity_out ~he_bits
     parity_outputs = List.init n_parity_out out_name; he = "HE"; he_map;
     extra_props; sim_overrides = []; bug = None }
 
-let fifo ~name ?(depth = 4) () =
+let fifo ~name ?(depth = 4) ?(width = 4) () =
   if depth < 2 || depth land (depth - 1) <> 0 then
     invalid_arg "Archetype.fifo: depth must be a power of two >= 2";
-  let pw = 4 in
+  if width < 2 then invalid_arg "Archetype.fifo: width must be >= 2";
+  let pw = width in
   (* payload bits per slot *)
   let word = pw + 1 in
   let ptr_bits =
@@ -449,7 +469,6 @@ let fifo ~name ?(depth = 4) () =
   let full = E.(cnt_payload ==: of_int ~width:cnt_bits depth) in
   let do_push = E.(var "PUSH" &: !:full) in
   let do_pop = E.(var "POP" &: !:empty) in
-  let reset_word w = Bitvec.set (Bitvec.zero w) (w - 1) true in
   (* data slots: captured from DIN when pushed at this write index *)
   let m =
     List.fold_left

@@ -20,27 +20,36 @@ type leaf = {
   bug : Bugs.id option;
 }
 
-val fsm_ctrl : name:string -> ?bug:bool -> unit -> leaf
-(** 5-state FSM, parity-protected state register, illegal-state detection.
-    [bug] seeds B0. *)
+val fsm_ctrl : name:string -> ?bug:bool -> ?nstates:int -> unit -> leaf
+(** [nstates]-state FSM (default 5, must be [>= 3]), parity-protected state
+    register, illegal-state detection. [bug] seeds B0. *)
 
-val counter : name:string -> ?bug:bool -> unit -> leaf
-(** Loadable 4-bit wrap counter. [bug] seeds B2. *)
+val counter : name:string -> ?bug:bool -> ?width:int -> unit -> leaf
+(** Loadable [width]-bit (default 4) wrap counter. [bug] seeds B2. *)
 
-val csr : name:string -> ?bug:bool -> unit -> leaf
-(** 8-bit control/status register with a reserved high nibble. [bug] seeds
-    B1. *)
+val csr : name:string -> ?bug:bool -> ?width:int -> unit -> leaf
+(** [width]-bit (default 8) control/status register whose high half is
+    reserved. [bug] seeds B1. *)
 
-val macro_if : name:string -> ?bug:bool -> unit -> leaf
+val macro_if : name:string -> ?bug:bool -> ?width:int -> unit -> leaf
 (** Datapath buffer whose error reporting is gated by a macro-ready signal.
-    [bug] seeds B3. *)
+    [width] defaults to 8. [bug] seeds B3. *)
 
-val datapath : name:string -> ?bug:bool -> unit -> leaf
-(** 4-op ALU with a parity-protected result register. [bug] seeds B4. *)
+val datapath : name:string -> ?bug:bool -> ?width:int -> unit -> leaf
+(** 4-op ALU with a parity-protected result register. [width] defaults to 8.
+    [bug] seeds B4. *)
 
-val decoder : name:string -> ?bug:(Bugs.id * int * int) -> unit -> leaf
-(** 8-bit address decoder with 91 valid cases. [bug] is
-    [(B5|B6, bad_address, sensitizing_data_pattern)]. *)
+val decoder :
+  name:string ->
+  ?bug:(Bugs.id * int * int) ->
+  ?width:int ->
+  ?valid_cases:int ->
+  unit ->
+  leaf
+(** [width]-bit (default 8) address decoder with [valid_cases] (default 91)
+    valid cases. [bug] is [(B5|B6, bad_address, sensitizing_data_pattern)];
+    [bad_address] must be a valid case and [sensitizing_data_pattern] a
+    [width]-bit value for the bug to be reachable. *)
 
 val merge : name:string -> ?payload_width:int -> ?he_bits:int -> unit -> leaf
 (** Three parity-protected streams staged through checkpoint registers and
@@ -62,9 +71,10 @@ val filler :
     must not exceed the number of checkers ([entities + parity inputs]);
     [n_extra > 0] requires [n_fsm >= 1]. *)
 
-val fifo : name:string -> ?depth:int -> unit -> leaf
+val fifo : name:string -> ?depth:int -> ?width:int -> unit -> leaf
 (** Parity-protected queue: [depth] (a power of two, default 4) data slots
-    each holding an odd-parity codeword, parity-protected read/write
+    each holding a [width]-bit-payload (default 4) odd-parity codeword,
+    parity-protected read/write
     pointers and occupancy counter, FULL/EMPTY flags, and a three-group
     hardware-error report (data slots / control / input). The P3 extras
     assert the queue-control invariants (occupancy range, flag

@@ -1,0 +1,164 @@
+module B = Chip.Bugs
+module J = Obs.Json
+
+type config = {
+  seed : int;
+  count : int;
+  budget_s : float option;
+  out_dir : string;
+  inject : int option;
+  gauntlet : bool;
+}
+
+let default_config =
+  { seed = 0; count = 50; budget_s = None; out_dir = "fuzz-failures";
+    inject = None; gauntlet = true }
+
+type shrunk = {
+  from_params : Gen.params;
+  to_params : Gen.params;
+  steps : int;
+  evals : int;
+  files : string list;
+}
+
+type summary = {
+  config : config;
+  cases_run : int;
+  obligations : int;
+  engine_runs : int;
+  discrepancies : Differential.discrepancy list;
+  shrunk : shrunk list;
+  kill_table : (B.id * int * int) list;
+  gauntlet_misses : (string * B.id * string) list;
+  elapsed_s : float;
+  budget_exhausted : bool;
+}
+
+let ok s = s.discrepancies = [] && s.gauntlet_misses = []
+
+(* shrink a discrepant case, then re-run the battery on the minimal record
+   so the emitted reproducer carries the minimal design's own verdicts *)
+let shrink_and_emit ~out_dir ~inject (case : Gen.case) =
+  let predicate = Differential.discrepant ~inject in
+  let sr = Shrink.minimize ~predicate case.Gen.params in
+  let min_case = Gen.build ~id:(case.Gen.id ^ "_min") sr.Shrink.minimal in
+  let min_report = Differential.check_case ~inject min_case in
+  let files = Shrink.emit ~dir:out_dir min_report in
+  { from_params = sr.Shrink.original; to_params = sr.Shrink.minimal;
+    steps = sr.Shrink.steps; evals = sr.Shrink.evals; files }
+
+let run config =
+  Obs.Telemetry.span ~cat:"qa" "qa.fuzz" @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let over_budget () =
+    match config.budget_s with None -> false | Some b -> elapsed () > b
+  in
+  let discrepancies = ref [] in
+  let shrunk = ref [] in
+  let kill_counts = Hashtbl.create 7 in
+  let misses = ref [] in
+  let cases_run = ref 0 in
+  let obligations = ref 0 in
+  let engine_runs = ref 0 in
+  let budget_exhausted = ref false in
+  let index = ref 0 in
+  while !index < config.count && not !budget_exhausted do
+    if over_budget () then budget_exhausted := true
+    else begin
+      let i = !index in
+      let case = Gen.case_of ~seed:config.seed ~index:i in
+      let inject = config.inject = Some i in
+      let report = Differential.check_case ~inject case in
+      incr cases_run;
+      obligations := !obligations + List.length report.Differential.obligations;
+      List.iter
+        (fun (o : Differential.obligation_report) ->
+          engine_runs :=
+            !engine_runs + List.length o.Differential.engines)
+        report.Differential.obligations;
+      if report.Differential.discrepancies <> [] then begin
+        discrepancies :=
+          !discrepancies @ report.Differential.discrepancies;
+        shrunk :=
+          !shrunk @ [ shrink_and_emit ~out_dir:config.out_dir ~inject case ]
+      end;
+      if config.gauntlet && Gen.mutations case.Gen.params <> [] then begin
+        let g = Mutate.run_case case.Gen.params ~id:case.Gen.id in
+        List.iter
+          (fun (k : Mutate.kill) ->
+            let d, t =
+              Option.value ~default:(0, 0)
+                (Hashtbl.find_opt kill_counts k.Mutate.bug)
+            in
+            Hashtbl.replace kill_counts k.Mutate.bug
+              ((d + if k.Mutate.detected then 1 else 0), t + 1);
+            if not k.Mutate.detected then
+              misses :=
+                !misses
+                @ [ (case.Gen.id, k.Mutate.bug,
+                     Option.value ~default:"undetected" k.Mutate.detail) ])
+          g.Mutate.kills
+      end
+    end;
+    incr index
+  done;
+  let kill_table =
+    List.filter_map
+      (fun b ->
+        Option.map (fun (d, t) -> (b, d, t)) (Hashtbl.find_opt kill_counts b))
+      B.all
+  in
+  { config; cases_run = !cases_run; obligations = !obligations;
+    engine_runs = !engine_runs; discrepancies = !discrepancies;
+    shrunk = !shrunk; kill_table; gauntlet_misses = !misses;
+    elapsed_s = elapsed (); budget_exhausted = !budget_exhausted }
+
+let summary_json s =
+  let per_s n = float_of_int n /. max s.elapsed_s 1e-9 in
+  J.Obj
+    [ ("schema", J.String "dicheck-fuzz-summary-v1");
+      ("seed", J.Int s.config.seed);
+      ("count", J.Int s.config.count);
+      ("cases_run", J.Int s.cases_run);
+      ("obligations", J.Int s.obligations);
+      ("engine_runs", J.Int s.engine_runs);
+      ("elapsed_s", J.Float s.elapsed_s);
+      ("designs_per_s", J.Float (per_s s.cases_run));
+      ("obligations_per_s", J.Float (per_s s.obligations));
+      ("budget_exhausted", J.Bool s.budget_exhausted);
+      ("discrepancies",
+       J.List (List.map Shrink.discrepancy_json s.discrepancies));
+      ("shrunk",
+       J.List
+         (List.map
+            (fun sh ->
+              J.Obj
+                [ ("from", Shrink.params_json sh.from_params);
+                  ("to", Shrink.params_json sh.to_params);
+                  ("steps", J.Int sh.steps);
+                  ("evals", J.Int sh.evals);
+                  ("files",
+                   J.List (List.map (fun f -> J.String f) sh.files)) ])
+            s.shrunk));
+      ("kill_table",
+       J.List
+         (List.map
+            (fun (b, d, t) ->
+              J.Obj
+                [ ("bug", J.String (B.name b));
+                  ("class",
+                   J.String (Shrink.class_label (B.property_class b)));
+                  ("detected", J.Int d);
+                  ("attacked", J.Int t) ])
+            s.kill_table));
+      ("gauntlet_misses",
+       J.List
+         (List.map
+            (fun (id, b, why) ->
+              J.Obj
+                [ ("case", J.String id);
+                  ("bug", J.String (B.name b));
+                  ("detail", J.String why) ])
+            s.gauntlet_misses)) ]

@@ -1,0 +1,50 @@
+(** The fuzz campaign driver behind [dicheck fuzz]: generate [count] seeded
+    designs, run each through the {!Differential} battery and the
+    {!Mutate} gauntlet, shrink anything discrepant with {!Shrink} and emit
+    self-contained reproducers. Deterministic for a given configuration. *)
+
+type config = {
+  seed : int;
+  count : int;
+  budget_s : float option;
+      (** stop starting new cases once this much wall time is spent *)
+  out_dir : string;  (** reproducer directory, created on first failure *)
+  inject : int option;
+      (** test hook: case index given an artificial discrepancy *)
+  gauntlet : bool;  (** run the mutation gauntlet (default behavior) *)
+}
+
+val default_config : config
+(** seed 0, 50 cases, no wall budget, ["fuzz-failures"], no injection,
+    gauntlet on. *)
+
+type shrunk = {
+  from_params : Gen.params;
+  to_params : Gen.params;
+  steps : int;
+  evals : int;
+  files : string list;  (** emitted reproducer paths *)
+}
+
+type summary = {
+  config : config;
+  cases_run : int;
+  obligations : int;  (** differential obligations checked *)
+  engine_runs : int;
+  discrepancies : Differential.discrepancy list;
+  shrunk : shrunk list;  (** one per discrepant case *)
+  kill_table : (Chip.Bugs.id * int * int) list;
+      (** per bug class: (class, mutants detected, mutants attacked) *)
+  gauntlet_misses : (string * Chip.Bugs.id * string) list;
+      (** (case id, bug, why) for every undetected mutant *)
+  elapsed_s : float;
+  budget_exhausted : bool;  (** the wall budget cut the run short *)
+}
+
+val ok : summary -> bool
+(** No discrepancies and a 100% mutation kill rate. *)
+
+val run : config -> summary
+
+val summary_json : summary -> Obs.Json.t
+(** Machine-readable summary (schema ["dicheck-fuzz-summary-v1"]). *)

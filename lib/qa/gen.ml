@@ -1,0 +1,212 @@
+module A = Chip.Archetype
+module B = Chip.Bugs
+
+type template =
+  | Fsm_ctrl
+  | Counter
+  | Csr
+  | Macro_if
+  | Datapath
+  | Decoder
+  | Fifo
+  | Merge
+  | Filler
+
+let templates =
+  [ Fsm_ctrl; Counter; Csr; Macro_if; Datapath; Decoder; Fifo; Merge; Filler ]
+
+let template_name = function
+  | Fsm_ctrl -> "fsm_ctrl"
+  | Counter -> "counter"
+  | Csr -> "csr"
+  | Macro_if -> "macro_if"
+  | Datapath -> "datapath"
+  | Decoder -> "decoder"
+  | Fifo -> "fifo"
+  | Merge -> "merge"
+  | Filler -> "filler"
+
+type params = {
+  template : template;
+  width : int;
+  depth : int;
+  variant : int;
+  mutation : B.id option;
+}
+
+(* width bounds per template, chosen so the worst engine (BMC at the fuzz
+   depth, BDD reachability on the fifo) stays in the tens of milliseconds *)
+let width_range = function
+  | Fsm_ctrl -> (3, 8)  (* number of FSM states *)
+  | Counter -> (2, 6)
+  | Csr -> (2, 7)
+  | Macro_if -> (2, 8)
+  | Datapath -> (2, 5)
+  | Decoder -> (3, 6)
+  | Fifo -> (2, 4)
+  | Merge -> (2, 6)
+  | Filler -> (3, 3)  (* the filler's payload width is fixed *)
+
+let depth_range = function
+  | Fifo -> (2, 4)  (* power-of-two slot count *)
+  | Merge -> (1, 7)  (* HE report bits (<= 7 checker groups) *)
+  | Filler -> (1, 5)  (* total entity count *)
+  | _ -> (1, 1)
+
+let params_of ~seed ~index =
+  let st = Random.State.make [| 0x9a5eed; seed; index |] in
+  let template =
+    List.nth templates (Random.State.int st (List.length templates))
+  in
+  let pick (lo, hi) = lo + Random.State.int st (hi - lo + 1) in
+  let width = pick (width_range template) in
+  let depth =
+    match template with
+    | Fifo -> if Random.State.bool st then 2 else 4
+    | t -> pick (depth_range t)
+  in
+  let variant = Random.State.int st 10_000 in
+  { template; width; depth; variant; mutation = None }
+
+(* ---- deterministic decoding of the variant salt ---- *)
+
+let decoder_valid_cases width = max 2 (3 * (1 lsl width) / 4)
+
+(* distinct bug sites for B5 and B6, the paper's "second wrong case" *)
+let decoder_site p id =
+  let vc = decoder_valid_cases p.width in
+  let salt = if id = B.B6 then 17 else 0 in
+  let addr = (p.variant + salt) mod vc in
+  let pattern = ((p.variant * 7919) + salt + 13) mod (1 lsl p.width) in
+  (addr, pattern)
+
+(* filler shape: entity mix and port counts packed into the variant *)
+let filler_shape p =
+  let v = p.variant in
+  let n_ent = max 1 p.depth in
+  let n_fsm = 1 + (v mod n_ent) in
+  let n_fsm = min n_fsm n_ent in
+  let rest = n_ent - n_fsm in
+  let n_cnt = if rest = 0 then 0 else v / 7 mod (rest + 1) in
+  let n_dp = rest - n_cnt in
+  let n_parity_in = 1 + (v / 49 mod 3) in
+  let n_parity_out = v / 147 mod 3 in
+  let n_extra = v / 441 mod 2 in
+  let he_bits = 1 + (v / 882 mod (n_ent + n_parity_in)) in
+  (n_fsm, n_cnt, n_dp, n_parity_in, n_parity_out, he_bits, n_extra)
+
+let mutations p =
+  match p.template with
+  | Fsm_ctrl -> [ B.B0 ]
+  | Counter -> [ B.B2 ]
+  | Csr -> [ B.B1 ]
+  | Macro_if -> [ B.B3 ]
+  | Datapath -> [ B.B4 ]
+  | Decoder -> [ B.B5; B.B6 ]
+  | Fifo | Merge | Filler -> []
+
+let with_mutation p id =
+  if not (List.mem id (mutations p)) then
+    invalid_arg
+      (Printf.sprintf "Qa.Gen.with_mutation: %s cannot host %s"
+         (template_name p.template) (B.name id));
+  { p with mutation = Some id }
+
+type case = {
+  id : string;
+  params : params;
+  leaf : A.leaf;
+  info : Verifiable.Transform.info;
+  spec : Verifiable.Propgen.spec;
+}
+
+let leaf_of ~name p =
+  let bug = p.mutation <> None in
+  match p.template with
+  | Fsm_ctrl -> A.fsm_ctrl ~name ~bug ~nstates:p.width ()
+  | Counter -> A.counter ~name ~bug ~width:p.width ()
+  | Csr -> A.csr ~name ~bug ~width:p.width ()
+  | Macro_if -> A.macro_if ~name ~bug ~width:p.width ()
+  | Datapath -> A.datapath ~name ~bug ~width:p.width ()
+  | Decoder ->
+    let bug =
+      Option.map
+        (fun id ->
+          let addr, pattern = decoder_site p id in
+          (id, addr, pattern))
+        p.mutation
+    in
+    A.decoder ~name ?bug ~width:p.width
+      ~valid_cases:(decoder_valid_cases p.width) ()
+  | Fifo -> A.fifo ~name ~depth:p.depth ~width:p.width ()
+  | Merge -> A.merge ~name ~payload_width:p.width ~he_bits:p.depth ()
+  | Filler ->
+    let n_fsm, n_cnt, n_dp, n_parity_in, n_parity_out, he_bits, n_extra =
+      filler_shape p
+    in
+    A.filler ~name ~n_fsm ~n_cnt ~n_dp ~n_parity_in ~n_parity_out ~he_bits
+      ~n_extra
+
+let spec_of (leaf : A.leaf) =
+  { Verifiable.Propgen.he = leaf.A.he;
+    he_map = leaf.A.he_map;
+    parity_inputs = leaf.A.parity_inputs;
+    parity_outputs = leaf.A.parity_outputs;
+    extra = leaf.A.extra_props }
+
+let build ~id p =
+  let leaf = leaf_of ~name:id p in
+  let info = Verifiable.Transform.apply leaf.A.mdl in
+  { id; params = p; leaf; info; spec = spec_of leaf }
+
+let case_of ~seed ~index =
+  let p = params_of ~seed ~index in
+  (* underscores, not dashes: the id doubles as the Verilog module name *)
+  let id = Printf.sprintf "fz%d_%d_%s" seed index (template_name p.template) in
+  build ~id p
+
+(* most aggressive reduction first, so the greedy shrinker converges in a
+   few predicate evaluations when the failure is parameter-independent *)
+let shrink_candidates p =
+  let wlo, _ = width_range p.template in
+  let dlo, _ = depth_range p.template in
+  let dlo = if p.template = Fifo then 2 else dlo in
+  let shrink_int lo v =
+    List.sort_uniq compare [ lo; (lo + v) / 2; v - 1 ]
+    |> List.filter (fun x -> x >= lo && x < v)
+  in
+  let widths =
+    List.map (fun w -> { p with width = w }) (shrink_int wlo p.width)
+  in
+  let depths =
+    let ds =
+      if p.template = Fifo then if p.depth > 2 then [ 2 ] else []
+      else shrink_int dlo p.depth
+    in
+    List.map (fun d -> { p with depth = d }) ds
+  in
+  let variants =
+    List.sort_uniq compare [ 0; p.variant / 2; p.variant - 1 ]
+    |> List.filter (fun v -> v >= 0 && v < p.variant)
+    |> List.map (fun v -> { p with variant = v })
+  in
+  widths @ depths @ variants
+
+let describe p =
+  let base =
+    Printf.sprintf "%s w=%d d=%d v=%d" (template_name p.template) p.width
+      p.depth p.variant
+  in
+  let base =
+    match p.template with
+    | Decoder ->
+      Printf.sprintf "%s cases=%d" base (decoder_valid_cases p.width)
+    | Filler ->
+      let f, c, d, pi, po, he, ex = filler_shape p in
+      Printf.sprintf "%s shape=%d/%d/%d io=%d/%d he=%d extra=%d" base f c d
+        pi po he ex
+    | _ -> base
+  in
+  match p.mutation with
+  | None -> base
+  | Some id -> Printf.sprintf "%s bug=%s" base (B.name id)

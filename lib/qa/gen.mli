@@ -1,0 +1,72 @@
+(** Seeded-random generation of verifiable-RTL fuzz subjects.
+
+    A fuzz case composes one {!Chip.Archetype} template with randomized
+    widths, depths and FSM shapes, then runs it through
+    {!Verifiable.Transform} so the design carries real injection ports, and
+    derives its stereotype P0/P1/P2(/P3) obligations from
+    {!Verifiable.Propgen} — exactly the pipeline the campaign subjects real
+    chip leaves to, but over a much wider parameter space.
+
+    Everything is deterministic: [params_of ~seed ~index] depends only on
+    the two integers, and {!build} is a pure function of the parameters, so
+    any failing case can be regenerated (and shrunk) from its parameter
+    record alone. *)
+
+type template =
+  | Fsm_ctrl
+  | Counter
+  | Csr
+  | Macro_if
+  | Datapath
+  | Decoder
+  | Fifo
+  | Merge
+  | Filler
+
+val templates : template list
+val template_name : template -> string
+
+type params = {
+  template : template;
+  width : int;
+      (** payload width; for [Fsm_ctrl] the number of FSM states *)
+  depth : int;  (** [Fifo] depth (a power of two); [Merge] HE bit count *)
+  variant : int;
+      (** non-negative salt: [Decoder] bug site (address and sensitizing
+          pattern), [Filler] shape (entity mix, parity ports, HE bits) *)
+  mutation : Chip.Bugs.id option;
+      (** seeded Table 3 bug archetype; [None] builds the clean design *)
+}
+
+val params_of : seed:int -> index:int -> params
+(** The [index]-th random (clean) parameter record of a [seed]'s stream. *)
+
+type case = {
+  id : string;
+  params : params;
+  leaf : Chip.Archetype.leaf;
+  info : Verifiable.Transform.info;  (** the Verifiable-RTL form *)
+  spec : Verifiable.Propgen.spec;
+}
+
+val build : id:string -> params -> case
+(** Construct the case for a parameter record (pure). *)
+
+val case_of : seed:int -> index:int -> case
+(** [build] of [params_of], with the id ["fz<seed>_<index>_<template>"]
+    (a valid Verilog identifier — the id doubles as the module name). *)
+
+val mutations : params -> Chip.Bugs.id list
+(** The Table 3 bug classes this template can host (empty for templates
+    without a seeded-bug variant). *)
+
+val with_mutation : params -> Chip.Bugs.id -> params
+(** Raises [Invalid_argument] if the template cannot host the bug. *)
+
+val shrink_candidates : params -> params list
+(** Strictly smaller parameter records to try when delta-debugging a
+    failing case, most aggressive reduction first. The [mutation] field is
+    preserved. *)
+
+val describe : params -> string
+(** One-line human summary, e.g. ["decoder w=5 d=1 v=617 cases=24"]. *)

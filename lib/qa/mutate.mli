@@ -1,0 +1,29 @@
+(** The mutation gauntlet: seed each Table 3 bug class a fuzz template can
+    host into the generated design and assert that the stereotype property
+    of the bug's class ({!Chip.Bugs.property_class}) refutes it with a
+    replay-validated counterexample. Every class in Table 3 is formally
+    detectable, so anything short of a validated kill is a gauntlet miss —
+    the fuzzer's regression signal for the engines and the property
+    generator alike. *)
+
+type kill = {
+  bug : Chip.Bugs.id;
+  cls : Verifiable.Propgen.prop_class;  (** the class expected to catch it *)
+  detected : bool;
+  witness : string option;
+      (** refuting property and counterexample length, when detected *)
+  detail : string option;  (** why it was missed, when not *)
+  time_s : float;
+}
+
+type report = {
+  case_id : string;
+  params : Gen.params;  (** clean parameters the mutants derive from *)
+  kills : kill list;  (** one per hostable bug class; may be empty *)
+}
+
+val killed : report -> int * int
+(** [(detected, total)] over the report's kills. *)
+
+val run_case : Gen.params -> id:string -> report
+(** Build and attack every mutant of the (clean) parameter record. *)

@@ -1,0 +1,128 @@
+module E = Mc.Engine
+module J = Obs.Json
+
+type result = {
+  original : Gen.params;
+  minimal : Gen.params;
+  steps : int;
+  evals : int;
+}
+
+let minimize ?(max_evals = 64) ~predicate original =
+  Obs.Telemetry.span ~cat:"qa" "qa.shrink" @@ fun () ->
+  let evals = ref 0 in
+  let check p =
+    incr evals;
+    Obs.Telemetry.count "qa.shrink_evals";
+    predicate p
+  in
+  let rec go current steps =
+    let rec first_reproducing = function
+      | [] -> None
+      | c :: rest ->
+        if !evals >= max_evals then None
+        else if check c then Some c
+        else first_reproducing rest
+    in
+    if !evals >= max_evals then (current, steps)
+    else
+      match first_reproducing (Gen.shrink_candidates current) with
+      | Some c -> go c (steps + 1)
+      | None -> (current, steps)
+  in
+  let minimal, steps = go original 0 in
+  { original; minimal; steps; evals = !evals }
+
+(* ---- reproducer emission ---- *)
+
+let rec ensure_dir d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let class_label = function
+  | Verifiable.Propgen.P0 -> "P0"
+  | P1 -> "P1"
+  | P2 -> "P2"
+  | P3 -> "P3"
+
+let verdict_str = function
+  | E.Proved -> "proved"
+  | E.Proved_bounded d -> Printf.sprintf "proved-bounded:%d" d
+  | E.Failed t -> Printf.sprintf "failed:%d" (Mc.Trace.length t)
+  | E.Resource_out c -> "resource-out:" ^ c
+  | E.Error m -> "error:" ^ m
+
+let params_json (p : Gen.params) =
+  J.Obj
+    [ ("template", J.String (Gen.template_name p.Gen.template));
+      ("width", J.Int p.Gen.width);
+      ("depth", J.Int p.Gen.depth);
+      ("variant", J.Int p.Gen.variant);
+      ("mutation",
+       match p.Gen.mutation with
+       | None -> J.Null
+       | Some b -> J.String (Chip.Bugs.name b)) ]
+
+let engine_json (er : Differential.engine_result) =
+  J.Obj
+    [ ("strategy", J.String (E.strategy_name er.Differential.strategy));
+      ("verdict", J.String (verdict_str er.Differential.outcome.E.verdict));
+      ("engine_used", J.String er.Differential.outcome.E.engine_used);
+      ("time_s", J.Float er.Differential.outcome.E.time_s);
+      ("validated_fail",
+       match er.Differential.validated_fail with
+       | None -> J.Null
+       | Some l -> J.Int l) ]
+
+let obligation_json (o : Differential.obligation_report) =
+  J.Obj
+    [ ("prop", J.String o.Differential.prop_name);
+      ("class", J.String (class_label o.Differential.cls));
+      ("sim_sequences", J.Int o.Differential.sim_sequences);
+      ("engines", J.List (List.map engine_json o.Differential.engines)) ]
+
+let discrepancy_json (d : Differential.discrepancy) =
+  J.Obj
+    [ ("kind", J.String (Differential.kind_name d.Differential.kind));
+      ("prop",
+       match d.Differential.prop with
+       | None -> J.Null
+       | Some p -> J.String p);
+      ("detail", J.String d.Differential.detail) ]
+
+let emit ~dir (r : Differential.report) =
+  ensure_dir dir;
+  let case = r.Differential.case in
+  let id = case.Gen.id in
+  let base = Filename.concat dir id in
+  let v_path = base ^ ".v" in
+  write_file v_path
+    (Rtl.Verilog.module_to_string case.Gen.info.Verifiable.Transform.mdl);
+  let psl_path = base ^ ".psl" in
+  write_file psl_path
+    (Verifiable.Propgen.all case.Gen.info case.Gen.spec
+    |> List.map (fun (_, vu) -> Psl.Print.vunit_to_string vu)
+    |> String.concat "\n");
+  let json_path = base ^ ".json" in
+  write_file json_path
+    (J.to_string_pretty
+       (J.Obj
+          [ ("schema", J.String "dicheck-fuzz-failure-v1");
+            ("id", J.String id);
+            ("params", params_json case.Gen.params);
+            ("describe", J.String (Gen.describe case.Gen.params));
+            ("roundtrip_ok", J.Bool r.Differential.roundtrip_ok);
+            ("discrepancies",
+             J.List
+               (List.map discrepancy_json r.Differential.discrepancies));
+            ("obligations",
+             J.List (List.map obligation_json r.Differential.obligations)) ])
+    ^ "\n");
+  [ v_path; psl_path; json_path ]

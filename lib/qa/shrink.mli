@@ -1,0 +1,34 @@
+(** Greedy delta-debugging of a discrepant fuzz case, plus emission of
+    self-contained reproducers.
+
+    The shrinker works at the parameter level: {!Gen.shrink_candidates}
+    proposes strictly smaller records, and the first candidate the
+    predicate still flags replaces the current record, until no candidate
+    reproduces. Because {!Gen.build} is pure, a minimal parameter record
+    IS the minimal design. *)
+
+type result = {
+  original : Gen.params;
+  minimal : Gen.params;
+  steps : int;  (** accepted reductions *)
+  evals : int;  (** predicate evaluations spent *)
+}
+
+val minimize :
+  ?max_evals:int -> predicate:(Gen.params -> bool) -> Gen.params -> result
+(** [predicate] must hold on the starting record (typically
+    {!Differential.discrepant}); [max_evals] (default 64) bounds the
+    predicate budget, each evaluation being a full differential battery. *)
+
+val class_label : Verifiable.Propgen.prop_class -> string
+(** ["P0"].."P3"] — the short Table 2 column label. *)
+
+val params_json : Gen.params -> Obs.Json.t
+val discrepancy_json : Differential.discrepancy -> Obs.Json.t
+
+val emit : dir:string -> Differential.report -> string list
+(** Write a self-contained reproducer for a discrepant case under [dir]
+    (created if missing): [<id>.v] — the transformed design as Verilog;
+    [<id>.psl] — its obligation vunits; [<id>.json] — parameters,
+    per-engine verdicts and discrepancies (schema
+    ["dicheck-fuzz-failure-v1"]). Returns the written paths. *)
