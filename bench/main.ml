@@ -31,7 +31,11 @@ let campaign_jobs =
 (* every campaign the bench runs, in order, for BENCH_campaign.json *)
 let campaign_runs : (string * Core.Campaign.t) list ref = ref []
 
-let run_campaign label chip =
+(* (ladder label, racing label) once the racing artifact has run both *)
+let racing_info : (string * string) option ref = ref None
+
+let run_campaign ?budget ?portfolio ?race_jobs ?(cache = campaign_cache) label
+    chip =
   let t0 = Unix.gettimeofday () in
   let last = ref 0.0 in
   (* heartbeats go to stderr (fixed 10s interval) so stdout stays a clean
@@ -45,7 +49,8 @@ let run_campaign label chip =
     end
   in
   let c =
-    Core.Campaign.run ~progress ~jobs:campaign_jobs ~cache:campaign_cache chip
+    Core.Campaign.run ?budget ?portfolio ~progress ~jobs:campaign_jobs
+      ?race_jobs ~cache chip
   in
   Printf.printf
     "  %s: %.1fs on %d jobs, %d/%d verdicts from cache\n%!" label
@@ -81,14 +86,41 @@ let write_bench_json path =
         ("sat_conflicts", J.Int p.Core.Campaign.sat_conflicts);
         ("sat_propagations", J.Int p.Core.Campaign.sat_propagations);
         ("max_unroll_depth", J.Int p.Core.Campaign.max_unroll_depth);
-        ("max_final_k", J.Int p.Core.Campaign.max_final_k) ]
+        ("max_final_k", J.Int p.Core.Campaign.max_final_k);
+        ("max_ic3_frames", J.Int p.Core.Campaign.max_ic3_frames);
+        ("strategy_wins",
+         J.Obj
+           (List.map
+              (fun (e, n) -> (e, J.Int n))
+              (Core.Campaign.wins_by_engine c))) ]
+  in
+  let racing_json =
+    match !racing_info with
+    | None -> []
+    | Some (ladder_label, racing_label) -> (
+      match
+        ( List.assoc_opt ladder_label !campaign_runs,
+          List.assoc_opt racing_label !campaign_runs )
+      with
+      | Some l, Some r ->
+        let lw = l.Core.Campaign.wall_time_s
+        and rw = r.Core.Campaign.wall_time_s in
+        [ ("racing",
+           J.Obj
+             [ ("ladder_label", J.String ladder_label);
+               ("racing_label", J.String racing_label);
+               ("ladder_wall_s", J.Float lw);
+               ("racing_wall_s", J.Float rw);
+               ("speedup", J.Float (lw /. Float.max rw 1e-9)) ]) ]
+      | _ -> [])
   in
   let j =
     J.Obj
-      [ ("schema", J.String "dicheck-bench-v1");
-        ("generated_at_unix", J.Float (Unix.gettimeofday ()));
-        ("jobs", J.Int campaign_jobs);
-        ("runs", J.List (List.map run_json !campaign_runs)) ]
+      ([ ("schema", J.String "dicheck-bench-v1");
+         ("generated_at_unix", J.Float (Unix.gettimeofday ()));
+         ("jobs", J.Int campaign_jobs);
+         ("runs", J.List (List.map run_json !campaign_runs)) ]
+      @ racing_json)
   in
   let oc = open_out path in
   (try output_string oc (J.to_string_pretty j)
@@ -125,6 +157,49 @@ let table2 () =
   Format.printf "%a" Core.Campaign.pp_table2 c';
   Printf.printf "failures on the fixed chip: %d (paper: all 2047 verified)\n"
     c'.Core.Campaign.grand_total.Core.Campaign.failed
+
+(* Portfolio racing vs the sequential escalation ladder, under an equal
+   constrained budget. The default budget never escalates (bdd-combined
+   decides all 2047 obligations inside its node limit), so the effect the
+   scheduler exists for — overlapping a ladder's serial stages — is
+   measured where the ladder actually ladders: a small BDD node cap makes
+   the same obligations escalate under both configurations, then Auto pays
+   its rungs in sequence while the portfolio races them. Fresh caches on
+   both sides keep the comparison cold. *)
+let racing () =
+  header "Portfolio racing vs the auto ladder (constrained budget)";
+  let base =
+    { Mc.Engine.default_budget with Mc.Engine.bdd_node_limit = Some 5_000 }
+  in
+  let auto =
+    run_campaign ~budget:base
+      ~cache:(Mc.Cache.create ())
+      "auto-constrained" (Lazy.force chip)
+  in
+  let race =
+    run_campaign ~budget:base
+      ~portfolio:(Mc.Engine.default_portfolio base)
+      ~race_jobs:campaign_jobs
+      ~cache:(Mc.Cache.create ())
+      "race-constrained" (Lazy.force chip)
+  in
+  racing_info := Some ("auto-constrained", "race-constrained");
+  let g (c : Core.Campaign.t) = c.Core.Campaign.grand_total in
+  Printf.printf "  verdict totals identical: %b\n"
+    (let a = g auto and r = g race in
+     a.Core.Campaign.proved = r.Core.Campaign.proved
+     && a.Core.Campaign.failed = r.Core.Campaign.failed
+     && a.Core.Campaign.resource_out = r.Core.Campaign.resource_out
+     && a.Core.Campaign.errors = r.Core.Campaign.errors);
+  Printf.printf "  strategy wins (racing):%s\n"
+    (String.concat ""
+       (List.map
+          (fun (e, n) -> Printf.sprintf " %s=%d" e n)
+          (Core.Campaign.wins_by_engine race)));
+  Printf.printf "  ladder %.1fs, racing %.1fs -> speedup %.2fx\n"
+    auto.Core.Campaign.wall_time_s race.Core.Campaign.wall_time_s
+    (auto.Core.Campaign.wall_time_s
+    /. Float.max race.Core.Campaign.wall_time_s 1e-9)
 
 let table3 () =
   header "Table 3: classification of logic bugs";
@@ -296,9 +371,9 @@ let micro () =
     tests
 
 let artifacts =
-  [ ("table1", table1); ("table2", table2); ("table3", table3);
-    ("table4", table4); ("timing", timing); ("fig7", fig7); ("fuzz", fuzz);
-    ("micro", micro) ]
+  [ ("table1", table1); ("table2", table2); ("racing", racing);
+    ("table3", table3); ("table4", table4); ("timing", timing);
+    ("fig7", fig7); ("fuzz", fuzz); ("micro", micro) ]
 
 let () =
   let args =

@@ -36,6 +36,20 @@ let make_archetype ?(bug = false) name =
       (String.concat ", " archetype_names);
     exit 2
 
+let strategy_names =
+  [ "bdd-forward"; "bdd-backward"; "bdd-combined"; "pobdd"; "bmc";
+    "k-induction"; "ic3"; "auto" ]
+
+(* the one strategy-name parser (Engine.strategy_of_string) behind the one
+   CLI error message, shared by `campaign --portfolio` and `check --strategy` *)
+let strategy_of_name name =
+  match Mc.Engine.strategy_of_string name with
+  | Some s -> s
+  | None ->
+    Printf.eprintf "unknown strategy %s (try: %s)\n" name
+      (String.concat ", " strategy_names);
+    exit 2
+
 let spec_of (leaf : Chip.Archetype.leaf) =
   { Verifiable.Propgen.he = leaf.Chip.Archetype.he;
     he_map = leaf.Chip.Archetype.he_map;
@@ -125,7 +139,8 @@ let write_diagnosis_dir dir (ds : Diag.Diagnosis.diagnosed list) =
 
 let campaign_cmd =
   let run with_bugs jobs csv cache_path no_cache deadline max_retries
-      journal_path resume trace metrics progress_interval diagnose =
+      journal_path resume trace metrics progress_interval diagnose
+      portfolio_spec race_jobs =
     try
       let chip = Chip.Generator.generate ~with_bugs () in
       let cache =
@@ -142,6 +157,26 @@ let campaign_cmd =
           Some
             { Mc.Engine.default_budget with
               Mc.Engine.wall_deadline_s = Some d }
+      in
+      let portfolio =
+        match portfolio_spec with
+        | None -> None
+        | Some spec -> (
+          let base = Option.value ~default:Mc.Engine.default_budget budget in
+          if spec = "default" then Some (Mc.Engine.default_portfolio base)
+          else
+            let members =
+              List.map
+                (fun n ->
+                  { Mc.Engine.m_strategy = strategy_of_name n;
+                    m_budget = base })
+                (String.split_on_char ',' spec)
+            in
+            match Mc.Engine.portfolio ~name:spec members with
+            | p -> Some p
+            | exception Invalid_argument msg ->
+              Printf.eprintf "invalid --portfolio %s: %s\n" spec msg;
+              exit 2)
       in
       let journal =
         match journal_path with
@@ -173,8 +208,8 @@ let campaign_cmd =
         end
       in
       let c =
-        Core.Campaign.run ?budget ~progress ~jobs ~cache ?journal
-          ~max_retries chip
+        Core.Campaign.run ?budget ?portfolio ~progress ~jobs ?race_jobs
+          ~cache ?journal ~max_retries chip
       in
       Option.iter Core.Journal.close journal;
       (* diagnose before stopping telemetry so the diag spans/counters land
@@ -216,6 +251,12 @@ let campaign_cmd =
       if c.Core.Campaign.replayed > 0 || c.Core.Campaign.retries > 0 then
         Printf.printf "robustness: %d replayed from journal, %d crash retries\n"
           c.Core.Campaign.replayed c.Core.Campaign.retries;
+      if portfolio <> None then
+        Printf.printf "strategy wins:%s\n"
+          (String.concat ""
+             (List.map
+                (fun (e, n) -> Printf.sprintf " %s=%d" e n)
+                (Core.Campaign.wins_by_engine c)));
       (match csv with
        | Some path ->
          Core.Campaign.write_csv c path;
@@ -321,10 +362,29 @@ let campaign_cmd =
                    .diag.json and one annotated .vcd per failure (plus \
                    index.json) into DIR.")
   in
+  let portfolio =
+    Arg.(value
+         & opt ~vopt:(Some "default") (some string) None
+         & info [ "portfolio" ] ~docv:"SPEC"
+             ~doc:"Check each obligation with a portfolio of engine \
+                   strategies instead of the auto escalation ladder. SPEC \
+                   is $(b,default) (a node-capped bdd-combined probe, then \
+                   k-induction, ic3, and a full-budget pobdd backstop) or a \
+                   comma-separated list of strategy names. With --jobs > 1 \
+                   the members race per obligation and the first conclusive \
+                   verdict cancels its siblings; verdicts are identical to \
+                   running the same portfolio sequentially.")
+  in
+  let race_jobs =
+    Arg.(value & opt (some int) None
+         & info [ "race-jobs" ] ~docv:"N"
+             ~doc:"Cap one obligation's concurrent member runs under \
+                   --portfolio (default: the pool size).")
+  in
   Cmd.v (Cmd.info "campaign" ~doc:"Run the full formal campaign (Table 2).")
     Term.(const run $ with_bugs $ jobs $ csv $ cache_path $ no_cache
           $ deadline $ max_retries $ journal_path $ resume $ trace $ metrics
-          $ progress_interval $ diagnose)
+          $ progress_interval $ diagnose $ portfolio $ race_jobs)
 
 (* ---- explain ---- *)
 
@@ -570,7 +630,8 @@ let fig7_cmd =
 (* ---- check ---- *)
 
 let check_cmd =
-  let run arch bug psl_file =
+  let run arch bug psl_file strategy =
+    let strategy = Option.map strategy_of_name strategy in
     let leaf = make_archetype ~bug arch in
     let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
     let vunits =
@@ -605,7 +666,8 @@ let check_cmd =
             in
             Printf.printf "%-28s %-30s %s (%.3fs)\n" name verdict
               o.Mc.Engine.engine_used o.Mc.Engine.time_s)
-          (Mc.Engine.check_vunit info.Verifiable.Transform.mdl vunit))
+          (Mc.Engine.check_vunit ?strategy info.Verifiable.Transform.mdl
+             vunit))
       vunits;
     exit (if !failures > 0 then 1 else 0)
   in
@@ -624,10 +686,17 @@ let check_cmd =
          & info [ "psl" ] ~doc:"PSL file to check instead of the generated \
                                 stereotype properties.")
   in
+  let strategy =
+    Arg.(value & opt (some string) None
+         & info [ "strategy" ] ~docv:"NAME"
+             ~doc:(Printf.sprintf
+                     "Engine strategy to use instead of auto (%s)."
+                     (String.concat ", " strategy_names)))
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Model-check PSL against an archetype's Verifiable RTL.")
-    Term.(const run $ arch $ bug $ psl)
+    Term.(const run $ arch $ bug $ psl $ strategy)
 
 (* ---- infer ---- *)
 

@@ -87,14 +87,23 @@ let crash_outcome exn =
     engine_used = "crash"; time_s = 0.0; iterations = 0; work_nodes = 0;
     perf = Mc.Engine.empty_perf }
 
-let run ?budget ?strategy ?(progress = fun (_ : progress) -> ()) ?jobs ?cache
-    ?journal ?(max_retries = 2) ?(retry_backoff_s = 0.05) ?fault_hook
-    (chip : G.t) =
+let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
+    ?jobs ?race_jobs ?cache ?journal ?(max_retries = 2)
+    ?(retry_backoff_s = 0.05) ?fault_hook (chip : G.t) =
   let t0 = Unix.gettimeofday () in
   let cache = match cache with Some c -> c | None -> Mc.Cache.create () in
   let hits0 = Mc.Cache.hits cache in
   let items = Array.of_list (work_items chip) in
   let total = Array.length items in
+  (* a portfolio is just a strategy; the fingerprint salt covers its members
+     and budgets, so the cache/journal key is the same whether the members
+     are then raced on a pool or laddered sequentially *)
+  let strategy =
+    match portfolio with
+    | Some p -> Some (Mc.Engine.Portfolio p)
+    | None -> strategy
+  in
+  let exec = Executor.of_jobs jobs in
   let done_ = ref 0 and retries_n = ref 0 and hits_n = ref 0
   and replayed_n = ref 0 in
   let progress_lock = Mutex.create () in
@@ -102,6 +111,43 @@ let run ?budget ?strategy ?(progress = fun (_ : progress) -> ()) ?jobs ?cache
     Mutex.lock progress_lock;
     incr retries_n;
     Mutex.unlock progress_lock
+  in
+  let fault (w : work) ~fingerprint attempt =
+    match fault_hook with
+    | Some f ->
+      f ~module_name:w.w_mdl.Rtl.Mdl.name ~prop_name:w.w_prop_name
+        ~fingerprint ~attempt
+    | None -> ()
+  in
+  let record ~key outcome =
+    (* checkpoint + cache under the ORIGINAL fingerprint even when a retry
+       ran with a degraded budget: the obligation answered is the same one.
+       Error verdicts are recorded in neither, so a transient crash can
+       poison neither structurally identical siblings nor a resumed run. *)
+    match outcome.Mc.Engine.verdict with
+    | Mc.Engine.Error _ -> ()
+    | _ ->
+      Mc.Cache.add cache ~key outcome;
+      Option.iter (fun j -> Journal.append j ~key outcome) journal
+  in
+  let finish (w : work) ~cache_hit ~replayed ~attempts outcome =
+    Mutex.lock progress_lock;
+    incr done_;
+    if cache_hit then incr hits_n;
+    if replayed then incr replayed_n;
+    let snap =
+      { done_ = !done_; total; retries = !retries_n; cache_hits = !hits_n;
+        replayed = !replayed_n }
+    in
+    (* the callback runs under the lock so user printf output stays whole *)
+    (try progress snap
+     with e ->
+       Mutex.unlock progress_lock;
+       raise e);
+    Mutex.unlock progress_lock;
+    { category = w.w_category; module_name = w.w_mdl.Rtl.Mdl.name;
+      vunit_name = w.w_vunit_name; prop_name = w.w_prop_name; cls = w.w_cls;
+      outcome; bug = w.w_bug; cache_hit; replayed; attempts }
   in
   let check_body (w : work) =
     (* prepare inside the worker so instrumentation, elaboration and COI
@@ -111,24 +157,6 @@ let run ?budget ?strategy ?(progress = fun (_ : progress) -> ()) ?jobs ?cache
         ~assumes:w.w_assumes ~meta:()
     in
     let key = Mc.Obligation.fingerprint ob in
-    let fault attempt =
-      match fault_hook with
-      | Some f ->
-        f ~module_name:w.w_mdl.Rtl.Mdl.name ~prop_name:w.w_prop_name
-          ~fingerprint:key ~attempt
-      | None -> ()
-    in
-    let record outcome =
-      (* checkpoint + cache under the ORIGINAL fingerprint even when a retry
-         ran with a degraded budget: the obligation answered is the same one.
-         Error verdicts are recorded in neither, so a transient crash can
-         poison neither structurally identical siblings nor a resumed run. *)
-      match outcome.Mc.Engine.verdict with
-      | Mc.Engine.Error _ -> ()
-      | _ ->
-        Mc.Cache.add cache ~key outcome;
-        Option.iter (fun j -> Journal.append j ~key outcome) journal
-    in
     let outcome, cache_hit, replayed, attempts =
       match Option.bind journal (fun j -> Journal.replay j ~key) with
       | Some outcome -> (outcome, false, true, 0)
@@ -147,7 +175,7 @@ let run ?budget ?strategy ?(progress = fun (_ : progress) -> ()) ?jobs ?cache
             (* the hook runs inside the match scrutinee: a fault it injects
                is indistinguishable from the engine itself crashing *)
             match
-              fault n;
+              fault w ~fingerprint:key n;
               Mc.Obligation.run ob
             with
             | outcome -> (outcome, n)
@@ -167,26 +195,10 @@ let run ?budget ?strategy ?(progress = fun (_ : progress) -> ()) ?jobs ?cache
               end
           in
           let outcome, attempts = attempt ob 1 in
-          record outcome;
+          record ~key outcome;
           (outcome, false, false, attempts))
     in
-    Mutex.lock progress_lock;
-    incr done_;
-    if cache_hit then incr hits_n;
-    if replayed then incr replayed_n;
-    let snap =
-      { done_ = !done_; total; retries = !retries_n; cache_hits = !hits_n;
-        replayed = !replayed_n }
-    in
-    (* the callback runs under the lock so user printf output stays whole *)
-    (try progress snap
-     with e ->
-       Mutex.unlock progress_lock;
-       raise e);
-    Mutex.unlock progress_lock;
-    { category = w.w_category; module_name = w.w_mdl.Rtl.Mdl.name;
-      vunit_name = w.w_vunit_name; prop_name = w.w_prop_name; cls = w.w_cls;
-      outcome; bug = w.w_bug; cache_hit; replayed; attempts }
+    finish w ~cache_hit ~replayed ~attempts outcome
   in
   let check (w : work) =
     Obs.Telemetry.span ~cat:"obligation"
@@ -196,11 +208,94 @@ let run ?budget ?strategy ?(progress = fun (_ : progress) -> ()) ?jobs ?cache
       (w.w_mdl.Rtl.Mdl.name ^ "." ^ w.w_prop_name)
       (fun () -> check_body w)
   in
+  (* The racing path: preparation and cache/journal lookup happen when the
+     scheduler opens the group; on a miss the portfolio members become the
+     group's attempts, each a full engine run under its own member budget
+     with the scheduler's cancellation hook (plus the obligation's wall
+     deadline, fixed here at open — exactly where the sequential ladder
+     fixes it) threaded into every engine loop. [Engine.combine_portfolio]
+     folds the attributed prefix, so a raced group reports byte-identically
+     to the same portfolio laddered on one domain. Member crashes become
+     non-conclusive [Error] member outcomes — the race continues and the
+     sibling verdicts still decide the obligation. *)
+  let open_group (w : work) =
+    Obs.Telemetry.span ~cat:"obligation"
+      ~args:
+        [ ("category", w.w_category); ("module", w.w_mdl.Rtl.Mdl.name);
+          ("property", w.w_prop_name) ]
+      (w.w_mdl.Rtl.Mdl.name ^ "." ^ w.w_prop_name ^ ".open")
+    @@ fun () ->
+    let ob =
+      Mc.Obligation.prepare ?budget ?strategy w.w_mdl ~assert_:w.w_assert
+        ~assumes:w.w_assumes ~meta:()
+    in
+    let key = Mc.Obligation.fingerprint ob in
+    match Option.bind journal (fun j -> Journal.replay j ~key) with
+    | Some outcome ->
+      Executor.Done
+        (finish w ~cache_hit:false ~replayed:true ~attempts:0 outcome)
+    | None -> (
+      match Mc.Cache.find cache ~key with
+      | Some outcome ->
+        Option.iter (fun j -> Journal.append j ~key outcome) journal;
+        Executor.Done
+          (finish w ~cache_hit:true ~replayed:false ~attempts:0 outcome)
+      | None ->
+        let members =
+          match ob.Mc.Obligation.strategy with
+          | Mc.Engine.Portfolio p -> Array.of_list p.Mc.Engine.p_members
+          | _ -> assert false (* racing is only entered with a portfolio *)
+        in
+        let outer =
+          Mc.Deadline.of_budget
+            ob.Mc.Obligation.budget.Mc.Engine.wall_deadline_s
+        in
+        Executor.Race
+          { attempts = Array.length members;
+            run =
+              (fun k ~cancel ->
+                let m = members.(k) in
+                let mname = Mc.Engine.strategy_name m.Mc.Engine.m_strategy in
+                Obs.Telemetry.span ~cat:"race"
+                  ~args:
+                    [ ("member", mname);
+                      ("module", w.w_mdl.Rtl.Mdl.name);
+                      ("property", w.w_prop_name) ]
+                  (w.w_mdl.Rtl.Mdl.name ^ "." ^ w.w_prop_name ^ "#" ^ mname)
+                @@ fun () ->
+                match
+                  fault w ~fingerprint:key (k + 1);
+                  Mc.Engine.check_netlist ~budget:m.Mc.Engine.m_budget
+                    ?constraint_signal:ob.Mc.Obligation.constraint_signal
+                    ~cancel:(fun () ->
+                      cancel () || Mc.Deadline.expired outer)
+                    ~strategy:m.Mc.Engine.m_strategy ob.Mc.Obligation.nl
+                    ~ok_signal:ob.Mc.Obligation.ok_signal
+                with
+                | outcome -> outcome
+                | exception exn -> crash_outcome exn);
+            conclusive = Mc.Engine.conclusive;
+            combine =
+              (fun outs ->
+                let outcome = Mc.Engine.combine_portfolio outs in
+                if Obs.Telemetry.active () then begin
+                  Obs.Telemetry.count
+                    ("race.win." ^ outcome.Mc.Engine.engine_used);
+                  Obs.Telemetry.count
+                    ~n:(List.length outs - 1)
+                    "race.losers"
+                end;
+                record ~key outcome;
+                finish w ~cache_hit:false ~replayed:false ~attempts:1 outcome)
+          })
+  in
+  let use_racing = portfolio <> None && Executor.jobs exec > 1 in
   let results =
     (* the executor's per-item isolation is the outer safety net: anything
        that escapes the retry ladder (a crash in prepare, a raising progress
        callback) still yields a row instead of losing the campaign *)
-    Executor.map_result (Executor.of_jobs jobs) check items
+    (if use_racing then Executor.race_map_result exec ?race_jobs open_group items
+     else Executor.map_result exec check items)
     |> Array.mapi (fun i -> function
          | Ok r -> r
          | Error exn ->
@@ -315,6 +410,7 @@ type perf_totals = {
   sat_restarts : int;
   max_unroll_depth : int;
   max_final_k : int;
+  max_ic3_frames : int;
 }
 
 let aggregate_perf t =
@@ -333,12 +429,27 @@ let aggregate_perf t =
         sat_propagations = a.sat_propagations + p.Mc.Engine.sat_propagations;
         sat_restarts = a.sat_restarts + p.Mc.Engine.sat_restarts;
         max_unroll_depth = max a.max_unroll_depth p.Mc.Engine.unroll_depth;
-        max_final_k = max a.max_final_k p.Mc.Engine.final_k })
+        max_final_k = max a.max_final_k p.Mc.Engine.final_k;
+        max_ic3_frames = max a.max_ic3_frames p.Mc.Engine.ic3_frames })
     { engine_time_s = 0.0; engine_attempts = 0; fix_iterations = 0;
       bdd_peak = 0; peak_set_size = 0; bdd_polls = 0; sat_decisions = 0;
       sat_conflicts = 0; sat_propagations = 0; sat_restarts = 0;
-      max_unroll_depth = -1; max_final_k = -1 }
+      max_unroll_depth = -1; max_final_k = -1; max_ic3_frames = -1 }
     t.results
+
+(* Results answered per winning engine, counted off the verdict-attributed
+   [engine_used] of every row — cached and replayed rows carry the engine of
+   the run that produced them, so like {!aggregate_perf} this is
+   schedule-independent. *)
+let wins_by_engine t =
+  let tbl = Hashtbl.create 7 in
+  List.iter
+    (fun r ->
+      let e = r.outcome.Mc.Engine.engine_used in
+      Hashtbl.replace tbl e
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e)))
+    t.results;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let resource_out_causes t =
   let tbl = Hashtbl.create 7 in
@@ -388,7 +499,11 @@ let to_metrics_json ?report ?jobs t =
              ("sat_propagations", J.Int p.sat_propagations);
              ("sat_restarts", J.Int p.sat_restarts);
              ("max_unroll_depth", J.Int p.max_unroll_depth);
-             ("max_final_k", J.Int p.max_final_k) ]);
+             ("max_final_k", J.Int p.max_final_k);
+             ("max_ic3_frames", J.Int p.max_ic3_frames) ]);
+        ("strategy_wins",
+         J.Obj
+           (List.map (fun (e, n) -> (e, J.Int n)) (wins_by_engine t)));
         ("categories",
          J.Obj
            (List.map (fun (r : row) -> (r.cat, J.Obj (row_fields r)))

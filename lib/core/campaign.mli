@@ -98,8 +98,10 @@ type t = {
 val run :
   ?budget:Mc.Engine.budget ->
   ?strategy:Mc.Engine.strategy ->
+  ?portfolio:Mc.Engine.portfolio ->
   ?progress:(progress -> unit) ->
   ?jobs:int ->
+  ?race_jobs:int ->
   ?cache:Mc.Cache.t ->
   ?journal:Journal.t ->
   ?max_retries:int ->
@@ -118,6 +120,20 @@ val run :
     within the run), while passing a shared cache additionally reuses
     verdicts across runs — e.g. the post-fix re-campaign. [progress] may be
     invoked from worker domains, serialized under a lock.
+
+    [portfolio] overrides [strategy] with [Portfolio p] and, on a pool,
+    switches the campaign to the racing scheduler
+    ({!Executor.race_map_result}): each cache-missing obligation fans out
+    into one speculative engine run per member, the first conclusive
+    verdict cancels the surviving siblings, and
+    {!Mc.Engine.combine_portfolio} folds the attributed prefix. On one job
+    the same portfolio runs as the engine's sequential short-circuiting
+    ladder, so verdicts, attributed perf and cache/journal keys are
+    identical between the two modes — racing changes wall time, not
+    answers. [race_jobs] caps one obligation's concurrent member runs
+    (default: the pool size). Under racing, member crashes become
+    non-conclusive [Error] member outcomes (no retry ladder) and
+    [fault_hook] runs once per member with [attempt] = member index + 1.
 
     [journal] checkpoints every completed obligation and replays the records
     it was opened with (see {!Journal.create} [~resume]). [max_retries]
@@ -149,6 +165,7 @@ type perf_totals = {
   sat_restarts : int;
   max_unroll_depth : int;  (** [-1] if BMC never ran *)
   max_final_k : int;  (** [-1] if k-induction never ran *)
+  max_ic3_frames : int;  (** [-1] if IC3 never ran *)
 }
 (** Engine-work totals summed (or maxed) over every result row. Cached and
     replayed rows carry the perf of the run that originally produced them,
@@ -160,11 +177,19 @@ val aggregate_perf : t -> perf_totals
 val resource_out_causes : t -> (string * int) list
 (** Count of [Resource_out] results per canonical cause, sorted by cause. *)
 
+val wins_by_engine : t -> (string * int) list
+(** Results per winning engine ([outcome.engine_used]), sorted by engine
+    name. Under a portfolio this is the per-strategy win count — which
+    member's verdict each obligation was attributed to. Cached and replayed
+    rows count the engine of the producing run, so the tally is
+    schedule-independent (seq ≡ race). *)
+
 val to_metrics_json : ?report:Obs.Telemetry.report -> ?jobs:int -> t -> string
 (** The campaign summary as pretty-printed JSON (schema
     ["dicheck-metrics-v1"]): grand totals and per-category rows mirroring
-    Table 2, {!aggregate_perf} under ["perf"], {!resource_out_causes}, and —
-    when a telemetry [report] is supplied — the raw sink counters. *)
+    Table 2, {!aggregate_perf} under ["perf"], {!resource_out_causes},
+    {!wins_by_engine} under ["strategy_wins"], and — when a telemetry
+    [report] is supplied — the raw sink counters. *)
 
 val write_metrics_json :
   ?report:Obs.Telemetry.report -> ?jobs:int -> t -> string -> unit

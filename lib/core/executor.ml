@@ -139,3 +139,267 @@ let map t f xs =
   Array.map
     (function Ok v -> v | Error e -> raise e)
     (map_result t f xs)
+
+(* ---- speculative task groups (portfolio racing) ---- *)
+
+type ('b, 'c) group =
+  | Done of 'c
+  | Race of {
+      attempts : int;
+      run : int -> cancel:(unit -> bool) -> 'b;
+      conclusive : 'b -> bool;
+      combine : 'b list -> 'c;
+    }
+
+let tick ?n name = if Telemetry.active () then Telemetry.count ?n name
+
+(* An attempt decides its group if it is conclusive or crashed: either way
+   no higher-indexed sibling can appear in the attributed prefix, so they
+   are cancelled. *)
+let deciding conclusive = function Ok b -> conclusive b | Error _ -> true
+
+(* Sequential semantics: the reference the racing scheduler must agree
+   with. Attempts run in index order until one decides; the combined value
+   covers exactly the attempts that ran. *)
+let race_seq open_ xs =
+  let results = ref [||] in
+  with_worker_telemetry ~w:0 (fun run ->
+      results :=
+        Array.map
+          (fun x ->
+            match
+              run (fun () ->
+                  match open_ x with
+                  | Done c -> Ok c
+                  | Race r ->
+                    tick "exec.race_groups";
+                    let rec go acc k =
+                      if k >= r.attempts then Ok (r.combine (List.rev acc))
+                      else begin
+                        tick "exec.race_attempts";
+                        match r.run k ~cancel:(fun () -> false) with
+                        | b when r.conclusive b ->
+                          Ok (r.combine (List.rev (b :: acc)))
+                        | b -> go (b :: acc) (k + 1)
+                        | exception e -> Error e
+                      end
+                    in
+                    go [] 0)
+            with
+            | v -> v
+            | exception e -> Error e)
+          xs);
+  !results
+
+type ('b, 'c) gstate = {
+  g_item : int;
+  g_attempts : int;
+  g_run : int -> cancel:(unit -> bool) -> 'b;
+  g_conclusive : 'b -> bool;
+  g_combine : 'b list -> 'c;
+  g_results : ('b, exn) result option array;
+  mutable g_next : int;  (* next attempt index to dispatch *)
+  mutable g_running : int;
+  g_cancel_from : int Atomic.t;  (* attempts >= this are cancelled *)
+  mutable g_cancel_time : float;  (* when cancellation was requested *)
+  mutable g_settled : bool;
+}
+
+(* The racing scheduler. One lock + condition guards all bookkeeping;
+   attempt bodies run unlocked with a per-attempt cancel hook reading the
+   group's [cancel_from] atomic. Dispatch policy: attempt 0 is a lone probe
+   (the cheap ladder head); once it completes without deciding, the
+   remaining attempts fan out concurrently, capped at [race_jobs] in
+   flight per group. Started groups are preferred over opening new ones,
+   so hard obligations get their racers early instead of at the tail. *)
+let race_pool ~workers ~race_jobs open_ xs =
+  let n = Array.length xs in
+  let results = Array.make n None in
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let active = ref [] in  (* opened, unsettled groups, ascending item index *)
+  let next_open = ref 0 in
+  let unsettled = ref n in
+  let latency_bucket dt =
+    tick
+      (if dt <= 0.001 then "exec.race_cancel_le_1ms"
+       else if dt <= 0.01 then "exec.race_cancel_le_10ms"
+       else if dt <= 0.1 then "exec.race_cancel_le_100ms"
+       else "exec.race_cancel_gt_100ms")
+  in
+  let dispatchable g =
+    if g.g_settled then false
+    else
+      let lim = min g.g_attempts (Atomic.get g.g_cancel_from) in
+      if g.g_next >= lim then false
+      else if g.g_next = 0 then g.g_running = 0
+      else g.g_running < race_jobs
+  in
+  (* called with the lock held *)
+  let rec pick () =
+    active := List.filter (fun g -> not g.g_settled) !active;
+    match List.find_opt dispatchable !active with
+    | Some g ->
+      let a = g.g_next in
+      g.g_next <- a + 1;
+      g.g_running <- g.g_running + 1;
+      Some (`Attempt (g, a))
+    | None ->
+      if !next_open < n then begin
+        let i = !next_open in
+        incr next_open;
+        Some (`Open i)
+      end
+      else if !unsettled = 0 then None
+      else begin
+        Condition.wait cond lock;
+        pick ()
+      end
+  in
+  (* called with the lock held; the first deciding completed prefix wins *)
+  let try_settle g =
+    if g.g_settled then None
+    else begin
+      let rec walk i acc =
+        if i >= g.g_attempts then Some (`Combine (List.rev acc))
+        else
+          match g.g_results.(i) with
+          | None -> None
+          | Some (Error e) -> Some (`Err e)
+          | Some (Ok b) ->
+            if g.g_conclusive b then Some (`Combine (List.rev (b :: acc)))
+            else walk (i + 1) (b :: acc)
+      in
+      match walk 0 [] with
+      | None -> None
+      | Some outcome ->
+        g.g_settled <- true;
+        Some outcome
+    end
+  in
+  let worker w () =
+    with_worker_telemetry ~w (fun run ->
+        Mutex.lock lock;
+        let rec loop () =
+          match pick () with
+          | None -> Mutex.unlock lock
+          | Some (`Open i) -> (
+            Mutex.unlock lock;
+            (* [run] is monomorphic within the worker body, so both the
+               opener and the attempts thread their results through refs
+               and call it at type [unit]. *)
+            let opened = ref None in
+            match
+              run (fun () -> opened := Some (open_ xs.(i)));
+              Option.get !opened
+            with
+            | exception e ->
+              results.(i) <- Some (Error e);
+              Mutex.lock lock;
+              decr unsettled;
+              Condition.broadcast cond;
+              loop ()
+            | Done c ->
+              results.(i) <- Some (Ok c);
+              Mutex.lock lock;
+              decr unsettled;
+              Condition.broadcast cond;
+              loop ()
+            | Race r when r.attempts <= 0 ->
+              results.(i) <-
+                Some
+                  (match r.combine [] with
+                   | c -> Ok c
+                   | exception e -> Error e);
+              Mutex.lock lock;
+              decr unsettled;
+              Condition.broadcast cond;
+              loop ()
+            | Race r ->
+              tick "exec.race_groups";
+              let g =
+                { g_item = i; g_attempts = r.attempts; g_run = r.run;
+                  g_conclusive = r.conclusive; g_combine = r.combine;
+                  g_results = Array.make r.attempts None; g_next = 0;
+                  g_running = 0; g_cancel_from = Atomic.make max_int;
+                  g_cancel_time = 0.0; g_settled = false }
+              in
+              Mutex.lock lock;
+              active := !active @ [ g ];
+              Condition.broadcast cond;
+              loop ())
+          | Some (`Attempt (g, a)) ->
+            Mutex.unlock lock;
+            tick "exec.race_attempts";
+            let cancel () = Atomic.get g.g_cancel_from <= a in
+            let res =
+              let out = ref None in
+              match
+                run (fun () -> out := Some (g.g_run a ~cancel));
+                Option.get !out
+              with
+              | b -> Ok b
+              | exception e -> Error e
+            in
+            Mutex.lock lock;
+            g.g_results.(a) <- Some res;
+            g.g_running <- g.g_running - 1;
+            if Atomic.get g.g_cancel_from <= a then begin
+              (* a cancelled loser unwinding: how long did it take to let
+                 go after the winner concluded? *)
+              tick "exec.race_cancelled";
+              latency_bucket (Unix.gettimeofday () -. g.g_cancel_time)
+            end;
+            if
+              deciding g.g_conclusive res
+              && a + 1 < Atomic.get g.g_cancel_from
+            then begin
+              if Atomic.get g.g_cancel_from = max_int then
+                g.g_cancel_time <- Unix.gettimeofday ();
+              Atomic.set g.g_cancel_from (a + 1)
+            end;
+            (match try_settle g with
+             | None ->
+               Condition.broadcast cond;
+               loop ()
+             | Some outcome ->
+               Mutex.unlock lock;
+               let value =
+                 match outcome with
+                 | `Err e -> Error e
+                 | `Combine bs -> (
+                   match g.g_combine bs with
+                   | c -> Ok c
+                   | exception e -> Error e)
+               in
+               results.(g.g_item) <- Some value;
+               Mutex.lock lock;
+               decr unsettled;
+               Condition.broadcast cond;
+               loop ())
+        in
+        loop ())
+  in
+  let helpers =
+    Array.init (workers - 1) (fun k -> Domain.spawn (worker (k + 1)))
+  in
+  worker 0 ();
+  Array.iter Domain.join helpers;
+  Array.map (function Some r -> r | None -> assert false) results
+
+let race_map_result t ?race_jobs open_ xs =
+  match t with
+  | Sequential -> race_seq open_ xs
+  | Pool j ->
+    let n = Array.length xs in
+    if n = 0 then [||]
+    else
+      (* unlike [map_result], one item is not one unit of work: a group
+         fans out into sibling attempts, so the pool keeps its full worker
+         count even when there are fewer items than workers *)
+      let workers = j in
+      let race_jobs =
+        match race_jobs with None -> workers | Some r -> max 1 r
+      in
+      if workers <= 1 then race_seq open_ xs
+      else race_pool ~workers ~race_jobs open_ xs

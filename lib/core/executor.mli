@@ -30,3 +30,60 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** {!map_result} with the historical re-raising behavior: if any
     application raised, the first exception in input order is re-raised
     after all items have been attempted. *)
+
+type ('b, 'c) group =
+  | Done of 'c  (** settled at open time (cache hit, journal replay) *)
+  | Race of {
+      attempts : int;
+      run : int -> cancel:(unit -> bool) -> 'b;
+          (** [run k ~cancel] executes attempt [k]; [cancel] is the
+              cooperative stop hook the attempt must poll. Must not raise in
+              normal operation — a raised exception decides the group as
+              [Error]. *)
+      conclusive : 'b -> bool;
+          (** does this attempt settle the group? Must be pure. *)
+      combine : 'b list -> 'c;
+          (** fold the attributed prefix (attempts [0..w], where [w] is the
+              first conclusive attempt, or all attempts when none conclude)
+              into the group value. Runs once per group, outside the
+              scheduler lock, so it may do I/O (journal, progress). *)
+    }  (** a speculative group: N alternative attempts at one item *)
+
+val race_map_result :
+  t -> ?race_jobs:int -> ('a -> ('b, 'c) group) -> 'a array -> ('c, exn) result array
+(** Order-preserving map over speculative task groups — the portfolio-racing
+    generalization of {!map_result}. [open_ x] prepares item [x] (outside
+    the scheduler lock; cache and journal lookups belong here) and either
+    settles it immediately ([Done]) or fans it out into [attempts]
+    alternative runs ([Race]).
+
+    {b Determinism.} A group settles on the smallest attempt index [w]
+    whose result is conclusive (or whose run raised) once attempts
+    [0..w-1] have all completed; [combine] then receives exactly the
+    results of attempts [0..w] in index order (or all attempts when none
+    conclude) — never a result from a speculative attempt beyond the
+    first conclusive one. The sequential backend runs attempts in index
+    order and stops at the first conclusive one, producing the same
+    prefix, so the settled value of every group is identical across
+    backends and across runs: racing changes wall time, not answers.
+
+    {b Cancellation.} The moment an attempt completes conclusively (or
+    raises), every higher-indexed sibling's [cancel] hook starts
+    returning [true] and no further sibling is dispatched; cancelled
+    attempts still complete cooperatively and their results are dropped
+    from attribution (but any side effects — perf counters an attempt
+    records into its own result — were observed by the attempt itself).
+    On the sequential backend [cancel] never fires.
+
+    {b Scheduling.} On a pool, attempt 0 of each group runs alone as a
+    probe (the cheap ladder head); if it returns without concluding, the
+    remaining attempts race with up to [race_jobs] (default: the pool
+    size) of one group's attempts in flight at once. Workers prefer
+    advancing already-open groups over opening new ones. With
+    [race_jobs = 1] the pool degrades to per-group ladder order.
+
+    Emits [exec.race_groups], [exec.race_attempts], [exec.race_cancelled]
+    telemetry counters and a cancellation-latency histogram
+    ([exec.race_cancel_le_1ms] / [le_10ms] / [le_100ms] / [gt_100ms])
+    measured from cancellation request to the loser's cooperative
+    return. *)

@@ -1,10 +1,24 @@
-type t = float option
+type t = { until : float option; stop : unit -> bool }
 
 exception Expired
 
-let none = None
-let after s = Some (Unix.gettimeofday () +. s)
-let of_budget = Option.map (fun s -> Unix.gettimeofday () +. s)
-let expired = function None -> false | Some t -> Unix.gettimeofday () >= t
+let never_stop () = false
+let none = { until = None; stop = never_stop }
+let after s = { until = Some (Unix.gettimeofday () +. s); stop = never_stop }
+let of_budget = function None -> none | Some s -> after s
+
+let with_stop d stop =
+  let prev = d.stop in
+  if prev == never_stop then { d with stop }
+  else { d with stop = (fun () -> prev () || stop ()) }
+
+let wall_expired d =
+  match d.until with
+  | None -> false
+  | Some t -> Unix.gettimeofday () >= t
+
+let cancelled d = d.stop ()
+let expired d = wall_expired d || d.stop ()
+let live d = d.until <> None || d.stop != never_stop
 let check d = if expired d then raise Expired
 let checker d () = expired d

@@ -5,7 +5,24 @@ type strategy =
   | Pobdd
   | Bmc
   | Kind
+  | Ic3
   | Auto
+  | Portfolio of portfolio
+
+and portfolio = { p_name : string; p_members : member list }
+
+and member = { m_strategy : strategy; m_budget : budget }
+
+and budget = {
+  bdd_node_limit : int option;
+  pobdd_node_limit : int option;
+  pobdd_split_vars : int;
+  bmc_depth : int;
+  induction_max_k : int;
+  sat_max_conflicts : int;
+  ic3_max_frames : int;
+  wall_deadline_s : float option;
+}
 
 let strategy_name = function
   | Bdd_forward -> "bdd-forward"
@@ -14,22 +31,26 @@ let strategy_name = function
   | Pobdd -> "pobdd"
   | Bmc -> "bmc"
   | Kind -> "k-induction"
+  | Ic3 -> "ic3"
   | Auto -> "auto"
+  | Portfolio p -> "portfolio:" ^ p.p_name
 
-type budget = {
-  bdd_node_limit : int option;
-  pobdd_node_limit : int option;
-  pobdd_split_vars : int;
-  bmc_depth : int;
-  induction_max_k : int;
-  sat_max_conflicts : int;
-  wall_deadline_s : float option;
-}
+let strategy_of_string = function
+  | "bdd-forward" -> Some Bdd_forward
+  | "bdd-backward" -> Some Bdd_backward
+  | "bdd-combined" -> Some Bdd_combined
+  | "pobdd" -> Some Pobdd
+  | "bmc" -> Some Bmc
+  | "k-induction" -> Some Kind
+  | "ic3" -> Some Ic3
+  | "auto" -> Some Auto
+  | _ -> None
 
 let default_budget =
   { bdd_node_limit = Some 2_000_000; pobdd_node_limit = Some 8_000_000;
     pobdd_split_vars = 2; bmc_depth = 20; induction_max_k = 20;
-    sat_max_conflicts = 2_000_000; wall_deadline_s = None }
+    sat_max_conflicts = 2_000_000; ic3_max_frames = 32;
+    wall_deadline_s = None }
 
 let degrade_budget b =
   let half = Option.map (fun n -> max 1 (n / 2)) in
@@ -38,6 +59,46 @@ let degrade_budget b =
     pobdd_node_limit = half b.pobdd_node_limit;
     sat_max_conflicts = max 1 (b.sat_max_conflicts / 2);
     wall_deadline_s = Option.map (fun s -> s /. 2.0) b.wall_deadline_s }
+
+let portfolio ~name members =
+  if members = [] then invalid_arg "Engine.portfolio: empty member list";
+  List.iter
+    (fun m ->
+      match m.m_strategy with
+      | Auto | Portfolio _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Engine.portfolio: member %s is not an atomic strategy"
+             (strategy_name m.m_strategy))
+      | Bdd_forward | Bdd_backward | Bdd_combined | Pobdd | Bmc | Kind | Ic3
+        ->
+        ())
+    members;
+  { p_name = name; p_members = members }
+
+(* The default racing portfolio. The BDD member runs with a small node cap:
+   on this workload almost every obligation collapses in a few thousand
+   nodes, so the cap only trips on the genuinely hard cones — exactly the
+   ones worth racing the SAT engines on. The final POBDD member keeps the
+   full Auto-ladder budget as the conclusiveness backstop, so a portfolio
+   race decides every obligation the sequential ladder decides. Members get
+   no private wall deadline; the caller's overall deadline is threaded
+   through the cancellation hook instead. *)
+let speculation_bdd_nodes = 5_000
+
+let default_portfolio base =
+  let base = { base with wall_deadline_s = None } in
+  let cap =
+    match base.bdd_node_limit with
+    | Some n -> Some (min n speculation_bdd_nodes)
+    | None -> Some speculation_bdd_nodes
+  in
+  portfolio ~name:"default"
+    [ { m_strategy = Bdd_combined;
+        m_budget = { base with bdd_node_limit = cap } };
+      { m_strategy = Kind; m_budget = base };
+      { m_strategy = Ic3; m_budget = base };
+      { m_strategy = Pobdd; m_budget = base } ]
 
 type verdict =
   | Proved
@@ -57,13 +118,15 @@ type perf = {
   sat_restarts : int;
   unroll_depth : int;
   final_k : int;
+  ic3_frames : int;
   attempts : string list;
 }
 
 let empty_perf =
   { bdd_peak = 0; bdd_polls = 0; fix_iterations = 0; peak_set_size = 0;
     sat_decisions = 0; sat_conflicts = 0; sat_propagations = 0;
-    sat_restarts = 0; unroll_depth = -1; final_k = -1; attempts = [] }
+    sat_restarts = 0; unroll_depth = -1; final_k = -1; ic3_frames = -1;
+    attempts = [] }
 
 type outcome = {
   verdict : verdict;
@@ -76,6 +139,62 @@ type outcome = {
 
 let resource_cause o =
   match o.verdict with Resource_out c -> Some c | _ -> None
+
+let conclusive o =
+  match o.verdict with
+  | Proved | Failed _ -> true
+  | Proved_bounded _ | Resource_out _ | Error _ -> false
+
+(* Deterministic winner selection over a portfolio prefix. The attributed
+   prefix runs from member 0 through the first conclusive member (or all
+   members when none concludes); within it, a conclusive verdict always
+   wins, then a bounded proof (deeper is better), then resource-out, then
+   error — ties to the smallest index. This is a pure function of the
+   member outcomes, so the sequential ladder and a race that cancels
+   higher-indexed members at the same prefix agree exactly. *)
+let outcome_rank o =
+  match o.verdict with
+  | Proved | Failed _ -> (3, 0)
+  | Proved_bounded d -> (2, d)
+  | Resource_out _ -> (1, 0)
+  | Error _ -> (0, 0)
+
+let merge_perf a p =
+  { bdd_peak = max a.bdd_peak p.bdd_peak;
+    bdd_polls = a.bdd_polls + p.bdd_polls;
+    fix_iterations = a.fix_iterations + p.fix_iterations;
+    peak_set_size = max a.peak_set_size p.peak_set_size;
+    sat_decisions = a.sat_decisions + p.sat_decisions;
+    sat_conflicts = a.sat_conflicts + p.sat_conflicts;
+    sat_propagations = a.sat_propagations + p.sat_propagations;
+    sat_restarts = a.sat_restarts + p.sat_restarts;
+    unroll_depth = max a.unroll_depth p.unroll_depth;
+    final_k = max a.final_k p.final_k;
+    ic3_frames = max a.ic3_frames p.ic3_frames;
+    attempts = a.attempts @ p.attempts }
+
+let combine_portfolio outcomes =
+  if outcomes = [] then invalid_arg "Engine.combine_portfolio: no outcomes";
+  (* truncate at the first conclusive member: anything a race might have
+     run beyond it is schedule-dependent and must not be attributed *)
+  let rec prefix acc = function
+    | [] -> List.rev acc
+    | o :: tl ->
+      if conclusive o then List.rev (o :: acc) else prefix (o :: acc) tl
+  in
+  let attributed = prefix [] outcomes in
+  let winner =
+    List.fold_left
+      (fun best o -> if outcome_rank o > outcome_rank best then o else best)
+      (List.hd attributed) (List.tl attributed)
+  in
+  { verdict = winner.verdict;
+    engine_used = winner.engine_used;
+    time_s = List.fold_left (fun a o -> a +. o.time_s) 0.0 attributed;
+    iterations = winner.iterations;
+    work_nodes = winner.work_nodes;
+    perf = List.fold_left (fun a o -> merge_perf a o.perf) empty_perf attributed
+  }
 
 module Telemetry = Obs.Telemetry
 
@@ -94,13 +213,14 @@ type acc = {
   mutable a_sat_r : int;
   mutable a_unroll : int;
   mutable a_final_k : int;
+  mutable a_ic3_frames : int;
   mutable a_attempts_rev : string list;
 }
 
 let fresh_acc () =
   { a_bdd_peak = 0; a_bdd_alloc = 0; a_bdd_polls = 0; a_fix_iterations = 0;
     a_peak_set_size = 0; a_sat_d = 0; a_sat_c = 0; a_sat_p = 0; a_sat_r = 0;
-    a_unroll = -1; a_final_k = -1; a_attempts_rev = [] }
+    a_unroll = -1; a_final_k = -1; a_ic3_frames = -1; a_attempts_rev = [] }
 
 let perf_of_acc a =
   { bdd_peak = a.a_bdd_peak; bdd_polls = a.a_bdd_polls;
@@ -108,7 +228,7 @@ let perf_of_acc a =
     sat_decisions = a.a_sat_d; sat_conflicts = a.a_sat_c;
     sat_propagations = a.a_sat_p; sat_restarts = a.a_sat_r;
     unroll_depth = a.a_unroll; final_k = a.a_final_k;
-    attempts = List.rev a.a_attempts_rev }
+    ic3_frames = a.a_ic3_frames; attempts = List.rev a.a_attempts_rev }
 
 let acc_sat acc (s : Solver.stats) =
   acc.a_sat_d <- acc.a_sat_d + s.Solver.decisions;
@@ -156,21 +276,31 @@ let deadline_msg = "deadline"
 let bdd_nodes_msg = "bdd-nodes"
 let sat_conflicts_msg = "sat-conflicts"
 let kind_inconclusive_msg = "kind-inconclusive"
+let cancelled_msg = "cancelled"
+let ic3_frames_msg = "ic3-frames"
+
+(* cause of an interrupted engine run: the wall clock beats the stop hook
+   so a deadline that fires during a race still reads "deadline" *)
+let interrupt_cause deadline =
+  if Deadline.wall_expired deadline then deadline_msg
+  else if Deadline.cancelled deadline then cancelled_msg
+  else deadline_msg
 
 let run_bdd ~acc ~node_limit ~deadline ~engine nl ok_signal constraint_signal
     check =
   acc.a_attempts_rev <- engine :: acc.a_attempts_rev;
   let man_ref = ref None in
   let f () =
-    let sym = Sym.create ?node_limit nl in
-    man_ref := Some (Sym.man sym);
     (* the manager-level interrupt bounds even a single runaway image
-       computation; the per-iteration Deadline.check in the fixpoint loops
-       bounds everything between BDD operations *)
-    (match deadline with
-     | None -> ()
-     | Some _ ->
-       Bdd.set_interrupt (Sym.man sym) (Some (Deadline.checker deadline)));
+       computation (or the transition-relation build itself); the
+       per-iteration Deadline.check in the fixpoint loops bounds everything
+       between BDD operations *)
+    let interrupt =
+      if Deadline.live deadline then Some (Deadline.checker deadline)
+      else None
+    in
+    let sym = Sym.create ?node_limit ?interrupt nl in
+    man_ref := Some (Sym.man sym);
     let ok = (Sym.signal_bdd sym ok_signal).(0) in
     let constrain =
       Option.map (fun c -> (Sym.signal_bdd sym c).(0)) constraint_signal
@@ -197,7 +327,7 @@ let run_bdd ~acc ~node_limit ~deadline ~engine nl ok_signal constraint_signal
     Stdlib.Error bdd_nodes_msg
   | exception (Deadline.Expired | Bdd.Interrupted) ->
     record_man ();
-    Stdlib.Error deadline_msg
+    Stdlib.Error (interrupt_cause deadline)
 
 let run_bmc ~acc ~budget ~deadline nl ok_signal constraint_signal =
   acc.a_attempts_rev <- "bmc" :: acc.a_attempts_rev;
@@ -231,16 +361,52 @@ let run_bmc ~acc ~budget ~deadline nl ok_signal constraint_signal =
      | Bmc.Inconclusive stats ->
        acc_bmc stats;
        let msg =
-         if Deadline.expired deadline then deadline_msg
+         if Deadline.expired deadline then interrupt_cause deadline
          else sat_conflicts_msg
        in
        { verdict = Resource_out msg; engine_used = "bmc"; time_s;
          iterations = stats.Bmc.depth; work_nodes = stats.Bmc.cnf_clauses;
          perf = empty_perf })
 
-let check_netlist ?(budget = default_budget) ?constraint_signal ~strategy nl
-    ~ok_signal =
+let rec check_netlist ?(budget = default_budget) ?constraint_signal ?cancel
+    ~strategy nl ~ok_signal =
+  match strategy with
+  | Portfolio p ->
+    (* Sequential portfolio execution: the jobs<=1 degradation of racing.
+       Members run in order until one is conclusive; the combined outcome
+       attributes exactly that prefix, which is the same prefix a race
+       settles on, so verdicts and perf aggregates agree byte-for-byte
+       with the racing scheduler. The caller's wall deadline and
+       cancellation reach every member through its [cancel] hook. *)
+    let deadline = Deadline.of_budget budget.wall_deadline_s in
+    let deadline =
+      match cancel with
+      | Some c -> Deadline.with_stop deadline c
+      | None -> deadline
+    in
+    let rec run_members acc_rev = function
+      | [] -> List.rev acc_rev
+      | m :: tl ->
+        let o =
+          check_netlist ~budget:m.m_budget ?constraint_signal
+            ~cancel:(Deadline.checker deadline) ~strategy:m.m_strategy nl
+            ~ok_signal
+        in
+        if conclusive o then List.rev (o :: acc_rev)
+        else run_members (o :: acc_rev) tl
+    in
+    combine_portfolio (run_members [] p.p_members)
+  | Bdd_forward | Bdd_backward | Bdd_combined | Pobdd | Bmc | Kind | Ic3
+  | Auto ->
+    check_atomic ~budget ?constraint_signal ?cancel ~strategy nl ~ok_signal
+
+and check_atomic ~budget ?constraint_signal ?cancel ~strategy nl ~ok_signal =
   let deadline = Deadline.of_budget budget.wall_deadline_s in
+  let deadline =
+    match cancel with
+    | Some c -> Deadline.with_stop deadline c
+    | None -> deadline
+  in
   let acc = fresh_acc () in
   let bdd check engine =
     run_bdd ~acc ~node_limit:budget.bdd_node_limit ~deadline ~engine nl
@@ -320,11 +486,52 @@ let check_netlist ?(budget = default_budget) ?constraint_signal ~strategy nl
          | Induction.Inconclusive s ->
            acc_kind s;
            let msg =
-             if Deadline.expired deadline then deadline_msg
+             if Deadline.expired deadline then interrupt_cause deadline
              else kind_inconclusive_msg
            in
            { verdict = Resource_out msg; engine_used = "k-induction"; time_s;
              iterations = s.Induction.k; work_nodes = s.Induction.cnf_clauses;
+             perf = empty_perf }))
+    | Ic3 -> (
+      acc.a_attempts_rev <- "ic3" :: acc.a_attempts_rev;
+      let acc_ic3 (s : Ic3.stats) =
+        acc.a_ic3_frames <- max acc.a_ic3_frames s.Ic3.frames;
+        acc_sat acc
+          { Solver.decisions = s.Ic3.decisions; conflicts = s.Ic3.conflicts;
+            propagations = s.Ic3.propagations; restarts = s.Ic3.restarts;
+            learned = 0 }
+      in
+      let f () =
+        Ic3.check ~max_conflicts:budget.sat_max_conflicts
+          ~max_frames:budget.ic3_max_frames ~deadline ?constraint_signal nl
+          ~ok_signal
+      in
+      match Telemetry.span ~cat:"engine" "ic3" (fun () -> timed f) with
+      | exception Deadline.Expired ->
+        resource_out (interrupt_cause deadline) "ic3"
+      | r, time_s ->
+        (match r with
+         | Ic3.Proved s ->
+           acc_ic3 s;
+           { verdict = Proved; engine_used = "ic3"; time_s;
+             iterations = s.Ic3.frames; work_nodes = s.Ic3.clauses;
+             perf = empty_perf }
+         | Ic3.Violation (trace, s) ->
+           acc_ic3 s;
+           { verdict = Failed trace; engine_used = "ic3"; time_s;
+             iterations = s.Ic3.frames; work_nodes = s.Ic3.clauses;
+             perf = empty_perf }
+         | Ic3.Inconclusive (why, s) ->
+           acc_ic3 s;
+           let msg =
+             if Deadline.expired deadline then interrupt_cause deadline
+             else
+               match why with
+               | Ic3.Frames_exhausted -> ic3_frames_msg
+               | Ic3.Solver_limit -> sat_conflicts_msg
+           in
+           { verdict = Resource_out msg; engine_used = "ic3"; time_s;
+             iterations = s.Ic3.frames; work_nodes = s.Ic3.clauses;
              perf = empty_perf }))
     | Auto -> (
       match
@@ -335,15 +542,18 @@ let check_netlist ?(budget = default_budget) ?constraint_signal ~strategy nl
       | Ok o -> o
       | Error _ when Deadline.expired deadline ->
         (* out of wall-clock: escalating would only burn the worker longer *)
-        resource_out deadline_msg "bdd-combined"
+        resource_out (interrupt_cause deadline) "bdd-combined"
       | Error _ -> (
         (* escalate: partitioned engine with a larger budget *)
         match pobdd () with
         | Ok o -> o
         | Error _ when Deadline.expired deadline ->
-          resource_out deadline_msg "pobdd"
+          resource_out (interrupt_cause deadline) "pobdd"
         | Error _ ->
           run_bmc ~acc ~budget ~deadline nl ok_signal constraint_signal))
+    | Portfolio _ ->
+      (* dispatched by check_netlist before reaching the atomic runner *)
+      assert false
   in
   report_counters acc;
   { outcome with perf = perf_of_acc acc }

@@ -10,22 +10,41 @@ type strategy =
   | Pobdd  (** partitioned forward reachability *)
   | Bmc
   | Kind  (** SAT-based k-induction (unbounded) *)
+  | Ic3  (** IC3/PDR incremental induction (unbounded, {!Ic3}) *)
   | Auto  (** combined BDD → POBDD → BMC escalation *)
+  | Portfolio of portfolio
+      (** a declarative member list consumed by the scheduler: raced on a
+          pool, run as a short-circuiting ladder sequentially *)
 
-val strategy_name : strategy -> string
-(** Stable lower-case name, usable in CLI output and cache keys. *)
+and portfolio = { p_name : string; p_members : member list }
 
-type budget = {
+and member = { m_strategy : strategy; m_budget : budget }
+(** One portfolio entry: an {e atomic} strategy (not [Auto] or a nested
+    [Portfolio]) with its own resource budget. *)
+
+and budget = {
   bdd_node_limit : int option;
   pobdd_node_limit : int option;  (** usually larger than [bdd_node_limit] *)
   pobdd_split_vars : int;
   bmc_depth : int;
   induction_max_k : int;
   sat_max_conflicts : int;
+  ic3_max_frames : int;  (** IC3 frame-sequence bound *)
   wall_deadline_s : float option;
       (** cooperative wall-clock bound for the whole check, across every
           escalation stage; expiry yields [Resource_out "deadline"] *)
 }
+
+val strategy_name : strategy -> string
+(** Stable lower-case name, usable in CLI output and cache keys.
+    Portfolios render as ["portfolio:<name>"]. *)
+
+val strategy_of_string : string -> strategy option
+(** Inverse of {!strategy_name} for the atomic strategies and [Auto] — the
+    one strategy-name parser, shared by every CLI entry point. Portfolio
+    names are not parsed here (a portfolio is a structured value, not a
+    name). Round-trips: [strategy_of_string (strategy_name s) = Some s] for
+    every non-portfolio [s]. *)
 
 val default_budget : budget
 (** No wall deadline; the node/conflict limits of the seed configuration. *)
@@ -34,6 +53,18 @@ val degrade_budget : budget -> budget
 (** One rung down the retry ladder: node limits, SAT conflicts and the wall
     deadline halved (never below 1). Used by the campaign when re-running an
     obligation that crashed its worker. *)
+
+val portfolio : name:string -> member list -> portfolio
+(** Validated constructor: raises [Invalid_argument] on an empty member
+    list or a non-atomic member ([Auto]/nested [Portfolio]). *)
+
+val default_portfolio : budget -> portfolio
+(** The standard racing portfolio derived from a base budget:
+    [bdd-combined] with a small speculative node cap, [k-induction], [ic3],
+    and a full-budget [pobdd] backstop (so every obligation the [Auto]
+    ladder decides is still decided). Members carry no private wall
+    deadline — the caller's deadline reaches them through the cancellation
+    hook. *)
 
 type verdict =
   | Proved
@@ -58,6 +89,7 @@ type perf = {
   sat_restarts : int;
   unroll_depth : int;  (** deepest BMC unroll, [-1] if BMC never ran *)
   final_k : int;  (** k-induction's final [k], [-1] if it never ran *)
+  ic3_frames : int;  (** IC3's highest frame, [-1] if it never ran *)
   attempts : string list;  (** engines tried, in escalation order *)
 }
 (** Per-check work measures, captured whether the check concluded or ran out
@@ -78,12 +110,31 @@ type outcome = {
 
 val resource_cause : outcome -> string option
 (** The canonical cause string of a [Resource_out] verdict — ["deadline"],
-    ["bdd-nodes"], ["sat-conflicts"] or ["kind-inconclusive"] — and [None]
-    for every other verdict. *)
+    ["bdd-nodes"], ["sat-conflicts"], ["kind-inconclusive"], ["ic3-frames"]
+    or ["cancelled"] (a racing sibling concluded first) — and [None] for
+    every other verdict. *)
+
+val conclusive : outcome -> bool
+(** [Proved] or [Failed]: a verdict that settles the obligation. Bounded
+    proofs, resource-outs and errors are inconclusive — a racing sibling
+    must not be cancelled on their account. *)
+
+val combine_portfolio : outcome list -> outcome
+(** Fold an index-ordered list of member outcomes into the attributed
+    portfolio outcome. The attribution prefix runs from member 0 through
+    the first {!conclusive} member (the whole list when none concludes);
+    the winner is the best-ranked outcome of that prefix (conclusive >
+    bounded-deeper > resource-out > error, ties to the smallest index),
+    and the combined [perf] merges exactly the prefix — never the
+    schedule-dependent members a race may or may not have started beyond
+    it. Both the sequential ladder and the racing scheduler report through
+    this one function, which is what keeps seq ≡ race aggregates
+    byte-identical. *)
 
 val check_netlist :
   ?budget:budget ->
   ?constraint_signal:string ->
+  ?cancel:(unit -> bool) ->
   strategy:strategy ->
   Rtl.Netlist.t ->
   ok_signal:string ->
@@ -94,8 +145,15 @@ val check_netlist :
     assumptions). When [budget.wall_deadline_s] is set, the deadline is
     fixed on entry and polled cooperatively in every engine loop (BDD
     fixpoint iterations and node allocations, POBDD partitions, BMC unroll
-    frames, CDCL search steps); an expired deadline yields
-    [Resource_out "deadline"] in bounded time instead of hanging. *)
+    frames, CDCL search steps, IC3 obligations); an expired deadline yields
+    [Resource_out "deadline"] in bounded time instead of hanging.
+
+    [cancel] is an external cooperative stop hook polled at the same sites
+    as the deadline — the racing scheduler's cancellation path. A check cut
+    short by [cancel] (with the wall clock still unexpired) yields
+    [Resource_out "cancelled"]. A [Portfolio] strategy runs its members in
+    order with the enclosing deadline and [cancel] threaded into each, and
+    short-circuits on the first conclusive member. *)
 
 val instrumented_netlist :
   Rtl.Mdl.t ->

@@ -1,0 +1,249 @@
+module B = Rtl.Bitblast
+module X = Rtl.Bexpr
+
+type stats = {
+  frames : int;
+  clauses : int;
+  ctis : int;
+  sat_calls : int;
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  restarts : int;
+}
+
+type reason = Frames_exhausted | Solver_limit
+
+type result =
+  | Proved of stats
+  | Violation of Trace.t * stats
+  | Inconclusive of reason * stats
+
+(* A cube is a conjunction of state-bit literals [(var, value)], kept sorted
+   by variable id. Counterexamples-to-induction are extracted as full
+   minterms over the state bits and shrunk by inductive generalization. *)
+type cube = (int * bool) list
+
+exception Limit_hit
+exception Cex of int  (* transitions from an initial state to a bad state *)
+
+let check ?(max_conflicts = max_int) ?(max_frames = 32)
+    ?(deadline = Deadline.none) ?constraint_signal nl ~ok_signal =
+  let flat = B.flatten nl in
+  let nstate =
+    List.fold_left (fun acc (_, v) -> acc + Array.length v) 0 flat.B.reg_vars
+  in
+  let ok_bits = flat.B.fn ok_signal in
+  if Array.length ok_bits <> 1 then
+    invalid_arg "Ic3.check: ok signal must be 1 bit";
+  let bad0 = X.not_ ok_bits.(0) in
+  let constraint0 =
+    Option.map (fun c -> (flat.B.fn c).(0)) constraint_signal
+  in
+  (* next-state function per state bit, indexed by Bexpr variable id *)
+  let next_of = Array.make (max nstate 1) X.fls in
+  List.iter
+    (fun (reg_name, (vars : int array)) ->
+      let fns = List.assoc reg_name flat.B.next_fn in
+      Array.iteri (fun i v -> next_of.(v) <- fns.(i)) vars)
+    flat.B.reg_vars;
+  let init_val = Array.make (max nstate 1) false in
+  List.iter
+    (fun (reg_name, (vars : int array)) ->
+      let reset = flat.B.reset_of reg_name in
+      Array.iteri (fun i v -> init_val.(v) <- Bitvec.get reset i) vars)
+    flat.B.reg_vars;
+  let contains_init c = List.for_all (fun (v, b) -> init_val.(v) = b) c in
+  let excludes_init c = List.exists (fun (v, b) -> init_val.(v) <> b) c in
+  (* delta-encoded frames: a clause proven at level [j] belongs to every
+     F_i with i <= j, so F_i's clause set is the union of deltas.(i..) *)
+  let deltas = Array.make (max_frames + 2) ([] : cube list) in
+  let n_clauses = ref 0 and n_ctis = ref 0 and n_sat_calls = ref 0 in
+  let sat = ref Solver.zero_stats in
+  let acc_st (s : Solver.stats) =
+    sat :=
+      { Solver.decisions = !sat.Solver.decisions + s.Solver.decisions;
+        conflicts = !sat.Solver.conflicts + s.Solver.conflicts;
+        propagations = !sat.Solver.propagations + s.Solver.propagations;
+        restarts = !sat.Solver.restarts + s.Solver.restarts;
+        learned = !sat.Solver.learned + s.Solver.learned }
+  in
+  let stats_at k =
+    { frames = k; clauses = !n_clauses; ctis = !n_ctis;
+      sat_calls = !n_sat_calls; decisions = !sat.Solver.decisions;
+      conflicts = !sat.Solver.conflicts;
+      propagations = !sat.Solver.propagations;
+      restarts = !sat.Solver.restarts }
+  in
+  (* One fresh CNF per query: F_level (init units at level 0), the input
+     constraint, an optional blocking clause, and either the bad cone or a
+     successor cube. Models are small post-COI, so re-encoding per query is
+     cheaper than incremental solving would buy us. *)
+  let solve_query ~level ~block_cube ~target =
+    incr n_sat_calls;
+    let ctx = Tseitin.create () in
+    let tbl = Hashtbl.create 197 in
+    let var_map v =
+      match Hashtbl.find_opt tbl v with
+      | Some cv -> cv
+      | None ->
+        let cv = Tseitin.fresh_var ctx in
+        Hashtbl.replace tbl v cv;
+        cv
+    in
+    let state_lit v b =
+      let sv = var_map v in
+      if b then sv else -sv
+    in
+    let not_cube c = List.map (fun (v, b) -> -state_lit v b) c in
+    if level = 0 then
+      for v = 0 to nstate - 1 do
+        Tseitin.assert_lit ctx (state_lit v init_val.(v))
+      done
+    else
+      for j = level to Array.length deltas - 1 do
+        List.iter (fun c -> Tseitin.add_clause ctx (not_cube c)) deltas.(j)
+      done;
+    (match constraint0 with
+     | Some c -> Tseitin.assert_lit ctx (Tseitin.lit_of_bexpr ctx var_map c)
+     | None -> ());
+    (match block_cube with
+     | Some c -> Tseitin.add_clause ctx (not_cube c)
+     | None -> ());
+    (match target with
+     | `Bad ->
+       Tseitin.assert_lit ctx (Tseitin.lit_of_bexpr ctx var_map bad0)
+     | `Next (c : cube) ->
+       List.iter
+         (fun (v, b) ->
+           let l = Tseitin.lit_of_bexpr ctx var_map next_of.(v) in
+           Tseitin.assert_lit ctx (if b then l else -l))
+         c);
+    let cnf = Tseitin.to_cnf ctx in
+    let result, st =
+      Solver.solve_stats ~max_conflicts
+        ~should_stop:(Deadline.checker deadline) cnf
+    in
+    acc_st st;
+    match result with
+    | Solver.Unsat -> `Unsat
+    | Solver.Unknown -> raise Limit_hit
+    | Solver.Sat model ->
+      let value v =
+        match Hashtbl.find_opt tbl v with
+        | Some cv -> model.(cv - 1)
+        | None -> false
+      in
+      `Sat (List.init nstate (fun v -> (v, value v)))
+  in
+  (* SAT(F_{level} /\ ~cube /\ constraint /\ T /\ cube'): is [cube] still
+     reachable in one step from F_level states outside it? *)
+  let rel_sat level cube =
+    solve_query ~level ~block_cube:(Some cube) ~target:(`Next cube)
+  in
+  (* inductive generalization: drop literals one at a time, keeping the
+     cube relatively inductive and disjoint from the initial state *)
+  let generalize s i =
+    let g = ref s in
+    List.iter
+      (fun lit ->
+        let cand = List.filter (fun l -> l <> lit) !g in
+        if cand <> [] && excludes_init cand then begin
+          Deadline.check deadline;
+          match rel_sat (i - 1) cand with
+          | `Unsat -> g := cand
+          | `Sat _ -> ()
+        end)
+      s;
+    !g
+  in
+  (* recursively block cube [s] at frame [i]; [depth] counts transitions
+     from [s] to the bad state that spawned this proof obligation *)
+  let rec block s i depth =
+    Deadline.check deadline;
+    if contains_init s then raise (Cex depth);
+    assert (i > 0);
+    let rec until_blocked () =
+      match rel_sat (i - 1) s with
+      | `Unsat -> ()
+      | `Sat pred ->
+        block pred (i - 1) (depth + 1);
+        until_blocked ()
+    in
+    until_blocked ();
+    incr n_ctis;
+    let g = generalize s i in
+    deltas.(i) <- g :: deltas.(i);
+    incr n_clauses
+  in
+  let k = ref 0 in
+  let run () =
+    (* depth-0 base case: a bad initial state never enters the frame loop *)
+    (match solve_query ~level:0 ~block_cube:None ~target:`Bad with
+     | `Sat _ -> raise (Cex 0)
+     | `Unsat -> ());
+    if nstate = 0 then Proved (stats_at 0)
+    else begin
+      let proved = ref None in
+      k := 1;
+      while !proved = None && !k <= max_frames do
+        Deadline.check deadline;
+        (* block every bad state reachable within F_k *)
+        let rec drain () =
+          match solve_query ~level:!k ~block_cube:None ~target:`Bad with
+          | `Unsat -> ()
+          | `Sat s ->
+            block s !k 0;
+            drain ()
+        in
+        drain ();
+        (* push clauses forward while they stay relatively inductive; an
+           emptied delta means F_i = F_{i+1}: an inductive fixpoint *)
+        for i = 1 to !k - 1 do
+          if !proved = None then begin
+            Deadline.check deadline;
+            let kept, moved =
+              List.partition
+                (fun c ->
+                  match rel_sat i c with `Sat _ -> true | `Unsat -> false)
+                deltas.(i)
+            in
+            deltas.(i) <- kept;
+            deltas.(i + 1) <- moved @ deltas.(i + 1);
+            if kept = [] then proved := Some (stats_at !k)
+          end
+        done;
+        incr k
+      done;
+      match !proved with
+      | Some st -> Proved st
+      | None -> Inconclusive (Frames_exhausted, stats_at max_frames)
+    end
+  in
+  match run () with
+  | r -> r
+  | exception Limit_hit -> Inconclusive (Solver_limit, stats_at !k)
+  | exception Cex depth -> (
+    (* the CTI chain is a concrete path from reset to a bad state, so a
+       bounded check at exactly that depth must reproduce it — and yields
+       a trace in the engine's standard replayable format *)
+    match
+      Bmc.check ~max_conflicts ~deadline ?constraint_signal nl ~ok_signal
+        ~depth
+    with
+    | Bmc.Violation (trace, bst) ->
+      acc_st
+        { Solver.decisions = bst.Bmc.decisions;
+          conflicts = bst.Bmc.conflicts;
+          propagations = bst.Bmc.propagations;
+          restarts = bst.Bmc.restarts; learned = 0 };
+      Violation (trace, stats_at depth)
+    | Bmc.Inconclusive bst ->
+      acc_st
+        { Solver.decisions = bst.Bmc.decisions;
+          conflicts = bst.Bmc.conflicts;
+          propagations = bst.Bmc.propagations;
+          restarts = bst.Bmc.restarts; learned = 0 };
+      Inconclusive (Solver_limit, stats_at depth)
+    | Bmc.No_violation_upto _ ->
+      failwith "Ic3.check: CTI chain not confirmed by bounded check")

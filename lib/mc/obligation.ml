@@ -30,16 +30,31 @@ let of_vunit ?budget ?strategy mdl vunit ~meta =
 let budget_salt (b : Engine.budget) =
   let lim = function None -> "-" | Some n -> string_of_int n in
   let sec = function None -> "-" | Some s -> Printf.sprintf "%g" s in
-  Printf.sprintf "%s/%s/%d/%d/%d/%d/%s" (lim b.Engine.bdd_node_limit)
+  Printf.sprintf "%s/%s/%d/%d/%d/%d/%d/%s" (lim b.Engine.bdd_node_limit)
     (lim b.Engine.pobdd_node_limit)
     b.Engine.pobdd_split_vars b.Engine.bmc_depth b.Engine.induction_max_k
-    b.Engine.sat_max_conflicts
+    b.Engine.sat_max_conflicts b.Engine.ic3_max_frames
     (sec b.Engine.wall_deadline_s)
+
+(* A portfolio's key must cover its members and their budgets — two
+   portfolios under one name but different member caps answer different
+   questions. The salt is the same whether the portfolio is then raced or
+   run sequentially, so racing never changes a cache or journal key. *)
+let rec strategy_salt = function
+  | Engine.Portfolio p ->
+    Printf.sprintf "portfolio:%s[%s]" p.Engine.p_name
+      (String.concat ";"
+         (List.map
+            (fun (m : Engine.member) ->
+              Printf.sprintf "%s@%s"
+                (strategy_salt m.Engine.m_strategy)
+                (budget_salt m.Engine.m_budget))
+            p.Engine.p_members))
+  | s -> Engine.strategy_name s
 
 let fingerprint o =
   let salt =
-    Printf.sprintf "%s|%s" (Engine.strategy_name o.strategy)
-      (budget_salt o.budget)
+    Printf.sprintf "%s|%s" (strategy_salt o.strategy) (budget_salt o.budget)
   in
   let roots =
     o.ok_signal
@@ -47,9 +62,9 @@ let fingerprint o =
   in
   Rtl.Canon.fingerprint ~salt ~roots o.nl
 
-let run o =
+let run ?cancel o =
   Engine.check_netlist ~budget:o.budget ?constraint_signal:o.constraint_signal
-    ~strategy:o.strategy o.nl ~ok_signal:o.ok_signal
+    ?cancel ~strategy:o.strategy o.nl ~ok_signal:o.ok_signal
 
 let size o =
   let state = Rtl.Netlist.state_bits o.nl in

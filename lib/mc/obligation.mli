@@ -52,8 +52,9 @@ val fingerprint : _ t -> string
     a cached verdict; any change to the logic, the property cone, the
     strategy or the budget changes the key. *)
 
-val run : _ t -> Engine.outcome
-(** Execute the prepared check ({!Engine.check_netlist}). *)
+val run : ?cancel:(unit -> bool) -> _ t -> Engine.outcome
+(** Execute the prepared check ({!Engine.check_netlist}). [cancel] is the
+    cooperative stop hook — see {!Engine.check_netlist}. *)
 
 val size : _ t -> int * int
 (** [(state bits, input bits)] of the prepared model — the paper's "problem

@@ -79,7 +79,7 @@ let rec bdd_of_bexpr t (e : Rtl.Bexpr.t) =
     Hashtbl.replace t.bexpr_cache (Rtl.Bexpr.id e) b;
     b
 
-let create ?node_limit nl =
+let create ?node_limit ?interrupt nl =
   let flat = B.flatten nl in
   let nstate =
     List.fold_left (fun acc (_, vars) -> acc + Array.length vars) 0
@@ -91,6 +91,11 @@ let create ?node_limit nl =
   in
   let cur_of, nxt_of, inp_of = build_order flat nstate ninputs in
   let man = Bdd.create ?node_limit ~nvars:((2 * nstate) + ninputs) () in
+  (* install the interrupt before building next-state functions, so even
+     construction of a runaway transition relation is cancellable *)
+  (match interrupt with
+   | Some f -> Bdd.set_interrupt man (Some f)
+   | None -> ());
   let var_class = Hashtbl.create 197 in
   for i = 0 to nstate - 1 do
     Hashtbl.replace var_class cur_of.(i) (`Cur i);

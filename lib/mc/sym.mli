@@ -6,9 +6,13 @@
 
 type t
 
-val create : ?node_limit:int -> Rtl.Netlist.t -> t
+val create :
+  ?node_limit:int -> ?interrupt:(unit -> bool) -> Rtl.Netlist.t -> t
 (** Builds the next-state BDDs and initial-state cube. Raises
-    {!Bdd.Node_limit} if the node budget is exceeded during construction. *)
+    {!Bdd.Node_limit} if the node budget is exceeded during construction.
+    [interrupt] is installed on the manager {e before} any BDDs are built
+    (see {!Bdd.set_interrupt}), so a deadline or cancellation bounds even
+    the transition-relation construction, not just the fixpoint loops. *)
 
 val man : t -> Bdd.man
 val netlist : t -> Rtl.Netlist.t

@@ -43,7 +43,8 @@ type report = {
 }
 
 let strategies =
-  [ E.Bdd_forward; E.Bdd_backward; E.Bdd_combined; E.Pobdd; E.Bmc; E.Kind ]
+  [ E.Bdd_forward; E.Bdd_backward; E.Bdd_combined; E.Pobdd; E.Bmc; E.Kind;
+    E.Ic3 ]
 
 let fuzz_budget =
   {
@@ -53,6 +54,7 @@ let fuzz_budget =
     bmc_depth = 8;
     induction_max_k = 8;
     sat_max_conflicts = 200_000;
+    ic3_max_frames = 16;
     wall_deadline_s = Some 10.0;
   }
 

@@ -204,6 +204,189 @@ let test_executor_map () =
            (fun i -> if i = 150 then raise Exit else i)
            input))
 
+(* race_map_result: every backend and job count must settle every group on
+   the same attributed prefix — racing changes wall time, not answers *)
+let test_executor_race_groups () =
+  let n = 60 in
+  let input = Array.init n (fun i -> i) in
+  (* item i: Done for multiples of 7; otherwise 1..5 attempts where attempt
+     k yields i*10+k and exactly attempt (i mod 3) is conclusive — which for
+     some items lies beyond the attempt count, so no attempt concludes *)
+  let open_ i =
+    if i mod 7 = 0 then Core.Executor.Done [ -i ]
+    else
+      Core.Executor.Race
+        { attempts = 1 + (i mod 5);
+          run = (fun k ~cancel -> ignore (cancel ()); (i * 10) + k);
+          conclusive = (fun v -> v mod 10 = i mod 3);
+          combine = (fun vs -> vs) }
+  in
+  let expected =
+    Array.init n (fun i ->
+        if i mod 7 = 0 then [ -i ]
+        else
+          let attempts = 1 + (i mod 5) and winner = i mod 3 in
+          let prefix = if winner < attempts then winner + 1 else attempts in
+          List.init prefix (fun k -> (i * 10) + k))
+  in
+  let values label results =
+    Array.map
+      (function
+        | Ok v -> v
+        | Error e -> Alcotest.failf "%s: unexpected error: %s" label
+                       (Printexc.to_string e))
+      results
+  in
+  Alcotest.(check (array (list int))) "sequential backend" expected
+    (values "seq" (Core.Executor.race_map_result Core.Executor.sequential
+                     open_ input));
+  List.iter
+    (fun (jobs, race_jobs) ->
+      let label = Printf.sprintf "pool %d / race %d" jobs race_jobs in
+      Alcotest.(check (array (list int))) label expected
+        (values label
+           (Core.Executor.race_map_result (Core.Executor.pool ~jobs)
+              ~race_jobs open_ input)))
+    [ (2, 1); (3, 2); (4, 4); (8, 3) ];
+  (* a raising attempt decides its group as Error on every backend *)
+  let open_err i =
+    Core.Executor.Race
+      { attempts = 3;
+        run = (fun k ~cancel ->
+                ignore (cancel ());
+                if i = 2 && k = 1 then raise Exit else k);
+        conclusive = (fun v -> v = 2);
+        combine = (fun vs -> vs) }
+  in
+  List.iter
+    (fun exec ->
+      let rs = Core.Executor.race_map_result exec open_err (Array.init 4 Fun.id) in
+      Array.iteri
+        (fun i r ->
+          match (i, r) with
+          | 2, Error Exit -> ()
+          | 2, _ -> Alcotest.fail "crashing attempt must decide as Error Exit"
+          | _, Ok [ 0; 1; 2 ] -> ()
+          | _, _ -> Alcotest.fail "healthy group settled wrong")
+        rs)
+    [ Core.Executor.sequential; Core.Executor.pool ~jobs:4 ];
+  Alcotest.(check int) "empty input" 0
+    (Array.length
+       (Core.Executor.race_map_result (Core.Executor.pool ~jobs:4) open_ [||]))
+
+(* a conclusive attempt cancels its running sibling, and the sibling's
+   cooperative return is observed within the 100ms latency bound *)
+let test_executor_race_cancellation () =
+  let loser_started = Atomic.make false in
+  let loser_cancelled_at = Atomic.make 0.0 in
+  let winner_done_at = Atomic.make 0.0 in
+  let spin_until ?(timeout = 5.0) p =
+    let t0 = Unix.gettimeofday () in
+    while (not (p ())) && Unix.gettimeofday () -. t0 < timeout do
+      Domain.cpu_relax ()
+    done;
+    p ()
+  in
+  let open_ () =
+    Core.Executor.Race
+      { attempts = 3;
+        run =
+          (fun k ~cancel ->
+            match k with
+            | 0 -> 0 (* the probe: completes without concluding *)
+            | 1 ->
+              (* the winner: holds until the loser is live, so cancellation
+                 is actually exercised, then concludes *)
+              ignore (spin_until (fun () -> Atomic.get loser_started));
+              Atomic.set winner_done_at (Unix.gettimeofday ());
+              1
+            | _ ->
+              (* the loser: polls the hook like an engine loop would *)
+              Atomic.set loser_started true;
+              if spin_until cancel then
+                Atomic.set loser_cancelled_at (Unix.gettimeofday ());
+              2);
+        conclusive = (fun v -> v = 1);
+        combine = (fun vs -> vs) }
+  in
+  match
+    Core.Executor.race_map_result (Core.Executor.pool ~jobs:3) open_ [| () |]
+  with
+  | [| Ok prefix |] ->
+    Alcotest.(check (list int)) "attribution stops at the winner" [ 0; 1 ]
+      prefix;
+    Alcotest.(check bool) "loser ran concurrently" true
+      (Atomic.get loser_started);
+    let cancelled = Atomic.get loser_cancelled_at in
+    Alcotest.(check bool) "loser observed cancellation" true (cancelled > 0.0);
+    let latency = cancelled -. Atomic.get winner_done_at in
+    Alcotest.(check bool)
+      (Printf.sprintf "cancellation latency %.1fms under 100ms"
+         (latency *. 1e3))
+      true (latency < 0.1)
+  | _ -> Alcotest.fail "expected one settled group"
+
+(* the racing scheduler must be invisible in the results: verdicts, rows,
+   attribution and the summed perf of a portfolio campaign are identical
+   between one job (the sequential ladder) and a racing pool *)
+let test_racing_matches_sequential_portfolio () =
+  let mini = mini_chip () in
+  let base =
+    { Mc.Engine.default_budget with Mc.Engine.bdd_node_limit = Some 5_000 }
+  in
+  let portfolio = Mc.Engine.default_portfolio base in
+  let seq =
+    Core.Campaign.run ~budget:base ~portfolio ~cache:(Mc.Cache.create ()) mini
+  in
+  let race =
+    Core.Campaign.run ~budget:base ~portfolio ~jobs:4 ~race_jobs:4
+      ~cache:(Mc.Cache.create ()) mini
+  in
+  Alcotest.(check (list string)) "same verdicts in the same order"
+    (List.map result_key seq.Core.Campaign.results)
+    (List.map result_key race.Core.Campaign.results);
+  Alcotest.(check (list string)) "same rows"
+    (List.map row_key seq.Core.Campaign.rows)
+    (List.map row_key race.Core.Campaign.rows);
+  (* attribution: each obligation credits the same member in both modes *)
+  let engines (t : Core.Campaign.t) =
+    List.map
+      (fun (r : Core.Campaign.prop_result) ->
+        r.Core.Campaign.outcome.Mc.Engine.engine_used)
+      t.Core.Campaign.results
+  in
+  Alcotest.(check (list string)) "same winning engine per obligation"
+    (engines seq) (engines race);
+  Alcotest.(check (list (pair string int))) "same per-strategy win counts"
+    (Core.Campaign.wins_by_engine seq) (Core.Campaign.wins_by_engine race);
+  (* no row may ever be attributed to a cancelled loser *)
+  List.iter
+    (fun (r : Core.Campaign.prop_result) ->
+      if Mc.Engine.resource_cause r.Core.Campaign.outcome = Some "cancelled"
+      then Alcotest.failf "%s attributed to a cancelled run"
+             r.Core.Campaign.prop_name)
+    race.Core.Campaign.results;
+  (* aggregate perf is schedule-independent in every integer field (wall
+     times are the one legitimately schedule-dependent measure) *)
+  let p_seq = Core.Campaign.aggregate_perf seq in
+  let p_race = Core.Campaign.aggregate_perf race in
+  let fields (p : Core.Campaign.perf_totals) =
+    [ ("engine_attempts", p.Core.Campaign.engine_attempts);
+      ("fix_iterations", p.Core.Campaign.fix_iterations);
+      ("bdd_peak", p.Core.Campaign.bdd_peak);
+      ("peak_set_size", p.Core.Campaign.peak_set_size);
+      ("bdd_polls", p.Core.Campaign.bdd_polls);
+      ("sat_decisions", p.Core.Campaign.sat_decisions);
+      ("sat_conflicts", p.Core.Campaign.sat_conflicts);
+      ("sat_propagations", p.Core.Campaign.sat_propagations);
+      ("sat_restarts", p.Core.Campaign.sat_restarts);
+      ("max_unroll_depth", p.Core.Campaign.max_unroll_depth);
+      ("max_final_k", p.Core.Campaign.max_final_k);
+      ("max_ic3_frames", p.Core.Campaign.max_ic3_frames) ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "aggregate perf identical under racing" (fields p_seq) (fields p_race)
+
 let test_trace_vcd_export () =
   (* a counterexample exports as a well-formed VCD *)
   let leaf = Chip.Archetype.counter ~name:"vcd_cnt" ~bug:true () in
@@ -386,6 +569,12 @@ let () =
          Alcotest.test_case "warm cache reruns without the engines" `Slow
            test_campaign_warm_cache;
          Alcotest.test_case "executor map" `Quick test_executor_map;
+         Alcotest.test_case "executor race groups" `Quick
+           test_executor_race_groups;
+         Alcotest.test_case "race cancellation latency" `Quick
+           test_executor_race_cancellation;
+         Alcotest.test_case "racing matches sequential portfolio" `Slow
+           test_racing_matches_sequential_portfolio;
          Alcotest.test_case "trace vcd export" `Quick test_trace_vcd_export ]);
       ("classification",
        [ Alcotest.test_case "table 3 reproduction" `Slow

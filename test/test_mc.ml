@@ -230,6 +230,29 @@ let test_node_limit_escalation () =
   Alcotest.(check string) "fell back to bmc" "bmc" o.Mc.Engine.engine_used;
   check_verdict "bounded result" "bounded" o
 
+let test_strategy_names_roundtrip () =
+  (* one shared parser for every CLI entry point: names must round-trip *)
+  List.iter
+    (fun s ->
+      let name = Mc.Engine.strategy_name s in
+      match Mc.Engine.strategy_of_string name with
+      | Some s' ->
+        Alcotest.(check bool) (name ^ " round-trips") true (s' = s)
+      | None -> Alcotest.failf "%s does not parse back" name)
+    [ Mc.Engine.Bdd_forward; Mc.Engine.Bdd_backward; Mc.Engine.Bdd_combined;
+      Mc.Engine.Pobdd; Mc.Engine.Bmc; Mc.Engine.Kind; Mc.Engine.Ic3;
+      Mc.Engine.Auto ];
+  Alcotest.(check bool) "unknown name rejected" true
+    (Mc.Engine.strategy_of_string "frobnicate" = None);
+  (* portfolios are structured values, not names *)
+  let p =
+    Mc.Engine.default_portfolio Mc.Engine.default_budget
+  in
+  Alcotest.(check bool) "portfolio names not parsed" true
+    (Mc.Engine.strategy_of_string
+       (Mc.Engine.strategy_name (Mc.Engine.Portfolio p))
+     = None)
+
 let test_problem_size () =
   let m = mod5 () in
   let assert_ = Psl.Parser.fl_of_string "never ERR" in
@@ -310,6 +333,117 @@ let test_kinduction_agrees_on_bugs () =
             (Psl.Ast.asserts vunit))
         vunits)
     [ Chip.Bugs.B2; Chip.Bugs.B4 ]
+
+(* IC3/PDR engine *)
+let test_ic3 () =
+  let m = mod5 () in
+  (* "never ERR" needs the reachable-set strengthening plain induction
+     lacks: IC3 must learn the frame clauses and prove it unbounded *)
+  let assert_ = Psl.Parser.fl_of_string "never ERR" in
+  let o =
+    Mc.Engine.check_property ~strategy:Mc.Engine.Ic3 m ~assert_ ~assumes:[]
+  in
+  check_verdict "proves never ERR" "proved" o;
+  Alcotest.(check string) "attributed to ic3" "ic3" o.Mc.Engine.engine_used;
+  Alcotest.(check bool) "frame count recorded" true
+    (o.Mc.Engine.perf.Mc.Engine.ic3_frames >= 0);
+  (* a real violation surfaces with a replay-confirmed trace *)
+  let bad = Psl.Parser.fl_of_string "always (c < 3'b100)" in
+  (match
+     (Mc.Engine.check_property ~strategy:Mc.Engine.Ic3 m ~assert_:bad
+        ~assumes:[]).Mc.Engine.verdict
+   with
+   | Mc.Engine.Failed trace ->
+     Alcotest.(check bool) "trace replays" true (replay_confirms m bad [] trace)
+   | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ | Mc.Engine.Resource_out _
+   | Mc.Engine.Error _ ->
+     Alcotest.fail "expected violation");
+  (* an exhausted frame budget is the canonical resource-out *)
+  let tight =
+    { Mc.Engine.default_budget with Mc.Engine.ic3_max_frames = 1 }
+  in
+  let o' =
+    Mc.Engine.check_property ~budget:tight ~strategy:Mc.Engine.Ic3 m ~assert_
+      ~assumes:[]
+  in
+  match o'.Mc.Engine.verdict with
+  | Mc.Engine.Proved -> ()  (* 1 frame can suffice if the fixpoint is early *)
+  | Mc.Engine.Resource_out _ ->
+    Alcotest.(check (option string)) "canonical cause" (Some "ic3-frames")
+      (Mc.Engine.resource_cause o')
+  | Mc.Engine.Proved_bounded _ | Mc.Engine.Failed _ | Mc.Engine.Error _ ->
+    Alcotest.fail "tight frame budget must prove or run out"
+
+let test_ic3_proves_kind_inconclusive () =
+  (* the portfolio's reason to exist: a wrapping 4-bit counter whose states
+     8..15 are unreachable but form arbitrarily long simple paths satisfying
+     the property — plain k-induction can never close it, IC3 learns the
+     strengthening clauses and proves it *)
+  let m = M.create "wrap8" in
+  let m = M.add_output m "OK" 1 in
+  let next =
+    E.mux
+      E.(var "s" ==: of_int ~width:4 7)
+      (E.of_int ~width:4 0)
+      E.(var "s" +: of_int ~width:4 1)
+  in
+  let m = M.add_reg m "s" 4 next in
+  let m = M.add_assign m "OK" (E.( !: ) E.(var "s" ==: of_int ~width:4 12)) in
+  let assert_ = Psl.Parser.fl_of_string "always OK" in
+  let budget =
+    { Mc.Engine.default_budget with Mc.Engine.induction_max_k = 3 }
+  in
+  let kind =
+    Mc.Engine.check_property ~budget ~strategy:Mc.Engine.Kind m ~assert_
+      ~assumes:[]
+  in
+  Alcotest.(check (option string)) "k-induction is inconclusive"
+    (Some "kind-inconclusive") (Mc.Engine.resource_cause kind);
+  let ic3 =
+    Mc.Engine.check_property ~budget ~strategy:Mc.Engine.Ic3 m ~assert_
+      ~assumes:[]
+  in
+  check_verdict "ic3 proves it" "proved" ic3;
+  Alcotest.(check bool) "proof needed at least one frame" true
+    (ic3.Mc.Engine.perf.Mc.Engine.ic3_frames >= 1)
+
+(* IC3 agrees with BDD reachability on the seeded-bug counter: same
+   falsifications, and every IC3 trace replays in the simulator *)
+let test_ic3_agrees_on_bug_module () =
+  let leaf = Chip.Archetype.counter ~name:"ic3_cnt" ~bug:true () in
+  let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
+  let mdl = info.Verifiable.Transform.mdl in
+  let spec =
+    { Verifiable.Propgen.he = leaf.Chip.Archetype.he;
+      he_map = leaf.Chip.Archetype.he_map;
+      parity_inputs = leaf.Chip.Archetype.parity_inputs;
+      parity_outputs = leaf.Chip.Archetype.parity_outputs; extra = [] }
+  in
+  let falsified = ref 0 in
+  List.iter
+    (fun (_, vunit) ->
+      let assumes = List.map snd (Psl.Ast.assumes vunit) in
+      List.iter
+        (fun (name, assert_) ->
+          let bdd =
+            Mc.Engine.check_property ~strategy:Mc.Engine.Bdd_forward mdl
+              ~assert_ ~assumes
+          in
+          let ic3 =
+            Mc.Engine.check_property ~strategy:Mc.Engine.Ic3 mdl ~assert_
+              ~assumes
+          in
+          match (bdd.Mc.Engine.verdict, ic3.Mc.Engine.verdict) with
+          | Mc.Engine.Failed _, Mc.Engine.Failed trace ->
+            incr falsified;
+            Alcotest.(check bool) (name ^ " ic3 trace replays") true
+              (replay_confirms mdl assert_ assumes trace)
+          | Mc.Engine.Proved, (Mc.Engine.Proved | Mc.Engine.Resource_out _) ->
+            ()
+          | _ -> Alcotest.failf "%s: ic3 and bdd disagree" name)
+        (Psl.Ast.asserts vunit))
+    (Verifiable.Propgen.all info spec);
+  Alcotest.(check bool) "seeded bug falsified through ic3" true (!falsified > 0)
 
 
 (* ---- random modules: symbolic engines vs explicit-state brute force ---- *)
@@ -448,7 +582,7 @@ let prop_engines_match_brute_force =
         List.for_all verdict_matches
           [ Mc.Engine.Bdd_forward; Mc.Engine.Bdd_backward;
             Mc.Engine.Bdd_combined; Mc.Engine.Pobdd; Mc.Engine.Bmc;
-            Mc.Engine.Kind ]
+            Mc.Engine.Kind; Mc.Engine.Ic3 ]
       in
       (* and the symbolic reachable-set size must equal the BFS count *)
       let nl = elaborated m in
@@ -624,11 +758,19 @@ let () =
            test_bmc_find_shortest;
          Alcotest.test_case "budget escalation" `Quick
            test_node_limit_escalation;
+         Alcotest.test_case "strategy names round-trip" `Quick
+           test_strategy_names_roundtrip;
          Alcotest.test_case "problem size" `Quick test_problem_size ]);
       ("induction",
        [ Alcotest.test_case "k-induction basics" `Quick test_kinduction;
          Alcotest.test_case "agrees with BDD on bug modules" `Slow
            test_kinduction_agrees_on_bugs ]);
+      ("ic3",
+       [ Alcotest.test_case "ic3 basics" `Quick test_ic3;
+         Alcotest.test_case "proves where k-induction gives up" `Quick
+           test_ic3_proves_kind_inconclusive;
+         Alcotest.test_case "agrees with BDD on the bugged counter" `Slow
+           test_ic3_agrees_on_bug_module ]);
       ("obligation",
        [ Alcotest.test_case "structural fingerprints" `Quick
            test_obligation_fingerprints;
