@@ -6,7 +6,8 @@
      dune exec bench/main.exe -- table2   -- one artifact only
      dune exec bench/main.exe -- micro    -- Bechamel micro-benchmarks
 
-   Artifacts: table1 table2 table3 table4 timing fig7 fuzz micro *)
+   Artifacts: table1 table2 racing healing table3 table4 timing fig7 fuzz
+   micro *)
 
 let header title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') title (String.make 72 '=')
@@ -34,8 +35,11 @@ let campaign_runs : (string * Core.Campaign.t) list ref = ref []
 (* (ladder label, racing label) once the racing artifact has run both *)
 let racing_info : (string * string) option ref = ref None
 
-let run_campaign ?budget ?portfolio ?race_jobs ?(cache = campaign_cache) label
-    chip =
+(* (starved label, healed label) once the healing artifact has run both *)
+let healing_info : (string * string) option ref = ref None
+
+let run_campaign ?budget ?portfolio ?race_jobs ?self_heal
+    ?(cache = campaign_cache) label chip =
   let t0 = Unix.gettimeofday () in
   let last = ref 0.0 in
   (* heartbeats go to stderr (fixed 10s interval) so stdout stays a clean
@@ -50,7 +54,7 @@ let run_campaign ?budget ?portfolio ?race_jobs ?(cache = campaign_cache) label
   in
   let c =
     Core.Campaign.run ?budget ?portfolio ~progress ~jobs:campaign_jobs
-      ?race_jobs ~cache chip
+      ?race_jobs ?self_heal ~cache chip
   in
   Printf.printf
     "  %s: %.1fs on %d jobs, %d/%d verdicts from cache\n%!" label
@@ -67,7 +71,7 @@ let write_bench_json path =
     let g = c.Core.Campaign.grand_total in
     let p = Core.Campaign.aggregate_perf c in
     J.Obj
-      [ ("label", J.String label);
+      ([ ("label", J.String label);
         ("wall_s", J.Float c.Core.Campaign.wall_time_s);
         ("jobs", J.Int campaign_jobs);
         ("properties", J.Int g.Core.Campaign.total);
@@ -93,6 +97,24 @@ let write_bench_json path =
            (List.map
               (fun (e, n) -> (e, J.Int n))
               (Core.Campaign.wins_by_engine c))) ]
+      @
+      (match c.Core.Campaign.healing with
+      | None -> []
+      | Some h ->
+        [ ("healing",
+           J.Obj
+             [ ("attempted", J.Int h.Core.Campaign.heal_attempted);
+               ("recovered", J.Int h.Core.Campaign.heal_recovered);
+               ("healed_proved", J.Int h.Core.Campaign.heal_proved);
+               ("healed_failed", J.Int h.Core.Campaign.heal_failed);
+               ("exhausted", J.Int h.Core.Campaign.heal_exhausted);
+               ("unhealable", J.Int h.Core.Campaign.heal_unhealable);
+               ("spurious_cex", J.Int h.Core.Campaign.heal_spurious);
+               ("cegar_iters", J.Int h.Core.Campaign.heal_cegar_iters);
+               ("subs_proved", J.Int h.Core.Campaign.heal_subs_proved);
+               ("bad_cuts", J.Int h.Core.Campaign.heal_bad_cuts);
+               ("pieces", J.Int h.Core.Campaign.heal_pieces);
+               ("wall_s", J.Float h.Core.Campaign.heal_wall_s) ]) ]))
   in
   let racing_json =
     match !racing_info with
@@ -114,13 +136,42 @@ let write_bench_json path =
                ("speedup", J.Float (lw /. Float.max rw 1e-9)) ]) ]
       | _ -> [])
   in
+  let healing_json =
+    match !healing_info with
+    | None -> []
+    | Some (starved_label, healed_label) -> (
+      match
+        ( List.assoc_opt starved_label !campaign_runs,
+          List.assoc_opt healed_label !campaign_runs )
+      with
+      | Some s, Some h ->
+        let ro (c : Core.Campaign.t) =
+          c.Core.Campaign.grand_total.Core.Campaign.resource_out
+        in
+        let recovered =
+          match h.Core.Campaign.healing with
+          | Some t -> t.Core.Campaign.heal_recovered
+          | None -> 0
+        in
+        [ ("healing",
+           J.Obj
+             [ ("starved_label", J.String starved_label);
+               ("healed_label", J.String healed_label);
+               ("resource_out_before", J.Int (ro s));
+               ("resource_out_after", J.Int (ro h));
+               ("recovered", J.Int recovered);
+               ("recovery_rate",
+                J.Float
+                  (float_of_int recovered /. float_of_int (max (ro s) 1))) ]) ]
+      | _ -> [])
+  in
   let j =
     J.Obj
       ([ ("schema", J.String "dicheck-bench-v1");
          ("generated_at_unix", J.Float (Unix.gettimeofday ()));
          ("jobs", J.Int campaign_jobs);
          ("runs", J.List (List.map run_json !campaign_runs)) ]
-      @ racing_json)
+      @ racing_json @ healing_json)
   in
   let oc = open_out path in
   (try output_string oc (J.to_string_pretty j)
@@ -200,6 +251,50 @@ let racing () =
     auto.Core.Campaign.wall_time_s race.Core.Campaign.wall_time_s
     (auto.Core.Campaign.wall_time_s
     /. Float.max race.Core.Campaign.wall_time_s 1e-9)
+
+(* Self-healing under a starving budget: the same 2047-obligation campaign
+   twice, with the BDD arena capped where the filler cones exhaust it —
+   once plain (hundreds of resource-outs) and once with the automatic
+   Figure 7 recovery pass, which partitions each starved cone, re-proves
+   the pieces inside the very same budget and recombines them by
+   assume-guarantee. Fresh caches on both sides keep the comparison cold. *)
+let healing () =
+  header "Self-healing recovery under a starving budget (--self-heal)";
+  let starved =
+    { Mc.Engine.default_budget with
+      Mc.Engine.bdd_node_limit = Some 2_000;
+      Mc.Engine.pobdd_node_limit = Some 2_000 }
+  in
+  let portfolio =
+    Mc.Engine.portfolio ~name:"bdd-combined"
+      [ { Mc.Engine.m_strategy = Mc.Engine.Bdd_combined; m_budget = starved } ]
+  in
+  let plain =
+    run_campaign ~budget:starved ~portfolio
+      ~cache:(Mc.Cache.create ())
+      "starved" (Lazy.force chip)
+  in
+  let healed =
+    run_campaign ~budget:starved ~portfolio ~self_heal:4
+      ~cache:(Mc.Cache.create ())
+      "starved-healed" (Lazy.force chip)
+  in
+  healing_info := Some ("starved", "starved-healed");
+  let g (c : Core.Campaign.t) = c.Core.Campaign.grand_total in
+  Printf.printf "  resource-outs: %d starved -> %d after healing\n"
+    (g plain).Core.Campaign.resource_out (g healed).Core.Campaign.resource_out;
+  (match healed.Core.Campaign.healing with
+   | Some h ->
+     Printf.printf
+       "  recovered %d of %d (%d proved, %d real failures; %d spurious cex, \
+        %d CEGAR iterations, %d pieces)\n"
+       h.Core.Campaign.heal_recovered h.Core.Campaign.heal_attempted
+       h.Core.Campaign.heal_proved h.Core.Campaign.heal_failed
+       h.Core.Campaign.heal_spurious h.Core.Campaign.heal_cegar_iters
+       h.Core.Campaign.heal_pieces
+   | None -> ());
+  Printf.printf "  verdict flips vs starved run: %b (must be false)\n"
+    ((g plain).Core.Campaign.failed <> (g healed).Core.Campaign.failed)
 
 let table3 () =
   header "Table 3: classification of logic bugs";
@@ -372,8 +467,8 @@ let micro () =
 
 let artifacts =
   [ ("table1", table1); ("table2", table2); ("racing", racing);
-    ("table3", table3); ("table4", table4); ("timing", timing);
-    ("fig7", fig7); ("fuzz", fuzz); ("micro", micro) ]
+    ("healing", healing); ("table3", table3); ("table4", table4);
+    ("timing", timing); ("fig7", fig7); ("fuzz", fuzz); ("micro", micro) ]
 
 let () =
   let args =

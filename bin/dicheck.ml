@@ -138,9 +138,9 @@ let write_diagnosis_dir dir (ds : Diag.Diagnosis.diagnosed list) =
 (* ---- campaign ---- *)
 
 let campaign_cmd =
-  let run with_bugs jobs csv cache_path no_cache deadline max_retries
-      journal_path resume trace metrics progress_interval diagnose
-      portfolio_spec race_jobs =
+  let run with_bugs jobs csv cache_path no_cache deadline node_limit
+      max_retries journal_path resume trace metrics progress_interval
+      diagnose portfolio_spec race_jobs self_heal =
     try
       let chip = Chip.Generator.generate ~with_bugs () in
       let cache =
@@ -151,12 +151,21 @@ let campaign_cmd =
       let recording = trace <> None || metrics <> None in
       if recording then Core.Telemetry.start ();
       let budget =
-        match deadline with
-        | None -> None
-        | Some d ->
+        match (deadline, node_limit) with
+        | None, None -> None
+        | _ ->
           Some
             { Mc.Engine.default_budget with
-              Mc.Engine.wall_deadline_s = Some d }
+              Mc.Engine.wall_deadline_s = deadline;
+              bdd_node_limit =
+                (match node_limit with
+                 | Some _ -> node_limit
+                 | None -> Mc.Engine.default_budget.Mc.Engine.bdd_node_limit);
+              pobdd_node_limit =
+                (match node_limit with
+                 | Some _ -> node_limit
+                 | None ->
+                   Mc.Engine.default_budget.Mc.Engine.pobdd_node_limit) }
       in
       let portfolio =
         match portfolio_spec with
@@ -209,7 +218,7 @@ let campaign_cmd =
       in
       let c =
         Core.Campaign.run ?budget ?portfolio ~progress ~jobs ?race_jobs
-          ~cache ?journal ~max_retries chip
+          ~cache ?journal ~max_retries ?self_heal chip
       in
       Option.iter Core.Journal.close journal;
       (* diagnose before stopping telemetry so the diag spans/counters land
@@ -257,6 +266,24 @@ let campaign_cmd =
              (List.map
                 (fun (e, n) -> Printf.sprintf " %s=%d" e n)
                 (Core.Campaign.wins_by_engine c)));
+      (match c.Core.Campaign.healing with
+       | None -> ()
+       | Some h ->
+         let healed_rows =
+           List.length
+             (List.filter
+                (fun (r : Core.Campaign.prop_result) -> r.Core.Campaign.healed)
+                c.Core.Campaign.results)
+         in
+         Printf.printf
+           "healed: %d of %d resource-outs recovered (%d proved, %d real \
+            failures; %d spurious cex, %d CEGAR iterations, %d exhausted, \
+            %d unhealable; %d healed rows total)\n"
+           h.Core.Campaign.heal_recovered h.Core.Campaign.heal_attempted
+           h.Core.Campaign.heal_proved h.Core.Campaign.heal_failed
+           h.Core.Campaign.heal_spurious h.Core.Campaign.heal_cegar_iters
+           h.Core.Campaign.heal_exhausted h.Core.Campaign.heal_unhealable
+           healed_rows);
       (match csv with
        | Some path ->
          Core.Campaign.write_csv c path;
@@ -315,6 +342,14 @@ let campaign_cmd =
              ~doc:"Wall-clock deadline per obligation; an overrunning check \
                    yields a resource-out verdict instead of hanging a \
                    worker.")
+  in
+  let node_limit =
+    Arg.(value & opt (some int) None
+         & info [ "node-limit" ] ~docv:"N"
+             ~doc:"Cap the BDD/POBDD engines at N live nodes per obligation \
+                   (a starvation budget); an overrunning check yields a \
+                   resource-out verdict. Pair with --self-heal to recover \
+                   starved obligations by partitioning.")
   in
   let max_retries =
     Arg.(value & opt int 2
@@ -381,10 +416,23 @@ let campaign_cmd =
              ~doc:"Cap one obligation's concurrent member runs under \
                    --portfolio (default: the pool size).")
   in
+  let self_heal =
+    Arg.(value
+         & opt ~vopt:(Some 4) (some int) None
+         & info [ "self-heal" ] ~docv:"MAX-ITERS"
+             ~doc:"Recover resource-out obligations by automatic Figure 7 \
+                   partitioning: mine parity checkpoints in the failing \
+                   cone, prove the cut sub-properties, re-check the \
+                   property with the cuts freed (assume-guarantee), and \
+                   refine spurious counterexamples by concrete replay \
+                   (CEGAR) — at most MAX-ITERS (default 4) freed-cut \
+                   checks per obligation.")
+  in
   Cmd.v (Cmd.info "campaign" ~doc:"Run the full formal campaign (Table 2).")
     Term.(const run $ with_bugs $ jobs $ csv $ cache_path $ no_cache
-          $ deadline $ max_retries $ journal_path $ resume $ trace $ metrics
-          $ progress_interval $ diagnose $ portfolio $ race_jobs)
+          $ deadline $ node_limit $ max_retries $ journal_path $ resume
+          $ trace $ metrics $ progress_interval $ diagnose $ portfolio
+          $ race_jobs $ self_heal)
 
 (* ---- explain ---- *)
 

@@ -12,6 +12,7 @@ type prop_result = {
   cache_hit : bool;
   replayed : bool;
   attempts : int;
+  healed : bool;
 }
 
 type row = {
@@ -38,6 +39,21 @@ type progress = {
   replayed : int;
 }
 
+type heal_totals = {
+  heal_attempted : int;
+  heal_recovered : int;
+  heal_proved : int;
+  heal_failed : int;
+  heal_exhausted : int;
+  heal_unhealable : int;
+  heal_spurious : int;
+  heal_cegar_iters : int;
+  heal_subs_proved : int;
+  heal_bad_cuts : int;
+  heal_pieces : int;
+  heal_wall_s : float;
+}
+
 type t = {
   results : prop_result list;
   rows : row list;
@@ -46,6 +62,7 @@ type t = {
   cache_hits : int;
   retries : int;
   replayed : int;
+  healing : heal_totals option;
 }
 
 type work = {
@@ -89,7 +106,7 @@ let crash_outcome exn =
 
 let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
     ?jobs ?race_jobs ?cache ?journal ?(max_retries = 2)
-    ?(retry_backoff_s = 0.05) ?fault_hook (chip : G.t) =
+    ?(retry_backoff_s = 0.05) ?fault_hook ?self_heal (chip : G.t) =
   let t0 = Unix.gettimeofday () in
   let cache = match cache with Some c -> c | None -> Mc.Cache.create () in
   let hits0 = Mc.Cache.hits cache in
@@ -147,7 +164,12 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
     Mutex.unlock progress_lock;
     { category = w.w_category; module_name = w.w_mdl.Rtl.Mdl.name;
       vunit_name = w.w_vunit_name; prop_name = w.w_prop_name; cls = w.w_cls;
-      outcome; bug = w.w_bug; cache_hit; replayed; attempts }
+      outcome; bug = w.w_bug; cache_hit; replayed; attempts;
+      (* a resumed run replays a previously healed verdict straight from the
+         journal; the attribution marks it *)
+      healed =
+        String.equal outcome.Mc.Engine.engine_used Heal.engine_name
+        && Mc.Engine.conclusive outcome }
   in
   let check_body (w : work) =
     (* prepare inside the worker so instrumentation, elaboration and COI
@@ -303,8 +325,130 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
            { category = w.w_category; module_name = w.w_mdl.Rtl.Mdl.name;
              vunit_name = w.w_vunit_name; prop_name = w.w_prop_name;
              cls = w.w_cls; outcome = crash_outcome exn; bug = w.w_bug;
-             cache_hit = false; replayed = false; attempts = 0 })
+             cache_hit = false; replayed = false; attempts = 0;
+             healed = false })
     |> Array.to_list
+  in
+  (* Self-healing recovery pass: every obligation whose retry ladder ended
+     in [Resource_out] gets one shot at the automatic Figure 7 loop
+     ({!Heal.heal_one}). Pieces go through the same cache/journal machinery
+     as first-class obligations under cut-salted fingerprints, and a healed
+     verdict is checkpointed under the monolithic key — appended after the
+     original resource-out record, so the journal's later-duplicate-wins
+     replay hands a resumed run the healed outcome without re-proving
+     anything. Healing an obligation is deterministic (pieces run
+     sequentially inside its worker), so seq ≡ pool ≡ raced. *)
+  let results, healing =
+    match self_heal with
+    | None -> (results, None)
+    | Some max_iters ->
+      let th0 = Unix.gettimeofday () in
+      let arr = Array.of_list results in
+      let ro_idx =
+        Array.init (Array.length arr) Fun.id
+        |> Array.to_list
+        |> List.filter (fun i ->
+               match arr.(i).outcome.Mc.Engine.verdict with
+               | Mc.Engine.Resource_out _ -> true
+               | Mc.Engine.Proved | Mc.Engine.Proved_bounded _
+               | Mc.Engine.Failed _ | Mc.Engine.Error _ ->
+                 false)
+        |> Array.of_list
+      in
+      let run_piece (p : Heal.piece) =
+        Obs.Telemetry.span ~cat:"heal"
+          ~args:[ ("module", p.Heal.p_mdl.Rtl.Mdl.name);
+                  ("salt", p.Heal.p_salt) ]
+          p.Heal.p_label
+        @@ fun () ->
+        let ob =
+          Mc.Obligation.prepare ?budget ?strategy p.Heal.p_mdl
+            ~assert_:p.Heal.p_assert ~assumes:p.Heal.p_assumes ~meta:()
+        in
+        let key = Mc.Obligation.fingerprint ~salt:p.Heal.p_salt ob in
+        match Option.bind journal (fun j -> Journal.replay j ~key) with
+        | Some outcome ->
+          Obs.Telemetry.count "heal.piece.replayed";
+          outcome
+        | None -> (
+          match Mc.Cache.find cache ~key with
+          | Some outcome ->
+            Option.iter (fun j -> Journal.append j ~key outcome) journal;
+            Obs.Telemetry.count "heal.piece.cached";
+            outcome
+          | None ->
+            let outcome = Mc.Obligation.run ob in
+            record ~key outcome;
+            Obs.Telemetry.count "heal.piece.solved";
+            outcome)
+      in
+      let heal_i i =
+        let w = items.(i) in
+        Obs.Telemetry.span ~cat:"heal"
+          ~args:[ ("module", w.w_mdl.Rtl.Mdl.name);
+                  ("property", w.w_prop_name) ]
+          ("heal:" ^ w.w_mdl.Rtl.Mdl.name ^ "." ^ w.w_prop_name)
+        @@ fun () ->
+        let hr =
+          Heal.heal_one ~max_iters ~run_piece ~mdl:w.w_mdl
+            ~assert_:w.w_assert ~assumes:w.w_assumes ()
+        in
+        (match hr.Heal.h_outcome with
+        | None -> ()
+        | Some out ->
+          let ob =
+            Mc.Obligation.prepare ?budget ?strategy w.w_mdl
+              ~assert_:w.w_assert ~assumes:w.w_assumes ~meta:()
+          in
+          record ~key:(Mc.Obligation.fingerprint ob) out;
+          if Mc.Engine.conclusive out then
+            Obs.Telemetry.count "heal.recovered");
+        hr
+      in
+      let heal_outs = Executor.map_result exec heal_i ro_idx in
+      let recovered = ref 0 and proved = ref 0 and failed = ref 0
+      and exhausted = ref 0 and unhealable = ref 0 and spurious = ref 0
+      and cegar = ref 0 and subs = ref 0 and bad = ref 0
+      and pieces = ref 0 in
+      Array.iteri
+        (fun k res ->
+          match res with
+          | Error _ -> () (* a crash while healing keeps the original row *)
+          | Ok hr ->
+            spurious := !spurious + hr.Heal.h_spurious;
+            cegar := !cegar + hr.Heal.h_finals;
+            subs := !subs + hr.Heal.h_subs_proved;
+            bad := !bad + hr.Heal.h_bad_cuts;
+            pieces := !pieces + hr.Heal.h_pieces;
+            (match hr.Heal.h_outcome with
+            | None -> incr unhealable
+            | Some out ->
+              let i = ro_idx.(k) in
+              arr.(i) <-
+                { (arr.(i)) with
+                  outcome = out;
+                  healed = Mc.Engine.conclusive out };
+              (match out.Mc.Engine.verdict with
+              | Mc.Engine.Proved ->
+                incr recovered;
+                incr proved
+              | Mc.Engine.Failed _ ->
+                incr recovered;
+                incr failed
+              | Mc.Engine.Proved_bounded _ ->
+                incr recovered
+              | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
+                incr exhausted)))
+        heal_outs;
+      ( Array.to_list arr,
+        Some
+          { heal_attempted = Array.length ro_idx;
+            heal_recovered = !recovered; heal_proved = !proved;
+            heal_failed = !failed; heal_exhausted = !exhausted;
+            heal_unhealable = !unhealable; heal_spurious = !spurious;
+            heal_cegar_iters = !cegar; heal_subs_proved = !subs;
+            heal_bad_cuts = !bad; heal_pieces = !pieces;
+            heal_wall_s = Unix.gettimeofday () -. th0 } )
   in
   let row_of cat subs cat_results =
     let by f = List.length (List.filter f cat_results) in
@@ -380,7 +524,7 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
   in
   { results; rows; grand_total; wall_time_s = Unix.gettimeofday () -. t0;
     cache_hits = Mc.Cache.hits cache - hits0; retries = !retries_n;
-    replayed = !replayed_n }
+    replayed = !replayed_n; healing }
 
 let failed_results t =
   List.filter
@@ -460,7 +604,19 @@ let resource_out_causes t =
         Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c))
       | None -> ())
     t.results;
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  (* canonical vocabulary order first, then any non-canonical stragglers
+     alphabetically, so tallies line up across runs and schema consumers *)
+  let rank c =
+    let rec idx i = function
+      | [] -> (1, c)
+      | x :: _ when String.equal x c -> (0, Printf.sprintf "%02d" i)
+      | _ :: tl -> idx (i + 1) tl
+    in
+    idx 0 Mc.Engine.ro_causes
+  in
+  List.sort
+    (fun (a, _) (b, _) -> compare (rank a) (rank b))
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let to_metrics_json ?report ?jobs t =
   let module J = Obs.Json in
@@ -503,7 +659,27 @@ let to_metrics_json ?report ?jobs t =
              ("max_ic3_frames", J.Int p.max_ic3_frames) ]);
         ("strategy_wins",
          J.Obj
-           (List.map (fun (e, n) -> (e, J.Int n)) (wins_by_engine t)));
+           (List.map (fun (e, n) -> (e, J.Int n)) (wins_by_engine t))) ]
+    @ (match t.healing with
+      | None -> []
+      | Some h ->
+        [ ("recovery",
+           J.Obj
+             [ ("attempted", J.Int h.heal_attempted);
+               ("recovered", J.Int h.heal_recovered);
+               ("healed_proved", J.Int h.heal_proved);
+               ("healed_failed", J.Int h.heal_failed);
+               ("exhausted", J.Int h.heal_exhausted);
+               ("unhealable", J.Int h.heal_unhealable);
+               ("spurious_cex", J.Int h.heal_spurious);
+               ("cegar_iters", J.Int h.heal_cegar_iters);
+               ("subs_proved", J.Int h.heal_subs_proved);
+               ("bad_cuts", J.Int h.heal_bad_cuts);
+               ("pieces", J.Int h.heal_pieces);
+               ("healed_rows",
+                J.Int (List.length (List.filter (fun r -> r.healed) t.results)));
+               ("wall_s", J.Float h.heal_wall_s) ]) ])
+    @ [
         ("categories",
          J.Obj
            (List.map (fun (r : row) -> (r.cat, J.Obj (row_fields r)))
@@ -534,7 +710,8 @@ let to_csv t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     "category,module,vunit,property,class,verdict,cause,engine,wall_ms,\
-     iterations,bdd_peak,sat_conflicts,cache_hit,replayed,attempts,bug\n";
+     iterations,bdd_peak,sat_conflicts,cache_hit,replayed,attempts,bug,\
+     healed\n";
   List.iter
     (fun r ->
       let verdict, cause =
@@ -550,14 +727,16 @@ let to_csv t =
       in
       let p = r.outcome.Mc.Engine.perf in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s,%s,%.1f,%d,%d,%d,%b,%b,%d,%s\n"
+        (Printf.sprintf
+           "%s,%s,%s,%s,%s,%s,%s,%s,%.1f,%d,%d,%d,%b,%b,%d,%s,%b\n"
            r.category r.module_name r.vunit_name r.prop_name
            (Verifiable.Propgen.class_name r.cls)
            verdict cause r.outcome.Mc.Engine.engine_used
            (1000.0 *. r.outcome.Mc.Engine.time_s)
            r.outcome.Mc.Engine.iterations p.Mc.Engine.bdd_peak
            p.Mc.Engine.sat_conflicts r.cache_hit r.replayed r.attempts
-           (match r.bug with Some b -> Chip.Bugs.name b | None -> "")))
+           (match r.bug with Some b -> Chip.Bugs.name b | None -> "")
+           r.healed))
     t.results;
   Buffer.contents buf
 

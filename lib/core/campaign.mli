@@ -40,6 +40,11 @@ type prop_result = {
   attempts : int;
       (** engine runs performed for this result: 1 for a clean fresh run,
           [> 1] after crash retries, 0 for cache hits and replays *)
+  healed : bool;
+      (** the verdict is conclusive {e because} the self-healing layer
+          recovered it from a [Resource_out] (engine attribution
+          {!Heal.engine_name}) — set both when healed in this run and when a
+          healed verdict is replayed from the journal or cache *)
 }
 
 type row = {
@@ -85,6 +90,26 @@ val work_items : Chip.Generator.t -> work list
 (** The campaign's work list in scheduling order: one item per assert of
     every stereotype vunit of every leaf, matching [run]'s result order. *)
 
+type heal_totals = {
+  heal_attempted : int;  (** resource-out obligations handed to the healer *)
+  heal_recovered : int;  (** converted to a conclusive verdict *)
+  heal_proved : int;
+  heal_failed : int;  (** real failures confirmed by concrete replay *)
+  heal_exhausted : int;
+      (** gave up after the CEGAR budget — now [Resource_out
+          "heal-exhausted"] *)
+  heal_unhealable : int;  (** cone held no usable cuts; verdict untouched *)
+  heal_spurious : int;  (** counterexamples refuted by concrete replay *)
+  heal_cegar_iters : int;  (** freed-cut final checks run, total *)
+  heal_subs_proved : int;  (** parity sub-proofs that succeeded *)
+  heal_bad_cuts : int;  (** mined candidates skipped as unfreeable *)
+  heal_pieces : int;  (** derived obligations consulted, incl. cache hits *)
+  heal_wall_s : float;
+}
+(** Recovery-pass totals of one run. A resumed run that replays already
+    healed verdicts reports those under {!prop_result.healed} (and the
+    metrics' [healed_rows]), not here — these count this run's own work. *)
+
 type t = {
   results : prop_result list;
   rows : row list;  (** one per category, in A..E order *)
@@ -93,6 +118,7 @@ type t = {
   cache_hits : int;  (** checks answered from the cache during this run *)
   retries : int;  (** crash re-runs performed during this run *)
   replayed : int;  (** checks replayed from the journal *)
+  healing : heal_totals option;  (** present iff [run] got [?self_heal] *)
 }
 
 val run :
@@ -112,6 +138,7 @@ val run :
     fingerprint:string ->
     attempt:int ->
     unit) ->
+  ?self_heal:int ->
   Chip.Generator.t ->
   t
 (** [jobs] selects the executor backend: absent or [<= 1] runs sequentially,
@@ -142,7 +169,18 @@ val run :
     (default 0.05s) doubling per rung, capped at 1s. [fault_hook], intended
     for tests, runs in the worker just before each real engine attempt
     (never for cache hits or replays) — it can count engine invocations or
-    inject crashes. *)
+    inject crashes.
+
+    [self_heal] turns on the automatic Figure 7 recovery pass
+    ({!Heal.heal_one}) over every [Resource_out] result, with at most
+    [self_heal] freed-cut final checks per obligation. Healing pieces run
+    through the same prepare/cache/journal path as first-class obligations
+    under cut-salted fingerprints, and a healed verdict is journaled under
+    the monolithic key after the original resource-out record — so
+    [~resume] replays healing without re-proving any piece. The pass is
+    parallelized across obligations on the same executor and is
+    deterministic: sequential, pooled and raced campaigns heal to identical
+    verdicts. *)
 
 val failed_results : t -> prop_result list
 
@@ -175,7 +213,9 @@ type perf_totals = {
 val aggregate_perf : t -> perf_totals
 
 val resource_out_causes : t -> (string * int) list
-(** Count of [Resource_out] results per canonical cause, sorted by cause. *)
+(** Count of [Resource_out] results per canonical cause, in the
+    {!Mc.Engine.ro_causes} vocabulary order (any non-canonical cause — which
+    would indicate an engine bug — sorts after, alphabetically). *)
 
 val wins_by_engine : t -> (string * int) list
 (** Results per winning engine ([outcome.engine_used]), sorted by engine

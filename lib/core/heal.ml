@@ -1,0 +1,244 @@
+module E = Rtl.Expr
+module A = Psl.Ast
+module P = Verifiable.Partition
+
+let engine_name = "self-heal"
+
+type piece = {
+  p_mdl : Rtl.Mdl.t;
+  p_assert : A.fl;
+  p_assumes : A.fl list;
+  p_salt : string;
+  p_label : string;
+}
+
+type result = {
+  h_outcome : Mc.Engine.outcome option;
+  h_pieces : int;
+  h_subs_proved : int;
+  h_finals : int;
+  h_spurious : int;
+  h_bad_cuts : int;
+  h_wall_s : float;
+}
+
+let no_heal ~bad_cuts ~wall_s =
+  { h_outcome = None; h_pieces = 0; h_subs_proved = 0; h_finals = 0;
+    h_spurious = 0; h_bad_cuts = bad_cuts; h_wall_s = wall_s }
+
+(* Inputs constrained to odd parity by an [always red_xor(i)] assumption
+   must not default to zero during a replay — zero has even parity and
+   would discharge the property by breaking the constraint, misreading a
+   real counterexample as spurious. Bit 0 set is the canonical legal
+   default. *)
+let parity_defaults assumes (nl : Rtl.Netlist.t) =
+  List.filter_map
+    (fun fl ->
+      match fl with
+      | A.Always (A.Bool (E.Unop (E.Red_xor, E.Var s))) -> (
+        match List.assoc_opt s nl.Rtl.Netlist.inputs with
+        | Some w -> Some (s, Bitvec.of_int ~width:w 1)
+        | None -> None)
+      | _ -> None)
+    assumes
+
+(* The concrete trace of a confirmed violation, rebuilt from the replay:
+   per cycle, the effective stimulus over every concrete input and the
+   settled register values. Ends at the replay's fail cycle. *)
+let concrete_trace (nl : Rtl.Netlist.t) ~defaults stimulus (r : Replay.run)
+    ~fail_cycle =
+  let regs =
+    List.map (fun (fr : Rtl.Netlist.flat_reg) -> fr.Rtl.Netlist.name)
+      nl.Rtl.Netlist.regs
+  in
+  List.filteri (fun j _ -> j <= fail_cycle) r.Replay.snapshots
+  |> List.mapi (fun j snap ->
+         let cycle_inputs =
+           match List.nth_opt stimulus j with Some c -> c | None -> []
+         in
+         let inputs =
+           List.map
+             (fun (name, w) ->
+               let v =
+                 match List.assoc_opt name cycle_inputs with
+                 | Some v -> v
+                 | None -> (
+                   match List.assoc_opt name defaults with
+                   | Some v -> v
+                   | None -> Bitvec.zero w)
+               in
+               (name, v))
+             nl.Rtl.Netlist.inputs
+         in
+         let state =
+           List.filter (fun (name, _) -> List.mem name regs) snap
+         in
+         { Mc.Trace.step = j; inputs; state })
+
+(* CEGAR blame: the first freed cut whose engine-chosen value sequence
+   diverges from what the concrete machine actually computes under the same
+   stimulus — the abstraction artifact the spurious counterexample rode on.
+   Falls back to the last cut when no divergence is visible (e.g. the trace
+   does not record the cut's values). *)
+let blame_cut freed_set trace (r : Replay.run) =
+  let diverges c =
+    List.exists
+      (fun (cy : Mc.Trace.cycle) ->
+        match List.assoc_opt c cy.Mc.Trace.inputs with
+        | None -> false
+        | Some abstract -> (
+          match List.nth_opt r.Replay.snapshots cy.Mc.Trace.step with
+          | None -> false
+          | Some snap -> (
+            match List.assoc_opt c snap with
+            | None -> false
+            | Some concrete -> not (Bitvec.equal abstract concrete))))
+      trace
+  in
+  match List.find_opt diverges freed_set with
+  | Some c -> Some c
+  | None -> (
+    match List.rev freed_set with c :: _ -> Some c | [] -> None)
+
+let heal_one ?mine ~max_iters ~run_piece ~mdl ~assert_ ~assumes () =
+  let t0 = Unix.gettimeofday () in
+  let wall () = Unix.gettimeofday () -. t0 in
+  let roots = A.signals assert_ in
+  let mined =
+    match mine with
+    | Some f -> f mdl ~roots
+    | None -> P.mine_cuts mdl ~roots
+  in
+  (* a mined candidate that cannot be freed (not an internal wire or
+     register) is skipped, never fatal: log via telemetry and move on *)
+  let bad = ref 0 in
+  let cuts =
+    List.filter
+      (fun c ->
+        match P.free_cuts mdl [ c ] with
+        | (_ : Rtl.Mdl.t) -> true
+        | exception Invalid_argument _ ->
+          incr bad;
+          Obs.Telemetry.count "heal.bad_cuts";
+          false)
+      mined
+  in
+  if cuts = [] then no_heal ~bad_cuts:!bad ~wall_s:(wall ())
+  else begin
+    let pieces = ref 0 in
+    let time = ref 0.0 in
+    let run p =
+      incr pieces;
+      let out = run_piece p in
+      time := !time +. out.Mc.Engine.time_s;
+      out
+    in
+    (* one parity sub-proof per cut, on the original module under the
+       obligation's own assumptions. A proved sub guarantees the cut: the
+       final check may assume its parity (assume-guarantee). An unproved
+       sub leaves the cut unguaranteed — freeing it is still sound (pure
+       over-approximation), just less precise. *)
+    let guaranteed =
+      List.filter
+        (fun c ->
+          let out =
+            run
+              { p_mdl = mdl; p_assert = P.parity_fl c; p_assumes = assumes;
+                p_salt = "heal-sub:" ^ c;
+                p_label = mdl.Rtl.Mdl.name ^ ".sub." ^ c }
+          in
+          match out.Mc.Engine.verdict with
+          | Mc.Engine.Proved -> true
+          | Mc.Engine.Proved_bounded _ | Mc.Engine.Failed _
+          | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
+            false)
+        cuts
+    in
+    let subs_proved = List.length guaranteed in
+    let mk verdict ~finals ~work ~perf =
+      { Mc.Engine.verdict; engine_used = engine_name; time_s = !time;
+        iterations = finals; work_nodes = work; perf }
+    in
+    let exhausted ~finals ~spurious =
+      { h_outcome =
+          Some
+            (mk (Mc.Engine.Resource_out Mc.Engine.ro_heal_exhausted) ~finals
+               ~work:0 ~perf:Mc.Engine.empty_perf);
+        h_pieces = !pieces; h_subs_proved = subs_proved; h_finals = finals;
+        h_spurious = spurious; h_bad_cuts = !bad; h_wall_s = wall () }
+    in
+    let healed verdict ~finals ~spurious ~work ~perf =
+      { h_outcome = Some (mk verdict ~finals ~work ~perf);
+        h_pieces = !pieces; h_subs_proved = subs_proved; h_finals = finals;
+        h_spurious = spurious; h_bad_cuts = !bad; h_wall_s = wall () }
+    in
+    let rec refine freed finals spurious =
+      if freed = [] || finals >= max_iters then
+        exhausted ~finals ~spurious
+      else begin
+        let cut_assumes =
+          List.filter_map
+            (fun c ->
+              if List.mem c guaranteed then Some (P.parity_fl c) else None)
+            freed
+        in
+        let out =
+          run
+            { p_mdl = P.free_cuts mdl freed; p_assert = assert_;
+              p_assumes = assumes @ cut_assumes;
+              p_salt = "heal-final:" ^ String.concat "," freed;
+              p_label =
+                Printf.sprintf "%s.final[%d]" mdl.Rtl.Mdl.name
+                  (List.length freed) }
+        in
+        let finals = finals + 1 in
+        match out.Mc.Engine.verdict with
+        | Mc.Engine.Proved ->
+          (* every behaviour of the module is a behaviour of the freed
+             abstraction, and each assumed cut parity is separately proved:
+             the monolithic property holds *)
+          healed Mc.Engine.Proved ~finals ~spurious
+            ~work:out.Mc.Engine.work_nodes ~perf:out.Mc.Engine.perf
+        | Mc.Engine.Failed tr -> (
+          let nl, ok_signal, constraint_signal =
+            Mc.Engine.replay_model mdl ~assert_ ~assumes
+          in
+          let defaults = parity_defaults assumes nl in
+          let stimulus = Mc.Trace.replay_stimulus tr in
+          let r =
+            Obs.Telemetry.span ~cat:"heal"
+              (mdl.Rtl.Mdl.name ^ ".replay")
+              (fun () ->
+                Replay.run ~defaults ?constraint_signal nl ~ok_signal
+                  stimulus)
+          in
+          match r.Replay.fail_cycle with
+          | Some fail_cycle ->
+            (* the abstract counterexample drives the concrete machine into
+               a genuine violation: a real failure, with the concrete trace
+               attached *)
+            let concrete =
+              concrete_trace nl ~defaults stimulus r ~fail_cycle
+            in
+            healed
+              (Mc.Engine.Failed concrete)
+              ~finals ~spurious ~work:out.Mc.Engine.work_nodes
+              ~perf:out.Mc.Engine.perf
+          | None -> (
+            (* spurious: an artifact of some freed cut — un-free the one the
+               counterexample actually exploited and try again *)
+            Obs.Telemetry.count "heal.spurious_cex";
+            match blame_cut freed tr r with
+            | Some c ->
+              refine
+                (List.filter (fun x -> not (String.equal x c)) freed)
+                finals (spurious + 1)
+            | None -> exhausted ~finals ~spurious:(spurious + 1)))
+        | Mc.Engine.Proved_bounded _ | Mc.Engine.Resource_out _
+        | Mc.Engine.Error _ ->
+          (* the abstraction did not buy enough: give up honestly *)
+          exhausted ~finals ~spurious
+      end
+    in
+    refine cuts 0 0
+  end

@@ -1,0 +1,104 @@
+type snapshot = (string * Bitvec.t) list
+
+type run = {
+  snapshots : snapshot list;
+  ok_values : bool list;
+  constraint_clean : bool;
+  fail_cycle : int option;
+}
+
+let run ?(capture = true) ?(defaults = []) ?constraint_signal nl ~ok_signal
+    stimulus =
+  Obs.Telemetry.count "diag.replays";
+  let sim = Sim.Simulator.create nl in
+  Sim.Simulator.reset sim;
+  let signals = Rtl.Netlist.signals nl in
+  let inputs = nl.Rtl.Netlist.inputs in
+  let snapshots = ref [] in
+  let oks = ref [] in
+  let clean = ref true in
+  let fail_cycle = ref None in
+  List.iteri
+    (fun j cycle_inputs ->
+      (* every netlist input is driven each cycle: the stimulus value when it
+         has one, the caller's default for that input when it supplies one
+         (e.g. an odd-parity constant for a parity-assumed input), zero
+         otherwise (inputs the reduced engine model pruned) *)
+      List.iter
+        (fun (name, w) ->
+          let v =
+            match List.assoc_opt name cycle_inputs with
+            | Some v -> v
+            | None -> (
+              match List.assoc_opt name defaults with
+              | Some v -> v
+              | None -> Bitvec.zero w)
+          in
+          Sim.Simulator.drive sim name v)
+        inputs;
+      Sim.Simulator.settle sim;
+      let ok = Sim.Simulator.peek_bit sim ok_signal in
+      let con =
+        match constraint_signal with
+        | None -> true
+        | Some c -> Sim.Simulator.peek_bit sim c
+      in
+      clean := !clean && con;
+      if !clean && (not ok) && !fail_cycle = None then fail_cycle := Some j;
+      oks := ok :: !oks;
+      if capture then
+        snapshots :=
+          List.map (fun (name, _) -> (name, Sim.Simulator.peek sim name))
+            signals
+          :: !snapshots;
+      Sim.Simulator.clock sim)
+    stimulus;
+  { snapshots = List.rev !snapshots;
+    ok_values = List.rev !oks;
+    constraint_clean = !clean;
+    fail_cycle = !fail_cycle }
+
+let fails r = r.fail_cycle <> None
+
+let validate trace r =
+  let n = Mc.Trace.length trace in
+  if List.length r.snapshots < n then
+    Error "replay was not captured over the whole trace"
+  else if not r.constraint_clean then
+    Error "replay violates an input-invariant assumption the engine obeyed"
+  else
+    match List.nth_opt r.ok_values (n - 1) with
+    | None -> Error "empty trace"
+    | Some true ->
+      Error
+        (Printf.sprintf
+           "simulator does not reproduce the violation at cycle %d" (n - 1))
+    | Some false ->
+      (* the violation replays; now check the engine's recorded register
+         values against the simulated machine, cycle by cycle *)
+      let disagreement = ref None in
+      List.iteri
+        (fun j (c : Mc.Trace.cycle) ->
+          if !disagreement = None then
+            let snap = List.nth r.snapshots j in
+            List.iter
+              (fun (name, v) ->
+                if !disagreement = None then
+                  match List.assoc_opt name snap with
+                  | None ->
+                    disagreement :=
+                      Some
+                        (Printf.sprintf
+                           "cycle %d: register %s absent from replay model" j
+                           name)
+                  | Some v' ->
+                    if not (Bitvec.equal v v') then
+                      disagreement :=
+                        Some
+                          (Printf.sprintf
+                             "cycle %d: register %s is %s in the trace but \
+                              %s in the replay"
+                             j name (Bitvec.to_string v) (Bitvec.to_string v')))
+              c.Mc.Trace.state)
+        trace;
+      (match !disagreement with None -> Ok () | Some msg -> Error msg)

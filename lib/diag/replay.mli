@@ -1,47 +1,29 @@
-(** Counterexample replay: drive an engine trace's stimulus through the
-    cycle-accurate simulator and observe what the monitor actually does.
+(** Counterexample replay — re-export of {!Core.Replay}.
 
-    The model is {!Mc.Engine.replay_model} — the engine's own preparation
-    pipeline minus the cone-of-influence reduction — so the cross-check runs
-    on an independently prepared netlist with every module signal visible
-    (the [HE] report bus, datapath internals, the monitor's fail net).
-    Inputs the engine's reduced model pruned away are driven to zero; by the
-    COI argument they cannot affect the property cone. *)
+    The implementation moved to [Core] so the campaign's self-healing layer
+    can replay freed-cut counterexamples on the concrete module without a
+    dependency cycle; diagnosis keeps its historical entry point. See
+    {!Core.Replay} for the full documentation. *)
 
-type snapshot = (string * Bitvec.t) list
+type snapshot = Core.Replay.snapshot
 (** Settled pre-clock values of every netlist signal at one cycle. *)
 
-type run = {
+type run = Core.Replay.run = {
   snapshots : snapshot list;
-      (** one per stimulus cycle; empty when [capture] was [false] *)
-  ok_values : bool list;  (** the monitor's [invariant_ok], per cycle *)
+  ok_values : bool list;
   constraint_clean : bool;
-      (** the input-invariant constraint held at {e every} cycle *)
   fail_cycle : int option;
-      (** first cycle with [ok = false] while the constraint had held at
-          every cycle up to and including it — the engine's notion of a
-          genuine violation. [None] means the stimulus does not violate the
-          property (or discharges it by breaking an assumption). *)
 }
 
 val run :
   ?capture:bool ->
+  ?defaults:(string * Bitvec.t) list ->
   ?constraint_signal:string ->
   Rtl.Netlist.t ->
   ok_signal:string ->
   (string * Bitvec.t) list list ->
   run
-(** Reset, then for each cycle: drive the stimulus (absent inputs at zero),
-    settle, observe, clock. [capture] (default [true]) records full
-    signal snapshots; the minimization oracle turns it off to keep replays
-    cheap. Each call bumps the [diag.replays] telemetry counter. *)
 
 val fails : run -> bool
-(** [fail_cycle <> None]. *)
 
 val validate : Mc.Trace.t -> run -> (unit, string) result
-(** Cross-validate an engine counterexample against its replay: the replay
-    must reach a genuine violation at the trace's final cycle, and every
-    register value the trace records must match the replayed machine,
-    cycle by cycle. [Error reason] explains the first disagreement. The
-    replay must have been captured. *)

@@ -279,6 +279,20 @@ let kind_inconclusive_msg = "kind-inconclusive"
 let cancelled_msg = "cancelled"
 let ic3_frames_msg = "ic3-frames"
 
+(* canonical Resource_out cause vocabulary, exported so the campaign,
+   metrics schema and healing layer never spell these ad hoc *)
+let ro_deadline = deadline_msg
+let ro_bdd_nodes = bdd_nodes_msg
+let ro_sat_conflicts = sat_conflicts_msg
+let ro_kind_inconclusive = kind_inconclusive_msg
+let ro_cancelled = cancelled_msg
+let ro_ic3_frames = ic3_frames_msg
+let ro_heal_exhausted = "heal-exhausted"
+
+let ro_causes =
+  [ ro_deadline; ro_bdd_nodes; ro_sat_conflicts; ro_kind_inconclusive;
+    ro_ic3_frames; ro_cancelled; ro_heal_exhausted ]
+
 (* cause of an interrupted engine run: the wall clock beats the stop hook
    so a deadline that fires during a race still reads "deadline" *)
 let interrupt_cause deadline =

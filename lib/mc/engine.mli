@@ -109,10 +109,40 @@ type outcome = {
 }
 
 val resource_cause : outcome -> string option
-(** The canonical cause string of a [Resource_out] verdict — ["deadline"],
-    ["bdd-nodes"], ["sat-conflicts"], ["kind-inconclusive"], ["ic3-frames"]
-    or ["cancelled"] (a racing sibling concluded first) — and [None] for
-    every other verdict. *)
+(** The canonical cause string of a [Resource_out] verdict — one of
+    {!ro_causes} — and [None] for every other verdict. *)
+
+(** {2 Canonical [Resource_out] cause strings}
+
+    Every [Resource_out] verdict an engine emits carries one of these
+    constants; downstream consumers (campaign cause tallies, the metrics
+    schema, the self-healing layer) match on them instead of re-spelling
+    the literals. *)
+
+val ro_deadline : string
+(** Wall-clock budget exhausted ({b "deadline"}). *)
+
+val ro_bdd_nodes : string
+(** BDD manager node limit hit ({b "bdd-nodes"}). *)
+
+val ro_sat_conflicts : string
+(** CDCL conflict budget exhausted ({b "sat-conflicts"}). *)
+
+val ro_kind_inconclusive : string
+(** k-induction reached max depth undecided ({b "kind-inconclusive"}). *)
+
+val ro_ic3_frames : string
+(** IC3 frame budget exhausted ({b "ic3-frames"}). *)
+
+val ro_cancelled : string
+(** A racing sibling concluded first ({b "cancelled"}). *)
+
+val ro_heal_exhausted : string
+(** Self-healing ran out of CEGAR iterations or usable cuts
+    ({b "heal-exhausted"}). *)
+
+val ro_causes : string list
+(** All canonical causes, in a fixed documentation order. *)
 
 val conclusive : outcome -> bool
 (** [Proved] or [Failed]: a verdict that settles the obligation. Bounded

@@ -52,9 +52,10 @@ let rec strategy_salt = function
             p.Engine.p_members))
   | s -> Engine.strategy_name s
 
-let fingerprint o =
+let fingerprint ?salt o =
   let salt =
-    Printf.sprintf "%s|%s" (strategy_salt o.strategy) (budget_salt o.budget)
+    Printf.sprintf "%s|%s%s" (strategy_salt o.strategy) (budget_salt o.budget)
+      (match salt with None -> "" | Some s -> "|" ^ s)
   in
   let roots =
     o.ok_signal

@@ -44,13 +44,16 @@ val of_vunit :
 (** One obligation per [assert] of the vunit, all under the vunit's
     [assume]s; [meta] is invoked with each property's name. *)
 
-val fingerprint : _ t -> string
+val fingerprint : ?salt:string -> _ t -> string
 (** Structural cache key: the canonical-form digest ({!Rtl.Canon}) of the
     reduced netlist and its ok/constraint roots, salted with the strategy
     and budget. Obligations over structurally identical logic — e.g. the N
     generated subunits of one chip category — share a fingerprint and hence
     a cached verdict; any change to the logic, the property cone, the
-    strategy or the budget changes the key. *)
+    strategy or the budget changes the key. The optional [salt] is appended
+    to the strategy/budget salt — derived obligations (e.g. self-healing
+    sub-proofs salted with their cut set) use it to guarantee their keys
+    never collide with the monolithic obligation's. *)
 
 val run : ?cancel:(unit -> bool) -> _ t -> Engine.outcome
 (** Execute the prepared check ({!Engine.check_netlist}). [cancel] is the

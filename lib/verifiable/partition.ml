@@ -22,8 +22,38 @@ let vunit_of mdl_name ~vunit_name ~assumes ~asserts =
       @ List.map (fun (d : A.decl) -> { A.dir = A.Assert; target = d.A.prop_name })
           asserts }
 
-(* free each cut wire into a primary input: its driver disappears and the
-   model checker treats it as unconstrained (up to the assumed parity) *)
+let parity_fl signal = A.Always (A.Bool (E.red_xor (E.var signal)))
+
+(* free each cut into a primary input: its driver (assign or register next
+   function) disappears and the model checker treats it as unconstrained —
+   up to whatever parity assumption the caller chooses to add *)
+let free_cuts (m : M.t) cuts =
+  let width c =
+    match List.assoc_opt c m.M.wires with
+    | Some w -> w
+    | None -> (
+      match M.find_reg m c with
+      | Some r -> r.M.reg_width
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Partition: %s is not an internal wire or register of %s" c
+             m.M.name))
+  in
+  let widths = List.map (fun c -> (c, width c)) cuts in
+  let freed =
+    { m with
+      wires = List.filter (fun (w, _) -> not (List.mem w cuts)) m.M.wires;
+      assigns =
+        List.filter (fun (a : M.assign) -> not (List.mem a.M.lhs cuts))
+          m.M.assigns;
+      regs =
+        List.filter (fun (r : M.reg) -> not (List.mem r.M.reg_name cuts))
+          m.M.regs }
+  in
+  List.fold_left (fun acc (c, w) -> M.add_input acc c w) freed widths
+
+(* the historical entry point freed wires only; keep the stricter contract *)
 let cut_wires (m : M.t) cuts =
   List.iter
     (fun c ->
@@ -32,15 +62,75 @@ let cut_wires (m : M.t) cuts =
           (Printf.sprintf "Partition: %s is not an internal wire of %s" c
              m.M.name))
     cuts;
-  let width c = List.assoc c m.M.wires in
-  let freed =
-    { m with
-      wires = List.filter (fun (w, _) -> not (List.mem w cuts)) m.M.wires;
-      assigns =
-        List.filter (fun (a : M.assign) -> not (List.mem a.M.lhs cuts))
-          m.M.assigns }
+  free_cuts m cuts
+
+(* Transitive fan-in of [roots] through assigns and register next functions.
+   Inputs terminate the walk; instance actuals don't occur (leaf modules). *)
+let cone_signals (m : M.t) ~roots =
+  let drivers = Hashtbl.create 64 in
+  List.iter
+    (fun (a : M.assign) -> Hashtbl.replace drivers a.M.lhs (E.support a.M.rhs))
+    m.M.assigns;
+  List.iter
+    (fun (r : M.reg) ->
+      Hashtbl.replace drivers r.M.reg_name (E.support r.M.next))
+    m.M.regs;
+  let seen = Hashtbl.create 64 in
+  let rec walk s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.replace seen s ();
+      match Hashtbl.find_opt drivers s with
+      | Some sup -> List.iter walk sup
+      | None -> ()
+    end
   in
-  List.fold_left (fun acc c -> M.add_input acc c (width c)) freed cuts
+  List.iter walk roots;
+  seen
+
+(* Candidate parity checkpoints in the cone of [roots], best first:
+   checkpoint wires that alias a parity-protected register (the paper's
+   A'/B'/C' taps), then the protected registers themselves. Deterministic
+   declaration order; output ports are never candidates (a signal cannot be
+   freed into an input while remaining an output). *)
+let mine_cuts ?(max_cuts = 8) (m : M.t) ~roots =
+  let cone = cone_signals m ~roots in
+  let in_cone s = Hashtbl.mem cone s in
+  let is_output s =
+    List.exists
+      (fun (p : M.port) -> p.M.dir = M.Output && p.M.port_name = s)
+      m.M.ports
+  in
+  let checkpoint_wires =
+    List.filter_map
+      (fun (a : M.assign) ->
+        match a.M.rhs with
+        | E.Var r when in_cone a.M.lhs && not (is_output a.M.lhs) -> (
+          match M.find_reg m r with
+          | Some reg when reg.M.parity_protected -> Some (a.M.lhs, r)
+          | _ -> None)
+        | _ -> None)
+      m.M.assigns
+  in
+  let tapped = List.map snd checkpoint_wires in
+  let protected_regs =
+    List.filter_map
+      (fun (r : M.reg) ->
+        if
+          r.M.parity_protected
+          && in_cone r.M.reg_name
+          && (not (List.mem r.M.reg_name tapped))
+          && not (is_output r.M.reg_name)
+        then Some r.M.reg_name
+        else None)
+      m.M.regs
+  in
+  let all = List.map fst checkpoint_wires @ protected_regs in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take max_cuts all
 
 let partition (info : Transform.info) spec ~output ~cuts =
   let name = info.Transform.mdl.M.name in

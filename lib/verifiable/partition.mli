@@ -29,3 +29,29 @@ val partition :
   Transform.info -> Propgen.spec -> output:string -> cuts:string list -> plan
 (** Raises [Invalid_argument] if a cut is not an internal wire of the
     module. *)
+
+(** {1 Cut algebra for the self-healing layer}
+
+    The campaign's automatic recovery path works on raw obligations rather
+    than P2 vunits, so it drives the cut machinery directly. *)
+
+val parity_fl : string -> Psl.Ast.fl
+(** [always red_xor(signal)] — the odd-parity invariant of one checkpoint,
+    usable as a sub-proof assertion or a freed-cut assumption. *)
+
+val free_cuts : Rtl.Mdl.t -> string list -> Rtl.Mdl.t
+(** Re-declare each cut as a free primary input. A cut may be an internal
+    wire (its assign is dropped) or a register (its next function and reset
+    disappear; readers are untouched) — anything else raises
+    [Invalid_argument]. Freeing only adds behaviours, so any safety property
+    proved on the freed module holds on the original
+    (over-approximation). *)
+
+val mine_cuts : ?max_cuts:int -> Rtl.Mdl.t -> roots:string list -> string list
+(** Candidate parity checkpoints in the transitive fan-in of [roots], best
+    first and in deterministic declaration order: wires that directly alias a
+    parity-protected register (the paper's A'/B'/C' checkpoint taps), then
+    the parity-protected registers themselves (skipping ones already covered
+    by a tap). Output ports are never candidates. At most [max_cuts]
+    (default 8) are returned; the list may be empty when the cone holds no
+    protected state. *)

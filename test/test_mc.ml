@@ -740,6 +740,34 @@ let test_cache_persistence () =
   Alcotest.(check bool) "missing file loads as None" true
     (Mc.Cache.load "/nonexistent/dicheck.cache" = None)
 
+let test_canonical_ro_causes () =
+  (* the exported constants are the complete resource-out vocabulary every
+     downstream consumer (campaign summaries, the metrics schema, CI
+     scripts) keys on — spellings are load-bearing *)
+  Alcotest.(check (list string)) "canonical order"
+    [ "deadline"; "bdd-nodes"; "sat-conflicts"; "kind-inconclusive";
+      "ic3-frames"; "cancelled"; "heal-exhausted" ]
+    Mc.Engine.ro_causes;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " listed") true
+        (List.mem c Mc.Engine.ro_causes))
+    [ Mc.Engine.ro_deadline; Mc.Engine.ro_bdd_nodes;
+      Mc.Engine.ro_sat_conflicts; Mc.Engine.ro_kind_inconclusive;
+      Mc.Engine.ro_cancelled; Mc.Engine.ro_ic3_frames;
+      Mc.Engine.ro_heal_exhausted ];
+  (* resource_cause speaks the same vocabulary *)
+  let ro cause =
+    { Mc.Engine.verdict = Mc.Engine.Resource_out cause; engine_used = "t";
+      time_s = 0.0; iterations = 0; work_nodes = 0;
+      perf = Mc.Engine.empty_perf }
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check (option string)) ("cause " ^ c) (Some c)
+        (Mc.Engine.resource_cause (ro c)))
+    Mc.Engine.ro_causes
+
 let () =
   Alcotest.run "mc"
     [ ("sym",
@@ -760,6 +788,8 @@ let () =
            test_node_limit_escalation;
          Alcotest.test_case "strategy names round-trip" `Quick
            test_strategy_names_roundtrip;
+         Alcotest.test_case "canonical resource-out causes" `Quick
+           test_canonical_ro_causes;
          Alcotest.test_case "problem size" `Quick test_problem_size ]);
       ("induction",
        [ Alcotest.test_case "k-induction basics" `Quick test_kinduction;

@@ -221,6 +221,92 @@ let test_partition_soundness () =
      | Some p -> p.M.dir = M.Input
      | None -> false)
 
+let test_partition_agreement_across_engines () =
+  (* the partition-soundness property, quantified over engines and instance
+     sizes: every sub-property and the freed-cut final check must agree
+     with the monolithic verdict (all proved on the clean merge archetype)
+     whichever complete engine decides them *)
+  List.iter
+    (fun payload_width ->
+      let leaf =
+        Chip.Archetype.merge
+          ~name:(Printf.sprintf "pagree%d" payload_width)
+          ~payload_width ()
+      in
+      let info = T.apply leaf.Chip.Archetype.mdl in
+      let pspec =
+        { PG.he = leaf.Chip.Archetype.he; he_map = leaf.Chip.Archetype.he_map;
+          parity_inputs = leaf.Chip.Archetype.parity_inputs;
+          parity_outputs = leaf.Chip.Archetype.parity_outputs; extra = [] }
+      in
+      let plan =
+        Verifiable.Partition.partition info pspec ~output:"OUT"
+          ~cuts:[ "chk0"; "chk1"; "chk2" ]
+      in
+      List.iter
+        (fun (label, strategy) ->
+          let check_one mdl vunit =
+            List.iter
+              (fun (name, (o : Mc.Engine.outcome)) ->
+                match o.Mc.Engine.verdict with
+                | Mc.Engine.Proved -> ()
+                | Mc.Engine.Proved_bounded _ | Mc.Engine.Failed _
+                | Mc.Engine.Resource_out _ | Mc.Engine.Error _ ->
+                  Alcotest.failf "w=%d %s: %s not proved" payload_width label
+                    name)
+              (Mc.Engine.check_vunit ~strategy mdl vunit)
+          in
+          check_one info.T.mdl plan.Verifiable.Partition.original;
+          List.iter (fun (_, v) -> check_one info.T.mdl v)
+            plan.Verifiable.Partition.sub_vunits;
+          check_one plan.Verifiable.Partition.cut_mdl
+            plan.Verifiable.Partition.final_vunit)
+        [ ("bdd-forward", Mc.Engine.Bdd_forward);
+          ("bdd-backward", Mc.Engine.Bdd_backward);
+          ("bdd-combined", Mc.Engine.Bdd_combined);
+          ("pobdd", Mc.Engine.Pobdd); ("ic3", Mc.Engine.Ic3);
+          ("auto", Mc.Engine.Auto) ])
+    [ 3; 4 ]
+
+let test_mine_cuts () =
+  (* automatic checkpoint discovery recovers the hand-picked Figure 7 cuts *)
+  let leaf = Chip.Archetype.merge ~name:"pmine" ~payload_width:4 () in
+  let info = T.apply leaf.Chip.Archetype.mdl in
+  let mined = Verifiable.Partition.mine_cuts info.T.mdl ~roots:[ "OUT" ] in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " mined") true (List.mem c mined))
+    [ "chk0"; "chk1"; "chk2" ];
+  (* every mined candidate honours the free_cuts contract *)
+  List.iter
+    (fun c -> ignore (Verifiable.Partition.free_cuts info.T.mdl [ c ]))
+    mined;
+  Alcotest.(check int) "max_cuts caps the yield" 2
+    (List.length
+       (Verifiable.Partition.mine_cuts ~max_cuts:2 info.T.mdl
+          ~roots:[ "OUT" ]));
+  Alcotest.(check (list string)) "an empty cone mines nothing" []
+    (Verifiable.Partition.mine_cuts info.T.mdl ~roots:[])
+
+let test_free_cuts_contract () =
+  (* a protected register frees into a primary input of the same width;
+     ports and unknown names are rejected with Invalid_argument *)
+  let m = sample_module () in
+  let freed = Verifiable.Partition.free_cuts m [ "cnt_q" ] in
+  (match M.find_port freed "cnt_q" with
+   | Some p ->
+     Alcotest.(check bool) "reg became an input" true (p.M.dir = M.Input);
+     Alcotest.(check int) "width preserved" 5 (M.signal_width freed "cnt_q")
+   | None -> Alcotest.fail "cnt_q is not a port of the freed module");
+  Alcotest.(check bool) "reg dropped" true (M.find_reg freed "cnt_q" = None);
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (bad ^ " rejected") true
+        (match Verifiable.Partition.free_cuts m [ bad ] with
+         | _ -> false
+         | exception Invalid_argument _ -> true))
+    [ "DATA" (* already an input *); "HE" (* an output *); "missing" ]
+
 let test_partition_cut_validation () =
   let leaf = Chip.Archetype.merge ~name:"pmerge2" ~payload_width:4 () in
   let info = T.apply leaf.Chip.Archetype.mdl in
@@ -410,6 +496,10 @@ let () =
            test_generated_properties_verify ]);
       ("partition",
        [ Alcotest.test_case "figure 7 soundness" `Quick test_partition_soundness;
+         Alcotest.test_case "agreement across engines" `Slow
+           test_partition_agreement_across_engines;
+         Alcotest.test_case "cut mining" `Quick test_mine_cuts;
+         Alcotest.test_case "free_cuts contract" `Quick test_free_cuts_contract;
          Alcotest.test_case "cut validation" `Quick test_partition_cut_validation ]);
       ("spec inference",
        [ Alcotest.test_case "matches archetypes" `Quick
