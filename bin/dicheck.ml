@@ -140,8 +140,19 @@ let write_diagnosis_dir dir (ds : Diag.Diagnosis.diagnosed list) =
 let campaign_cmd =
   let run with_bugs jobs csv cache_path no_cache deadline node_limit
       max_retries journal_path resume trace metrics progress_interval
-      diagnose portfolio_spec race_jobs self_heal =
+      diagnose portfolio_spec race_jobs self_heal status_socket flight_path
+      no_flight =
     try
+      (* the flight recorder is always on: bounded memory, allocation-light
+         writes, and it is exactly the runs that do NOT exit cleanly that
+         need their recent history *)
+      if not no_flight then Obs.Flight.enable ();
+      Sys.set_signal Sys.sigusr1
+        (Sys.Signal_handle
+           (fun _ ->
+             Obs.Flight.dump ~reason:"sigusr1" flight_path;
+             Printf.eprintf "flight recording written to %s (SIGUSR1)\n%!"
+               flight_path));
       let chip = Chip.Generator.generate ~with_bugs () in
       let cache =
         if no_cache then Mc.Cache.create ()
@@ -203,23 +214,44 @@ let campaign_cmd =
            (Core.Journal.replay_count j) (Core.Journal.path j)
        | _ -> ());
       let warm = Mc.Cache.length cache in
+      (* the status model always backs the stderr heartbeat; --status-socket
+         additionally serves it to `dicheck top` *)
+      let status = Core.Status.create ~jobs:(max 1 jobs) () in
+      Mc.Beacon.enable ();
+      let server =
+        Option.map (fun p -> Core.Status.serve status ~path:p) status_socket
+      in
+      Option.iter
+        (fun p -> Printf.eprintf "status socket listening on %s\n%!" p)
+        status_socket;
       let t0 = Unix.gettimeofday () in
       let last = ref 0.0 in
       let progress (p : Core.Campaign.progress) =
         let now = Unix.gettimeofday () in
         if now -. !last > progress_interval then begin
           last := now;
+          let s = Core.Status.snapshot status in
           Printf.eprintf
-            "... %d/%d (%.0fs; %d cache hits, %d replayed, %d retries)\n%!"
+            "... %d/%d (%.0fs; %d cache hits, %d replayed, %d retries, %d \
+             healed, %d raced%s)\n%!"
             p.Core.Campaign.done_ p.Core.Campaign.total (now -. t0)
             p.Core.Campaign.cache_hits p.Core.Campaign.replayed
-            p.Core.Campaign.retries
+            p.Core.Campaign.retries s.Core.Status.s_healed
+            s.Core.Status.s_raced
+            (match s.Core.Status.s_eta_s with
+             | Some e -> Printf.sprintf "; ETA %.0fs" e
+             | None -> "")
         end
       in
       let c =
-        Core.Campaign.run ?budget ?portfolio ~progress ~jobs ?race_jobs
-          ~cache ?journal ~max_retries ?self_heal chip
+        try
+          Core.Campaign.run ?budget ?portfolio ~progress ~jobs ?race_jobs
+            ~cache ?journal ~max_retries ?self_heal ~status chip
+        with e ->
+          Option.iter Core.Status.shutdown server;
+          raise e
       in
+      Option.iter Core.Status.shutdown server;
       Option.iter Core.Journal.close journal;
       (* diagnose before stopping telemetry so the diag spans/counters land
          in the --trace and --metrics artifacts *)
@@ -300,11 +332,29 @@ let campaign_cmd =
       (* 0 all proved; 1 property failures; 2 no failures but unresolved
          (resource-out or error) verdicts remain; 3 internal error *)
       let g = c.Core.Campaign.grand_total in
+      if Obs.Flight.active ()
+         && g.Core.Campaign.resource_out + g.Core.Campaign.errors > 0
+      then begin
+        (* unresolved verdicts: dump the recent event history alongside so
+           the deadline/error is not a black box *)
+        let reason =
+          if g.Core.Campaign.errors > 0 then "error-verdicts"
+          else "resource-out"
+        in
+        Obs.Flight.dump ~reason flight_path;
+        Printf.eprintf "flight recording written to %s (%s)\n" flight_path
+          reason
+      end;
       if g.Core.Campaign.failed > 0 then exit 1
       else if g.Core.Campaign.resource_out + g.Core.Campaign.errors > 0 then
         exit 2
       else exit 0
     with e ->
+      if Obs.Flight.active () then begin
+        (try Obs.Flight.dump ~reason:"crash" flight_path
+         with _ -> ());
+        Printf.eprintf "flight recording written to %s (crash)\n" flight_path
+      end;
       Printf.eprintf "dicheck: internal error: %s\n" (Printexc.to_string e);
       exit 3
   in
@@ -428,11 +478,37 @@ let campaign_cmd =
                    (CEGAR) — at most MAX-ITERS (default 4) freed-cut \
                    checks per obligation.")
   in
+  let status_socket =
+    Arg.(value & opt (some string) None
+         & info [ "status-socket" ] ~docv:"PATH"
+             ~doc:"Serve live campaign status (schema dicheck-status-v1) \
+                   over a Unix domain socket at PATH: one JSON snapshot per \
+                   connection. Read it with $(b,dicheck top PATH), or any \
+                   client that can connect and read to EOF. Purely \
+                   observational; verdicts are identical with or without \
+                   it.")
+  in
+  let no_flight =
+    Arg.(value & flag
+         & info [ "no-flight" ]
+             ~doc:"Disable the flight recorder (it is on by default; \
+                   records are then free no-ops). Exists mainly to measure \
+                   the recorder's overhead.")
+  in
+  let flight_path =
+    Arg.(value & opt string "dicheck-flight.json"
+         & info [ "flight" ] ~docv:"PATH"
+             ~doc:"Destination of flight-recorder dumps (schema \
+                   dicheck-flight-v1). The recorder is always on; a dump is \
+                   written on SIGUSR1, on an internal error, and when the \
+                   campaign ends with unresolved (resource-out or error) \
+                   verdicts.")
+  in
   Cmd.v (Cmd.info "campaign" ~doc:"Run the full formal campaign (Table 2).")
     Term.(const run $ with_bugs $ jobs $ csv $ cache_path $ no_cache
           $ deadline $ node_limit $ max_retries $ journal_path $ resume
           $ trace $ metrics $ progress_interval $ diagnose $ portfolio
-          $ race_jobs $ self_heal)
+          $ race_jobs $ self_heal $ status_socket $ flight_path $ no_flight)
 
 (* ---- explain ---- *)
 
@@ -944,10 +1020,199 @@ let emit_cmd =
     (Cmd.info "emit" ~doc:"Print an archetype as Verilog or its generated PSL.")
     Term.(const run $ arch $ what)
 
+(* ---- top: live status client ---- *)
+
+let read_status_socket path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let buf = Buffer.create 4096 in
+      let b = Bytes.create 4096 in
+      let rec go () =
+        let n = Unix.read fd b 0 (Bytes.length b) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf b 0 n;
+          go ()
+        end
+      in
+      go ();
+      Buffer.contents buf)
+
+let render_status j =
+  let module J = Obs.Json in
+  let str k = Option.value ~default:"?" (Option.bind (J.member k j) J.to_str) in
+  let int k = Option.value ~default:0 (Option.bind (J.member k j) J.to_int) in
+  let flt k =
+    Option.value ~default:0.0 (Option.bind (J.member k j) J.to_float)
+  in
+  Printf.printf "dicheck campaign — phase %s, %d jobs, %.0fs elapsed\n"
+    (str "phase") (int "jobs") (flt "elapsed_s");
+  Printf.printf
+    "%d/%d done  (%d proved, %d failed, %d resource-out, %d errors)\n"
+    (int "done") (int "total") (int "proved") (int "failed")
+    (int "resource_out") (int "errors");
+  Printf.printf
+    "%d cache hits, %d replayed, %d retries, %d healed, %d raced; %.1f ob/s%s\n"
+    (int "cache_hits") (int "replayed") (int "retries") (int "healed")
+    (int "raced") (flt "rate_per_s")
+    (match Option.bind (J.member "eta_s" j) J.to_float with
+     | Some e -> Printf.sprintf ", ETA %.0fs" e
+     | None -> "");
+  match Option.bind (J.member "in_flight" j) J.to_list with
+  | None | Some [] -> print_string "(no obligations in flight)\n"
+  | Some flying ->
+    Printf.printf "%-5s %-34s %-14s %3s %8s  %s\n" "lane" "obligation"
+      "engine" "try" "secs" "progress";
+    List.iter
+      (fun f ->
+        let fstr k =
+          Option.value ~default:"?" (Option.bind (J.member k f) J.to_str)
+        in
+        let fint k =
+          Option.value ~default:0 (Option.bind (J.member k f) J.to_int)
+        in
+        let fflt k =
+          Option.value ~default:0.0 (Option.bind (J.member k f) J.to_float)
+        in
+        let beacon =
+          match J.member "beacon" f with
+          | None -> ""
+          | Some b ->
+            let bstr k =
+              Option.value ~default:"?" (Option.bind (J.member k b) J.to_str)
+            in
+            let bint k =
+              Option.value ~default:0 (Option.bind (J.member k b) J.to_int)
+            in
+            Printf.sprintf "%s step %d, work %d" (bstr "engine") (bint "step")
+              (bint "work")
+        in
+        Printf.printf "%-5d %-34s %-14s %3d %8.1f  %s\n" (fint "lane")
+          (fstr "obligation") (fstr "engine") (fint "attempt")
+          (fflt "elapsed_s") beacon)
+      flying
+
+let top_cmd =
+  let run socket interval once raw_json =
+    let fetch () =
+      match read_status_socket socket with
+      | s -> Some s
+      | exception Unix.Unix_error _ -> None
+    in
+    let parse s =
+      match Obs.Json.parse s with
+      | Ok j -> j
+      | Error e ->
+        Printf.eprintf "dicheck top: bad status snapshot: %s\n" e;
+        exit 3
+    in
+    if raw_json || once then begin
+      match fetch () with
+      | None ->
+        Printf.eprintf "dicheck top: cannot connect to %s\n" socket;
+        exit 3
+      | Some s ->
+        if raw_json then print_string s else render_status (parse s);
+        exit 0
+    end
+    else begin
+      (* refresh until the socket goes away — which is how a campaign ends *)
+      let seen = ref false in
+      let rec loop () =
+        match fetch () with
+        | Some s ->
+          seen := true;
+          (* ANSI home+clear: a refreshing table, not a scrolling log *)
+          print_string "\027[H\027[2J";
+          render_status (parse s);
+          flush stdout;
+          Unix.sleepf interval;
+          loop ()
+        | None ->
+          if !seen then begin
+            print_string "status socket closed — campaign finished\n";
+            exit 0
+          end
+          else begin
+            Printf.eprintf "dicheck top: cannot connect to %s\n" socket;
+            exit 3
+          end
+      in
+      loop ()
+    end
+  in
+  let socket =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SOCKET"
+             ~doc:"The Unix socket a running campaign was started with \
+                   (--status-socket PATH).")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECS"
+             ~doc:"Seconds between refreshes.")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ] ~doc:"Print one snapshot and exit.")
+  in
+  let raw_json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print one raw dicheck-status-v1 JSON snapshot to stdout \
+                   and exit (for scripts and CI).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Watch a running campaign over its --status-socket.")
+    Term.(const run $ socket $ interval $ once $ raw_json)
+
+(* ---- profile: hotspot report from a trace ---- *)
+
+let profile_cmd =
+  let run trace top_k json_out =
+    match Obs.Profile.of_trace_file trace with
+    | Error e ->
+      Printf.eprintf "dicheck profile: %s\n" e;
+      exit 3
+    | Ok p ->
+      Format.printf "%a" (Obs.Profile.pp ~k:top_k) p;
+      (match json_out with
+       | Some path ->
+         write_file path
+           (Obs.Json.to_string_pretty (Obs.Profile.to_json ~k:top_k p) ^ "\n");
+         Printf.eprintf "profile report written to %s\n" path
+       | None -> ());
+      exit 0
+  in
+  let trace =
+    Arg.(required & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"A Chrome trace written by $(b,dicheck campaign --trace).")
+  in
+  let top_k =
+    Arg.(value & opt int 15
+         & info [ "top" ] ~docv:"K" ~doc:"Entries to show (by self time).")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+             ~doc:"Also write the report as dicheck-profile-v1 JSON.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Aggregate a campaign trace into a top-K hotspot report (wall, \
+             self time, GC allocation per phase).")
+    Term.(const run $ trace $ top_k $ json_out)
+
 let () =
   let doc = "data-integrity formal verification methodology (DATE 2004 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "dicheck" ~doc)
           [ campaign_cmd; explain_cmd; report_cmd; classify_cmd; area_cmd;
-            fig7_cmd; check_cmd; infer_cmd; emit_cmd; fuzz_cmd ]))
+            fig7_cmd; check_cmd; infer_cmd; emit_cmd; fuzz_cmd; top_cmd;
+            profile_cmd ]))

@@ -104,9 +104,26 @@ let crash_outcome exn =
     engine_used = "crash"; time_s = 0.0; iterations = 0; work_nodes = 0;
     perf = Mc.Engine.empty_perf }
 
+(* the status/flight vocabulary for a verdict: class for tallies, short
+   string for flight-recorder event details *)
+let verdict_class (o : Mc.Engine.outcome) : Status.verdict_class =
+  match o.Mc.Engine.verdict with
+  | Mc.Engine.Proved | Mc.Engine.Proved_bounded _ -> `Proved
+  | Mc.Engine.Failed _ -> `Failed
+  | Mc.Engine.Resource_out _ -> `Resource_out
+  | Mc.Engine.Error _ -> `Error
+
+let verdict_str (o : Mc.Engine.outcome) =
+  match o.Mc.Engine.verdict with
+  | Mc.Engine.Proved -> "proved"
+  | Mc.Engine.Proved_bounded d -> Printf.sprintf "bounded:%d" d
+  | Mc.Engine.Failed _ -> "failed"
+  | Mc.Engine.Resource_out c -> "resource_out:" ^ c
+  | Mc.Engine.Error _ -> "error"
+
 let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
     ?jobs ?race_jobs ?cache ?journal ?(max_retries = 2)
-    ?(retry_backoff_s = 0.05) ?fault_hook ?self_heal (chip : G.t) =
+    ?(retry_backoff_s = 0.05) ?fault_hook ?self_heal ?status (chip : G.t) =
   let t0 = Unix.gettimeofday () in
   let cache = match cache with Some c -> c | None -> Mc.Cache.create () in
   let hits0 = Mc.Cache.hits cache in
@@ -121,6 +138,16 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
     | None -> strategy
   in
   let exec = Executor.of_jobs jobs in
+  let use_racing = portfolio <> None && Executor.jobs exec > 1 in
+  let stat f = match status with Some s -> f s | None -> () in
+  let strat_name =
+    match strategy with
+    | Some s -> Mc.Engine.strategy_name s
+    | None -> "auto"
+  in
+  stat (fun s ->
+      Status.set_total s total;
+      Status.set_phase s "campaign");
   let done_ = ref 0 and retries_n = ref 0 and hits_n = ref 0
   and replayed_n = ref 0 in
   let progress_lock = Mutex.create () in
@@ -148,6 +175,21 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
       Option.iter (fun j -> Journal.append j ~key outcome) journal
   in
   let finish (w : work) ~cache_hit ~replayed ~attempts outcome =
+    let ob_name = w.w_mdl.Rtl.Mdl.name ^ "." ^ w.w_prop_name in
+    let healed =
+      String.equal outcome.Mc.Engine.engine_used Heal.engine_name
+      && Mc.Engine.conclusive outcome
+    in
+    Obs.Flight.record "ob.done"
+      ~detail:
+        (ob_name ^ " " ^ verdict_str outcome ^ " "
+        ^ outcome.Mc.Engine.engine_used);
+    Mc.Beacon.idle ();
+    stat (fun s ->
+        Status.finish s ~verdict:(verdict_class outcome) ~cache_hit ~replayed
+          ~raced:(use_racing && (not cache_hit) && (not replayed)
+                  && attempts > 0)
+          ~healed);
     Mutex.lock progress_lock;
     incr done_;
     if cache_hit then incr hits_n;
@@ -167,11 +209,12 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
       outcome; bug = w.w_bug; cache_hit; replayed; attempts;
       (* a resumed run replays a previously healed verdict straight from the
          journal; the attribution marks it *)
-      healed =
-        String.equal outcome.Mc.Engine.engine_used Heal.engine_name
-        && Mc.Engine.conclusive outcome }
+      healed }
   in
   let check_body (w : work) =
+    let ob_name = w.w_mdl.Rtl.Mdl.name ^ "." ^ w.w_prop_name in
+    stat (fun s ->
+        Status.begin_work s ~obligation:ob_name ~engine:strat_name ~attempt:1);
     (* prepare inside the worker so instrumentation, elaboration and COI
        reduction parallelize along with the engine runs *)
     let ob =
@@ -194,6 +237,10 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
              and exponential backoff; a crash on the last rung becomes an
              [Error] verdict instead of taking the campaign down *)
           let rec attempt ob n =
+            if n > 1 then
+              stat (fun s ->
+                  Status.begin_work s ~obligation:ob_name ~engine:strat_name
+                    ~attempt:n);
             (* the hook runs inside the match scrutinee: a fault it injects
                is indistinguishable from the engine itself crashing *)
             match
@@ -205,6 +252,8 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
               if n > max_retries then (crash_outcome exn, n)
               else begin
                 note_retry ();
+                stat Status.retry;
+                Obs.Flight.record "ob.retry" ~detail:ob_name;
                 if retry_backoff_s > 0.0 then
                   Unix.sleepf
                     (Float.min 1.0
@@ -278,24 +327,35 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
               (fun k ~cancel ->
                 let m = members.(k) in
                 let mname = Mc.Engine.strategy_name m.Mc.Engine.m_strategy in
-                Obs.Telemetry.span ~cat:"race"
-                  ~args:
-                    [ ("member", mname);
-                      ("module", w.w_mdl.Rtl.Mdl.name);
-                      ("property", w.w_prop_name) ]
-                  (w.w_mdl.Rtl.Mdl.name ^ "." ^ w.w_prop_name ^ "#" ^ mname)
-                @@ fun () ->
-                match
-                  fault w ~fingerprint:key (k + 1);
-                  Mc.Engine.check_netlist ~budget:m.Mc.Engine.m_budget
-                    ?constraint_signal:ob.Mc.Obligation.constraint_signal
-                    ~cancel:(fun () ->
-                      cancel () || Mc.Deadline.expired outer)
-                    ~strategy:m.Mc.Engine.m_strategy ob.Mc.Obligation.nl
-                    ~ok_signal:ob.Mc.Obligation.ok_signal
-                with
-                | outcome -> outcome
-                | exception exn -> crash_outcome exn);
+                let ob_name = w.w_mdl.Rtl.Mdl.name ^ "." ^ w.w_prop_name in
+                stat (fun s ->
+                    Status.begin_work s ~obligation:ob_name ~engine:mname
+                      ~attempt:(k + 1));
+                let out =
+                  Obs.Telemetry.span ~cat:"race"
+                    ~args:
+                      [ ("member", mname);
+                        ("module", w.w_mdl.Rtl.Mdl.name);
+                        ("property", w.w_prop_name) ]
+                    (ob_name ^ "#" ^ mname)
+                  @@ fun () ->
+                  match
+                    fault w ~fingerprint:key (k + 1);
+                    Mc.Engine.check_netlist ~budget:m.Mc.Engine.m_budget
+                      ?constraint_signal:ob.Mc.Obligation.constraint_signal
+                      ~cancel:(fun () ->
+                        cancel () || Mc.Deadline.expired outer)
+                      ~strategy:m.Mc.Engine.m_strategy ob.Mc.Obligation.nl
+                      ~ok_signal:ob.Mc.Obligation.ok_signal
+                  with
+                  | outcome -> outcome
+                  | exception exn -> crash_outcome exn
+                in
+                Mc.Beacon.idle ();
+                stat Status.end_work;
+                Obs.Flight.record "race.member"
+                  ~detail:(ob_name ^ "#" ^ mname ^ " " ^ verdict_str out);
+                out);
             conclusive = Mc.Engine.conclusive;
             combine =
               (fun outs ->
@@ -311,7 +371,6 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
                 finish w ~cache_hit:false ~replayed:false ~attempts:1 outcome)
           })
   in
-  let use_racing = portfolio <> None && Executor.jobs exec > 1 in
   let results =
     (* the executor's per-item isolation is the outer safety net: anything
        that escapes the retry ladder (a crash in prepare, a raising progress
@@ -343,6 +402,7 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
     | None -> (results, None)
     | Some max_iters ->
       let th0 = Unix.gettimeofday () in
+      stat (fun s -> Status.set_phase s "healing");
       let arr = Array.of_list results in
       let ro_idx =
         Array.init (Array.length arr) Fun.id
@@ -420,10 +480,21 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
             subs := !subs + hr.Heal.h_subs_proved;
             bad := !bad + hr.Heal.h_bad_cuts;
             pieces := !pieces + hr.Heal.h_pieces;
+            let heal_name w =
+              w.w_mdl.Rtl.Mdl.name ^ "." ^ w.w_prop_name
+            in
             (match hr.Heal.h_outcome with
-            | None -> incr unhealable
+            | None ->
+              Obs.Flight.record "heal.unhealable"
+                ~detail:(heal_name items.(ro_idx.(k)));
+              incr unhealable
             | Some out ->
               let i = ro_idx.(k) in
+              stat (fun s -> Status.reclassify s ~to_:(verdict_class out));
+              Obs.Flight.record
+                (if Mc.Engine.conclusive out then "heal.recovered"
+                 else "heal.exhausted")
+                ~detail:(heal_name items.(i) ^ " " ^ verdict_str out);
               arr.(i) <-
                 { (arr.(i)) with
                   outcome = out;
@@ -522,6 +593,7 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
       errors = List.fold_left (fun a r -> a + r.errors) 0 rows;
       time_s = List.fold_left (fun a r -> a +. r.time_s) 0.0 rows }
   in
+  stat (fun s -> Status.set_phase s "done");
   { results; rows; grand_total; wall_time_s = Unix.gettimeofday () -. t0;
     cache_hits = Mc.Cache.hits cache - hits0; retries = !retries_n;
     replayed = !replayed_n; healing }
@@ -693,6 +765,23 @@ let to_metrics_json ?report ?jobs t =
            (List.map
               (fun (k, v) -> (k, J.Int v))
               (List.sort compare rep.Obs.Telemetry.counters)));
+        ("histograms",
+         J.Obj
+           (List.map
+              (fun (k, h) ->
+                ( k,
+                  J.Obj
+                    [ ("count", J.Int h.Obs.Telemetry.h_count);
+                      ("sum", J.Float h.Obs.Telemetry.h_sum);
+                      ("min", J.Float h.Obs.Telemetry.h_min);
+                      ("max", J.Float h.Obs.Telemetry.h_max);
+                      ("buckets",
+                       J.List
+                         (Array.to_list
+                            (Array.map
+                               (fun n -> J.Int n)
+                               h.Obs.Telemetry.h_buckets))) ] ))
+              rep.Obs.Telemetry.hists));
         ("recording_domains", J.Int rep.Obs.Telemetry.domains);
         ("spans", J.Int (List.length rep.Obs.Telemetry.spans)) ]
   in

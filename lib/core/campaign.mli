@@ -139,6 +139,7 @@ val run :
     attempt:int ->
     unit) ->
   ?self_heal:int ->
+  ?status:Status.t ->
   Chip.Generator.t ->
   t
 (** [jobs] selects the executor backend: absent or [<= 1] runs sequentially,
@@ -170,6 +171,16 @@ val run :
     for tests, runs in the worker just before each real engine attempt
     (never for cache hits or replays) — it can count engine invocations or
     inject crashes.
+
+    [status] is a live {!Status} model the runtime keeps current: totals
+    and phase on entry, per-lane in-flight obligations around every engine
+    attempt (including racing members and retry rungs), verdict tallies and
+    cache/replay/race/heal attribution as obligations finish, and
+    reclassification as the healing pass recovers resource-outs. Purely
+    observational — it never affects scheduling, verdicts or keys, so seq ≡
+    pool determinism holds with or without it. The runtime also records
+    flight-recorder events ({!Obs.Flight}: [ob.done], [ob.retry],
+    [race.member], [heal.*]) whenever a recorder is enabled.
 
     [self_heal] turns on the automatic Figure 7 recovery pass
     ({!Heal.heal_one}) over every [Resource_out] result, with at most

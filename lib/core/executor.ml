@@ -10,6 +10,7 @@ let with_worker_telemetry ~w body =
   let t0 = Unix.gettimeofday () in
   let busy = ref 0.0 in
   let items = ref 0 in
+  Obs.Flight.record "worker.start" ~detail:(string_of_int w);
   let run f =
     let s = Unix.gettimeofday () in
     Fun.protect
@@ -29,7 +30,9 @@ let with_worker_telemetry ~w body =
     Telemetry.count
       ~n:(int_of_float (1e6 *. Float.max 0.0 (total -. !busy)))
       "exec.idle_us"
-  end
+  end;
+  Obs.Flight.record "worker.done"
+    ~detail:(Printf.sprintf "%d items=%d" w !items)
 
 let sequential = Sequential
 let pool ~jobs = if jobs <= 1 then Sequential else Pool jobs
@@ -221,11 +224,16 @@ let race_pool ~workers ~race_jobs open_ xs =
   let next_open = ref 0 in
   let unsettled = ref n in
   let latency_bucket dt =
+    (* legacy coarse counters (kept: tests and dashboards read them) plus
+       the first-class histogram they were generalized into *)
     tick
       (if dt <= 0.001 then "exec.race_cancel_le_1ms"
        else if dt <= 0.01 then "exec.race_cancel_le_10ms"
        else if dt <= 0.1 then "exec.race_cancel_le_100ms"
-       else "exec.race_cancel_gt_100ms")
+       else "exec.race_cancel_gt_100ms");
+    Telemetry.observe "exec.race_cancel_s" dt;
+    Obs.Flight.record "race.cancelled"
+      ~detail:(Printf.sprintf "%.4fs" dt)
   in
   let dispatchable g =
     if g.g_settled then false

@@ -1,0 +1,81 @@
+type cell = {
+  c_gen : int;
+  c_lane : int;
+  mutable c_engine : string;
+  mutable c_step : int;
+  mutable c_work : int;
+  mutable c_stamp : float;
+}
+
+type t = {
+  lane : int;
+  engine : string;
+  step : int;
+  work : int;
+  age_s : float;
+}
+
+type registry = {
+  gen : int;
+  lock : Mutex.t;
+  mutable cells : cell list;
+}
+
+let current : registry option Atomic.t = Atomic.make None
+let generation = Atomic.make 0
+
+let dls : cell option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let cell_of r =
+  match Domain.DLS.get dls with
+  | Some c when c.c_gen = r.gen -> c
+  | Some _ | None ->
+    let c =
+      { c_gen = r.gen; c_lane = (Domain.self () :> int); c_engine = "";
+        c_step = 0; c_work = 0; c_stamp = 0.0 }
+    in
+    Mutex.lock r.lock;
+    r.cells <- c :: r.cells;
+    Mutex.unlock r.lock;
+    Domain.DLS.set dls (Some c);
+    c
+
+let enable () =
+  let gen = 1 + Atomic.fetch_and_add generation 1 in
+  Atomic.set current (Some { gen; lock = Mutex.create (); cells = [] })
+
+let disable () = Atomic.set current None
+let active () = Atomic.get current <> None
+
+let report ~engine ~step ~work =
+  match Atomic.get current with
+  | None -> ()
+  | Some r ->
+    let c = cell_of r in
+    c.c_engine <- engine;
+    c.c_step <- step;
+    c.c_work <- work;
+    c.c_stamp <- Unix.gettimeofday ()
+
+let idle () =
+  match Atomic.get current with
+  | None -> ()
+  | Some r -> (cell_of r).c_engine <- ""
+
+let snapshot () =
+  match Atomic.get current with
+  | None -> []
+  | Some r ->
+    Mutex.lock r.lock;
+    let cells = r.cells in
+    Mutex.unlock r.lock;
+    let now = Unix.gettimeofday () in
+    List.filter_map
+      (fun c ->
+        if c.c_engine = "" then None
+        else
+          Some
+            { lane = c.c_lane; engine = c.c_engine; step = c.c_step;
+              work = c.c_work; age_s = now -. c.c_stamp })
+      cells
+    |> List.sort (fun a b -> compare a.lane b.lane)

@@ -1,0 +1,41 @@
+(** Engine progress beacons: each domain owns one mutable cell it overwrites
+    from inside its engine loop (current BMC depth, IC3 frame, reachability
+    iteration, live node/clause count), and a status reader snapshots every
+    cell on demand.
+
+    This is the "what is that worker doing {e right now}" channel behind the
+    status socket — distinct from {!Obs.Telemetry} (completed work, merged
+    after the run) and {!Obs.Flight} (recent event history). A {!report} is
+    four field writes on a domain-local cell: no allocation, no lock, no
+    contention, so the engines call it from their hottest loops at the same
+    sites they poll the deadline. Readers take the registry lock only to
+    walk the cell list; torn reads of a cell mid-update are acceptable for
+    monitoring.
+
+    When no registry is installed ({!enable} not called), {!report} is one
+    atomic load and a branch. *)
+
+type t = {
+  lane : int;  (** reporting domain's id *)
+  engine : string;  (** e.g. ["bdd"], ["bmc"], ["k-induction"], ["ic3"] *)
+  step : int;  (** engine-specific progress: k, frame or fixpoint iter *)
+  work : int;  (** engine-specific size: BDD nodes, CNF vars or clauses *)
+  age_s : float;  (** seconds since the cell was last written *)
+}
+
+val enable : unit -> unit
+(** Install a fresh registry; an active one is replaced. *)
+
+val disable : unit -> unit
+val active : unit -> bool
+
+val report : engine:string -> step:int -> work:int -> unit
+(** Overwrite the calling domain's cell. Cheap enough for engine loops. *)
+
+val idle : unit -> unit
+(** Mark the calling domain idle (its cell stops appearing in
+    {!snapshot}). The campaign calls this when an obligation finishes so a
+    stale "in ic3 at frame 7" never outlives its obligation. *)
+
+val snapshot : unit -> t list
+(** Copies of every non-idle cell, sorted by lane. *)

@@ -86,6 +86,7 @@ let check ?(max_conflicts = max_int) ?(deadline = Deadline.none)
     (fun c -> Tseitin.assert_lit ctx (Tseitin.lit_of_bexpr ctx var_map c))
     !constraints;
   let cnf = Tseitin.to_cnf ctx in
+  Beacon.report ~engine:"bmc" ~step:depth ~work:cnf.Cnf.nvars;
   let result, sat_stats =
     Solver.solve_stats ~max_conflicts
       ~should_stop:(Deadline.checker deadline) cnf

@@ -105,7 +105,8 @@ let check ?(max_conflicts = max_int) ?(max_k = 20)
   let rec iterate k =
     if k > max_k then
       Inconclusive (mk_stats ~k:max_k ~cnf_vars:0 ~cnf_clauses:0)
-    else
+    else begin
+      Beacon.report ~engine:"k-induction" ~step:k ~work:(!acc_c);
       (* base case: no violation within k cycles of reset *)
       match
         Bmc.check ~max_conflicts ~deadline ?constraint_signal nl ~ok_signal
@@ -139,5 +140,6 @@ let check ?(max_conflicts = max_int) ?(max_k = 20)
           Inconclusive
             (mk_stats ~k ~cnf_vars:cnf.Cnf.nvars
                ~cnf_clauses:(Cnf.num_clauses cnf)))
+    end
   in
   iterate 0

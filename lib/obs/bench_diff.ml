@@ -1,0 +1,144 @@
+type run_cmp = {
+  d_label : string;
+  d_base_wall_s : float;
+  d_cur_wall_s : float;
+  d_ratio : float;
+  d_verdicts_ok : bool;
+  d_regressed : bool;
+  d_notes : string list;
+}
+
+type t = {
+  threshold : float;
+  runs : run_cmp list;
+  only_base : string list;
+  only_cur : string list;
+  ok : bool;
+}
+
+let verdict_fields = [ "properties"; "proved"; "failed"; "resource_out";
+                       "errors" ]
+
+let runs_of j =
+  match Option.bind (Json.member "runs" j) Json.to_list with
+  | None -> Error "missing or non-list \"runs\""
+  | Some rs ->
+    let labelled r =
+      match Option.bind (Json.member "label" r) Json.to_str with
+      | Some l -> Some (l, r)
+      | None -> None
+    in
+    Ok (List.filter_map labelled rs)
+
+(* wall_s is what a bench emission records; a committed baseline records only
+   the generous ceiling max_wall_s — fall back so diffing fresh-vs-baseline
+   works out of the box. *)
+let wall_of r =
+  match Option.bind (Json.member "wall_s" r) Json.to_float with
+  | Some w -> Some w
+  | None -> Option.bind (Json.member "max_wall_s" r) Json.to_float
+
+let compare_run ~threshold label base cur =
+  let notes = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  let verdicts_ok =
+    List.for_all
+      (fun f ->
+        let get r = Option.bind (Json.member f r) Json.to_int in
+        match (get base, get cur) with
+        | Some b, Some c when b <> c ->
+          note "%s: %d -> %d" f b c;
+          false
+        | _ -> true)
+      verdict_fields
+  in
+  let bw = wall_of base and cw = wall_of cur in
+  let base_wall = Option.value bw ~default:0.0 in
+  let cur_wall = Option.value cw ~default:0.0 in
+  let ratio =
+    match (bw, cw) with
+    | Some b, Some c when b > 0.0 -> c /. b
+    | _ -> 1.0
+  in
+  let throughput_regressed = ratio > 1.0 +. threshold in
+  if throughput_regressed then
+    note "wall %.1fs -> %.1fs (%.2fx > %.2fx allowed)" base_wall cur_wall
+      ratio (1.0 +. threshold);
+  { d_label = label; d_base_wall_s = base_wall; d_cur_wall_s = cur_wall;
+    d_ratio = ratio; d_verdicts_ok = verdicts_ok;
+    d_regressed = (not verdicts_ok) || throughput_regressed;
+    d_notes = List.rev !notes }
+
+let diff ?(threshold = 0.2) ~baseline ~current () =
+  match (runs_of baseline, runs_of current) with
+  | Error e, _ -> Error ("baseline: " ^ e)
+  | _, Error e -> Error ("current: " ^ e)
+  | Ok base_runs, Ok cur_runs ->
+    let runs =
+      List.filter_map
+        (fun (label, b) ->
+          match List.assoc_opt label cur_runs with
+          | Some c -> Some (compare_run ~threshold label b c)
+          | None -> None)
+        base_runs
+    in
+    let only_base =
+      List.filter_map
+        (fun (l, _) ->
+          if List.mem_assoc l cur_runs then None else Some l)
+        base_runs
+    in
+    let only_cur =
+      List.filter_map
+        (fun (l, _) ->
+          if List.mem_assoc l base_runs then None else Some l)
+        cur_runs
+    in
+    if runs = [] then Error "no common run labels to compare"
+    else
+      Ok
+        { threshold; runs; only_base; only_cur;
+          ok = List.for_all (fun r -> not r.d_regressed) runs }
+
+let to_json t =
+  Json.Obj
+    [ ("schema", Json.String "dicheck-bench-diff-v1");
+      ("threshold", Json.Float t.threshold);
+      ("ok", Json.Bool t.ok);
+      ("only_baseline", Json.List (List.map (fun s -> Json.String s)
+                                     t.only_base));
+      ("only_current", Json.List (List.map (fun s -> Json.String s)
+                                    t.only_cur));
+      ("runs",
+       Json.List
+         (List.map
+            (fun r ->
+              Json.Obj
+                [ ("label", Json.String r.d_label);
+                  ("base_wall_s", Json.Float r.d_base_wall_s);
+                  ("cur_wall_s", Json.Float r.d_cur_wall_s);
+                  ("ratio", Json.Float r.d_ratio);
+                  ("verdicts_ok", Json.Bool r.d_verdicts_ok);
+                  ("regressed", Json.Bool r.d_regressed);
+                  ("notes",
+                   Json.List
+                     (List.map (fun s -> Json.String s) r.d_notes)) ])
+            t.runs)) ]
+
+let pp fmt t =
+  Format.fprintf fmt "bench diff (threshold %.0f%%): %s@."
+    (100.0 *. t.threshold)
+    (if t.ok then "PASS" else "FAIL");
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %-18s %8.1fs -> %8.1fs  %5.2fx  %s@." r.d_label
+        r.d_base_wall_s r.d_cur_wall_s r.d_ratio
+        (if r.d_regressed then "REGRESSED" else "ok");
+      List.iter (fun n -> Format.fprintf fmt "      %s@." n) r.d_notes)
+    t.runs;
+  List.iter
+    (fun l -> Format.fprintf fmt "  (baseline-only run %s skipped)@." l)
+    t.only_base;
+  List.iter
+    (fun l -> Format.fprintf fmt "  (new run %s has no baseline)@." l)
+    t.only_cur

@@ -1,0 +1,47 @@
+(** Threshold-based regression verdicts between two campaign benchmark
+    records — the machine-checkable half of the BENCH trajectory.
+
+    Compares the ["runs"] lists of two bench JSONs (schema
+    ["dicheck-bench-v1"], or the committed ["dicheck-bench-baseline-v1"])
+    by run label. A run regresses when
+
+    - any verdict-count field ([properties]/[proved]/[failed]/
+      [resource_out]/[errors]) present on both sides differs — correctness
+      regressions have no threshold; or
+    - its wall time exceeds the baseline's by more than [threshold]
+      (default 0.2, i.e. 20%). The baseline side falls back to
+      [max_wall_s] when it records only a ceiling (as the committed
+      baseline does), which makes fresh-vs-baseline diffs lenient on
+      throughput but exact on verdicts.
+
+    Labels present on only one side are reported but never fail the diff —
+    a partial bench run can still be checked against the full baseline. *)
+
+type run_cmp = {
+  d_label : string;
+  d_base_wall_s : float;  (** 0.0 when the baseline has no wall field *)
+  d_cur_wall_s : float;
+  d_ratio : float;  (** current/baseline wall; 1.0 when either is absent *)
+  d_verdicts_ok : bool;
+  d_regressed : bool;
+  d_notes : string list;  (** human-readable reasons, empty when clean *)
+}
+
+type t = {
+  threshold : float;
+  runs : run_cmp list;  (** common labels, in baseline order *)
+  only_base : string list;
+  only_cur : string list;
+  ok : bool;  (** no common run regressed *)
+}
+
+val diff :
+  ?threshold:float -> baseline:Json.t -> current:Json.t -> unit ->
+  (t, string) result
+(** [Error] on malformed inputs or when the two records share no run
+    label (nothing was actually compared). *)
+
+val to_json : t -> Json.t
+(** Schema ["dicheck-bench-diff-v1"]. *)
+
+val pp : Format.formatter -> t -> unit

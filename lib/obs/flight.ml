@@ -1,0 +1,146 @@
+type event = {
+  seq : int;
+  t_s : float;
+  lane : int;
+  kind : string;
+  detail : string;
+}
+
+(* One ring per (recorder, domain). All recording is domain-local: a write is
+   three array stores plus a counter bump, no allocation beyond the event
+   strings the caller already built. The generation stamp ties a DLS ring to
+   the recorder it belongs to, exactly like Telemetry's buffers. *)
+type ring = {
+  r_gen : int;
+  r_lane : int;
+  r_kind : string array;
+  r_detail : string array;
+  r_time : float array;
+  mutable r_n : int;  (* events ever recorded in this ring; index = n mod cap *)
+}
+
+type recorder = {
+  gen : int;
+  cap : int;
+  lock : Mutex.t;
+  mutable rings : ring list;
+  mutable next_lane : int;
+}
+
+let current : recorder option Atomic.t = Atomic.make None
+let generation = Atomic.make 0
+let probe = Atomic.make 0
+
+let calls_probe () = Atomic.get probe
+
+let dls : ring option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let ring_of c =
+  match Domain.DLS.get dls with
+  | Some r when r.r_gen = c.gen -> r
+  | Some _ | None ->
+    Mutex.lock c.lock;
+    let lane = c.next_lane in
+    c.next_lane <- lane + 1;
+    let r =
+      { r_gen = c.gen; r_lane = lane; r_kind = Array.make c.cap "";
+        r_detail = Array.make c.cap ""; r_time = Array.make c.cap 0.0;
+        r_n = 0 }
+    in
+    c.rings <- r :: c.rings;
+    Mutex.unlock c.lock;
+    Domain.DLS.set dls (Some r);
+    r
+
+let enable ?(capacity = 512) () =
+  if capacity < 1 then invalid_arg "Flight.enable: capacity must be >= 1";
+  let gen = 1 + Atomic.fetch_and_add generation 1 in
+  Atomic.set current
+    (Some
+       { gen; cap = capacity; lock = Mutex.create (); rings = [];
+         next_lane = 0 })
+
+let disable () = Atomic.set current None
+let active () = Atomic.get current <> None
+
+let record ?(detail = "") kind =
+  Atomic.incr probe;
+  match Atomic.get current with
+  | None -> ()
+  | Some c ->
+    let r = ring_of c in
+    let i = r.r_n mod Array.length r.r_kind in
+    r.r_kind.(i) <- kind;
+    r.r_detail.(i) <- detail;
+    r.r_time.(i) <- Unix.gettimeofday ();
+    r.r_n <- r.r_n + 1
+
+let events () =
+  match Atomic.get current with
+  | None -> []
+  | Some c ->
+    Mutex.lock c.lock;
+    let rings = c.rings in
+    Mutex.unlock c.lock;
+    (* Recording domains may still be writing; a torn event in a live ring
+       is tolerable for a crash dump, and quiesced rings (the common dump
+       situation) merge exactly. *)
+    let of_ring r =
+      let cap = Array.length r.r_kind in
+      let n = r.r_n in
+      let kept = if n < cap then n else cap in
+      List.init kept (fun j ->
+          let seq = n - kept + j in
+          let i = seq mod cap in
+          { seq; t_s = r.r_time.(i); lane = r.r_lane; kind = r.r_kind.(i);
+            detail = r.r_detail.(i) })
+    in
+    List.concat_map of_ring rings
+    |> List.sort (fun a b ->
+           compare (a.t_s, a.lane, a.seq) (b.t_s, b.lane, b.seq))
+
+let dropped () =
+  match Atomic.get current with
+  | None -> 0
+  | Some c ->
+    Mutex.lock c.lock;
+    let rings = c.rings in
+    Mutex.unlock c.lock;
+    List.fold_left
+      (fun acc r ->
+        let cap = Array.length r.r_kind in
+        acc + if r.r_n > cap then r.r_n - cap else 0)
+      0 rings
+
+let to_json ~reason () =
+  let evs = events () in
+  let cap = match Atomic.get current with Some c -> c.cap | None -> 0 in
+  let lanes =
+    List.sort_uniq compare (List.map (fun e -> e.lane) evs) |> List.length
+  in
+  Json.Obj
+    [ ("schema", Json.String "dicheck-flight-v1");
+      ("reason", Json.String reason);
+      ("dumped_at_unix", Json.Float (Unix.gettimeofday ()));
+      ("capacity", Json.Int cap);
+      ("lanes", Json.Int lanes);
+      ("dropped", Json.Int (dropped ()));
+      ("events",
+       Json.List
+         (List.map
+            (fun e ->
+              Json.Obj
+                [ ("seq", Json.Int e.seq);
+                  ("lane", Json.Int e.lane);
+                  ("t", Json.Float e.t_s);
+                  ("kind", Json.String e.kind);
+                  ("detail", Json.String e.detail) ])
+            evs)) ]
+
+let dump ~reason path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty (to_json ~reason ()));
+      output_char oc '\n')

@@ -1,0 +1,71 @@
+(** Flight recorder: an always-on, bounded, per-domain ring buffer of recent
+    campaign events, merged on demand into a crash dump.
+
+    Telemetry ({!Telemetry}) answers "how much work happened" after a clean
+    run; the flight recorder answers "what was happening just now" when a
+    run is anything but clean — hung, killed, crashed, or resource-out. It
+    is cheap enough to leave on for every campaign:
+
+    - {b per-domain rings}: each recording domain gets its own fixed-size
+      ring (via [Domain.DLS], registered once under a lock). A {!record} is
+      three array stores and a counter bump into domain-local state — no
+      cross-domain contention, no allocation beyond the strings the caller
+      already built, and old events are overwritten in place, so memory is
+      bounded by [capacity × domains] regardless of campaign length.
+    - {b near-zero cost when disabled}: with no recorder installed,
+      {!record} is one atomic probe increment plus a load-and-branch — the
+      same discipline as Telemetry's disabled path, checked by the same
+      [Gc.minor_words] test idiom via {!calls_probe}.
+
+    Snapshots ({!events}, {!to_json}, {!dump}) merge the per-domain rings
+    into a single time-ordered view of the last [capacity] events per
+    domain. The dump consumers are the CLI's crash/[SIGUSR1]/deadline
+    handlers — every [Resource_out]/[Error] verdict can carry its recent
+    history. *)
+
+type event = {
+  seq : int;  (** per-lane sequence number, 0-based from {!enable} *)
+  t_s : float;  (** absolute Unix time of the record *)
+  lane : int;  (** recording lane: registration order within this recorder *)
+  kind : string;  (** e.g. ["ob.done"], ["ob.retry"], ["race.cancelled"] *)
+  detail : string;  (** free-form payload, e.g. ["alu0.p2_parity proved ic3"] *)
+}
+
+val enable : ?capacity:int -> unit -> unit
+(** Install a fresh recorder whose per-domain rings hold the last
+    [capacity] (default 512) events each. An already-active recorder is
+    replaced and its events are dropped. Raises [Invalid_argument] on
+    [capacity < 1]. *)
+
+val disable : unit -> unit
+(** Uninstall the recorder; subsequent {!record}s are free no-ops. *)
+
+val active : unit -> bool
+
+val record : ?detail:string -> string -> unit
+(** Append one event to the calling domain's ring, overwriting the oldest
+    once the ring is full. Allocation-free (beyond caller strings) when a
+    recorder is active; a probe increment and branch when not. *)
+
+val events : unit -> event list
+(** Merge every lane's surviving events, sorted by [(t_s, lane, seq)] —
+    so each lane's events appear in recording order, interleaved across
+    lanes by time. Empty when no recorder is active. Lanes still recording
+    concurrently may contribute one torn event; quiesced rings merge
+    exactly. *)
+
+val dropped : unit -> int
+(** Total events overwritten (recorded beyond ring capacity) across all
+    lanes, 0 when inactive. *)
+
+val to_json : reason:string -> unit -> Json.t
+(** The merged snapshot as schema ["dicheck-flight-v1"]: [reason] (e.g.
+    ["sigusr1"], ["crash"], ["resource-out"]), dump time, capacity, lane
+    and dropped counts, and the event list. *)
+
+val dump : reason:string -> string -> unit
+(** Write {!to_json} pretty-printed to a file. *)
+
+val calls_probe : unit -> int
+(** Process-lifetime total of {!record} invocations, counted whether or not
+    a recorder is active — the zero-overhead test's hook. *)

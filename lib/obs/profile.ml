@@ -1,0 +1,219 @@
+type entry = {
+  e_class : string;
+  e_count : int;
+  e_wall_us : float;
+  e_self_us : float;
+  e_alloc_mw : float;
+  e_self_share : float;
+}
+
+type t = {
+  p_spans : int;
+  p_lanes : int;
+  p_wall_us : float;
+  p_entries : entry list;
+}
+
+(* Engine-agnostic span view: built from a live Telemetry report or parsed
+   back out of a Chrome trace file. *)
+type pspan = {
+  s_name : string;
+  s_cat : string;
+  s_ts : float;
+  s_dur : float;
+  s_tid : int;
+  s_alloc : float;
+}
+
+(* Per-obligation categories carry instance names (one span per property);
+   aggregating them by name would yield thousands of singleton classes, so
+   they collapse to the category. Engine/prepare/exec span names are the
+   phase vocabulary — keep them. *)
+let class_of ~cat ~name =
+  match cat with
+  | "obligation" | "race" | "heal" -> cat
+  | _ -> cat ^ "/" ^ name
+
+type acc = {
+  mutable a_count : int;
+  mutable a_wall : float;
+  mutable a_self : float;
+  mutable a_alloc : float;
+}
+
+type frame = { f_end : float; f_span : pspan; mutable f_child : float }
+
+let aggregate spans =
+  let classes : (string, acc) Hashtbl.t = Hashtbl.create 32 in
+  let acc_of cls =
+    match Hashtbl.find_opt classes cls with
+    | Some a -> a
+    | None ->
+      let a = { a_count = 0; a_wall = 0.0; a_self = 0.0; a_alloc = 0.0 } in
+      Hashtbl.add classes cls a;
+      a
+  in
+  let settle f =
+    let self = Float.max 0.0 (f.f_span.s_dur -. f.f_child) in
+    let a = acc_of (class_of ~cat:f.f_span.s_cat ~name:f.f_span.s_name) in
+    a.a_count <- a.a_count + 1;
+    a.a_wall <- a.a_wall +. f.f_span.s_dur;
+    a.a_self <- a.a_self +. self;
+    a.a_alloc <- a.a_alloc +. f.f_span.s_alloc
+  in
+  (* Self time = wall minus time covered by direct children, computed with an
+     interval-containment sweep per lane: parents sort before their children
+     ((ts asc, dur desc)), and a frame is settled once a later span's
+     midpoint lies at or past its end. The midpoint — not the start — decides
+     containment so that the float rounding a trace file round-trip applies
+     to span boundaries cannot flip a child into a sibling (a contained
+     child's midpoint is strictly inside its parent, a sibling's strictly
+     outside). *)
+  let by_tid : (int, pspan list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt by_tid s.s_tid with
+      | Some l -> l := s :: !l
+      | None -> Hashtbl.add by_tid s.s_tid (ref [ s ]))
+    spans;
+  Hashtbl.iter
+    (fun _ l ->
+      let lane =
+        List.sort
+          (fun a b -> compare (a.s_ts, -.a.s_dur) (b.s_ts, -.b.s_dur))
+          !l
+      in
+      let stack = ref [] in
+      let pop_until ts =
+        let rec go () =
+          match !stack with
+          | f :: rest when f.f_end <= ts ->
+            settle f;
+            stack := rest;
+            go ()
+          | _ -> ()
+        in
+        go ()
+      in
+      List.iter
+        (fun s ->
+          pop_until (s.s_ts +. (s.s_dur /. 2.0));
+          (match !stack with
+           | parent :: _ -> parent.f_child <- parent.f_child +. s.s_dur
+           | [] -> ());
+          stack := { f_end = s.s_ts +. s.s_dur; f_span = s; f_child = 0.0 }
+                   :: !stack)
+        lane;
+      List.iter settle !stack)
+    by_tid;
+  let total_self =
+    Hashtbl.fold (fun _ a acc -> acc +. a.a_self) classes 0.0
+  in
+  let entries =
+    Hashtbl.fold
+      (fun cls a acc ->
+        { e_class = cls; e_count = a.a_count; e_wall_us = a.a_wall;
+          e_self_us = a.a_self; e_alloc_mw = a.a_alloc;
+          e_self_share =
+            (if total_self > 0.0 then a.a_self /. total_self else 0.0) }
+        :: acc)
+      classes []
+    |> List.sort (fun a b ->
+           compare (b.e_self_us, b.e_class) (a.e_self_us, a.e_class))
+  in
+  let wall =
+    List.fold_left (fun m s -> Float.max m (s.s_ts +. s.s_dur)) 0.0 spans
+    -. List.fold_left (fun m s -> Float.min m s.s_ts) infinity spans
+  in
+  { p_spans = List.length spans;
+    p_lanes = Hashtbl.length by_tid;
+    p_wall_us = (if spans = [] then 0.0 else wall);
+    p_entries = entries }
+
+let of_report (r : Telemetry.report) =
+  aggregate
+    (List.map
+       (fun (s : Telemetry.span) ->
+         { s_name = s.Telemetry.name; s_cat = s.Telemetry.cat;
+           s_ts = s.Telemetry.ts_us; s_dur = s.Telemetry.dur_us;
+           s_tid = s.Telemetry.tid; s_alloc = s.Telemetry.alloc_mw })
+       r.Telemetry.spans)
+
+let of_trace_json j =
+  match Json.member "traceEvents" j with
+  | None -> Error "not a Chrome trace: missing traceEvents"
+  | Some evs ->
+    (match Json.to_list evs with
+     | None -> Error "traceEvents is not a list"
+     | Some evs ->
+       let span_of ev =
+         match Json.member "ph" ev with
+         | Some (Json.String "X") ->
+           let str k = Option.bind (Json.member k ev) Json.to_str in
+           let flt k = Option.bind (Json.member k ev) Json.to_float in
+           let int k = Option.bind (Json.member k ev) Json.to_int in
+           (match (str "name", flt "ts", flt "dur") with
+            | Some name, Some ts, Some dur ->
+              Some
+                { s_name = name;
+                  s_cat = Option.value (str "cat") ~default:"default";
+                  s_ts = ts; s_dur = dur;
+                  s_tid = Option.value (int "tid") ~default:0;
+                  s_alloc =
+                    Option.value ~default:0.0
+                      (Option.bind (Json.member "args" ev) (fun a ->
+                           Option.bind (Json.member "alloc_w" a)
+                             Json.to_float)) }
+            | _ -> None)
+         | _ -> None
+       in
+       Ok (aggregate (List.filter_map span_of evs)))
+
+let of_trace_file path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.parse s with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok j -> of_trace_json j
+
+let top ?(k = 15) t =
+  List.filteri (fun i _ -> i < k) t.p_entries
+
+let to_json ?k t =
+  let entries = match k with Some k -> top ~k t | None -> t.p_entries in
+  Json.Obj
+    [ ("schema", Json.String "dicheck-profile-v1");
+      ("spans", Json.Int t.p_spans);
+      ("lanes", Json.Int t.p_lanes);
+      ("wall_us", Json.Float t.p_wall_us);
+      ("entries",
+       Json.List
+         (List.map
+            (fun e ->
+              Json.Obj
+                [ ("class", Json.String e.e_class);
+                  ("count", Json.Int e.e_count);
+                  ("wall_us", Json.Float e.e_wall_us);
+                  ("self_us", Json.Float e.e_self_us);
+                  ("alloc_mw", Json.Float e.e_alloc_mw);
+                  ("self_share", Json.Float e.e_self_share) ])
+            entries)) ]
+
+let pp ?(k = 15) fmt t =
+  Format.fprintf fmt
+    "profile: %d spans over %d lane%s, %.1f ms span extent@."
+    t.p_spans t.p_lanes
+    (if t.p_lanes = 1 then "" else "s")
+    (t.p_wall_us /. 1e3);
+  Format.fprintf fmt "%-28s %8s %12s %12s %7s %12s@." "class" "count"
+    "wall ms" "self ms" "self%" "alloc Mw";
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%-28s %8d %12.2f %12.2f %6.1f%% %12.3f@."
+        e.e_class e.e_count (e.e_wall_us /. 1e3) (e.e_self_us /. 1e3)
+        (100.0 *. e.e_self_share) (e.e_alloc_mw /. 1e6))
+    (top ~k t)

@@ -1,0 +1,51 @@
+(** Hotspot profiling over telemetry spans: aggregate per-phase wall time,
+    self time and GC-allocation into a ranked top-K report.
+
+    Works on either source of spans — a live {!Telemetry.report} or a Chrome
+    trace file previously written by {!Trace_export} (the [dicheck profile
+    --trace FILE] path) — and produces the same ranking either way.
+
+    Spans are grouped into {e classes}: per-obligation categories
+    (["obligation"], ["race"], ["heal"]) collapse to the category (their
+    names are property instances, useless to aggregate by), every other
+    span groups as ["cat/name"] (e.g. ["engine/bmc"], ["prepare.coi"]'s
+    ["prepare/prepare.coi"]). Self time is wall time minus the time covered
+    by direct child spans on the same lane, computed by an
+    interval-containment sweep — so ["obligation"] does not double-count
+    the engine work nested inside it, and the ranking surfaces where time
+    is actually spent. *)
+
+type entry = {
+  e_class : string;  (** aggregation class, e.g. ["engine/ic3"] *)
+  e_count : int;  (** spans aggregated *)
+  e_wall_us : float;  (** summed span wall time (children included) *)
+  e_self_us : float;  (** summed self time (direct children excluded) *)
+  e_alloc_mw : float;  (** summed minor words allocated in these spans *)
+  e_self_share : float;  (** fraction of total self time, [0..1] *)
+}
+
+type t = {
+  p_spans : int;
+  p_lanes : int;  (** distinct recording lanes (domains) *)
+  p_wall_us : float;  (** extent from earliest span start to latest end *)
+  p_entries : entry list;  (** every class, ranked by self time *)
+}
+
+val of_report : Telemetry.report -> t
+
+val of_trace_json : Json.t -> (t, string) result
+(** Parse a Chrome trace object (as written by {!Trace_export}): [X] events
+    become spans ([args.alloc_w] is picked up when present), everything
+    else is ignored. *)
+
+val of_trace_file : string -> (t, string) result
+(** Read and parse a trace file, then {!of_trace_json}. *)
+
+val top : ?k:int -> t -> entry list
+(** The first [k] (default 15) entries by self time. *)
+
+val to_json : ?k:int -> t -> Json.t
+(** Schema ["dicheck-profile-v1"]; [k] truncates the entry list. *)
+
+val pp : ?k:int -> Format.formatter -> t -> unit
+(** Human-readable top-[k] hotspot table. *)

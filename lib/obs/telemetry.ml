@@ -3,14 +3,31 @@ type span = {
   cat : string;
   ts_us : float;
   dur_us : float;
+  alloc_mw : float;
   tid : int;
   args : (string * string) list;
 }
+
+type hist = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : int array;
+}
+
+(* Log-scale upper bounds shared by every histogram; the final bucket is the
+   overflow (> last bound). Seconds-flavoured, but any unit works. *)
+let bucket_bounds =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 100.0 |]
+
+let n_buckets = Array.length bucket_bounds + 1
 
 type report = {
   wall_s : float;
   domains : int;
   counters : (string * int) list;
+  hists : (string * hist) list;
   spans : span list;
 }
 
@@ -18,11 +35,20 @@ type report = {
    concurrent obligations never contend. The generation stamp ties a DLS
    buffer to the collector it belongs to — a stale buffer from a previous
    collector is simply re-registered. *)
+type hrec = {
+  mutable hr_count : int;
+  mutable hr_sum : float;
+  mutable hr_min : float;
+  mutable hr_max : float;
+  hr_buckets : int array;
+}
+
 type buf = {
   b_gen : int;
   b_tid : int;
   mutable b_spans : span list;
   b_counters : (string, int) Hashtbl.t;
+  b_hists : (string, hrec) Hashtbl.t;
 }
 
 type collector = {
@@ -50,7 +76,7 @@ let buf_of c =
     c.next_tid <- tid + 1;
     let b =
       { b_gen = c.gen; b_tid = tid; b_spans = [];
-        b_counters = Hashtbl.create 64 }
+        b_counters = Hashtbl.create 64; b_hists = Hashtbl.create 16 }
     in
     c.bufs <- b :: c.bufs;
     Mutex.unlock c.lock;
@@ -76,6 +102,32 @@ let count ?(n = 1) name =
      | Some v -> Hashtbl.replace b.b_counters name (v + n)
      | None -> Hashtbl.replace b.b_counters name n)
 
+let observe name v =
+  Atomic.incr probe;
+  match Atomic.get current with
+  | None -> ()
+  | Some c ->
+    let b = buf_of c in
+    let h =
+      match Hashtbl.find_opt b.b_hists name with
+      | Some h -> h
+      | None ->
+        let h =
+          { hr_count = 0; hr_sum = 0.0; hr_min = infinity;
+            hr_max = neg_infinity; hr_buckets = Array.make n_buckets 0 }
+        in
+        Hashtbl.add b.b_hists name h;
+        h
+    in
+    h.hr_count <- h.hr_count + 1;
+    h.hr_sum <- h.hr_sum +. v;
+    if v < h.hr_min then h.hr_min <- v;
+    if v > h.hr_max then h.hr_max <- v;
+    let n = Array.length bucket_bounds in
+    let rec idx i = if i >= n || v <= bucket_bounds.(i) then i else idx (i + 1) in
+    let i = idx 0 in
+    h.hr_buckets.(i) <- h.hr_buckets.(i) + 1
+
 let span ?(cat = "default") ?(args = []) name f =
   Atomic.incr probe;
   match Atomic.get current with
@@ -83,11 +135,13 @@ let span ?(cat = "default") ?(args = []) name f =
   | Some c ->
     let b = buf_of c in
     let t0 = Unix.gettimeofday () in
+    let a0 = Gc.minor_words () in
     let record () =
       let t1 = Unix.gettimeofday () in
       b.b_spans <-
         { name; cat; ts_us = (t0 -. c.t0) *. 1e6;
-          dur_us = (t1 -. t0) *. 1e6; tid = b.b_tid; args }
+          dur_us = (t1 -. t0) *. 1e6;
+          alloc_mw = Gc.minor_words () -. a0; tid = b.b_tid; args }
         :: b.b_spans
     in
     (match f () with
@@ -100,7 +154,7 @@ let span ?(cat = "default") ?(args = []) name f =
 
 let stop () =
   match Atomic.get current with
-  | None -> { wall_s = 0.0; domains = 0; counters = []; spans = [] }
+  | None -> { wall_s = 0.0; domains = 0; counters = []; hists = []; spans = [] }
   | Some c ->
     Atomic.set current None;
     (* recording domains have either finished (the campaign joined its pool)
@@ -121,13 +175,47 @@ let stop () =
     let counters =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged [])
     in
+    let merged_h : (string, hrec) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        Hashtbl.iter
+          (fun k (h : hrec) ->
+            match Hashtbl.find_opt merged_h k with
+            | Some m ->
+              m.hr_count <- m.hr_count + h.hr_count;
+              m.hr_sum <- m.hr_sum +. h.hr_sum;
+              if h.hr_min < m.hr_min then m.hr_min <- h.hr_min;
+              if h.hr_max > m.hr_max then m.hr_max <- h.hr_max;
+              Array.iteri
+                (fun i n -> m.hr_buckets.(i) <- m.hr_buckets.(i) + n)
+                h.hr_buckets
+            | None ->
+              Hashtbl.replace merged_h k
+                { hr_count = h.hr_count; hr_sum = h.hr_sum; hr_min = h.hr_min;
+                  hr_max = h.hr_max; hr_buckets = Array.copy h.hr_buckets })
+          b.b_hists)
+      bufs;
+    let hists =
+      List.sort compare
+        (Hashtbl.fold
+           (fun k (h : hrec) acc ->
+             ( k,
+               { h_count = h.hr_count; h_sum = h.hr_sum;
+                 h_min = (if h.hr_count = 0 then 0.0 else h.hr_min);
+                 h_max = (if h.hr_count = 0 then 0.0 else h.hr_max);
+                 h_buckets = h.hr_buckets } )
+             :: acc)
+           merged_h [])
+    in
     let spans =
       List.sort
         (fun a b -> compare (a.ts_us, a.tid, a.name) (b.ts_us, b.tid, b.name))
         (List.concat_map (fun b -> b.b_spans) bufs)
     in
     { wall_s = Unix.gettimeofday () -. c.t0;
-      domains = List.length bufs; counters; spans }
+      domains = List.length bufs; counters; hists; spans }
 
 let counter r name =
   match List.assoc_opt name r.counters with Some v -> v | None -> 0
+
+let hist r name = List.assoc_opt name r.hists

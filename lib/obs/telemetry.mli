@@ -29,14 +29,35 @@ type span = {
   cat : string;  (** grouping: ["engine"], ["prepare"], ["obligation"], … *)
   ts_us : float;  (** start time, microseconds since the collector started *)
   dur_us : float;
+  alloc_mw : float;
+      (** minor words allocated by the recording domain during the span
+          (children included) — per-phase GC-pressure attribution *)
   tid : int;  (** lane: the recording domain's id within this collector *)
   args : (string * string) list;
 }
+
+type hist = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** 0.0 when the histogram is empty *)
+  h_max : float;  (** 0.0 when the histogram is empty *)
+  h_buckets : int array;
+      (** cumulative-free counts per bucket: [h_buckets.(i)] observations
+          fell in [(bucket_bounds.(i-1), bucket_bounds.(i)]]; the final
+          entry is the overflow bucket *)
+}
+(** A merged log-scale histogram — the first-class generalization of the
+    executor's one-off cancellation-latency bucket counters. *)
+
+val bucket_bounds : float array
+(** The shared upper bounds, [1e-6 … 100.0] in decades; every histogram has
+    [Array.length bucket_bounds + 1] buckets (the last is overflow). *)
 
 type report = {
   wall_s : float;  (** collector lifetime, {!start} to {!stop} *)
   domains : int;  (** distinct domains that recorded anything *)
   counters : (string * int) list;  (** merged across domains, sorted *)
+  hists : (string * hist) list;  (** merged across domains, sorted *)
   spans : span list;  (** merged, sorted by start time *)
 }
 
@@ -58,6 +79,12 @@ val count : ?n:int -> string -> unit
     active. Use suffix [_us] for time-valued counters — consumers treat
     those as non-deterministic when diffing runs. *)
 
+val observe : string -> float -> unit
+(** Record one observation into the named histogram in the calling domain's
+    buffer (log-scale buckets per {!bucket_bounds}; merged across domains
+    by {!stop}). Free when no collector is active. Use suffix [_s] for
+    latencies in seconds. *)
+
 val span : ?cat:string -> ?args:(string * string) list -> string ->
   (unit -> 'a) -> 'a
 (** [span name f] times [f ()] and records a completed span in the calling
@@ -71,3 +98,6 @@ val calls_probe : unit -> int
 
 val counter : report -> string -> int
 (** Merged value of a counter, 0 when absent. *)
+
+val hist : report -> string -> hist option
+(** Merged histogram by name. *)

@@ -20,7 +20,9 @@ let to_json (r : Telemetry.report) =
         ("tid", Json.Int s.Telemetry.tid);
         ("args",
          Json.Obj
-           (List.map (fun (k, v) -> (k, Json.String v)) s.Telemetry.args)) ]
+           (("alloc_w", Json.Float s.Telemetry.alloc_mw)
+            :: List.map (fun (k, v) -> (k, Json.String v)) s.Telemetry.args))
+      ]
   in
   Json.Obj
     [ ("traceEvents",

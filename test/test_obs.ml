@@ -314,20 +314,522 @@ let test_metrics_json_parses () =
    | Some (J.Obj _) -> ()
    | _ -> Alcotest.fail "counters missing though a report was supplied")
 
+(* ---- JSON string escaping over arbitrary bytes ---- *)
+
+let string_roundtrips s =
+  match J.parse (J.to_string (J.String s)) with
+  | Ok (J.String s') -> s' = s
+  | Ok _ | Error _ -> false
+
+let qcheck_json_string_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"any string round-trips as JSON"
+    QCheck.(string_gen (Gen.char_range '\000' '\255'))
+    string_roundtrips
+
+let test_json_all_bytes () =
+  (* every byte value, including the control chars 0x00-0x1f whose escaping
+     once only covered \n, \t etc. *)
+  let all = String.init 256 Char.chr in
+  Alcotest.(check bool) "all 256 bytes round-trip" true
+    (string_roundtrips all);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S round-trips" s)
+        true (string_roundtrips s))
+    [ "\x00"; "\x01\x02\x03"; "\x1f"; "\x7f"; "a\x00b"; "\r\n\t\b\x0c";
+      "\xc3\xa9 caf\xc3\xa9" ]
+
+(* ---- flight recorder ---- *)
+
+module F = Obs.Flight
+
+let test_flight_wraparound () =
+  F.enable ~capacity:8 ();
+  for i = 0 to 19 do
+    F.record "tick" ~detail:(string_of_int i)
+  done;
+  let evs = F.events () in
+  let dropped = F.dropped () in
+  F.disable ();
+  Alcotest.(check int) "ring keeps exactly capacity" 8 (List.length evs);
+  Alcotest.(check int) "12 events overwritten" 12 dropped;
+  Alcotest.(check (list int)) "survivors are the newest, in order"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun (e : F.event) -> e.F.seq) evs);
+  List.iter
+    (fun (e : F.event) ->
+      Alcotest.(check string) "detail matches seq"
+        (string_of_int e.F.seq) e.F.detail;
+      Alcotest.(check string) "kind preserved" "tick" e.F.kind)
+    evs
+
+let test_flight_merge_ordering () =
+  F.enable ~capacity:64 ();
+  F.record "main" ~detail:"0";
+  let worker tag =
+    Domain.spawn (fun () ->
+        for i = 0 to 9 do
+          F.record tag ~detail:(string_of_int i)
+        done)
+  in
+  let d1 = worker "w1" and d2 = worker "w2" in
+  Domain.join d1;
+  Domain.join d2;
+  F.record "main" ~detail:"1";
+  let evs = F.events () in
+  F.disable ();
+  Alcotest.(check int) "all events survive" 22 (List.length evs);
+  Alcotest.(check int) "nothing dropped" 0 (F.dropped ());
+  (* global order is (t_s, lane, seq): within each lane, recording order *)
+  let lanes = Hashtbl.create 4 in
+  List.iter
+    (fun (e : F.event) ->
+      let prev =
+        Option.value ~default:(-1) (Hashtbl.find_opt lanes e.F.lane)
+      in
+      Alcotest.(check bool) "per-lane seqs strictly increase" true
+        (e.F.seq > prev);
+      Hashtbl.replace lanes e.F.lane e.F.seq)
+    evs;
+  Alcotest.(check int) "three lanes recorded" 3 (Hashtbl.length lanes);
+  let sorted = List.sort compare (List.map (fun e -> e.F.t_s) evs) in
+  Alcotest.(check (list (float 0.))) "merged view is time-sorted"
+    sorted (List.map (fun e -> e.F.t_s) evs)
+
+let test_flight_disabled_overhead () =
+  F.disable ();
+  Alcotest.(check bool) "no recorder installed" false (F.active ());
+  let iters = 100_000 in
+  F.record "warmup";
+  let p0 = F.calls_probe () in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    F.record "disabled.event"
+  done;
+  let words = Gc.minor_words () -. w0 in
+  let probed = F.calls_probe () - p0 in
+  Alcotest.(check int) "probe proves the path ran" iters probed;
+  Alcotest.(check bool)
+    (Printf.sprintf "no per-call allocation (%.0f minor words)" words)
+    true
+    (words < float_of_int iters /. 10.)
+
+let test_flight_dump_schema () =
+  F.enable ~capacity:4 ();
+  F.record "a" ~detail:"x";
+  F.record "b";
+  let j = F.to_json ~reason:"unit-test" () in
+  F.disable ();
+  let str k = Option.bind (J.member k j) J.to_str in
+  Alcotest.(check (option string)) "schema" (Some "dicheck-flight-v1")
+    (str "schema");
+  Alcotest.(check (option string)) "reason" (Some "unit-test")
+    (str "reason");
+  (match Option.bind (J.member "events" j) J.to_list with
+   | Some [ e1; e2 ] ->
+     Alcotest.(check (option string)) "kind" (Some "a")
+       (Option.bind (J.member "kind" e1) J.to_str);
+     Alcotest.(check (option string)) "detail" (Some "x")
+       (Option.bind (J.member "detail" e1) J.to_str);
+     Alcotest.(check (option string)) "detail defaults empty" (Some "")
+       (Option.bind (J.member "detail" e2) J.to_str)
+   | Some evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+   | None -> Alcotest.fail "events missing");
+  (* events after disable are free no-ops and the view is empty *)
+  F.record "after";
+  Alcotest.(check int) "inactive recorder yields no events" 0
+    (List.length (F.events ()))
+
+(* ---- histograms ---- *)
+
+let test_histogram_observe_merge () =
+  T.start ();
+  T.observe "lat_s" 0.5e-6;  (* bucket 0: <= 1e-6 *)
+  T.observe "lat_s" 0.005;   (* (1e-3, 1e-2] -> bucket 4 *)
+  T.observe "lat_s" 0.005;
+  let d =
+    Domain.spawn (fun () ->
+        T.observe "lat_s" 2.0;     (* (1.0, 10.0] -> bucket 7 *)
+        T.observe "lat_s" 1000.0;  (* > 100.0 -> overflow bucket 9 *)
+        T.observe "other" 1.0)
+  in
+  Domain.join d;
+  let r = T.stop () in
+  (match T.hist r "lat_s" with
+   | None -> Alcotest.fail "histogram missing"
+   | Some h ->
+     Alcotest.(check int) "count merged across domains" 5 h.T.h_count;
+     Alcotest.(check (float 1e-9)) "sum" 1002.0100005 h.T.h_sum;
+     Alcotest.(check (float 1e-12)) "min" 0.5e-6 h.T.h_min;
+     Alcotest.(check (float 0.)) "max" 1000.0 h.T.h_max;
+     Alcotest.(check int) "bucket count" (Array.length T.bucket_bounds + 1)
+       (Array.length h.T.h_buckets);
+     Alcotest.(check (list int)) "log-scale bucket assignment"
+       [ 1; 0; 0; 0; 2; 0; 0; 1; 0; 1 ]
+       (Array.to_list h.T.h_buckets));
+  (match T.hist r "other" with
+   | Some h -> Alcotest.(check int) "second histogram separate" 1 h.T.h_count
+   | None -> Alcotest.fail "second histogram missing");
+  Alcotest.(check (option (pair string string))) "absent histogram" None
+    (Option.map (fun _ -> ("", "")) (T.hist r "nope"))
+
+(* ---- profiler ---- *)
+
+module P = Obs.Profile
+
+let mk_span ?(tid = 0) ?(alloc = 0.0) ~cat ~name ts dur =
+  { T.name; cat; ts_us = ts; dur_us = dur; alloc_mw = alloc; tid;
+    args = [] }
+
+let synthetic_report spans =
+  { T.wall_s = 1.0; domains = 2; counters = []; hists = []; spans }
+
+let test_profile_self_time () =
+  (* lane 0: obligation [0,100] containing engine/bmc [10,40] and
+     engine/ic3 [50,90]; lane 1: an uncovered engine/bmc [0,30] *)
+  let spans =
+    [ mk_span ~cat:"obligation" ~name:"alu0/p2" ~alloc:50.0 0.0 100.0;
+      mk_span ~cat:"engine" ~name:"bmc" 10.0 30.0;
+      mk_span ~cat:"engine" ~name:"ic3" 50.0 40.0;
+      mk_span ~tid:1 ~cat:"engine" ~name:"bmc" 0.0 30.0 ]
+  in
+  let p = P.of_report (synthetic_report spans) in
+  Alcotest.(check int) "span count" 4 p.P.p_spans;
+  Alcotest.(check int) "lane count" 2 p.P.p_lanes;
+  Alcotest.(check (float 1e-6)) "wall extent" 100.0 p.P.p_wall_us;
+  let entry c =
+    match List.find_opt (fun e -> e.P.e_class = c) p.P.p_entries with
+    | Some e -> e
+    | None -> Alcotest.failf "class %s missing" c
+  in
+  let ob = entry "obligation" in
+  Alcotest.(check (float 1e-6)) "obligation wall includes children" 100.0
+    ob.P.e_wall_us;
+  Alcotest.(check (float 1e-6)) "obligation self excludes children" 30.0
+    ob.P.e_self_us;
+  Alcotest.(check (float 1e-6)) "alloc attributed" 50.0 ob.P.e_alloc_mw;
+  let bmc = entry "engine/bmc" in
+  Alcotest.(check int) "bmc spans aggregated across lanes" 2 bmc.P.e_count;
+  Alcotest.(check (float 1e-6)) "bmc self = own wall (no children)" 60.0
+    bmc.P.e_self_us;
+  Alcotest.(check (float 1e-6)) "ic3 self" 40.0 (entry "engine/ic3").P.e_self_us;
+  (* ranking: self time descending; shares sum to 1 *)
+  let selfs = List.map (fun e -> e.P.e_self_us) p.P.p_entries in
+  Alcotest.(check (list (float 1e-6))) "entries ranked by self time"
+    (List.sort (fun a b -> compare b a) selfs) selfs;
+  let share_sum =
+    List.fold_left (fun a e -> a +. e.P.e_self_share) 0.0 p.P.p_entries
+  in
+  Alcotest.(check (float 1e-6)) "self shares sum to 1" 1.0 share_sum;
+  Alcotest.(check int) "top truncates" 2 (List.length (P.top ~k:2 p))
+
+let test_profile_trace_roundtrip () =
+  let mini = mini_chip () in
+  let _, r = run_recorded ~jobs:2 mini in
+  let direct = P.of_report r in
+  let via_trace =
+    match P.of_trace_json (J.parse (Obs.Trace_export.to_chrome_string r)
+                           |> Result.get_ok) with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "trace parse: %s" e
+  in
+  Alcotest.(check int) "same span count" direct.P.p_spans
+    via_trace.P.p_spans;
+  Alcotest.(check int) "same lane count" direct.P.p_lanes
+    via_trace.P.p_lanes;
+  (* trace export rounds timestamps, which can swap near-tied rankings:
+     compare as name-sorted sets, self times within a microsecond budget *)
+  let by_class es =
+    List.sort (fun a b -> compare a.P.e_class b.P.e_class) es
+  in
+  Alcotest.(check (list string)) "same classes"
+    (List.map (fun e -> e.P.e_class) (by_class direct.P.p_entries))
+    (List.map (fun e -> e.P.e_class) (by_class via_trace.P.p_entries));
+  List.iter2
+    (fun (a : P.entry) (b : P.entry) ->
+      Alcotest.(check int) "same counts" a.P.e_count b.P.e_count;
+      Alcotest.(check bool) "self times agree to 10us" true
+        (Float.abs (a.P.e_self_us -. b.P.e_self_us) < 10.0))
+    (by_class direct.P.p_entries) (by_class via_trace.P.p_entries);
+  (* the JSON report carries the schema tag and ranked entries *)
+  let j = P.to_json ~k:5 direct in
+  Alcotest.(check (option string)) "profile schema"
+    (Some "dicheck-profile-v1")
+    (Option.bind (J.member "schema" j) J.to_str);
+  match Option.bind (J.member "entries" j) J.to_list with
+  | Some es ->
+    Alcotest.(check bool) "entries truncated to k" true (List.length es <= 5)
+  | None -> Alcotest.fail "entries missing"
+
+(* ---- bench diff ---- *)
+
+module BD = Obs.Bench_diff
+
+let bench_json runs =
+  J.Obj
+    [ ("schema", J.String "dicheck-bench-v1");
+      ("runs",
+       J.List
+         (List.map
+            (fun (label, wall, proved, failed) ->
+              J.Obj
+                [ ("label", J.String label); ("wall_s", J.Float wall);
+                  ("properties", J.Int (proved + failed));
+                  ("proved", J.Int proved); ("failed", J.Int failed);
+                  ("resource_out", J.Int 0); ("errors", J.Int 0) ])
+            runs)) ]
+
+let test_bench_diff_pass_and_fail () =
+  let base = bench_json [ ("a", 10.0, 90, 10); ("b", 5.0, 40, 2) ] in
+  (* same verdicts, wall within 20% *)
+  let ok_cur = bench_json [ ("a", 11.5, 90, 10); ("b", 4.0, 40, 2) ] in
+  (match BD.diff ~baseline:base ~current:ok_cur () with
+   | Error e -> Alcotest.failf "diff failed: %s" e
+   | Ok d ->
+     Alcotest.(check bool) "clean diff passes" true d.BD.ok;
+     Alcotest.(check int) "both runs compared" 2 (List.length d.BD.runs);
+     List.iter
+       (fun rc -> Alcotest.(check bool) "not regressed" false rc.BD.d_regressed)
+       d.BD.runs);
+  (* injected >= 20% throughput regression must fail *)
+  let slow_cur = bench_json [ ("a", 12.5, 90, 10); ("b", 4.0, 40, 2) ] in
+  (match BD.diff ~baseline:base ~current:slow_cur () with
+   | Error e -> Alcotest.failf "diff failed: %s" e
+   | Ok d ->
+     Alcotest.(check bool) "25% slower run fails the diff" false d.BD.ok;
+     let a = List.find (fun rc -> rc.BD.d_label = "a") d.BD.runs in
+     Alcotest.(check bool) "run a regressed" true a.BD.d_regressed;
+     Alcotest.(check (float 1e-9)) "ratio reported" 1.25 a.BD.d_ratio;
+     Alcotest.(check bool) "verdicts still ok" true a.BD.d_verdicts_ok);
+  (* verdict drift is thresholdless *)
+  let wrong_cur = bench_json [ ("a", 10.0, 89, 11); ("b", 5.0, 40, 2) ] in
+  (match BD.diff ~baseline:base ~current:wrong_cur () with
+   | Error e -> Alcotest.failf "diff failed: %s" e
+   | Ok d ->
+     Alcotest.(check bool) "verdict drift fails" false d.BD.ok;
+     let a = List.find (fun rc -> rc.BD.d_label = "a") d.BD.runs in
+     Alcotest.(check bool) "verdicts flagged" false a.BD.d_verdicts_ok);
+  (* one-sided labels are reported, not fatal *)
+  let partial = bench_json [ ("a", 10.0, 90, 10) ] in
+  (match BD.diff ~baseline:base ~current:partial () with
+   | Error e -> Alcotest.failf "diff failed: %s" e
+   | Ok d ->
+     Alcotest.(check bool) "partial run passes" true d.BD.ok;
+     Alcotest.(check (list string)) "missing label reported" [ "b" ]
+       d.BD.only_base);
+  (* max_wall_s ceiling baselines never fail on wall *)
+  let ceiling =
+    J.Obj
+      [ ("schema", J.String "dicheck-bench-baseline-v1");
+        ("runs",
+         J.List
+           [ J.Obj
+               [ ("label", J.String "a"); ("max_wall_s", J.Float 900.0);
+                 ("proved", J.Int 90); ("failed", J.Int 10) ] ]) ]
+  in
+  (match BD.diff ~baseline:ceiling ~current:ok_cur () with
+   | Error e -> Alcotest.failf "diff failed: %s" e
+   | Ok d -> Alcotest.(check bool) "ceiling baseline passes" true d.BD.ok);
+  (* no common labels is an error, as is garbage *)
+  (match BD.diff ~baseline:base ~current:(bench_json [ ("z", 1.0, 1, 0) ]) ()
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "disjoint labels must be an error");
+  match BD.diff ~baseline:(J.String "nope") ~current:ok_cur () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed baseline must be an error"
+
+(* ---- live status model + socket ---- *)
+
+module S = Core.Status
+
+let test_status_model () =
+  let s = S.create ~jobs:4 () in
+  S.set_total s 10;
+  S.set_phase s "campaign";
+  S.begin_work s ~obligation:"alu0.p2_parity" ~engine:"auto" ~attempt:1;
+  let snap = S.snapshot s in
+  Alcotest.(check string) "phase" "campaign" snap.S.s_phase;
+  Alcotest.(check int) "total" 10 snap.S.s_total;
+  Alcotest.(check int) "jobs" 4 snap.S.s_jobs;
+  (match snap.S.s_in_flight with
+   | [ f ] ->
+     Alcotest.(check string) "obligation" "alu0.p2_parity" f.S.f_obligation;
+     Alcotest.(check string) "engine" "auto" f.S.f_engine;
+     Alcotest.(check int) "attempt" 1 f.S.f_attempt
+   | l -> Alcotest.failf "expected 1 in-flight, got %d" (List.length l));
+  S.retry s;
+  S.finish s ~verdict:`Proved ~cache_hit:false ~replayed:false ~raced:false
+    ~healed:false;
+  S.finish s ~verdict:`Resource_out ~cache_hit:false ~replayed:false
+    ~raced:true ~healed:false;
+  S.reclassify s ~to_:`Proved;
+  let snap = S.snapshot s in
+  Alcotest.(check int) "done" 2 snap.S.s_done;
+  Alcotest.(check int) "proved after reclassify" 2 snap.S.s_proved;
+  Alcotest.(check int) "resource_out drained" 0 snap.S.s_resource_out;
+  Alcotest.(check int) "healed" 1 snap.S.s_healed;
+  Alcotest.(check int) "raced" 1 snap.S.s_raced;
+  Alcotest.(check int) "retries" 1 snap.S.s_retries;
+  Alcotest.(check int) "lane cleared on finish" 0
+    (List.length snap.S.s_in_flight);
+  Alcotest.(check bool) "eta projected from fresh completions" true
+    (snap.S.s_eta_s <> None);
+  let j = S.snapshot_json s in
+  Alcotest.(check (option string)) "status schema"
+    (Some "dicheck-status-v1")
+    (Option.bind (J.member "schema" j) J.to_str);
+  Alcotest.(check (option int)) "json done" (Some 2)
+    (Option.bind (J.member "done" j) J.to_int)
+
+let read_socket path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let buf = Buffer.create 1024 in
+      let b = Bytes.create 1024 in
+      let rec go () =
+        let n = Unix.read fd b 0 (Bytes.length b) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf b 0 n;
+          go ()
+        end
+      in
+      go ();
+      Buffer.contents buf)
+
+let test_status_socket () =
+  let path = Filename.temp_file "dicheck-status" ".sock" in
+  let s = S.create ~jobs:2 () in
+  S.set_total s 7;
+  S.set_phase s "campaign";
+  let srv = S.serve s ~path in
+  Fun.protect
+    ~finally:(fun () -> S.shutdown srv)
+    (fun () ->
+      (* two polls: each connection gets one fresh snapshot *)
+      let j1 =
+        match J.parse (read_socket path) with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "snapshot 1 unparseable: %s" e
+      in
+      Alcotest.(check (option int)) "total served" (Some 7)
+        (Option.bind (J.member "total" j1) J.to_int);
+      S.finish s ~verdict:`Failed ~cache_hit:false ~replayed:false
+        ~raced:false ~healed:false;
+      let j2 =
+        match J.parse (read_socket path) with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "snapshot 2 unparseable: %s" e
+      in
+      Alcotest.(check (option int)) "snapshot is live" (Some 1)
+        (Option.bind (J.member "done" j2) J.to_int);
+      Alcotest.(check (option int)) "failed tallied" (Some 1)
+        (Option.bind (J.member "failed" j2) J.to_int));
+  Alcotest.(check bool) "socket unlinked on shutdown" false
+    (Sys.file_exists path)
+
+(* ---- campaign under observation: seq = pool, flight determinism ---- *)
+
+let flight_done_events () =
+  List.filter_map
+    (fun (e : F.event) ->
+      match e.F.kind with
+      | "ob.done" -> Some (e.F.kind, e.F.detail)
+      | _ -> None)
+    (F.events ())
+
+let test_campaign_status_seq_eq_pool () =
+  let mini = mini_chip () in
+  let observed jobs =
+    F.enable ~capacity:4096 ();
+    let status = S.create ~jobs () in
+    let t = Core.Campaign.run ~jobs ~status mini in
+    let evs = List.sort compare (flight_done_events ()) in
+    F.disable ();
+    (t, S.snapshot status, evs)
+  in
+  let t1, s1, f1 = observed 1 in
+  let t2, s2, f2 = observed 4 in
+  Alcotest.(check (list string)) "verdict rows identical seq vs pool"
+    (List.map
+       (fun (r : Core.Campaign.prop_result) ->
+         result_key r ^ "="
+         ^ (match r.Core.Campaign.outcome.Mc.Engine.verdict with
+            | Mc.Engine.Proved -> "proved"
+            | Mc.Engine.Proved_bounded k -> "bounded:" ^ string_of_int k
+            | Mc.Engine.Failed _ -> "failed"
+            | Mc.Engine.Resource_out c -> "ro:" ^ c
+            | Mc.Engine.Error _ -> "error"))
+       t1.Core.Campaign.results)
+    (List.map
+       (fun (r : Core.Campaign.prop_result) ->
+         result_key r ^ "="
+         ^ (match r.Core.Campaign.outcome.Mc.Engine.verdict with
+            | Mc.Engine.Proved -> "proved"
+            | Mc.Engine.Proved_bounded k -> "bounded:" ^ string_of_int k
+            | Mc.Engine.Failed _ -> "failed"
+            | Mc.Engine.Resource_out c -> "ro:" ^ c
+            | Mc.Engine.Error _ -> "error"))
+       t2.Core.Campaign.results);
+  Alcotest.(check string) "both models end in phase done" s1.S.s_phase
+    s2.S.s_phase;
+  Alcotest.(check int) "same done count" s1.S.s_done s2.S.s_done;
+  Alcotest.(check int) "same verdict tallies" s1.S.s_proved s2.S.s_proved;
+  Alcotest.(check int) "same failed tallies" s1.S.s_failed s2.S.s_failed;
+  Alcotest.(check bool) "flight saw every obligation" true
+    (List.length f1 = List.length t1.Core.Campaign.results);
+  (* ob.done events are schedule-independent as a set: the pool may
+     double-miss the cache, but verdict + attribution per obligation agree *)
+  Alcotest.(check (list (pair string string)))
+    "flight ob.done event sets identical seq vs pool" f1 f2
+
 let () =
   Alcotest.run "obs"
     [ ("json",
        [ Alcotest.test_case "print/parse round-trip" `Quick
            test_json_roundtrip;
          Alcotest.test_case "parser rejects invalid input" `Quick
-           test_json_parse_errors ]);
+           test_json_parse_errors;
+         QCheck_alcotest.to_alcotest qcheck_json_string_roundtrip;
+         Alcotest.test_case "control chars and all bytes escape" `Quick
+           test_json_all_bytes ]);
       ("telemetry",
        [ Alcotest.test_case "collector merges counters and spans" `Quick
            test_collector_merge;
          Alcotest.test_case "stop without start is empty" `Quick
            test_stop_without_start;
          Alcotest.test_case "disabled path allocates nothing" `Quick
-           test_zero_sink_overhead ]);
+           test_zero_sink_overhead;
+         Alcotest.test_case "histograms observe and merge" `Quick
+           test_histogram_observe_merge ]);
+      ("flight",
+       [ Alcotest.test_case "ring wraparound keeps the newest" `Quick
+           test_flight_wraparound;
+         Alcotest.test_case "per-domain rings merge in order" `Quick
+           test_flight_merge_ordering;
+         Alcotest.test_case "disabled path allocates nothing" `Quick
+           test_flight_disabled_overhead;
+         Alcotest.test_case "dump carries the v1 schema" `Quick
+           test_flight_dump_schema ]);
+      ("profile",
+       [ Alcotest.test_case "self time and ranking on synthetic spans"
+           `Quick test_profile_self_time;
+         Alcotest.test_case "trace file profiling matches live report"
+           `Slow test_profile_trace_roundtrip ]);
+      ("bench-diff",
+       [ Alcotest.test_case "thresholds, verdict drift, ceilings" `Quick
+           test_bench_diff_pass_and_fail ]);
+      ("status",
+       [ Alcotest.test_case "model counters and in-flight table" `Quick
+           test_status_model;
+         Alcotest.test_case "socket serves live snapshots" `Quick
+           test_status_socket;
+         Alcotest.test_case "observed campaign: seq = pool" `Slow
+           test_campaign_status_seq_eq_pool ]);
       ("engine",
        [ Alcotest.test_case "bdd node limit reports canonical cause" `Quick
            test_bdd_nodes_cause;
