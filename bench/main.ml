@@ -6,8 +6,8 @@
      dune exec bench/main.exe -- table2   -- one artifact only
      dune exec bench/main.exe -- micro    -- Bechamel micro-benchmarks
 
-   Artifacts: table1 table2 racing healing table3 table4 timing fig7 fuzz
-   micro *)
+   Artifacts: table1 table2 racing healing incremental table3 table4 timing
+   fig7 fuzz micro *)
 
 let header title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') title (String.make 72 '=')
@@ -38,7 +38,10 @@ let racing_info : (string * string) option ref = ref None
 (* (starved label, healed label) once the healing artifact has run both *)
 let healing_info : (string * string) option ref = ref None
 
-let run_campaign ?budget ?portfolio ?race_jobs ?self_heal
+(* (scratch label, incremental label) once the incremental artifact has run *)
+let incremental_info : (string * string) option ref = ref None
+
+let run_campaign ?budget ?strategy ?portfolio ?race_jobs ?self_heal
     ?(cache = campaign_cache) label chip =
   let t0 = Unix.gettimeofday () in
   let last = ref 0.0 in
@@ -53,8 +56,8 @@ let run_campaign ?budget ?portfolio ?race_jobs ?self_heal
     end
   in
   let c =
-    Core.Campaign.run ?budget ?portfolio ~progress ~jobs:campaign_jobs
-      ?race_jobs ?self_heal ~cache chip
+    Core.Campaign.run ?budget ?strategy ?portfolio ~progress
+      ~jobs:campaign_jobs ?race_jobs ?self_heal ~cache chip
   in
   Printf.printf
     "  %s: %.1fs on %d jobs, %d/%d verdicts from cache\n%!" label
@@ -165,13 +168,50 @@ let write_bench_json path =
                   (float_of_int recovered /. float_of_int (max (ro s) 1))) ]) ]
       | _ -> [])
   in
+  let incremental_json =
+    match !incremental_info with
+    | None -> []
+    | Some (scratch_label, inc_label) -> (
+      match
+        ( List.assoc_opt scratch_label !campaign_runs,
+          List.assoc_opt inc_label !campaign_runs )
+      with
+      | Some s, Some i ->
+        let g (c : Core.Campaign.t) = c.Core.Campaign.grand_total in
+        let sw = s.Core.Campaign.wall_time_s
+        and iw = i.Core.Campaign.wall_time_s in
+        let identical =
+          let a = g s and b = g i in
+          a.Core.Campaign.proved = b.Core.Campaign.proved
+          && a.Core.Campaign.failed = b.Core.Campaign.failed
+          && a.Core.Campaign.resource_out = b.Core.Campaign.resource_out
+          && a.Core.Campaign.errors = b.Core.Campaign.errors
+        in
+        [ ("incremental",
+           J.Obj
+             [ ("scratch_label", J.String scratch_label);
+               ("incremental_label", J.String inc_label);
+               ("scratch_wall_s", J.Float sw);
+               ("incremental_wall_s", J.Float iw);
+               ("scratch_obligations_per_s",
+                J.Float
+                  (float_of_int (g s).Core.Campaign.total
+                  /. Float.max sw 1e-9));
+               ("incremental_obligations_per_s",
+                J.Float
+                  (float_of_int (g i).Core.Campaign.total
+                  /. Float.max iw 1e-9));
+               ("speedup", J.Float (sw /. Float.max iw 1e-9));
+               ("verdicts_identical", J.Bool identical) ]) ]
+      | _ -> [])
+  in
   let j =
     J.Obj
       ([ ("schema", J.String "dicheck-bench-v1");
          ("generated_at_unix", J.Float (Unix.gettimeofday ()));
          ("jobs", J.Int campaign_jobs);
          ("runs", J.List (List.map run_json !campaign_runs)) ]
-      @ racing_json @ healing_json)
+      @ racing_json @ healing_json @ incremental_json)
   in
   let oc = open_out path in
   (try output_string oc (J.to_string_pretty j)
@@ -295,6 +335,59 @@ let healing () =
    | None -> ());
   Printf.printf "  verdict flips vs starved run: %b (must be false)\n"
     ((g plain).Core.Campaign.failed <> (g healed).Core.Campaign.failed)
+
+(* Incremental SAT vs rebuild-from-scratch, on the configuration where the
+   solver actually carries state between queries: the full 2047-obligation
+   campaign pinned to the BMC strategy, whose iterative deepening is one
+   growing CNF per obligation. The scratch side is exactly what
+   [--no-incremental] runs (each depth re-encoded and re-solved from
+   nothing); the incremental side is the default. Fresh caches on both
+   sides keep the comparison cold, and the verdict totals must be
+   identical — the speedup lands in BENCH_campaign.json under
+   "incremental", where CI gates it at >= 3x. *)
+let incremental () =
+  header "Incremental SAT vs scratch re-encoding (BMC strategy, full campaign)";
+  (* depth 40 (double the default) so solving dominates the shared
+     per-module preparation: iterative deepening to depth d costs the
+     scratch side O(d^2) re-encoded frames and the incremental side O(d) *)
+  let base = { Mc.Engine.default_budget with Mc.Engine.bmc_depth = 40 } in
+  let scratch =
+    run_campaign
+      ~budget:{ base with Mc.Engine.incremental = false }
+      ~strategy:Mc.Engine.Bmc
+      ~cache:(Mc.Cache.create ())
+      "bmc-scratch" (Lazy.force chip)
+  in
+  let inc =
+    run_campaign ~budget:base ~strategy:Mc.Engine.Bmc
+      ~cache:(Mc.Cache.create ())
+      "bmc-incremental" (Lazy.force chip)
+  in
+  incremental_info := Some ("bmc-scratch", "bmc-incremental");
+  let g (c : Core.Campaign.t) = c.Core.Campaign.grand_total in
+  Printf.printf "  verdict totals identical: %b\n"
+    (let s = g scratch and i = g inc in
+     s.Core.Campaign.proved = i.Core.Campaign.proved
+     && s.Core.Campaign.failed = i.Core.Campaign.failed
+     && s.Core.Campaign.resource_out = i.Core.Campaign.resource_out
+     && s.Core.Campaign.errors = i.Core.Campaign.errors);
+  let sw = scratch.Core.Campaign.wall_time_s
+  and iw = inc.Core.Campaign.wall_time_s in
+  Printf.printf
+    "  scratch %.1fs (%.1f obligations/s), incremental %.1fs (%.1f \
+     obligations/s) -> speedup %.2fx\n"
+    sw
+    (float_of_int (g scratch).Core.Campaign.total /. Float.max sw 1e-9)
+    iw
+    (float_of_int (g inc).Core.Campaign.total /. Float.max iw 1e-9)
+    (sw /. Float.max iw 1e-9);
+  Printf.printf "  incremental reuse: %d warm solves\n"
+    (List.fold_left
+       (fun a (r : Core.Campaign.prop_result) ->
+         a
+         + r.Core.Campaign.outcome.Mc.Engine.perf
+             .Mc.Engine.incremental_reuse)
+       0 inc.Core.Campaign.results)
 
 let table3 () =
   header "Table 3: classification of logic bugs";
@@ -467,8 +560,9 @@ let micro () =
 
 let artifacts =
   [ ("table1", table1); ("table2", table2); ("racing", racing);
-    ("healing", healing); ("table3", table3); ("table4", table4);
-    ("timing", timing); ("fig7", fig7); ("fuzz", fuzz); ("micro", micro) ]
+    ("healing", healing); ("incremental", incremental); ("table3", table3);
+    ("table4", table4); ("timing", timing); ("fig7", fig7); ("fuzz", fuzz);
+    ("micro", micro) ]
 
 (* [bench diff BASE CUR [--threshold=X]]: compare two BENCH json files and
    exit 1 on a regression verdict — the CI trend gate. Handled before the

@@ -139,9 +139,9 @@ let write_diagnosis_dir dir (ds : Diag.Diagnosis.diagnosed list) =
 
 let campaign_cmd =
   let run with_bugs jobs csv cache_path no_cache deadline node_limit
-      max_retries journal_path resume trace metrics progress_interval
-      diagnose portfolio_spec race_jobs self_heal status_socket flight_path
-      no_flight =
+      no_incremental max_retries journal_path resume trace metrics
+      progress_interval diagnose portfolio_spec race_jobs self_heal
+      status_socket flight_path no_flight =
     try
       (* the flight recorder is always on: bounded memory, allocation-light
          writes, and it is exactly the runs that do NOT exit cleanly that
@@ -162,8 +162,8 @@ let campaign_cmd =
       let recording = trace <> None || metrics <> None in
       if recording then Core.Telemetry.start ();
       let budget =
-        match (deadline, node_limit) with
-        | None, None -> None
+        match (deadline, node_limit, no_incremental) with
+        | None, None, false -> None
         | _ ->
           Some
             { Mc.Engine.default_budget with
@@ -176,7 +176,8 @@ let campaign_cmd =
                 (match node_limit with
                  | Some _ -> node_limit
                  | None ->
-                   Mc.Engine.default_budget.Mc.Engine.pobdd_node_limit) }
+                   Mc.Engine.default_budget.Mc.Engine.pobdd_node_limit);
+              incremental = not no_incremental }
       in
       let portfolio =
         match portfolio_spec with
@@ -401,6 +402,17 @@ let campaign_cmd =
                    resource-out verdict. Pair with --self-heal to recover \
                    starved obligations by partitioning.")
   in
+  let no_incremental =
+    Arg.(value & flag
+         & info [ "no-incremental" ]
+             ~doc:"Disable incremental SAT solving: BMC, k-induction and IC3 \
+                   rebuild their CNF encodings from scratch at every depth \
+                   instead of keeping one live solver per obligation. \
+                   Verdicts are identical either way (the differential suite \
+                   enforces it); this is the slow oracle mode. Cache and \
+                   journal keys carry a distinct salt, so scratch runs never \
+                   answer incremental ones.")
+  in
   let max_retries =
     Arg.(value & opt int 2
          & info [ "max-retries" ] ~docv:"N"
@@ -506,9 +518,10 @@ let campaign_cmd =
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Run the full formal campaign (Table 2).")
     Term.(const run $ with_bugs $ jobs $ csv $ cache_path $ no_cache
-          $ deadline $ node_limit $ max_retries $ journal_path $ resume
-          $ trace $ metrics $ progress_interval $ diagnose $ portfolio
-          $ race_jobs $ self_heal $ status_socket $ flight_path $ no_flight)
+          $ deadline $ node_limit $ no_incremental $ max_retries
+          $ journal_path $ resume $ trace $ metrics $ progress_interval
+          $ diagnose $ portfolio $ race_jobs $ self_heal $ status_socket
+          $ flight_path $ no_flight)
 
 (* ---- explain ---- *)
 
@@ -754,8 +767,13 @@ let fig7_cmd =
 (* ---- check ---- *)
 
 let check_cmd =
-  let run arch bug psl_file strategy =
+  let run arch bug psl_file strategy no_incremental =
     let strategy = Option.map strategy_of_name strategy in
+    let budget =
+      if no_incremental then
+        Some { Mc.Engine.default_budget with Mc.Engine.incremental = false }
+      else None
+    in
     let leaf = make_archetype ~bug arch in
     let info = Verifiable.Transform.apply leaf.Chip.Archetype.mdl in
     let vunits =
@@ -790,8 +808,8 @@ let check_cmd =
             in
             Printf.printf "%-28s %-30s %s (%.3fs)\n" name verdict
               o.Mc.Engine.engine_used o.Mc.Engine.time_s)
-          (Mc.Engine.check_vunit ?strategy info.Verifiable.Transform.mdl
-             vunit))
+          (Mc.Engine.check_vunit ?budget ?strategy
+             info.Verifiable.Transform.mdl vunit))
       vunits;
     exit (if !failures > 0 then 1 else 0)
   in
@@ -817,10 +835,17 @@ let check_cmd =
                      "Engine strategy to use instead of auto (%s)."
                      (String.concat ", " strategy_names)))
   in
+  let no_incremental =
+    Arg.(value & flag
+         & info [ "no-incremental" ]
+             ~doc:"Rebuild SAT encodings from scratch at every depth instead \
+                   of keeping one live solver (the slow differential-oracle \
+                   mode; verdicts are identical).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Model-check PSL against an archetype's Verifiable RTL.")
-    Term.(const run $ arch $ bug $ psl $ strategy)
+    Term.(const run $ arch $ bug $ psl $ strategy $ no_incremental)
 
 (* ---- infer ---- *)
 

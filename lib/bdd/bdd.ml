@@ -1,15 +1,51 @@
-(* Arena-based ROBDD. Nodes 0 and 1 are the terminals; every other node n
-   has a variable level var.(n) and children low.(n) / high.(n). The
-   variable order is the index order. Reduction invariants: low <> high and
-   the (var, low, high) triple is unique. *)
+(* Arena-packed ROBDD.
+
+   Memory layout
+   -------------
+   Every node lives in one growable Bigarray int slab, 3 ints per node:
+
+     slab.{3*n}     variable level (terminals: max_int)
+     slab.{3*n + 1} low child  (else branch, variable = 0)
+     slab.{3*n + 2} high child (then branch, variable = 1)
+
+   Nodes 0 and 1 are the terminals false/true; every other node n >= 2
+   satisfies the ROBDD invariants: low <> high, child levels strictly
+   greater than the node's, and the (var, low, high) triple unique. A BDD
+   value is the int index of its root node, so handles are unboxed and
+   equality is integer equality. The variable order is the index order.
+
+   Hash consing runs through an open-addressed unique table: a power-of-two
+   int array of node indices (0 marks an empty slot — the false terminal is
+   never interned), linear probing, no deletions (the arena is monotone).
+   At 3/4 load the table doubles and is rebuilt from the slab itself.
+
+   The ite operation memoizes through a direct-mapped cache: four parallel
+   int arrays (the f/g/h key triple and the result) indexed by a hash of
+   the triple; a colliding entry simply overwrites. The memo doubles
+   alongside the slab (dropping its entries, which is safe) up to a fixed
+   ceiling; [clear_caches] invalidates it. The unique table is never
+   cleared.
+
+   The slab doubles on demand and is never garbage-collected, so
+   [node_count] is an exact, reproducible work measure and [Node_limit]
+   (the paper's "time out") is precise. The interrupt callback is polled
+   every [interrupt_period] fresh allocations — the same place the node
+   limit is checked — so cancellation latency is bounded by allocation
+   progress, not by the size of the operation in flight. *)
+
+type slab = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type man = {
-  mutable var : int array;
-  mutable low : int array;
-  mutable high : int array;
+  mutable slab : slab;
+  mutable cap : int;  (* nodes the slab can hold *)
   mutable next_free : int;
-  unique : (int * int * int, int) Hashtbl.t;
-  ite_cache : (int * int * int, int) Hashtbl.t;
+  mutable tbl : int array;  (* open-addressed unique table; 0 = empty *)
+  mutable tbl_mask : int;
+  mutable ite_f : int array;  (* direct-mapped ite memo; f = -1 = empty *)
+  mutable ite_g : int array;
+  mutable ite_h : int array;
+  mutable ite_r : int array;
+  mutable ite_mask : int;
   nvars : int;
   mutable node_limit : int option;
   mutable interrupt : (unit -> bool) option;
@@ -26,26 +62,46 @@ exception Interrupted
    rare enough that the gettimeofday behind a deadline check is free, often
    enough that one runaway apply cannot overshoot a deadline by much *)
 let interrupt_period = 8192
-
 let terminal_level = max_int
+let ite_memo_max = 1 lsl 18
+
+let[@inline] node_var m n = Bigarray.Array1.unsafe_get m.slab (3 * n)
+let[@inline] node_low m n = Bigarray.Array1.unsafe_get m.slab ((3 * n) + 1)
+let[@inline] node_high m n = Bigarray.Array1.unsafe_get m.slab ((3 * n) + 2)
+
+(* multiplicative triple mix; masked to a non-negative int *)
+let[@inline] mix3 a b c =
+  let x = (a * 0x9e3779b1) + b in
+  let x = (x * 0x9e3779b1) + c in
+  let x = x lxor (x lsr 16) in
+  let x = x * 0x2545f491 in
+  (x lxor (x lsr 24)) land max_int
 
 let create ?node_limit ~nvars () =
   let cap = 1024 in
-  let m =
-    { var = Array.make cap terminal_level;
-      low = Array.make cap (-1);
-      high = Array.make cap (-1);
-      next_free = 2;
-      unique = Hashtbl.create 4096;
-      ite_cache = Hashtbl.create 4096;
-      nvars;
-      node_limit;
-      interrupt = None;
-      interrupt_fuel = interrupt_period;
-      interrupt_polls = 0 }
-  in
+  let slab = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (3 * cap) in
   (* node 0 = false, 1 = true *)
-  m
+  for n = 0 to 1 do
+    Bigarray.Array1.set slab (3 * n) terminal_level;
+    Bigarray.Array1.set slab ((3 * n) + 1) (-1);
+    Bigarray.Array1.set slab ((3 * n) + 2) (-1)
+  done;
+  let memo = cap in
+  { slab;
+    cap;
+    next_free = 2;
+    tbl = Array.make (2 * cap) 0;
+    tbl_mask = (2 * cap) - 1;
+    ite_f = Array.make memo (-1);
+    ite_g = Array.make memo 0;
+    ite_h = Array.make memo 0;
+    ite_r = Array.make memo 0;
+    ite_mask = memo - 1;
+    nvars;
+    node_limit;
+    interrupt = None;
+    interrupt_fuel = interrupt_period;
+    interrupt_polls = 0 }
 
 let nvars m = m.nvars
 let set_node_limit m l = m.node_limit <- l
@@ -53,10 +109,10 @@ let set_node_limit m l = m.node_limit <- l
 let set_interrupt m f =
   m.interrupt <- f;
   m.interrupt_fuel <- interrupt_period
+
 let node_count m = m.next_free
 let interrupt_polls m = m.interrupt_polls
-
-let clear_caches m = Hashtbl.reset m.ite_cache
+let clear_caches m = Array.fill m.ite_f 0 (Array.length m.ite_f) (-1)
 
 let zero _ = 0
 let one _ = 1
@@ -64,24 +120,52 @@ let is_zero b = b = 0
 let is_one b = b = 1
 let equal (a : t) b = a = b
 
-let grow m =
-  let cap = Array.length m.var in
-  let ncap = cap * 2 in
-  let extend a fill =
-    let a' = Array.make ncap fill in
-    Array.blit a 0 a' 0 cap;
-    a'
-  in
-  m.var <- extend m.var terminal_level;
-  m.low <- extend m.low (-1);
-  m.high <- extend m.high (-1)
+let grow_slab m =
+  let ncap = m.cap * 2 in
+  let s = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (3 * ncap) in
+  Bigarray.Array1.blit m.slab (Bigarray.Array1.sub s 0 (3 * m.cap));
+  m.slab <- s;
+  m.cap <- ncap;
+  (* the ite memo tracks the arena size (dropping entries is safe for a
+     cache) so small managers stay small and big runs keep hitting *)
+  let msize = Array.length m.ite_f in
+  if msize < ncap && msize < ite_memo_max then begin
+    let nsize = msize * 2 in
+    m.ite_f <- Array.make nsize (-1);
+    m.ite_g <- Array.make nsize 0;
+    m.ite_h <- Array.make nsize 0;
+    m.ite_r <- Array.make nsize 0;
+    m.ite_mask <- nsize - 1
+  end
+
+let rehash m =
+  let size = 2 * Array.length m.tbl in
+  let mask = size - 1 in
+  let tbl = Array.make size 0 in
+  for n = 2 to m.next_free - 1 do
+    let i = ref (mix3 (node_var m n) (node_low m n) (node_high m n) land mask) in
+    while Array.unsafe_get tbl !i <> 0 do
+      i := (!i + 1) land mask
+    done;
+    Array.unsafe_set tbl !i n
+  done;
+  m.tbl <- tbl;
+  m.tbl_mask <- mask
+
+(* find (v,l,h) in the unique table: the node index when interned, otherwise
+   [-1 - slot] encoding the empty slot where it belongs *)
+let rec probe m tbl mask v l h i =
+  let n = Array.unsafe_get tbl i in
+  if n = 0 then -1 - i
+  else if node_var m n = v && node_low m n = l && node_high m n = h then n
+  else probe m tbl mask v l h ((i + 1) land mask)
 
 let mk m v l h =
   if l = h then l
   else
-    match Hashtbl.find_opt m.unique (v, l, h) with
-    | Some n -> n
-    | None ->
+    let r = probe m m.tbl m.tbl_mask v l h (mix3 v l h land m.tbl_mask) in
+    if r >= 0 then r
+    else begin
       (match m.node_limit with
        | Some limit when m.next_free >= limit -> raise Node_limit
        | Some _ | None -> ());
@@ -94,16 +178,20 @@ let mk m v l h =
            if f () then raise Interrupted
          end
        | None -> ());
-      if m.next_free >= Array.length m.var then grow m;
+      if m.next_free >= m.cap then grow_slab m;
       let n = m.next_free in
       m.next_free <- n + 1;
-      m.var.(n) <- v;
-      m.low.(n) <- l;
-      m.high.(n) <- h;
-      Hashtbl.replace m.unique (v, l, h) n;
+      Bigarray.Array1.unsafe_set m.slab (3 * n) v;
+      Bigarray.Array1.unsafe_set m.slab ((3 * n) + 1) l;
+      Bigarray.Array1.unsafe_set m.slab ((3 * n) + 2) h;
+      (* nothing between the probe and here touches the table, so the
+         encoded empty slot is still where this triple belongs *)
+      m.tbl.(-1 - r) <- n;
+      if 4 * (m.next_free - 2) > 3 * (m.tbl_mask + 1) then rehash m;
       n
+    end
 
-let level m n = m.var.(n)
+let level m n = node_var m n
 
 let var m i =
   if i < 0 || i >= m.nvars then invalid_arg "Bdd.var: out of range";
@@ -114,18 +202,21 @@ let nvar m i =
   mk m i 1 0
 
 let cofactors m n v =
-  if m.var.(n) = v then (m.low.(n), m.high.(n)) else (n, n)
+  if node_var m n = v then (node_low m n, node_high m n) else (n, n)
 
 let rec ite m f g h =
   if f = 1 then g
   else if f = 0 then h
   else if g = h then g
   else if g = 1 && h = 0 then f
-  else
-    let key = (f, g, h) in
-    match Hashtbl.find_opt m.ite_cache key with
-    | Some r -> r
-    | None ->
+  else begin
+    let slot = mix3 f g h land m.ite_mask in
+    if
+      Array.unsafe_get m.ite_f slot = f
+      && Array.unsafe_get m.ite_g slot = g
+      && Array.unsafe_get m.ite_h slot = h
+    then Array.unsafe_get m.ite_r slot
+    else begin
       let v = min (level m f) (min (level m g) (level m h)) in
       let f0, f1 = cofactors m f v in
       let g0, g1 = cofactors m g v in
@@ -133,8 +224,15 @@ let rec ite m f g h =
       let r0 = ite m f0 g0 h0 in
       let r1 = ite m f1 g1 h1 in
       let r = mk m v r0 r1 in
-      Hashtbl.replace m.ite_cache key r;
+      (* re-read the slot: [mk] may have doubled the memo under us *)
+      let slot = mix3 f g h land m.ite_mask in
+      Array.unsafe_set m.ite_f slot f;
+      Array.unsafe_set m.ite_g slot g;
+      Array.unsafe_set m.ite_h slot h;
+      Array.unsafe_set m.ite_r slot r;
       r
+    end
+  end
 
 let not_ m f = ite m f 0 1
 let and_ m f g = ite m f g 0
@@ -142,13 +240,14 @@ let or_ m f g = ite m f 1 g
 let xor m f g = ite m f (not_ m g) g
 let xnor m f g = ite m f g (not_ m g)
 let imp m f g = ite m f g 1
-
 let subset m a b = imp m a b = 1
 
 let quantify m ~conj vars f =
   let in_set = Array.make m.nvars false in
-  List.iter (fun v ->
-      if v < 0 || v >= m.nvars then invalid_arg "Bdd.quantify: var out of range";
+  List.iter
+    (fun v ->
+      if v < 0 || v >= m.nvars then
+        invalid_arg "Bdd.quantify: var out of range";
       in_set.(v) <- true)
     vars;
   let cache = Hashtbl.create 97 in
@@ -159,10 +258,9 @@ let quantify m ~conj vars f =
       | Some r -> r
       | None ->
         let v = level m f in
-        let r0 = go m.low.(f) and r1 = go m.high.(f) in
+        let r0 = go (node_low m f) and r1 = go (node_high m f) in
         let r =
-          if in_set.(v) then
-            if conj then and_ m r0 r1 else or_ m r0 r1
+          if in_set.(v) then if conj then and_ m r0 r1 else or_ m r0 r1
           else mk m v r0 r1
         in
         Hashtbl.replace cache f r;
@@ -175,7 +273,8 @@ let forall m vars f = quantify m ~conj:true vars f
 
 let and_exists m vars f g =
   let in_set = Array.make m.nvars false in
-  List.iter (fun v ->
+  List.iter
+    (fun v ->
       if v < 0 || v >= m.nvars then
         invalid_arg "Bdd.and_exists: var out of range";
       in_set.(v) <- true)
@@ -216,7 +315,7 @@ let vector_compose m subst f =
       | Some r -> r
       | None ->
         let v = level m f in
-        let r0 = go m.low.(f) and r1 = go m.high.(f) in
+        let r0 = go (node_low m f) and r1 = go (node_high m f) in
         let sel = match table.(v) with Some b -> b | None -> var m v in
         let r = ite m sel r1 r0 in
         Hashtbl.replace cache f r;
@@ -234,8 +333,9 @@ let restrict m v value f =
       | Some r -> r
       | None ->
         let r =
-          if level m f = v then if value then m.high.(f) else m.low.(f)
-          else mk m (level m f) (go m.low.(f)) (go m.high.(f))
+          if level m f = v then
+            if value then node_high m f else node_low m f
+          else mk m (level m f) (go (node_low m f)) (go (node_high m f))
         in
         Hashtbl.replace cache f r;
         r
@@ -248,8 +348,8 @@ let size m f =
     if not (Hashtbl.mem seen f) then begin
       Hashtbl.replace seen f ();
       if f > 1 then begin
-        go m.low.(f);
-        go m.high.(f)
+        go (node_low m f);
+        go (node_high m f)
       end
     end
   in
@@ -265,8 +365,8 @@ let support m f =
     if f > 1 && not (Hashtbl.mem seen f) then begin
       Hashtbl.replace seen f ();
       acc := Int_set.add (level m f) !acc;
-      go m.low.(f);
-      go m.high.(f)
+      go (node_low m f);
+      go (node_high m f)
     end
   in
   go f;
@@ -284,12 +384,10 @@ let sat_count m f =
       | None ->
         let v = level m f in
         let weight child =
-          let child_level =
-            if child <= 1 then m.nvars else level m child
-          in
+          let child_level = if child <= 1 then m.nvars else level m child in
           go child *. (2.0 ** float_of_int (child_level - v - 1))
         in
-        let c = weight m.low.(f) +. weight m.high.(f) in
+        let c = weight (node_low m f) +. weight (node_high m f) in
         Hashtbl.replace cache f c;
         c
   in
@@ -302,8 +400,8 @@ let any_sat m f =
     if f = 1 then List.rev acc
     else
       let v = level m f in
-      if m.low.(f) <> 0 then go m.low.(f) ((v, false) :: acc)
-      else go m.high.(f) ((v, true) :: acc)
+      if node_low m f <> 0 then go (node_low m f) ((v, false) :: acc)
+      else go (node_high m f) ((v, true) :: acc)
   in
   go f []
 
@@ -311,8 +409,8 @@ let eval m assign f =
   let rec go f =
     if f = 0 then false
     else if f = 1 then true
-    else if assign (level m f) then go m.high.(f)
-    else go m.low.(f)
+    else if assign (level m f) then go (node_high m f)
+    else go (node_low m f)
   in
   go f
 
@@ -327,7 +425,7 @@ let fold_paths m f ~init ~f:fn =
     else if node = 1 then fn acc (List.rev path)
     else
       let v = level m node in
-      let acc = go m.low.(node) ((v, false) :: path) acc in
-      go m.high.(node) ((v, true) :: path) acc
+      let acc = go (node_low m node) ((v, false) :: path) acc in
+      go (node_high m node) ((v, true) :: path) acc
   in
   go f [] init

@@ -139,6 +139,59 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
   in
   let exec = Executor.of_jobs jobs in
   let use_racing = portfolio <> None && Executor.jobs exec > 1 in
+  (* Shared preparation: the P0/P1/P2 obligations of one module differ only
+     in their monitor cone, so the module-level work (inliner tables, the
+     pruner's elaboration, monitor weaving, the full elaborate) runs once
+     per module via {!Mc.Engine.prepare_module} and each obligation picks up
+     its own cone-reduced netlist. One cell per module, guarded by its own
+     mutex: the first worker to reach the module prepares for all of them,
+     siblings block briefly and reuse — whichever executor path (sequential,
+     pool, racing) gets there first. A crash during preparation leaves the
+     cell empty, so a retrying sibling re-prepares instead of inheriting a
+     poisoned table. *)
+  let module_props : (string, (string * Psl.Ast.fl * Psl.Ast.fl list) list)
+      Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let prep_cells = Hashtbl.create 64 in
+  let prop_key (w : work) = w.w_vunit_name ^ "/" ^ w.w_prop_name in
+  Array.iter
+    (fun w ->
+      let mname = w.w_mdl.Rtl.Mdl.name in
+      let prev =
+        match Hashtbl.find_opt module_props mname with
+        | Some l -> l
+        | None ->
+          Hashtbl.add prep_cells mname (Mutex.create (), ref None);
+          []
+      in
+      Hashtbl.replace module_props mname
+        (prev @ [ (prop_key w, w.w_assert, w.w_assumes) ]))
+    items;
+  let prepare_shared (w : work) =
+    let mname = w.w_mdl.Rtl.Mdl.name in
+    let lock, cell = Hashtbl.find prep_cells mname in
+    Mutex.lock lock;
+    let table =
+      Fun.protect ~finally:(fun () -> Mutex.unlock lock) @@ fun () ->
+      match !cell with
+      | Some tbl -> tbl
+      | None ->
+        let tbl =
+          Obs.Telemetry.span ~cat:"obligation"
+            ~args:[ ("module", mname) ]
+            (mname ^ ".prepare")
+            (fun () ->
+              Mc.Engine.prepare_module w.w_mdl
+                ~props:(Hashtbl.find module_props mname))
+        in
+        cell := Some tbl;
+        tbl
+    in
+    Mc.Obligation.of_prepared ?budget ?strategy
+      (List.assoc (prop_key w) table)
+      ~meta:()
+  in
   let stat f = match status with Some s -> f s | None -> () in
   let strat_name =
     match strategy with
@@ -216,11 +269,9 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
     stat (fun s ->
         Status.begin_work s ~obligation:ob_name ~engine:strat_name ~attempt:1);
     (* prepare inside the worker so instrumentation, elaboration and COI
-       reduction parallelize along with the engine runs *)
-    let ob =
-      Mc.Obligation.prepare ?budget ?strategy w.w_mdl ~assert_:w.w_assert
-        ~assumes:w.w_assumes ~meta:()
-    in
+       reduction parallelize along with the engine runs; the module-level
+       half is shared across the module's obligations (see [prepare_shared]) *)
+    let ob = prepare_shared w in
     let key = Mc.Obligation.fingerprint ob in
     let outcome, cache_hit, replayed, attempts =
       match Option.bind journal (fun j -> Journal.replay j ~key) with
@@ -296,10 +347,7 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
           ("property", w.w_prop_name) ]
       (w.w_mdl.Rtl.Mdl.name ^ "." ^ w.w_prop_name ^ ".open")
     @@ fun () ->
-    let ob =
-      Mc.Obligation.prepare ?budget ?strategy w.w_mdl ~assert_:w.w_assert
-        ~assumes:w.w_assumes ~meta:()
-    in
+    let ob = prepare_shared w in
     let key = Mc.Obligation.fingerprint ob in
     match Option.bind journal (fun j -> Journal.replay j ~key) with
     | Some outcome ->
@@ -456,11 +504,9 @@ let run ?budget ?strategy ?portfolio ?(progress = fun (_ : progress) -> ())
         (match hr.Heal.h_outcome with
         | None -> ()
         | Some out ->
-          let ob =
-            Mc.Obligation.prepare ?budget ?strategy w.w_mdl
-              ~assert_:w.w_assert ~assumes:w.w_assumes ~meta:()
-          in
-          record ~key:(Mc.Obligation.fingerprint ob) out;
+          (* checkpoint under the monolithic key — the shared prep cell is
+             already warm from the main pass *)
+          record ~key:(Mc.Obligation.fingerprint (prepare_shared w)) out;
           if Mc.Engine.conclusive out then
             Obs.Telemetry.count "heal.recovered");
         hr

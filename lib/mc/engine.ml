@@ -22,6 +22,7 @@ and budget = {
   sat_max_conflicts : int;
   ic3_max_frames : int;
   wall_deadline_s : float option;
+  incremental : bool;
 }
 
 let strategy_name = function
@@ -50,7 +51,7 @@ let default_budget =
   { bdd_node_limit = Some 2_000_000; pobdd_node_limit = Some 8_000_000;
     pobdd_split_vars = 2; bmc_depth = 20; induction_max_k = 20;
     sat_max_conflicts = 2_000_000; ic3_max_frames = 32;
-    wall_deadline_s = None }
+    wall_deadline_s = None; incremental = true }
 
 let degrade_budget b =
   let half = Option.map (fun n -> max 1 (n / 2)) in
@@ -116,6 +117,7 @@ type perf = {
   sat_conflicts : int;
   sat_propagations : int;
   sat_restarts : int;
+  incremental_reuse : int;
   unroll_depth : int;
   final_k : int;
   ic3_frames : int;
@@ -125,8 +127,8 @@ type perf = {
 let empty_perf =
   { bdd_peak = 0; bdd_polls = 0; fix_iterations = 0; peak_set_size = 0;
     sat_decisions = 0; sat_conflicts = 0; sat_propagations = 0;
-    sat_restarts = 0; unroll_depth = -1; final_k = -1; ic3_frames = -1;
-    attempts = [] }
+    sat_restarts = 0; incremental_reuse = 0; unroll_depth = -1; final_k = -1;
+    ic3_frames = -1; attempts = [] }
 
 type outcome = {
   verdict : verdict;
@@ -168,6 +170,7 @@ let merge_perf a p =
     sat_conflicts = a.sat_conflicts + p.sat_conflicts;
     sat_propagations = a.sat_propagations + p.sat_propagations;
     sat_restarts = a.sat_restarts + p.sat_restarts;
+    incremental_reuse = a.incremental_reuse + p.incremental_reuse;
     unroll_depth = max a.unroll_depth p.unroll_depth;
     final_k = max a.final_k p.final_k;
     ic3_frames = max a.ic3_frames p.ic3_frames;
@@ -211,6 +214,7 @@ type acc = {
   mutable a_sat_c : int;
   mutable a_sat_p : int;
   mutable a_sat_r : int;
+  mutable a_inc_reuse : int;
   mutable a_unroll : int;
   mutable a_final_k : int;
   mutable a_ic3_frames : int;
@@ -220,14 +224,16 @@ type acc = {
 let fresh_acc () =
   { a_bdd_peak = 0; a_bdd_alloc = 0; a_bdd_polls = 0; a_fix_iterations = 0;
     a_peak_set_size = 0; a_sat_d = 0; a_sat_c = 0; a_sat_p = 0; a_sat_r = 0;
-    a_unroll = -1; a_final_k = -1; a_ic3_frames = -1; a_attempts_rev = [] }
+    a_inc_reuse = 0; a_unroll = -1; a_final_k = -1; a_ic3_frames = -1;
+    a_attempts_rev = [] }
 
 let perf_of_acc a =
   { bdd_peak = a.a_bdd_peak; bdd_polls = a.a_bdd_polls;
     fix_iterations = a.a_fix_iterations; peak_set_size = a.a_peak_set_size;
     sat_decisions = a.a_sat_d; sat_conflicts = a.a_sat_c;
     sat_propagations = a.a_sat_p; sat_restarts = a.a_sat_r;
-    unroll_depth = a.a_unroll; final_k = a.a_final_k;
+    incremental_reuse = a.a_inc_reuse; unroll_depth = a.a_unroll;
+    final_k = a.a_final_k;
     ic3_frames = a.a_ic3_frames; attempts = List.rev a.a_attempts_rev }
 
 let acc_sat acc (s : Solver.stats) =
@@ -246,7 +252,8 @@ let report_counters acc =
     Telemetry.count ~n:acc.a_sat_d "sat.decisions";
     Telemetry.count ~n:acc.a_sat_c "sat.conflicts";
     Telemetry.count ~n:acc.a_sat_p "sat.propagations";
-    Telemetry.count ~n:acc.a_sat_r "sat.restarts"
+    Telemetry.count ~n:acc.a_sat_r "sat.restarts";
+    Telemetry.count ~n:acc.a_inc_reuse "sat.incremental_reuse"
   end
 
 let timed f =
@@ -347,14 +354,16 @@ let run_bmc ~acc ~budget ~deadline nl ok_signal constraint_signal =
   acc.a_attempts_rev <- "bmc" :: acc.a_attempts_rev;
   let acc_bmc (s : Bmc.stats) =
     acc.a_unroll <- max acc.a_unroll s.Bmc.depth;
+    acc.a_inc_reuse <- acc.a_inc_reuse + s.Bmc.reused;
     acc_sat acc
       { Solver.decisions = s.Bmc.decisions; conflicts = s.Bmc.conflicts;
         propagations = s.Bmc.propagations; restarts = s.Bmc.restarts;
         learned = 0 }
   in
   let f () =
-    Bmc.check ~max_conflicts:budget.sat_max_conflicts ~deadline
-      ?constraint_signal nl ~ok_signal ~depth:budget.bmc_depth
+    Bmc.check ~incremental:budget.incremental
+      ~max_conflicts:budget.sat_max_conflicts ~deadline ?constraint_signal nl
+      ~ok_signal ~depth:budget.bmc_depth
   in
   match Telemetry.span ~cat:"engine" "bmc" (fun () -> timed f) with
   | exception Deadline.Expired ->
@@ -472,6 +481,7 @@ and check_atomic ~budget ?constraint_signal ?cancel ~strategy nl ~ok_signal =
       acc.a_attempts_rev <- "k-induction" :: acc.a_attempts_rev;
       let acc_kind (s : Induction.stats) =
         acc.a_final_k <- max acc.a_final_k s.Induction.k;
+        acc.a_inc_reuse <- acc.a_inc_reuse + s.Induction.reused;
         acc_sat acc
           { Solver.decisions = s.Induction.decisions;
             conflicts = s.Induction.conflicts;
@@ -479,7 +489,8 @@ and check_atomic ~budget ?constraint_signal ?cancel ~strategy nl ~ok_signal =
             restarts = s.Induction.restarts; learned = 0 }
       in
       let f () =
-        Induction.check ~max_conflicts:budget.sat_max_conflicts
+        Induction.check ~incremental:budget.incremental
+          ~max_conflicts:budget.sat_max_conflicts
           ~max_k:budget.induction_max_k ~deadline ?constraint_signal nl
           ~ok_signal
       in
@@ -510,13 +521,15 @@ and check_atomic ~budget ?constraint_signal ?cancel ~strategy nl ~ok_signal =
       acc.a_attempts_rev <- "ic3" :: acc.a_attempts_rev;
       let acc_ic3 (s : Ic3.stats) =
         acc.a_ic3_frames <- max acc.a_ic3_frames s.Ic3.frames;
+        acc.a_inc_reuse <- acc.a_inc_reuse + s.Ic3.reused;
         acc_sat acc
           { Solver.decisions = s.Ic3.decisions; conflicts = s.Ic3.conflicts;
             propagations = s.Ic3.propagations; restarts = s.Ic3.restarts;
             learned = 0 }
       in
       let f () =
-        Ic3.check ~max_conflicts:budget.sat_max_conflicts
+        Ic3.check ~incremental:budget.incremental
+          ~max_conflicts:budget.sat_max_conflicts
           ~max_frames:budget.ic3_max_frames ~deadline ?constraint_signal nl
           ~ok_signal
       in
@@ -577,7 +590,7 @@ and check_atomic ~budget ?constraint_signal ?cancel ~strategy nl ~ok_signal =
    groups reduces to that one group's logic. This sharpens the subsequent
    cone-of-influence reduction from whole signals to the bits the property
    actually reads. *)
-let inline_bools mdl fl =
+let make_inliner mdl =
   let driver = Hashtbl.create 97 in
   List.iter
     (fun (a : Rtl.Mdl.assign) -> Hashtbl.replace driver a.Rtl.Mdl.lhs a.Rtl.Mdl.rhs)
@@ -597,30 +610,37 @@ let inline_bools mdl fl =
           (Hashtbl.find_opt driver x)
   and expand visiting e = Rtl.Expr.subst (expand_var visiting) e in
   let env name = Rtl.Mdl.signal_width mdl name in
-  Psl.Ast.map_bool
-    (fun e -> Rtl.Expr.simplify ~env (expand [] e))
-    fl
+  fun fl ->
+    Psl.Ast.map_bool
+      (fun e -> Rtl.Expr.simplify ~env (expand [] e))
+      fl
+
+let inline_bools mdl fl = make_inliner mdl fl
 
 (* Drop assumptions that cannot affect the assert: an assumption whose
    signals are all primary inputs outside the assert's cone of influence
    constrains behavior the property never observes, so removing it is sound
    (it only adds behaviors on independent inputs) and shrinks the model. *)
-let prune_assumes mdl ~assert_ ~assumes =
+let make_pruner mdl =
   let design = Rtl.Design.of_modules [ mdl ] in
   let nl = Rtl.Elaborate.run design ~top:mdl.Rtl.Mdl.name in
   let declared = List.map fst (Rtl.Netlist.signals nl) in
-  let roots =
-    List.filter (fun s -> List.mem s declared) (Psl.Ast.signals assert_)
-  in
-  let cone = Rtl.Coi.reduce nl ~roots in
-  let cone_signals = List.map fst (Rtl.Netlist.signals cone) in
   let input_names = List.map fst nl.Rtl.Netlist.inputs in
-  let keep a =
-    let sigs = Psl.Ast.signals a in
-    let inputs_only = List.for_all (fun s -> List.mem s input_names) sigs in
-    (not inputs_only) || List.exists (fun s -> List.mem s cone_signals) sigs
-  in
-  List.filter keep assumes
+  fun ~assert_ ~assumes ->
+    let roots =
+      List.filter (fun s -> List.mem s declared) (Psl.Ast.signals assert_)
+    in
+    let cone = Rtl.Coi.reduce nl ~roots in
+    let cone_signals = List.map fst (Rtl.Netlist.signals cone) in
+    let keep a =
+      let sigs = Psl.Ast.signals a in
+      let inputs_only = List.for_all (fun s -> List.mem s input_names) sigs in
+      (not inputs_only) || List.exists (fun s -> List.mem s cone_signals) sigs
+    in
+    List.filter keep assumes
+
+let prune_assumes mdl ~assert_ ~assumes =
+  make_pruner mdl ~assert_ ~assumes
 
 (* invariant input-only assumptions ("always <boolean over inputs>") become
    engine-level input constraints instead of latched monitors: the engines
@@ -686,6 +706,85 @@ let prepare_full_netlist mdl ~assert_ ~assumes =
 
 let replay_model mdl ~assert_ ~assumes =
   prepare_full_netlist mdl ~assert_ ~assumes
+
+(* Shared per-module preparation: when a module carries several properties
+   (the paper's P0/P1/P2 obligations), the module-level work — the inliner's
+   driver tables, the pruner's raw elaboration, the monitor weaving and the
+   single full elaborate — runs once for all of them. Each property gets its
+   own monitor (distinct [mon<i>] prefixes in one woven module) and its own
+   cone-of-influence reduction from its own roots, so the per-property
+   reduced netlist is structurally identical to what the unshared
+   {!instrumented_netlist} path builds: monitors are independent cones, and
+   COI from property [i]'s roots excludes every other property's monitor.
+   Canonical fingerprints (name-independent) therefore agree between the
+   shared and unshared paths. *)
+let prepare_module mdl ~props =
+  let sp name f = Telemetry.span ~cat:"prepare" name f in
+  let fronts =
+    sp "prepare.inline" (fun () ->
+        let inline = make_inliner mdl in
+        let prune = make_pruner mdl in
+        List.map
+          (fun (name, assert_, assumes) ->
+            let assert_ = inline assert_ in
+            let assumes = List.map inline assumes in
+            let assumes = prune ~assert_ ~assumes in
+            let constraints, temporal = split_constraint_assumes mdl assumes in
+            (name, assert_, constraints, temporal))
+          props)
+  in
+  let woven = ref mdl in
+  let per_rev = ref [] in
+  List.iteri
+    (fun i (name, assert_, constraints, temporal) ->
+      let prefix = Printf.sprintf "mon%d" i in
+      let inst =
+        sp "prepare.monitor" (fun () ->
+            Psl.Monitor.instrument !woven ~prefix ~assert_ ~assumes:temporal)
+      in
+      let m', constraint_signal =
+        match constraints with
+        | [] -> (inst.Psl.Monitor.mdl, None)
+        | es ->
+          let c =
+            List.fold_left (fun acc e -> Rtl.Expr.( &: ) acc e) Rtl.Expr.tru es
+          in
+          let cname = prefix ^ "_input_constraint" in
+          let m = Rtl.Mdl.add_wire inst.Psl.Monitor.mdl cname 1 in
+          (Rtl.Mdl.add_assign m cname c, Some cname)
+      in
+      woven := m';
+      per_rev :=
+        (name, prefix, inst.Psl.Monitor.invariant_ok, constraint_signal)
+        :: !per_rev)
+    fronts;
+  let nl =
+    sp "prepare.elaborate" (fun () ->
+        let design = Rtl.Design.of_modules [ !woven ] in
+        Rtl.Elaborate.run design ~top:(!woven).Rtl.Mdl.name)
+  in
+  List.rev_map
+    (fun (name, prefix, ok_signal, constraint_signal) ->
+      let roots =
+        ok_signal
+        :: (match constraint_signal with Some c -> [ c ] | None -> [])
+      in
+      let red = sp "prepare.coi" (fun () -> Rtl.Coi.reduce nl ~roots) in
+      (* after its COI reduction the property's cone holds exactly one
+         monitor, so the weaving prefix [mon<i>] can be folded back to the
+         unshared path's [mon]: the result is name-identical (not merely
+         structurally identical) to {!instrumented_netlist}'s, which is what
+         keeps trace register names replayable against {!replay_model} *)
+      let pre = prefix ^ "_" in
+      let fold n =
+        if String.starts_with ~prefix:pre n then
+          "mon_" ^ String.sub n (String.length pre)
+                     (String.length n - String.length pre)
+        else n
+      in
+      let red = Rtl.Canon.rename fold red in
+      (name, (red, fold ok_signal, Option.map fold constraint_signal)))
+    !per_rev
 
 let instrumented_netlist mdl ~assert_ ~assumes =
   let nl, ok_signal, constraint_signal =

@@ -33,6 +33,11 @@ and budget = {
   wall_deadline_s : float option;
       (** cooperative wall-clock bound for the whole check, across every
           escalation stage; expiry yields [Resource_out "deadline"] *)
+  incremental : bool;
+      (** keep one live SAT solver per obligation in BMC/k-induction/IC3
+          (clause persistence + learnt-clause retention across depths and
+          queries). [false] rebuilds each encoding from scratch — the
+          differential-testing oracle, exposed as [--no-incremental] *)
 }
 
 val strategy_name : strategy -> string
@@ -87,6 +92,9 @@ type perf = {
   sat_conflicts : int;
   sat_propagations : int;
   sat_restarts : int;
+  incremental_reuse : int;
+      (** SAT solves answered by a warm persistent solver (incremental
+          mode), summed across engines; 0 when scratch mode ran *)
   unroll_depth : int;  (** deepest BMC unroll, [-1] if BMC never ran *)
   final_k : int;  (** k-induction's final [k], [-1] if it never ran *)
   ic3_frames : int;  (** IC3's highest frame, [-1] if it never ran *)
@@ -212,6 +220,23 @@ val replay_model :
     reduced model are a subset of this model's inputs; replaying a reduced
     trace with the pruned inputs held at zero cannot change the property
     cone (that is what the COI reduction proved). *)
+
+val prepare_module :
+  Rtl.Mdl.t ->
+  props:(string * Psl.Ast.fl * Psl.Ast.fl list) list ->
+  (string * (Rtl.Netlist.t * string * string option)) list
+(** Shared preparation for all properties of one module: the module-level
+    work (inliner tables, the pruner's raw elaboration, monitor weaving,
+    the single full elaborate) runs once, then each property gets its own
+    cone-of-influence reduction from its own monitor roots. Input is
+    [(name, assert, assumes)] per property; output pairs each name with
+    exactly what {!instrumented_netlist} would have returned for it: each
+    property's cone holds only its own monitor (monitors are independent
+    cones), and the weaving prefix is folded back to the unshared path's
+    [mon], so the reduced models are name-identical — same canonical
+    fingerprints, and trace register names stay replayable against
+    {!replay_model} — at roughly [1/n] of the preparation cost for an
+    [n]-property module. *)
 
 val check_property :
   ?budget:budget ->

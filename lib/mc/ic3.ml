@@ -10,6 +10,7 @@ type stats = {
   conflicts : int;
   propagations : int;
   restarts : int;
+  reused : int;  (* queries answered by the warm persistent solver *)
 }
 
 type reason = Frames_exhausted | Solver_limit
@@ -27,7 +28,7 @@ type cube = (int * bool) list
 exception Limit_hit
 exception Cex of int  (* transitions from an initial state to a bad state *)
 
-let check ?(max_conflicts = max_int) ?(max_frames = 32)
+let check ?(incremental = true) ?(max_conflicts = max_int) ?(max_frames = 32)
     ?(deadline = Deadline.none) ?constraint_signal nl ~ok_signal =
   let flat = B.flatten nl in
   let nstate =
@@ -73,13 +74,116 @@ let check ?(max_conflicts = max_int) ?(max_frames = 32)
       sat_calls = !n_sat_calls; decisions = !sat.Solver.decisions;
       conflicts = !sat.Solver.conflicts;
       propagations = !sat.Solver.propagations;
-      restarts = !sat.Solver.restarts }
+      restarts = !sat.Solver.restarts;
+      reused = (if incremental then max 0 (!n_sat_calls - 1) else 0) }
   in
-  (* One fresh CNF per query: F_level (init units at level 0), the input
-     constraint, an optional blocking clause, and either the bad cone or a
-     successor cube. Models are small post-COI, so re-encoding per query is
-     cheaper than incremental solving would buy us. *)
-  let solve_query ~level ~block_cube ~target =
+  (* ------------------------------------------------------------------ *)
+  (* Incremental query engine: ONE persistent solver for the whole run.
+     The transition cone (bad, constraint, next-state functions) is
+     encoded once; frame membership is switched by per-frame activation
+     literals — clause [c] entering delta [i] adds (~act_i \/ ~c), and a
+     query at level L assumes {act_j | j >= L}, which is exactly
+     F_L = union of deltas L.. (copies left behind by forward propagation
+     stay sound: frames only ever strengthen). Level-0 queries assume the
+     init-state literals directly, per-query block cubes get a one-shot
+     activation literal retired by a unit right after the solve. *)
+  let inc_solver = Solver.create () in
+  let inc_ctx = Tseitin.create ~on_clause:(Solver.add_clause inc_solver) () in
+  let inc_tbl = Hashtbl.create 197 in
+  let inc_var_map v =
+    match Hashtbl.find_opt inc_tbl v with
+    | Some cv -> cv
+    | None ->
+      let cv = Tseitin.fresh_var inc_ctx in
+      Hashtbl.replace inc_tbl v cv;
+      cv
+  in
+  let inc_state_lit v b =
+    let sv = inc_var_map v in
+    if b then sv else -sv
+  in
+  let inc_not_cube c = List.map (fun (v, b) -> -inc_state_lit v b) c in
+  let act = Array.make (max_frames + 2) 0 in
+  let act_lit j =
+    if act.(j) = 0 then act.(j) <- Tseitin.fresh_var inc_ctx;
+    act.(j)
+  in
+  let inc_bad_lit = ref 0 in
+  let bad_lit () =
+    if !inc_bad_lit = 0 then
+      inc_bad_lit := Tseitin.lit_of_bexpr inc_ctx inc_var_map bad0;
+    !inc_bad_lit
+  in
+  let inc_next_lit = Array.make (max nstate 1) 0 in
+  let next_lit v =
+    if inc_next_lit.(v) = 0 then
+      inc_next_lit.(v) <- Tseitin.lit_of_bexpr inc_ctx inc_var_map next_of.(v);
+    inc_next_lit.(v)
+  in
+  if incremental then (
+    match constraint0 with
+    | Some c ->
+      Tseitin.assert_lit inc_ctx (Tseitin.lit_of_bexpr inc_ctx inc_var_map c)
+    | None -> ());
+  (* called whenever a cube lands in deltas.(i), including forward moves:
+     the copy under the new frame's activation literal makes it visible to
+     queries at that level *)
+  let frame_clause_added i c =
+    if incremental then
+      Tseitin.add_clause inc_ctx (-act_lit i :: inc_not_cube c)
+  in
+  let solve_query_inc ~level ~block_cube ~target =
+    incr n_sat_calls;
+    let assumptions = ref [] in
+    if level = 0 then
+      for v = nstate - 1 downto 0 do
+        assumptions := inc_state_lit v init_val.(v) :: !assumptions
+      done
+    else
+      for j = Array.length deltas - 1 downto level do
+        assumptions := act_lit j :: !assumptions
+      done;
+    let retire = ref None in
+    (match block_cube with
+     | Some c ->
+       let b = Tseitin.fresh_var inc_ctx in
+       Tseitin.add_clause inc_ctx (-b :: inc_not_cube c);
+       assumptions := b :: !assumptions;
+       retire := Some b
+     | None -> ());
+    (match target with
+     | `Bad -> assumptions := bad_lit () :: !assumptions
+     | `Next (c : cube) ->
+       List.iter
+         (fun (v, b) ->
+           let l = next_lit v in
+           assumptions := (if b then l else -l) :: !assumptions)
+         c);
+    let result, st =
+      Solver.solve_assuming_stats ~max_conflicts
+        ~should_stop:(Deadline.checker deadline) inc_solver !assumptions
+    in
+    acc_st st;
+    (match !retire with
+     | Some b -> Solver.add_clause inc_solver [ -b ]
+     | None -> ());
+    match result with
+    | Solver.Unsat -> `Unsat
+    | Solver.Unknown -> raise Limit_hit
+    | Solver.Sat model ->
+      let value v =
+        match Hashtbl.find_opt inc_tbl v with
+        | Some cv -> cv <= Array.length model && model.(cv - 1)
+        | None -> false
+      in
+      `Sat (List.init nstate (fun v -> (v, value v)))
+  in
+  (* ------------------------------------------------------------------ *)
+  (* Scratch query engine: one fresh CNF per query — F_level (init units at
+     level 0), the input constraint, an optional blocking clause, and
+     either the bad cone or a successor cube. Kept as the differential
+     oracle for the persistent-solver path. *)
+  let solve_query_scratch ~level ~block_cube ~target =
     incr n_sat_calls;
     let ctx = Tseitin.create () in
     let tbl = Hashtbl.create 197 in
@@ -136,6 +240,10 @@ let check ?(max_conflicts = max_int) ?(max_frames = 32)
       in
       `Sat (List.init nstate (fun v -> (v, value v)))
   in
+  let solve_query ~level ~block_cube ~target =
+    if incremental then solve_query_inc ~level ~block_cube ~target
+    else solve_query_scratch ~level ~block_cube ~target
+  in
   (* SAT(F_{level} /\ ~cube /\ constraint /\ T /\ cube'): is [cube] still
      reachable in one step from F_level states outside it? *)
   let rel_sat level cube =
@@ -174,6 +282,7 @@ let check ?(max_conflicts = max_int) ?(max_frames = 32)
     incr n_ctis;
     let g = generalize s i in
     deltas.(i) <- g :: deltas.(i);
+    frame_clause_added i g;
     incr n_clauses
   in
   let k = ref 0 in
@@ -211,6 +320,7 @@ let check ?(max_conflicts = max_int) ?(max_frames = 32)
             in
             deltas.(i) <- kept;
             deltas.(i + 1) <- moved @ deltas.(i + 1);
+            List.iter (frame_clause_added (i + 1)) moved;
             if kept = [] then proved := Some (stats_at !k)
           end
         done;
@@ -229,8 +339,8 @@ let check ?(max_conflicts = max_int) ?(max_frames = 32)
        bounded check at exactly that depth must reproduce it — and yields
        a trace in the engine's standard replayable format *)
     match
-      Bmc.check ~max_conflicts ~deadline ?constraint_signal nl ~ok_signal
-        ~depth
+      Bmc.check ~incremental ~max_conflicts ~deadline ?constraint_signal nl
+        ~ok_signal ~depth
     with
     | Bmc.Violation (trace, bst) ->
       acc_st

@@ -14,6 +14,8 @@ type stats = {
   conflicts : int;
   propagations : int;
   restarts : int;
+  reused : int;
+      (** solves answered by a warm solver (0 in scratch mode) *)
 }
 
 type result =
@@ -24,6 +26,7 @@ type result =
           budget ran out *)
 
 val check :
+  ?incremental:bool ->
   ?max_conflicts:int ->
   ?max_k:int ->
   ?deadline:Deadline.t ->
@@ -33,7 +36,11 @@ val check :
   result
 (** [max_k] defaults to 20. The inductive step is the plain variant (no
     state-uniqueness constraints), which is sound but may stay inconclusive
-    on properties that need strengthening. [deadline] is threaded into every
+    on properties that need strengthening. By default ([incremental], on)
+    one live base-case unroller and one live step-case solver are kept for
+    the whole run, so iteration [k+1] only encodes the new frame;
+    [~incremental:false] rebuilds both from scratch at every [k] with
+    identical queries and verdicts. [deadline] is threaded into every
     base-case BMC run and step-case SAT search; expiry raises
     {!Deadline.Expired} between frames and yields {!Inconclusive} from
     within a search. *)

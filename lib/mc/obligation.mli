@@ -34,6 +34,20 @@ val prepare :
     {!Engine.default_budget}. Raises [Invalid_argument] on non-leaf modules,
     like {!Engine.check_property}. *)
 
+val of_prepared :
+  ?budget:Engine.budget ->
+  ?strategy:Engine.strategy ->
+  Rtl.Netlist.t * string * string option ->
+  meta:'a ->
+  'a t
+(** Package an already-prepared check — the [(netlist, ok, constraint)]
+    triple {!Engine.instrumented_netlist} or {!Engine.prepare_module}
+    returns — without re-running preparation. This is how the campaign
+    shares one monitor-weaving/elaboration pass across all properties of a
+    module: prepare once with {!Engine.prepare_module}, then wrap each
+    per-property cone here. Equivalent to {!prepare} on the same inputs
+    (same netlist up to structural identity, hence same {!fingerprint}). *)
+
 val of_vunit :
   ?budget:Engine.budget ->
   ?strategy:Engine.strategy ->

@@ -23,6 +23,7 @@ type discrepancy = {
 
 type engine_result = {
   strategy : E.strategy;
+  scratch : bool;
   outcome : E.outcome;
   validated_fail : int option;
 }
@@ -46,6 +47,12 @@ let strategies =
   [ E.Bdd_forward; E.Bdd_backward; E.Bdd_combined; E.Pobdd; E.Bmc; E.Kind;
     E.Ic3 ]
 
+(* the SAT engines additionally run with [incremental = false], so every
+   fuzz case cross-checks the warm persistent-solver path against the
+   rebuild-from-scratch oracle through the same verdict-split / replay /
+   simulation machinery as any other engine pair *)
+let scratch_strategies = [ E.Bmc; E.Kind; E.Ic3 ]
+
 let fuzz_budget =
   {
     E.bdd_node_limit = Some 500_000;
@@ -56,7 +63,12 @@ let fuzz_budget =
     sat_max_conflicts = 200_000;
     ic3_max_frames = 16;
     wall_deadline_s = Some 10.0;
+    incremental = true;
   }
+
+let run_name er =
+  let n = E.strategy_name er.strategy in
+  if er.scratch then n ^ "[scratch]" else n
 
 (* ---- Verilog print/parse round-trip, compared by canonical fingerprint *)
 
@@ -141,13 +153,23 @@ let check_obligation ~case_id mdl ~cls ~prop_name ~assert_ ~assumes =
   let add kind detail =
     discs := { kind; case_id; prop = Some prop_name; detail } :: !discs
   in
+  let runs =
+    List.map (fun s -> (s, false)) strategies
+    @ List.map (fun s -> (s, true)) scratch_strategies
+  in
   let engines =
     List.map
-      (fun strategy ->
+      (fun (strategy, scratch) ->
         Obs.Telemetry.count "qa.engine_runs";
+        let name =
+          E.strategy_name strategy ^ if scratch then "[scratch]" else ""
+        in
+        let budget =
+          if scratch then { fuzz_budget with E.incremental = false }
+          else fuzz_budget
+        in
         let outcome =
-          E.check_netlist ~budget:fuzz_budget ?constraint_signal ~strategy nl
-            ~ok_signal
+          E.check_netlist ~budget ?constraint_signal ~strategy nl ~ok_signal
         in
         let validated_fail =
           match outcome.E.verdict with
@@ -162,12 +184,12 @@ let check_obligation ~case_id mdl ~cls ~prop_name ~assert_ ~assumes =
             | Error reason ->
               add Replay_mismatch
                 (Printf.sprintf "%s counterexample fails replay validation: %s"
-                   (E.strategy_name strategy) reason);
+                   name reason);
               None)
           | _ -> None
         in
-        { strategy; outcome; validated_fail })
-      strategies
+        { strategy; scratch; outcome; validated_fail })
+      runs
   in
   (* a replay-validated refutation contradicts any proof, and any bounded
      proof whose horizon covers the violation cycle *)
@@ -182,12 +204,11 @@ let check_obligation ~case_id mdl ~cls ~prop_name ~assert_ ~assumes =
                 (Printf.sprintf
                    "%s proves%s but %s has a validated counterexample at \
                     cycle %d"
-                   (E.strategy_name prover.strategy)
+                   (run_name prover)
                    (match d with
                    | None -> ""
                    | Some d -> Printf.sprintf " up to depth %d" d)
-                   (E.strategy_name refuter.strategy)
-                   (l - 1))
+                   (run_name refuter) (l - 1))
             in
             match claim_of prover with
             | Holds -> split None
@@ -209,15 +230,13 @@ let check_obligation ~case_id mdl ~cls ~prop_name ~assert_ ~assumes =
           add Sim_mismatch
             (Printf.sprintf
                "exhaustive simulation violates at cycle %d but %s proves" c
-               (E.strategy_name er.strategy))
+               (run_name er))
         | Bounded d when c <= d ->
           add Sim_mismatch
             (Printf.sprintf
                "exhaustive simulation violates at cycle %d but %s proves up \
                 to depth %d"
-               c
-               (E.strategy_name er.strategy)
-               d)
+               c (run_name er) d)
         | _ -> ())
       engines
   | Some (_, depth, None) ->
@@ -229,8 +248,7 @@ let check_obligation ~case_id mdl ~cls ~prop_name ~assert_ ~assumes =
             (Printf.sprintf
                "%s has a validated counterexample of length %d but \
                 exhaustive simulation to depth %d finds none"
-               (E.strategy_name er.strategy)
-               l depth)
+               (run_name er) l depth)
         | _ -> ())
       engines);
   let sim_sequences = match sim with None -> 0 | Some (t, _, _) -> t in

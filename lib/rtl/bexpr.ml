@@ -106,8 +106,7 @@ let eval f e =
   in
   go e
 
-let substitute f root =
-  let cache = Hashtbl.create 997 in
+let substitute_cached cache f root =
   let rec go e =
     match Hashtbl.find_opt cache e.id with
     | Some v -> v
@@ -127,6 +126,12 @@ let substitute f root =
       v
   in
   go root
+
+let substitute f root = substitute_cached (Hashtbl.create 997) f root
+
+let substitute_many f roots =
+  let cache = Hashtbl.create 997 in
+  List.map (substitute_cached cache f) roots
 
 module Int_set = Set.Make (Int)
 

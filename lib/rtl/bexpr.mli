@@ -42,6 +42,11 @@ val substitute : (int -> t) -> t -> t
 (** [substitute f e] replaces every variable [v] by [f v], memoized over the
     DAG (used by the bounded model checker to unroll time frames). *)
 
+val substitute_many : (int -> t) -> t list -> t list
+(** Like {!substitute} on each root, but the memo table is shared across
+    roots: a node reachable from several roots is rewritten once, so sharing
+    between the roots survives the substitution. *)
+
 val support : t -> int list
 (** Variable ids, sorted, without duplicates. *)
 

@@ -2,7 +2,25 @@
    encoding is 2*v for the positive and 2*v+1 for the negative literal.
    watches.(l) holds the indices of clauses currently watching literal l;
    when l becomes false those clauses must find a new watch, propagate, or
-   conflict. *)
+   conflict.
+
+   The solver is persistent/incremental: a [t] keeps its clause database,
+   learnt clauses, VSIDS activities and saved phases across
+   [solve_assuming] calls, and solving under assumption literals answers
+   "is the database satisfiable together with these temporary units"
+   without permanently committing them. Assumptions are installed as the
+   first decision levels (one level per assumption, pseudo-levels for
+   assumptions already implied), exactly like MiniSat: after any backjump
+   into the assumption prefix the decision loop re-enqueues the remaining
+   assumptions in order, so learnt clauses — which mention assumption
+   literals negatively where needed and are therefore implied by the clause
+   database alone — can be kept forever.
+
+   Restart discipline (the retention-killer fixed here): restarts backtrack
+   to the assumption prefix, never below it, and neither activities,
+   saved phases nor the learnt database are cleared between calls — a
+   restart re-orders the search inside one call but must not throw away the
+   warm-start state that makes incremental solving pay off. *)
 
 type result = Sat of bool array | Unsat | Unknown
 
@@ -17,22 +35,41 @@ type stats = {
 let zero_stats =
   { decisions = 0; conflicts = 0; propagations = 0; restarts = 0; learned = 0 }
 
-type state = {
-  nvars : int;
+type t = {
+  mutable nvars : int;       (* highest DIMACS variable seen *)
+  mutable cap : int;         (* allocated capacity of the per-var arrays *)
   mutable clauses : int array array;
-  mutable num_clauses : int;
-  watches : int list array;  (* indexed by literal *)
-  assigns : int array;       (* -1 / 0 / 1 per var *)
-  level : int array;
-  reason : int array;        (* clause index or -1 *)
-  trail : int array;
+  mutable num_clauses : int;         (* problem + learnt *)
+  mutable num_problem_clauses : int; (* clauses added through add_clause *)
+  mutable watches : int list array;  (* indexed by literal *)
+  mutable assigns : int array;       (* -1 / 0 / 1 per var *)
+  mutable level : int array;
+  mutable reason : int array;        (* clause index or -1 *)
+  mutable trail : int array;
   mutable trail_size : int;
   mutable qhead : int;
-  mutable trail_lim : int list;  (* trail sizes at decision points *)
-  activity : float array;
+  (* trail sizes at decision points, as an explicit stack: trail_lim.(i) is
+     the trail size on entry to level i+1 and n_levels is the current
+     decision level. A list here made decision_level O(level), and enqueue
+     reads the level for every assignment — quadratic per solve once BMC
+     unrollings push thousands of decisions. *)
+  mutable trail_lim : int array;
+  mutable n_levels : int;
+  mutable activity : float array;
   mutable var_inc : float;
-  phase : bool array;
-  seen : bool array;
+  (* VSIDS order heap: a max-heap of candidate decision variables keyed by
+     (activity desc, var index asc) — the same total order the decision
+     rule always used, so the heap picks exactly what a full scan would,
+     in O(log n) instead of O(n) per decision. Lazy deletion: assigned
+     vars linger until popped; every unassigned var is always present
+     (inserted on creation and on unassignment at backtrack). *)
+  mutable heap : int array;
+  mutable heap_size : int;
+  mutable heap_pos : int array;  (* var -> heap slot, -1 when absent *)
+  mutable phase : bool array;
+  mutable seen : bool array;
+  mutable unsat : bool;              (* root-level conflict: unsat forever *)
+  mutable n_solves : int;
   (* per-solve work counters: solver-local, so concurrent solves on
      different domains never race (unlike the old stats_last globals) *)
   mutable n_decisions : int;
@@ -46,86 +83,229 @@ let neg l = l lxor 1
 let var_of l = l lsr 1
 let lit_of_var v sign = (v lsl 1) lor (if sign then 0 else 1)
 
-let value st l =
-  let a = st.assigns.(var_of l) in
+let create () =
+  let cap = 64 in
+  { nvars = 0; cap; clauses = Array.make 256 [||]; num_clauses = 0;
+    num_problem_clauses = 0; watches = Array.make (2 * cap) [];
+    assigns = Array.make cap (-1); level = Array.make cap 0;
+    reason = Array.make cap (-1); trail = Array.make cap 0; trail_size = 0;
+    qhead = 0; trail_lim = Array.make cap 0; n_levels = 0;
+    activity = Array.make cap 0.0; var_inc = 1.0;
+    phase = Array.make cap false; seen = Array.make cap false;
+    heap = Array.make cap 0; heap_size = 0; heap_pos = Array.make cap (-1);
+    unsat = false;
+    n_solves = 0; n_decisions = 0; n_conflicts = 0; n_propagations = 0;
+    n_restarts = 0; n_learned = 0 }
+
+let heap_lt t a b =
+  t.activity.(a) > t.activity.(b)
+  || (t.activity.(a) = t.activity.(b) && a < b)
+
+let heap_swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.heap_pos.(b) <- i;
+  t.heap_pos.(a) <- j
+
+let rec heap_sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_lt t t.heap.(i) t.heap.(p) then begin
+      heap_swap t i p;
+      heap_sift_up t p
+    end
+  end
+
+let rec heap_sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < t.heap_size && heap_lt t t.heap.(l) t.heap.(!m) then m := l;
+  if r < t.heap_size && heap_lt t t.heap.(r) t.heap.(!m) then m := r;
+  if !m <> i then begin
+    heap_swap t i !m;
+    heap_sift_down t !m
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    t.heap.(t.heap_size) <- v;
+    t.heap_pos.(v) <- t.heap_size;
+    t.heap_size <- t.heap_size + 1;
+    heap_sift_up t (t.heap_size - 1)
+  end
+
+let heap_pop t =
+  let v = t.heap.(0) in
+  t.heap_size <- t.heap_size - 1;
+  t.heap_pos.(v) <- -1;
+  if t.heap_size > 0 then begin
+    let last = t.heap.(t.heap_size) in
+    t.heap.(0) <- last;
+    t.heap_pos.(last) <- 0;
+    heap_sift_down t 0
+  end;
+  v
+
+let grow_to t want =
+  let cap = ref t.cap in
+  while !cap < want do
+    cap := 2 * !cap
+  done;
+  let cap = !cap in
+  let copy_int a fill =
+    let b = Array.make cap fill in
+    Array.blit a 0 b 0 t.cap; b
+  in
+  let watches = Array.make (2 * cap) [] in
+  Array.blit t.watches 0 watches 0 (2 * t.cap);
+  t.watches <- watches;
+  t.assigns <- copy_int t.assigns (-1);
+  t.level <- copy_int t.level 0;
+  t.reason <- copy_int t.reason (-1);
+  t.trail <- copy_int t.trail 0;
+  t.trail_lim <- copy_int t.trail_lim 0;
+  let activity = Array.make cap 0.0 in
+  Array.blit t.activity 0 activity 0 t.cap;
+  t.activity <- activity;
+  let copy_bool a =
+    let b = Array.make cap false in
+    Array.blit a 0 b 0 t.cap; b
+  in
+  t.phase <- copy_bool t.phase;
+  t.seen <- copy_bool t.seen;
+  t.heap <- copy_int t.heap 0;
+  t.heap_pos <- copy_int t.heap_pos (-1);
+  t.cap <- cap
+
+let ensure_vars t n =
+  if n > t.cap then grow_to t n;
+  if n > t.nvars then begin
+    for v = t.nvars to n - 1 do
+      heap_insert t v
+    done;
+    t.nvars <- n
+  end
+
+let num_vars t = t.nvars
+let num_clauses t = t.num_problem_clauses
+
+let value t l =
+  let a = t.assigns.(var_of l) in
   if a < 0 then -1 else a lxor (l land 1)
 
-let decision_level st = List.length st.trail_lim
+let decision_level t = t.n_levels
 
-let add_clause_raw st lits =
-  let idx = st.num_clauses in
-  if idx >= Array.length st.clauses then begin
-    let bigger = Array.make (max 16 (2 * Array.length st.clauses)) [||] in
-    Array.blit st.clauses 0 bigger 0 idx;
-    st.clauses <- bigger
+(* one entry per decision plus one pseudo-level per assumption: assumptions
+   can outnumber spare capacity, so the stack grows on its own *)
+let push_level t =
+  if t.n_levels >= Array.length t.trail_lim then begin
+    let bigger = Array.make (2 * Array.length t.trail_lim) 0 in
+    Array.blit t.trail_lim 0 bigger 0 t.n_levels;
+    t.trail_lim <- bigger
   end;
-  st.clauses.(idx) <- lits;
-  st.num_clauses <- idx + 1;
+  t.trail_lim.(t.n_levels) <- t.trail_size;
+  t.n_levels <- t.n_levels + 1
+
+let add_clause_raw t lits =
+  let idx = t.num_clauses in
+  if idx >= Array.length t.clauses then begin
+    let bigger = Array.make (max 16 (2 * Array.length t.clauses)) [||] in
+    Array.blit t.clauses 0 bigger 0 idx;
+    t.clauses <- bigger
+  end;
+  t.clauses.(idx) <- lits;
+  t.num_clauses <- idx + 1;
   if Array.length lits >= 2 then begin
-    st.watches.(lits.(0)) <- idx :: st.watches.(lits.(0));
-    st.watches.(lits.(1)) <- idx :: st.watches.(lits.(1))
+    t.watches.(lits.(0)) <- idx :: t.watches.(lits.(0));
+    t.watches.(lits.(1)) <- idx :: t.watches.(lits.(1))
   end;
   idx
 
-let enqueue st l reason =
-  match value st l with
+let enqueue t l reason =
+  match value t l with
   | 1 -> true
   | 0 -> false
   | _ ->
     let v = var_of l in
-    st.assigns.(v) <- 1 lxor (l land 1);
-    st.level.(v) <- decision_level st;
-    st.reason.(v) <- reason;
-    st.phase.(v) <- l land 1 = 0;
-    st.trail.(st.trail_size) <- l;
-    st.trail_size <- st.trail_size + 1;
+    t.assigns.(v) <- 1 lxor (l land 1);
+    t.level.(v) <- decision_level t;
+    t.reason.(v) <- reason;
+    t.phase.(v) <- l land 1 = 0;
+    t.trail.(t.trail_size) <- l;
+    t.trail_size <- t.trail_size + 1;
     true
 
+let lit_of_dimacs l =
+  let v = abs l - 1 in
+  lit_of_var v (l > 0)
+
+(* Add a problem clause (DIMACS literals). Must be called at decision level
+   0, i.e. between solves. Root-level simplification: literals already false
+   at the root are dropped (root assignments are permanent), clauses already
+   true at the root are discarded, the empty clause flips the solver into
+   [unsat] forever, units are enqueued at the root. *)
+let add_clause t clause =
+  t.num_problem_clauses <- t.num_problem_clauses + 1;
+  if not t.unsat then begin
+    let lits = List.sort_uniq compare (List.map lit_of_dimacs clause) in
+    List.iter (fun l -> ensure_vars t (var_of l + 1)) lits;
+    let tautology = List.exists (fun l -> List.mem (neg l) lits) lits in
+    let satisfied = List.exists (fun l -> value t l = 1) lits in
+    if not (tautology || satisfied) then begin
+      let lits = List.filter (fun l -> value t l <> 0) lits in
+      match lits with
+      | [] -> t.unsat <- true
+      | [ l ] -> if not (enqueue t l (-1)) then t.unsat <- true
+      | _ -> ignore (add_clause_raw t (Array.of_list lits))
+    end
+  end
+
 (* returns the index of a conflicting clause, or -1 *)
-let propagate st =
+let propagate t =
   let conflict = ref (-1) in
-  while !conflict < 0 && st.qhead < st.trail_size do
-    let p = st.trail.(st.qhead) in
-    st.qhead <- st.qhead + 1;
-    st.n_propagations <- st.n_propagations + 1;
+  while !conflict < 0 && t.qhead < t.trail_size do
+    let p = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    t.n_propagations <- t.n_propagations + 1;
     let false_lit = neg p in
-    let ws = st.watches.(false_lit) in
-    st.watches.(false_lit) <- [];
+    let ws = t.watches.(false_lit) in
+    t.watches.(false_lit) <- [];
     let rec process = function
       | [] -> ()
       | ci :: rest when !conflict >= 0 ->
         (* conflict already found: retain remaining watches untouched *)
-        st.watches.(false_lit) <- ci :: st.watches.(false_lit);
+        t.watches.(false_lit) <- ci :: t.watches.(false_lit);
         process rest
       | ci :: rest ->
-        let lits = st.clauses.(ci) in
+        let lits = t.clauses.(ci) in
         if lits.(0) = false_lit then begin
           lits.(0) <- lits.(1);
           lits.(1) <- false_lit
         end;
-        if value st lits.(0) = 1 then begin
-          st.watches.(false_lit) <- ci :: st.watches.(false_lit);
+        if value t lits.(0) = 1 then begin
+          t.watches.(false_lit) <- ci :: t.watches.(false_lit);
           process rest
         end
         else begin
           let n = Array.length lits in
           let rec find_watch k =
             if k >= n then -1
-            else if value st lits.(k) <> 0 then k
+            else if value t lits.(k) <> 0 then k
             else find_watch (k + 1)
           in
           let k = find_watch 2 in
           if k >= 0 then begin
             lits.(1) <- lits.(k);
             lits.(k) <- false_lit;
-            st.watches.(lits.(1)) <- ci :: st.watches.(lits.(1));
+            t.watches.(lits.(1)) <- ci :: t.watches.(lits.(1));
             process rest
           end
           else begin
-            st.watches.(false_lit) <- ci :: st.watches.(false_lit);
-            if not (enqueue st lits.(0) ci) then begin
+            t.watches.(false_lit) <- ci :: t.watches.(false_lit);
+            if not (enqueue t lits.(0) ci) then begin
               conflict := ci;
-              st.qhead <- st.trail_size
+              t.qhead <- t.trail_size
             end;
             process rest
           end
@@ -135,55 +315,58 @@ let propagate st =
   done;
   !conflict
 
-let bump st v =
-  st.activity.(v) <- st.activity.(v) +. st.var_inc;
-  if st.activity.(v) > 1e100 then begin
-    for i = 0 to st.nvars - 1 do
-      st.activity.(i) <- st.activity.(i) *. 1e-100
+let bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    (* uniform rescale: relative (activity, index) order is unchanged, so
+       the heap invariant survives without a rebuild *)
+    for i = 0 to t.nvars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
     done;
-    st.var_inc <- st.var_inc *. 1e-100
-  end
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  if t.heap_pos.(v) >= 0 then heap_sift_up t t.heap_pos.(v)
 
-let analyze st confl =
+let analyze t confl =
   let learnt = ref [] in
   let path_count = ref 0 in
   let p = ref (-1) in
-  let index = ref (st.trail_size - 1) in
+  let index = ref (t.trail_size - 1) in
   let confl = ref confl in
-  let current_level = decision_level st in
+  let current_level = decision_level t in
   let continue = ref true in
   while !continue do
-    let lits = st.clauses.(!confl) in
+    let lits = t.clauses.(!confl) in
     let start = if !p = -1 then 0 else 1 in
     for i = start to Array.length lits - 1 do
       let q = lits.(i) in
       let v = var_of q in
-      if (not st.seen.(v)) && st.level.(v) > 0 then begin
-        st.seen.(v) <- true;
-        bump st v;
-        if st.level.(v) >= current_level then incr path_count
+      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+        t.seen.(v) <- true;
+        bump t v;
+        if t.level.(v) >= current_level then incr path_count
         else learnt := q :: !learnt
       end
     done;
     (* pick the next literal to resolve on: last seen var on the trail *)
-    while not st.seen.(var_of st.trail.(!index)) do
+    while not t.seen.(var_of t.trail.(!index)) do
       decr index
     done;
-    p := st.trail.(!index);
+    p := t.trail.(!index);
     decr index;
-    st.seen.(var_of !p) <- false;
+    t.seen.(var_of !p) <- false;
     decr path_count;
-    if !path_count > 0 then confl := st.reason.(var_of !p)
+    if !path_count > 0 then confl := t.reason.(var_of !p)
     else continue := false
   done;
   let learnt = Array.of_list (neg !p :: !learnt) in
   (* clear seen flags *)
-  Array.iter (fun l -> st.seen.(var_of l) <- false) learnt;
+  Array.iter (fun l -> t.seen.(var_of l) <- false) learnt;
   (* backtrack level: second-highest level in the learnt clause *)
   let bt_level = ref 0 in
   let swap_pos = ref 1 in
   for i = 1 to Array.length learnt - 1 do
-    let lv = st.level.(var_of learnt.(i)) in
+    let lv = t.level.(var_of learnt.(i)) in
     if lv > !bt_level then begin
       bt_level := lv;
       swap_pos := i
@@ -196,144 +379,186 @@ let analyze st confl =
   end;
   (learnt, !bt_level)
 
-let backtrack st lvl =
-  (* trail_lim is most-recent-first; pop one entry per level removed. The
-     last popped entry is the trail size when level lvl+1 was entered. *)
-  let d = decision_level st in
-  if d > lvl then begin
-    let rec pop lims n bound =
-      if n = 0 then (lims, bound)
-      else
-        match lims with
-        | [] -> ([], bound)
-        | b :: rest -> pop rest (n - 1) b
-    in
-    let new_lims, bound = pop st.trail_lim (d - lvl) st.trail_size in
-    for i = st.trail_size - 1 downto bound do
-      let v = var_of st.trail.(i) in
-      st.assigns.(v) <- -1;
-      st.reason.(v) <- -1
+let backtrack t lvl =
+  (* trail_lim.(lvl) is the trail size when level lvl+1 was entered, i.e.
+     everything at or above that index belongs to levels > lvl *)
+  if decision_level t > lvl then begin
+    let bound = t.trail_lim.(lvl) in
+    for i = t.trail_size - 1 downto bound do
+      let v = var_of t.trail.(i) in
+      t.assigns.(v) <- -1;
+      t.reason.(v) <- -1;
+      heap_insert t v
     done;
-    st.trail_size <- bound;
-    st.qhead <- bound;
-    st.trail_lim <- new_lims
+    t.trail_size <- bound;
+    t.qhead <- bound;
+    t.n_levels <- lvl
   end
 
-let decide st =
-  let best = ref (-1) in
-  let best_act = ref neg_infinity in
-  for v = 0 to st.nvars - 1 do
-    if st.assigns.(v) < 0 && st.activity.(v) > !best_act then begin
-      best := v;
-      best_act := st.activity.(v)
-    end
-  done;
-  if !best < 0 then None
+type decide_outcome = All_assigned | Decided | Assumption_false
+
+(* While decision_level < |assumps| the next "decision" is the next
+   assumption: levels 1..|assumps| are the assumption prefix, one level per
+   assumption even when the literal is already implied (a pseudo-level with
+   no trail entries). This indexing is what lets a backjump into the prefix
+   self-heal — the next decide call re-examines assumptions from the level
+   it landed on. *)
+let decide t assumps =
+  let dl = decision_level t in
+  if dl < Array.length assumps then begin
+    let l = assumps.(dl) in
+    match value t l with
+    | 0 -> Assumption_false
+    | 1 ->
+      push_level t;
+      Decided
+    | _ ->
+      push_level t;
+      let ok = enqueue t l (-1) in
+      assert ok;
+      Decided
+  end
   else begin
-    st.n_decisions <- st.n_decisions + 1;
-    st.trail_lim <- st.trail_size :: st.trail_lim;
-    let l = lit_of_var !best st.phase.(!best) in
-    let ok = enqueue st l (-1) in
-    assert ok;
-    Some !best
+    (* pop stale (already assigned) entries until the heap yields the live
+       maximum — the same variable a full (activity desc, index asc) scan
+       over the unassigned vars would select *)
+    let best = ref (-1) in
+    while !best < 0 && t.heap_size > 0 do
+      let v = heap_pop t in
+      if t.assigns.(v) < 0 then best := v
+    done;
+    if !best < 0 then All_assigned
+    else begin
+      t.n_decisions <- t.n_decisions + 1;
+      push_level t;
+      let l = lit_of_var !best t.phase.(!best) in
+      let ok = enqueue t l (-1) in
+      assert ok;
+      Decided
+    end
   end
 
-let solve_stats ?(max_conflicts = max_int) ?(should_stop = fun () -> false)
-    (cnf : Cnf.t) =
-  let n = cnf.Cnf.nvars in
-  let st =
-    { nvars = n; clauses = Array.make 256 [||]; num_clauses = 0;
-      watches = Array.make (2 * max 1 n) []; assigns = Array.make (max 1 n) (-1);
-      level = Array.make (max 1 n) 0; reason = Array.make (max 1 n) (-1);
-      trail = Array.make (max 1 n) 0; trail_size = 0; qhead = 0;
-      trail_lim = []; activity = Array.make (max 1 n) 0.0; var_inc = 1.0;
-      phase = Array.make (max 1 n) false; seen = Array.make (max 1 n) false;
-      n_decisions = 0; n_conflicts = 0; n_propagations = 0; n_restarts = 0;
-      n_learned = 0 }
+let solve_assuming_stats ?(max_conflicts = max_int)
+    ?(should_stop = fun () -> false) t assumptions =
+  t.n_solves <- t.n_solves + 1;
+  t.n_decisions <- 0;
+  t.n_conflicts <- 0;
+  t.n_propagations <- 0;
+  t.n_restarts <- 0;
+  t.n_learned <- 0;
+  let stats_of t =
+    { decisions = t.n_decisions; conflicts = t.n_conflicts;
+      propagations = t.n_propagations; restarts = t.n_restarts;
+      learned = t.n_learned }
   in
-  let stats_of st =
-    { decisions = st.n_decisions; conflicts = st.n_conflicts;
-      propagations = st.n_propagations; restarts = st.n_restarts;
-      learned = st.n_learned }
-  in
-  let lit_of_dimacs l =
-    let v = abs l - 1 in
-    lit_of_var v (l > 0)
-  in
-  (* normalize input clauses: dedup, drop tautologies, catch empties/units *)
-  let exception Trivially_unsat in
-  match
-    List.iter
-      (fun clause ->
-        let lits = List.sort_uniq compare (List.map lit_of_dimacs clause) in
-        let tautology =
-          List.exists (fun l -> List.mem (neg l) lits) lits
-        in
-        if not tautology then
-          match lits with
-          | [] -> raise Trivially_unsat
-          | [ l ] -> if not (enqueue st l (-1)) then raise Trivially_unsat
-          | _ -> ignore (add_clause_raw st (Array.of_list lits)))
-      cnf.Cnf.clauses
-  with
-  | exception Trivially_unsat -> (Unsat, stats_of st)
-  | () ->
-    if propagate st >= 0 then (Unsat, stats_of st)
-    else begin
-      let conflicts_total = ref 0 in
-      let restart_limit = ref 100 in
-      let conflicts_since_restart = ref 0 in
-      let result = ref None in
-      (* poll the stop callback once per [stop_period] search steps: each
-         step is one propagate + decide/analyze, so the poll (typically a
-         gettimeofday behind a deadline) stays off the hot path *)
-      let stop_period = 1024 in
-      let stop_fuel = ref stop_period in
-      while !result = None do
-        decr stop_fuel;
-        if !stop_fuel <= 0 then begin
-          stop_fuel := stop_period;
-          if should_stop () then result := Some Unknown
-        end;
-        let confl = propagate st in
-        if confl >= 0 then begin
-          incr conflicts_total;
-          incr conflicts_since_restart;
-          st.n_conflicts <- st.n_conflicts + 1;
-          st.var_inc <- st.var_inc /. 0.95;
-          if decision_level st = 0 then result := Some Unsat
-          else if !conflicts_total >= max_conflicts then result := Some Unknown
-          else begin
-            let learnt, bt_level = analyze st confl in
-            st.n_learned <- st.n_learned + 1;
-            backtrack st bt_level;
-            if Array.length learnt = 1 then begin
-              if not (enqueue st learnt.(0) (-1)) then result := Some Unsat
-            end
-            else begin
-              let ci = add_clause_raw st learnt in
-              let ok = enqueue st learnt.(0) ci in
-              assert ok
+  if t.unsat then (Unsat, stats_of t)
+  else begin
+    List.iter (fun l -> ensure_vars t (abs l)) assumptions;
+    let assumps = Array.of_list (List.map lit_of_dimacs assumptions) in
+    let n_assumps = Array.length assumps in
+    let conflicts_total = ref 0 in
+    let restart_limit = ref 100 in
+    let conflicts_since_restart = ref 0 in
+    let result = ref None in
+    (* poll the stop callback once per [stop_period] search steps: each
+       step is one propagate + decide/analyze, so the poll (typically a
+       gettimeofday behind a deadline) stays off the hot path *)
+    let stop_period = 1024 in
+    let stop_fuel = ref stop_period in
+    while !result = None do
+      decr stop_fuel;
+      if !stop_fuel <= 0 then begin
+        stop_fuel := stop_period;
+        if should_stop () then result := Some Unknown
+      end;
+      let confl = propagate t in
+      if confl >= 0 then begin
+        incr conflicts_total;
+        incr conflicts_since_restart;
+        t.n_conflicts <- t.n_conflicts + 1;
+        t.var_inc <- t.var_inc /. 0.95;
+        if decision_level t = 0 then begin
+          (* conflict under no decisions at all: unsat regardless of
+             assumptions, now and forever *)
+          t.unsat <- true;
+          result := Some Unsat
+        end
+        else if decision_level t <= n_assumps then
+          (* every open decision level is an assumption level: the clause
+             database refutes the assumption prefix — unsat under these
+             assumptions only, the database itself stays consistent *)
+          result := Some Unsat
+        else if !conflicts_total >= max_conflicts then result := Some Unknown
+        else begin
+          let learnt, bt_level = analyze t confl in
+          t.n_learned <- t.n_learned + 1;
+          backtrack t bt_level;
+          if Array.length learnt = 1 then begin
+            (* bt_level is 0 for unit learnts: the enqueue is permanent, so
+               the clause itself need not be stored *)
+            if not (enqueue t learnt.(0) (-1)) then begin
+              t.unsat <- true;
+              result := Some Unsat
             end
           end
+          else begin
+            let ci = add_clause_raw t learnt in
+            let ok = enqueue t learnt.(0) ci in
+            assert ok
+          end
         end
-        else if !conflicts_since_restart >= !restart_limit then begin
-          conflicts_since_restart := 0;
-          restart_limit := !restart_limit * 3 / 2;
-          st.n_restarts <- st.n_restarts + 1;
-          backtrack st 0
-        end
-        else
-          match decide st with
-          | None ->
-            let model = Array.init n (fun v -> st.assigns.(v) = 1) in
-            result := Some (Sat model)
-          | Some _ -> ()
-      done;
-      match !result with
-      | Some r -> (r, stats_of st)
-      | None -> assert false
-    end
+      end
+      else if
+        !conflicts_since_restart >= !restart_limit
+        && decision_level t > n_assumps
+      then begin
+        conflicts_since_restart := 0;
+        restart_limit := !restart_limit * 3 / 2;
+        t.n_restarts <- t.n_restarts + 1;
+        (* restart to the assumption prefix, never below: backtracking to 0
+           would undo the assumptions (they would be re-installed, but the
+           prefix is where the warm search state lives) *)
+        backtrack t n_assumps
+      end
+      else begin
+        match decide t assumps with
+        | All_assigned ->
+          let model = Array.init t.nvars (fun v -> t.assigns.(v) = 1) in
+          result := Some (Sat model)
+        | Assumption_false ->
+          (* the next assumption is already false under the previous ones:
+             unsat under assumptions *)
+          result := Some Unsat
+        | Decided -> ()
+      end
+    done;
+    backtrack t 0;
+    match !result with
+    | Some r -> (r, stats_of t)
+    | None -> assert false
+  end
+
+let solve_assuming ?max_conflicts ?should_stop t assumptions =
+  fst (solve_assuming_stats ?max_conflicts ?should_stop t assumptions)
+
+let solves t = t.n_solves
+
+(* One-shot interface: a fresh solver per call, so repeated solves of the
+   same CNF are bit-for-bit deterministic (no retained state). *)
+let solve_stats ?max_conflicts ?should_stop (cnf : Cnf.t) =
+  let t = create () in
+  ensure_vars t cnf.Cnf.nvars;
+  List.iter (add_clause t) cnf.Cnf.clauses;
+  let result, stats = solve_assuming_stats ?max_conflicts ?should_stop t [] in
+  (* one-shot models are sized by the CNF header even when trailing
+     variables never appear in any clause *)
+  let result =
+    match result with
+    | Sat m when Array.length m < cnf.Cnf.nvars ->
+      Sat (Array.init cnf.Cnf.nvars (fun v -> v < Array.length m && m.(v)))
+    | r -> r
+  in
+  (result, stats)
 
 let solve ?max_conflicts ?should_stop cnf =
   fst (solve_stats ?max_conflicts ?should_stop cnf)

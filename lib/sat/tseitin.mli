@@ -7,7 +7,10 @@
 
 type ctx
 
-val create : unit -> ctx
+val create : ?on_clause:(int list -> unit) -> unit -> ctx
+(** With [on_clause], every generated clause is streamed to the sink
+    (typically {!Solver.add_clause} on a live incremental solver) instead of
+    being accumulated; {!to_cnf} is then unavailable. *)
 
 val fresh_var : ctx -> int
 (** A fresh DIMACS variable (returned positive). *)
@@ -24,4 +27,7 @@ val assert_lit : ctx -> int -> unit
 val add_clause : ctx -> int list -> unit
 
 val to_cnf : ctx -> Cnf.t
+(** Raises [Invalid_argument] on a context created with [on_clause]. *)
+
 val num_vars : ctx -> int
+val num_clauses : ctx -> int
